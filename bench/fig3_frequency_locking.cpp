@@ -1,0 +1,85 @@
+// E1 — Fig. 3 reproduction: two RC-coupled VO2 relaxation oscillators lock
+// to a common frequency inside a finite detuning window.
+//
+// Prints (a) the free-running tuning curve f(Vgs), (b) coupled-pair series:
+// free-running detuning vs locked/unlocked state, common frequency and phase,
+// for three coupling strengths, and (c) the lock-range summary.
+#include <iostream>
+
+#include "core/table.h"
+#include "oscillator/analysis.h"
+#include "oscillator/network.h"
+
+using namespace rebooting;
+using namespace rebooting::oscillator;
+
+namespace {
+
+constexpr core::Real kCenterVgs = 1.0;
+
+SimulationOptions sim_options() {
+  SimulationOptions so;
+  so.duration = 120e-6;
+  so.dt = 1e-9;
+  so.sample_stride = 4;
+  return so;
+}
+
+struct PairResult {
+  bool locked = false;
+  core::Real f0 = 0.0;
+  core::Real f1 = 0.0;
+  core::Real phase = 0.0;
+};
+
+PairResult run_pair(core::Real delta_vgs, core::Real rc) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.set_gate_voltage(0, kCenterVgs - 0.5 * delta_vgs);
+  net.set_gate_voltage(1, kCenterVgs + 0.5 * delta_vgs);
+  net.add_coupling({.a = 0, .b = 1, .r = rc, .c = 1e-12});
+  const Trace tr = net.simulate(sim_options());
+  PairResult r;
+  r.locked = is_locked(tr, 0, 1);
+  r.f0 = trace_frequency(tr, 0);
+  r.f1 = trace_frequency(tr, 1);
+  r.phase = phase_difference(tr, 0, 1);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout, "E1 / Fig. 3 — VO2 oscillator frequency locking");
+
+  {
+    core::Table tuning({"Vgs [V]", "free-running f [MHz]"}, 3);
+    RelaxationOscillator osc{OscillatorParams{}};
+    for (core::Real vgs = 0.85; vgs <= 1.351; vgs += 0.05) {
+      const Trace tr = osc.simulate(vgs, sim_options());
+      tuning.add_row({vgs, trace_frequency(tr, 0) / 1e6});
+    }
+    std::cout << "\nFree-running tuning curve (the Vgs input encoding):\n";
+    tuning.print(std::cout);
+  }
+
+  for (const core::Real rc : {40e3, 15e3, 5e3}) {
+    core::Table table({"dVgs [V]", "f_osc1 [MHz]", "f_osc2 [MHz]", "locked",
+                       "phase [rad]"},
+                      3);
+    core::Real lock_edge = 0.0;
+    for (core::Real d = 0.0; d <= 0.321; d += 0.04) {
+      const PairResult r = run_pair(d, rc);
+      table.add_row({d, r.f0 / 1e6, r.f1 / 1e6,
+                     std::string(r.locked ? "yes" : "no"), r.phase});
+      if (r.locked) lock_edge = d;
+    }
+    std::cout << "\nCoupled pair, Rc = " << rc / 1e3
+              << " kOhm (series RC, Cc = 1 pF):\n";
+    table.print(std::cout);
+    std::cout << "Lock range: |dVgs| <= ~" << lock_edge
+              << " V (paper shape: finite plateau of equal frequencies,\n"
+              << "widening with stronger coupling; matched pair locks "
+                 "anti-phase ~pi).\n";
+  }
+  return 0;
+}

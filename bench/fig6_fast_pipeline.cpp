@@ -1,0 +1,125 @@
+// E4 — Fig. 6 reproduction: the two-step oscillator FAST pipeline (distance
+// norm vs threshold, then adjacent-pixel false-positive suppression) detects
+// the same corners as the software FAST baseline, and the second step is
+// what keeps the directionless analog comparison honest.
+#include <iostream>
+
+#include "core/random.h"
+#include "core/table.h"
+#include "vision/oscillator_fast.h"
+#include "vision/power.h"
+
+using namespace rebooting;
+using namespace rebooting::vision;
+
+namespace {
+
+std::vector<Pixel> positions(const std::vector<FastDetection>& ds) {
+  std::vector<Pixel> px;
+  px.reserve(ds.size());
+  for (const auto& d : ds) px.push_back(d.position);
+  return px;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout,
+                     "E4 / Fig. 6 — FAST corner detection on the oscillator "
+                     "distance norm");
+
+  oscillator::ComparatorConfig cfg;
+  cfg.calibration_points = 8;
+  cfg.sim.duration = 120e-6;
+  cfg.sim.dt = 1e-9;
+  cfg.sim.sample_stride = 4;
+  const oscillator::OscillatorComparator comparator(cfg);
+
+  core::Rng rng(2026);
+  struct SceneSpec {
+    const char* name;
+    Scene scene;
+  };
+  std::vector<SceneSpec> scenes;
+  scenes.push_back({"rectangles 96x96", make_rectangle_scene(rng, 96, 96, 4, 0.6)});
+  scenes.push_back({"rectangles+noise", make_rectangle_scene(rng, 96, 96, 4, 0.6, 0.02)});
+  scenes.push_back({"polygons 96x96", make_polygon_scene(rng, 96, 96, 4, 0.6)});
+  scenes.push_back(
+      {"rectangles low-contrast", make_rectangle_scene(rng, 96, 96, 4, 0.35)});
+
+  core::Table table({"scene", "truth", "SW FAST P/R", "osc FAST P/R",
+                     "SW-vs-osc agreement F1", "osc comparisons",
+                     "step2 rejected"},
+                    2);
+
+  core::Table energy_table(
+      {"scene", "osc energy [nJ]", "CMOS energy [nJ]", "osc frame [ms]",
+       "CMOS frame [us]"},
+      2);
+
+  for (const auto& [name, scene] : scenes) {
+    const auto sw = fast_detect(scene.image, FastOptions{});
+    OscillatorFastStats stats;
+    const OscillatorFastDetector det(comparator, OscillatorFastOptions{});
+    const auto osc = det.detect(scene.image, &stats);
+
+    const MatchScore sw_score =
+        score_detections(positions(sw), scene.true_corners);
+    const MatchScore osc_score =
+        score_detections(positions(osc), scene.true_corners);
+    const MatchScore agree =
+        score_detections(positions(osc), positions(sw), 2.0);
+
+    auto pr = [](const MatchScore& s) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f/%.2f", s.precision, s.recall);
+      return std::string(buf);
+    };
+    table.add_row({std::string(name),
+                   static_cast<std::int64_t>(scene.true_corners.size()),
+                   pr(sw_score), pr(osc_score), agree.f1(),
+                   static_cast<std::int64_t>(stats.total_comparisons()),
+                   static_cast<std::int64_t>(stats.rejected_by_step2)});
+
+    const auto fe = frame_energy(comparator, stats);
+    energy_table.add_row({std::string(name), fe.oscillator_joules * 1e9,
+                          fe.cmos_joules * 1e9, fe.oscillator_seconds * 1e3,
+                          fe.cmos_seconds * 1e6});
+  }
+
+  std::cout << "\nDetection quality (precision/recall vs ground truth) and "
+               "agreement with the software baseline:\n";
+  table.print(std::cout);
+
+  std::cout << "\nPer-frame energy and latency of the comparison workload:\n";
+  energy_table.print(std::cout);
+
+  // Ablation: the Fig. 6 second step (false-positive suppression) on/off, on
+  // a scene engineered to contain mixed bright/dark arcs.
+  core::print_banner(std::cout,
+                     "Ablation — step-2 false-positive suppression on/off");
+  const Scene noisy = make_polygon_scene(rng, 96, 96, 5, 0.6, 0.03);
+  const auto sw = fast_detect(noisy.image, FastOptions{});
+  OscillatorFastOptions with;
+  OscillatorFastOptions without;
+  without.false_positive_suppression = false;
+  OscillatorFastStats s1, s2;
+  const auto d_with =
+      OscillatorFastDetector(comparator, with).detect(noisy.image, &s1);
+  const auto d_without =
+      OscillatorFastDetector(comparator, without).detect(noisy.image, &s2);
+  core::Table ab({"pipeline", "detections", "precision vs SW", "recall vs SW"},
+                 3);
+  const auto a1 = score_detections(positions(d_with), positions(sw), 2.0);
+  const auto a2 = score_detections(positions(d_without), positions(sw), 2.0);
+  ab.add_row({std::string("two-step (paper)"),
+              static_cast<std::int64_t>(d_with.size()), a1.precision,
+              a1.recall});
+  ab.add_row({std::string("step 1 only"),
+              static_cast<std::int64_t>(d_without.size()), a2.precision,
+              a2.recall});
+  ab.print(std::cout);
+  std::cout << "(The suppression step trades a little recall for precision — "
+               "it exists because the analog distance is directionless.)\n";
+  return 0;
+}

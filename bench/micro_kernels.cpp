@@ -1,0 +1,80 @@
+// Micro-kernel timings (google-benchmark): the elementary operations each
+// simulated substrate is built from. Useful for regression-tracking the
+// engines' inner loops.
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "memcomputing/dmm.h"
+#include "memcomputing/sat.h"
+#include "oscillator/network.h"
+#include "quantum/circuit.h"
+
+using namespace rebooting;
+
+namespace {
+
+void BM_StateVectorHadamard(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  quantum::StateVector sv(qubits);
+  const auto h = quantum::gate_matrix(quantum::GateKind::kH);
+  std::size_t target = 0;
+  for (auto _ : state) {
+    sv.apply_1q(h, target);
+    target = (target + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(1ull << qubits));
+}
+BENCHMARK(BM_StateVectorHadamard)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_DmmStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(1);
+  const auto inst = memcomputing::planted_ksat(
+      rng, n, static_cast<std::size_t>(4.25 * static_cast<double>(n)), 3);
+  // Time a bounded solve; steps/op reported via items processed.
+  for (auto _ : state) {
+    memcomputing::DmmOptions opts;
+    opts.max_steps = 200;
+    core::Rng r(7);
+    auto result = memcomputing::DmmSolver(inst.cnf, opts).solve(r);
+    benchmark::DoNotOptimize(result.steps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_DmmStep)->Arg(50)->Arg(200);
+
+void BM_OscillatorNetworkStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  oscillator::CoupledOscillatorNetwork net(oscillator::OscillatorParams{}, n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    net.add_coupling({.a = i, .b = i + 1, .r = 15e3, .c = 1e-12});
+  oscillator::SimulationOptions so;
+  so.duration = 1e-6;
+  so.dt = 1e-9;
+  so.sample_stride = 1000;
+  for (auto _ : state) {
+    const auto trace = net.simulate(so);
+    benchmark::DoNotOptimize(trace.samples());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_OscillatorNetworkStep)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_WalkSatFlips(benchmark::State& state) {
+  core::Rng rng(3);
+  const auto inst = memcomputing::planted_ksat(rng, 100, 425, 3);
+  for (auto _ : state) {
+    memcomputing::WalkSatOptions opts;
+    opts.max_flips = 2000;
+    core::Rng r(5);
+    auto result = memcomputing::walksat(inst.cnf, r, opts);
+    benchmark::DoNotOptimize(result.flips);
+  }
+}
+BENCHMARK(BM_WalkSatFlips);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E11 — Sec. II-C application claims: (a) Shor's algorithm factors RSA-style
+// moduli via quantum period finding; (b) data-parallel search over a
+// superposed dataset — the genome use case — realized as Grover substring
+// matching with square-root oracle scaling against the classical scan.
+#include <chrono>
+#include <iostream>
+
+#include "core/table.h"
+#include "quantum/algorithms.h"
+
+using namespace rebooting;
+using namespace rebooting::quantum;
+
+int main() {
+  core::print_banner(std::cout,
+                     "E11 / Sec. II-C — Shor factoring and Grover DNA matching");
+
+  core::Rng rng(15);
+
+  std::cout << "\n(a) Shor's algorithm (quantum order finding + continued "
+               "fractions):\n";
+  core::Table shor_table({"N", "factors", "order-finding runs", "qubits",
+                          "period r", "wall [ms]"},
+                         1);
+  for (const std::uint64_t n : {15ull, 21ull, 33ull, 35ull, 39ull, 55ull}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    // require_quantum: resample bases that would win by gcd luck, so every
+    // row demonstrates order finding.
+    const ShorResult r = shor_factor(n, rng, 40, /*require_quantum=*/true);
+    const core::Real ms =
+        std::chrono::duration<core::Real, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    shor_table.add_row(
+        {static_cast<std::int64_t>(n),
+         std::string(r.success ? std::to_string(r.factor1) + " x " +
+                                     std::to_string(r.factor2)
+                               : "FAILED"),
+         static_cast<std::int64_t>(r.attempts),
+         static_cast<std::int64_t>(r.qubits_used),
+         static_cast<std::int64_t>(r.period), ms});
+  }
+  shor_table.print(std::cout);
+  std::cout << "(The paper's RSA claim in miniature: the private key of any "
+               "modulus this machine\ncan hold falls to period finding.)\n";
+
+  std::cout << "\n(b) DNA subsequence matching — Grover over the offset "
+               "register vs classical scan:\n";
+  core::Table dna({"text length", "index qubits", "grover oracle calls",
+                   "classical comparisons", "speedup (cmp/oracle)",
+                   "found valid match", "success prob"},
+                  2);
+  for (const std::size_t length : {60u, 120u, 250u, 500u, 1000u}) {
+    DnaSequence text = random_dna(rng, length);
+    const DnaSequence pattern = dna_from_string("ACGTACGTTG");
+    // Plant one occurrence mid-text.
+    const std::size_t plant = length / 2;
+    for (std::size_t j = 0; j < pattern.size(); ++j)
+      text[plant + j] = pattern[j];
+
+    std::size_t comparisons = 0;
+    const auto classical = dna_match_classical(text, pattern, &comparisons);
+    const DnaMatchResult grover = dna_match_grover(text, pattern, rng);
+
+    bool valid = false;
+    if (grover.position) {
+      for (const std::size_t m : classical)
+        if (m == *grover.position) valid = true;
+    }
+    dna.add_row({static_cast<std::int64_t>(length),
+                 static_cast<std::int64_t>(grover.index_qubits),
+                 static_cast<std::int64_t>(grover.oracle_calls),
+                 static_cast<std::int64_t>(comparisons),
+                 static_cast<core::Real>(comparisons) /
+                     static_cast<core::Real>(std::max<std::size_t>(
+                         1, grover.oracle_calls)),
+                 std::string(valid ? "yes" : "no"),
+                 grover.success_probability});
+  }
+  dna.print(std::cout);
+  std::cout << "(Each oracle call evaluates the entire encoded dataset in "
+               "superposition — the\npaper's 'computation of the entire "
+               "data-set in parallel'; oracle calls grow as\nsqrt(offsets) "
+               "while the classical scan grows linearly.)\n";
+
+  std::cout << "\n(c) One-query oracle algorithms through the same device:\n";
+  core::Table misc({"algorithm", "result"}, 1);
+  misc.add_row({std::string("Bernstein-Vazirani, secret 0b101101"),
+                std::string(bernstein_vazirani(0b101101, 6, rng) == 0b101101
+                                ? "recovered in 1 query"
+                                : "FAILED")});
+  misc.add_row({std::string("Deutsch-Jozsa balanced oracle"),
+                std::string(deutsch_jozsa_is_balanced(6, true, rng)
+                                ? "declared balanced (correct)"
+                                : "FAILED")});
+  misc.add_row({std::string("Deutsch-Jozsa constant oracle"),
+                std::string(!deutsch_jozsa_is_balanced(6, false, rng)
+                                ? "declared constant (correct)"
+                                : "FAILED")});
+  misc.print(std::cout);
+  return 0;
+}

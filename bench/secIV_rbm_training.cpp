@@ -1,0 +1,106 @@
+// E9 — Sec. IV deep-learning claim (refs [55],[57]): memcomputing
+// mode-assisted RBM pre-training matches or beats annealer-style sampling in
+// iterations and ends with better final quality than the CD baseline
+// (paper: >1% accuracy, ~20% relative error reduction).
+//
+// Workload: bars-and-stripes 3x3 (exact NLL computable), three trainers:
+//   CD-1 baseline | annealer-surrogate Gibbs sampling | DMM mode-assisted.
+#include <iostream>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/table.h"
+#include "memcomputing/rbm.h"
+
+using namespace rebooting;
+using namespace rebooting::memcomputing;
+
+namespace {
+
+struct TrainerSpec {
+  const char* name;
+  RbmTrainer trainer;
+};
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout,
+                     "E9 / Sec. IV — RBM training: CD vs annealer-sampled vs "
+                     "DMM mode-assisted");
+
+  const Dataset data = bars_and_stripes(3);
+  const core::Real optimal_nll =
+      std::log(static_cast<core::Real>(data.size()));
+  std::cout << "\nDataset: bars-and-stripes 3x3, " << data.size()
+            << " patterns; optimal NLL = ln(" << data.size()
+            << ") = " << optimal_nll << "\n";
+
+  const std::vector<TrainerSpec> trainers = {
+      {"CD-1 baseline", RbmTrainer::kCdBaseline},
+      {"annealer-sampled (Adachi-Henderson surrogate)",
+       RbmTrainer::kAnnealerSampled},
+      {"DMM mode-assisted (memcomputing)", RbmTrainer::kModeAssistedDmm},
+  };
+  const std::vector<std::uint64_t> seeds = {99, 7};
+  constexpr std::size_t kEpochs = 1500;
+
+  core::Table curves({"trainer", "seed", "epoch", "exact NLL",
+                      "reconstruction error"},
+                     3);
+  core::Table final_table({"trainer", "mean final NLL", "mean best NLL",
+                           "mean final recon err",
+                           "excess NLL vs optimum"},
+                          3);
+
+  std::vector<core::Real> cd_final;
+  std::vector<core::Real> mode_final;
+
+  for (const auto& spec : trainers) {
+    std::vector<core::Real> finals, bests, recons;
+    for (const std::uint64_t seed : seeds) {
+      core::Rng rng(seed);
+      BinaryRbm rbm(9, 12, rng);
+      RbmTrainOptions opts;
+      opts.trainer = spec.trainer;
+      opts.epochs = kEpochs;
+      opts.learning_rate = 0.2;
+      opts.eval_stride = 300;
+      opts.dmm_max_steps = 3000;
+      const RbmTrainResult res = train_rbm(rbm, data, opts, rng);
+      core::Real best = 1e300;
+      for (const auto& pt : res.history) {
+        best = std::min(best, pt.nll);
+        curves.add_row({std::string(spec.name),
+                        static_cast<std::int64_t>(seed),
+                        static_cast<std::int64_t>(pt.epoch), pt.nll,
+                        pt.reconstruction_error});
+      }
+      finals.push_back(res.final_nll);
+      bests.push_back(best);
+      recons.push_back(res.final_reconstruction_error);
+    }
+    final_table.add_row({std::string(spec.name), core::mean(finals),
+                         core::mean(bests), core::mean(recons),
+                         core::mean(finals) - optimal_nll});
+    if (spec.trainer == RbmTrainer::kCdBaseline) cd_final = finals;
+    if (spec.trainer == RbmTrainer::kModeAssistedDmm) mode_final = finals;
+  }
+
+  std::cout << "\nLearning curves (exact NLL; lower is better):\n";
+  curves.print(std::cout);
+  std::cout << "\nFinal quality after " << kEpochs << " epochs:\n";
+  final_table.print(std::cout);
+
+  if (!cd_final.empty() && !mode_final.empty()) {
+    const core::Real cd_excess = core::mean(cd_final) - optimal_nll;
+    const core::Real mode_excess = core::mean(mode_final) - optimal_nll;
+    if (cd_excess > 0.0) {
+      std::cout << "\nRelative reduction of excess NLL (distance to the "
+                   "optimum) by mode-assisted training: "
+                << 100.0 * (1.0 - mode_excess / cd_excess)
+                << "%  (paper shape: ~20% error-rate reduction)\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Sec. III-B scenario: FAST corner detection on the coupled-oscillator
+// distance norm. Generates a synthetic scene (or loads a PGM given as
+// argv[1]), runs both the software baseline and the oscillator pipeline,
+// writes annotated output images, and prints the power/energy account.
+//
+// Usage:  ./build/examples/corner_detection [input.pgm]
+#include <iostream>
+
+#include "core/random.h"
+#include "vision/oscillator_fast.h"
+#include "vision/power.h"
+
+using namespace rebooting;
+using namespace rebooting::vision;
+
+namespace {
+
+/// Draws a 3x3 cross at each detection (white).
+void annotate(Image& img, const std::vector<FastDetection>& detections) {
+  for (const auto& d : detections) {
+    for (int k = -2; k <= 2; ++k) {
+      if (img.in_bounds(d.position.x + k, d.position.y))
+        img.at(static_cast<std::size_t>(d.position.x + k),
+               static_cast<std::size_t>(d.position.y)) = 1.0;
+      if (img.in_bounds(d.position.x, d.position.y + k))
+        img.at(static_cast<std::size_t>(d.position.x),
+               static_cast<std::size_t>(d.position.y + k)) = 1.0;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Rng rng(7);
+  Scene scene;
+  if (argc > 1) {
+    scene.image = Image::load_pgm(argv[1]);
+    std::cout << "Loaded " << argv[1] << " (" << scene.image.width() << "x"
+              << scene.image.height() << ")\n";
+  } else {
+    scene = make_polygon_scene(rng, 128, 128, 5, 0.6, 0.01);
+    scene.image.save_pgm("corner_input.pgm");
+    std::cout << "Generated synthetic scene -> corner_input.pgm ("
+              << scene.true_corners.size() << " true corners)\n";
+  }
+
+  // Calibrate the analog comparison primitive once.
+  oscillator::ComparatorConfig cfg;
+  cfg.calibration_points = 8;
+  cfg.sim.duration = 120e-6;
+  const oscillator::OscillatorComparator comparator(cfg);
+  std::cout << "Comparator calibrated: f = "
+            << comparator.calibration().oscillation_hz / 1e6
+            << " MHz, unit power = " << comparator.unit_power_watts() * 1e6
+            << " uW\n";
+
+  // Software baseline.
+  std::size_t sw_ops = 0;
+  const auto sw = fast_detect(scene.image, FastOptions{}, &sw_ops);
+  std::cout << "\nSoftware FAST-9: " << sw.size() << " corners ("
+            << sw_ops << " comparisons)\n";
+
+  // Oscillator pipeline (Fig. 6 two-step dataflow).
+  OscillatorFastStats stats;
+  const OscillatorFastDetector detector(comparator, OscillatorFastOptions{});
+  const auto osc = detector.detect(scene.image, &stats);
+  std::cout << "Oscillator FAST: " << osc.size() << " corners ("
+            << stats.step1_comparisons << " step-1 + "
+            << stats.step2_comparisons << " step-2 comparisons, "
+            << stats.rejected_by_step2 << " false positives suppressed)\n";
+
+  if (!scene.true_corners.empty()) {
+    auto positions = [](const std::vector<FastDetection>& ds) {
+      std::vector<Pixel> px;
+      for (const auto& d : ds) px.push_back(d.position);
+      return px;
+    };
+    const auto sw_score = score_detections(positions(sw), scene.true_corners);
+    const auto osc_score = score_detections(positions(osc), scene.true_corners);
+    std::cout << "\nvs ground truth:  software P/R = " << sw_score.precision
+              << "/" << sw_score.recall
+              << "   oscillator P/R = " << osc_score.precision << "/"
+              << osc_score.recall << '\n';
+  }
+
+  const auto energy = frame_energy(comparator, stats);
+  std::cout << "\nEnergy for this frame's comparisons:\n"
+            << "  oscillator block: " << energy.oscillator_joules * 1e9
+            << " nJ over " << energy.oscillator_seconds * 1e3 << " ms\n"
+            << "  CMOS 32nm block:  " << energy.cmos_joules * 1e9 << " nJ over "
+            << energy.cmos_seconds * 1e6 << " us\n";
+
+  Image annotated = scene.image;
+  annotate(annotated, osc);
+  annotated.save_pgm("corner_detected.pgm");
+  std::cout << "\nAnnotated detections written to corner_detected.pgm\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Sec. II-C genome scenario: find where a DNA pattern occurs in a sequence,
+// classically and by Grover search over the offset register — the paper's
+// "entire inputted data-set ... encoded simultaneously as a superposition".
+//
+// Usage:  ./build/examples/dna_search [text_length] [pattern]
+#include <cstdlib>
+#include <iostream>
+
+#include "quantum/algorithms.h"
+
+using namespace rebooting;
+using namespace rebooting::quantum;
+
+int main(int argc, char** argv) {
+  const std::size_t length =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const std::string pattern_text = argc > 2 ? argv[2] : "GATTACA";
+  core::Rng rng(77);
+
+  DnaSequence text = random_dna(rng, length);
+  const DnaSequence pattern = dna_from_string(pattern_text);
+  // Plant one occurrence so there is always something to find.
+  const std::size_t plant = length / 3;
+  for (std::size_t j = 0; j < pattern.size(); ++j) text[plant + j] = pattern[j];
+
+  std::cout << "Text   (" << length << " bases): "
+            << dna_to_string(text).substr(0, 60) << "...\n"
+            << "Pattern (" << pattern.size() << " bases): " << pattern_text
+            << "\n\n";
+
+  std::size_t comparisons = 0;
+  const auto classical = dna_match_classical(text, pattern, &comparisons);
+  std::cout << "Classical scan: " << classical.size() << " match(es) at";
+  for (const std::size_t m : classical) std::cout << ' ' << m;
+  std::cout << " — " << comparisons << " base comparisons\n";
+
+  const DnaMatchResult grover = dna_match_grover(text, pattern, rng);
+  std::cout << "Grover search:  ";
+  if (grover.position) {
+    std::cout << "match at " << *grover.position << " — "
+              << grover.oracle_calls << " oracle calls over "
+              << grover.index_qubits << " index qubits (success prob "
+              << grover.success_probability << ")\n";
+    std::cout << "\nEach oracle call interrogates all "
+              << (text.size() - pattern.size() + 1)
+              << " candidate offsets in superposition; the number of calls "
+                 "grows only as sqrt(offsets).\n";
+  } else {
+    std::cout << "no match returned (rerun: Grover is probabilistic)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Sec. IV machine-learning scenario: pre-train a small RBM on the
+// bars-and-stripes dataset with (a) plain contrastive divergence and (b)
+// memcomputing mode-assisted training, where a DMM finds the model's
+// lowest-energy joint state to drive the negative gradient.
+//
+// Usage:  ./build/examples/train_rbm [epochs]
+#include <cstdlib>
+#include <iostream>
+
+#include "memcomputing/rbm.h"
+
+using namespace rebooting;
+using namespace rebooting::memcomputing;
+
+namespace {
+
+void report(const char* label, const RbmTrainResult& result) {
+  std::cout << label << ":\n  epoch    NLL    recon-err\n";
+  for (const auto& pt : result.history)
+    std::cout << "  " << pt.epoch << "\t" << pt.nll << "\t"
+              << pt.reconstruction_error << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t epochs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1200;
+  const Dataset data = bars_and_stripes(3);
+  std::cout << "Dataset: bars-and-stripes 3x3 (" << data.size()
+            << " patterns). Optimal NLL = ln(" << data.size()
+            << ") = " << std::log(static_cast<double>(data.size())) << "\n\n";
+
+  RbmTrainOptions base;
+  base.epochs = epochs;
+  base.learning_rate = 0.2;
+  base.eval_stride = epochs / 5;
+  base.dmm_max_steps = 3000;
+
+  core::Rng rng_cd(99);
+  BinaryRbm cd_rbm(9, 12, rng_cd);
+  RbmTrainOptions cd_opts = base;
+  cd_opts.trainer = RbmTrainer::kCdBaseline;
+  const auto cd = train_rbm(cd_rbm, data, cd_opts, rng_cd);
+  report("CD-1 baseline", cd);
+
+  core::Rng rng_mode(99);
+  BinaryRbm mode_rbm(9, 12, rng_mode);
+  RbmTrainOptions mode_opts = base;
+  mode_opts.trainer = RbmTrainer::kModeAssistedDmm;
+  const auto mode = train_rbm(mode_rbm, data, mode_opts, rng_mode);
+  report("\nDMM mode-assisted", mode);
+
+  std::cout << "\nFinal NLL: CD = " << cd.final_nll
+            << "   mode-assisted = " << mode.final_nll << '\n';
+  if (mode.final_nll < cd.final_nll)
+    std::cout << "Mode-assisted training ended at better quality — the "
+                 "Sec. IV training-quality advantage.\n";
+  else
+    std::cout << "(Stochastic run: rerun with more epochs to see the "
+                 "mode-assisted advantage emerge.)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "core/accelerator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::core {
+
+std::string to_string(AcceleratorKind kind) {
+  switch (kind) {
+    case AcceleratorKind::kClassicalCpu: return "classical-cpu";
+    case AcceleratorKind::kQuantum: return "quantum";
+    case AcceleratorKind::kOscillator: return "oscillator";
+    case AcceleratorKind::kMemcomputing: return "memcomputing";
+  }
+  return "unknown";
+}
+
+void HostSystem::register_accelerator(std::shared_ptr<Accelerator> accel) {
+  if (!accel) throw std::invalid_argument("register_accelerator: null");
+  const auto kind = accel->kind();
+  if (accelerators_.contains(kind))
+    throw std::invalid_argument("register_accelerator: duplicate kind " +
+                                to_string(kind));
+  accelerators_.emplace(kind, std::move(accel));
+}
+
+bool HostSystem::has(AcceleratorKind kind) const {
+  return accelerators_.contains(kind);
+}
+
+Accelerator& HostSystem::accelerator(AcceleratorKind kind) {
+  return *accelerators_.at(kind);
+}
+
+JobResult HostSystem::submit(const Job& job) {
+  auto& accel = *accelerators_.at(job.kind);
+  if (!job.payload) throw std::invalid_argument("submit: job has no payload");
+
+  const auto start = std::chrono::steady_clock::now();
+  JobResult result = job.payload();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<Real>(end - start).count();
+
+  accel.jobs_completed_ += 1;
+  accel.busy_seconds_ += result.wall_seconds;
+  log_.push_back(JobRecord{job.name, accel.name(), job.kind, result});
+  return result;
+}
+
+Real HostSystem::total_metric(const std::string& key) const {
+  Real sum = 0.0;
+  for (const auto& rec : log_) {
+    const auto it = rec.result.metrics.find(key);
+    if (it != rec.result.metrics.end()) sum += it->second;
+  }
+  return sum;
+}
+
+std::string HostSystem::describe() const {
+  std::ostringstream os;
+  os << "HostSystem with " << accelerators_.size() << " accelerator(s):\n";
+  for (const auto& [kind, accel] : accelerators_) {
+    os << "  [" << to_string(kind) << "] " << accel->name() << " — "
+       << accel->jobs_completed() << " job(s), "
+       << accel->busy_seconds() << " s busy\n";
+    const auto layers = accel->stack_layers();
+    for (std::size_t i = 0; i < layers.size(); ++i)
+      os << "      L" << (layers.size() - i) << ": " << layers[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rebooting::core

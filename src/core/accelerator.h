@@ -1,0 +1,124 @@
+// The heterogeneous-accelerator runtime of Fig. 1 and the layered stack of
+// Fig. 2.
+//
+// The paper's Sec. II thesis is that post-von-Neumann devices slot into a
+// host system the way GPUs/FPGAs/TPUs do: the host dispatches jobs to an
+// accelerator, and each accelerator is a full stack (application → algorithm
+// → compiler → runtime → ISA → microarchitecture → device). This header
+// defines the host-side abstractions; each engine (quantum, oscillator,
+// memcomputing) registers a concrete Accelerator.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// Classes of execution resource in the Fig. 1 system picture.
+enum class AcceleratorKind {
+  kClassicalCpu,
+  kQuantum,
+  kOscillator,
+  kMemcomputing,
+};
+
+std::string to_string(AcceleratorKind kind);
+
+/// Free-form numeric metrics reported by a job (instruction counts, per-layer
+/// latencies, energies, solution quality, ...). Keys are dotted paths such as
+/// "compile.gates" or "power.total_mw".
+using Metrics = std::map<std::string, Real>;
+
+struct JobResult {
+  bool ok = false;
+  std::string summary;  ///< one-line human-readable outcome
+  Metrics metrics;
+  Real wall_seconds = 0.0;  ///< host-measured end-to-end latency
+};
+
+/// A unit of offloadable work. The payload closure runs on (and typically
+/// captures) a specific accelerator's typed API; the host layer only sees the
+/// uniform JobResult.
+struct Job {
+  std::string name;
+  AcceleratorKind kind = AcceleratorKind::kClassicalCpu;
+  std::function<JobResult()> payload;
+};
+
+/// One execution resource in the heterogeneous system. Concrete accelerators
+/// (the quantum stack, the oscillator array, the DMM engine) subclass this and
+/// additionally expose their own typed APIs; the base class is what the
+/// HostSystem scheduler sees.
+class Accelerator {
+ public:
+  virtual ~Accelerator() = default;
+
+  virtual std::string name() const = 0;
+  virtual AcceleratorKind kind() const = 0;
+
+  /// The Fig. 2 stack layers of this accelerator, top (application interface)
+  /// to bottom (device), for reporting.
+  virtual std::vector<std::string> stack_layers() const = 0;
+
+  /// Number of jobs this accelerator has completed via a HostSystem.
+  std::size_t jobs_completed() const { return jobs_completed_; }
+  /// Total busy time accumulated across completed jobs [s].
+  Real busy_seconds() const { return busy_seconds_; }
+
+ private:
+  friend class HostSystem;
+  std::size_t jobs_completed_ = 0;
+  Real busy_seconds_ = 0.0;
+};
+
+/// Record of one dispatched job, kept in the host log.
+struct JobRecord {
+  std::string job_name;
+  std::string accelerator_name;
+  AcceleratorKind kind = AcceleratorKind::kClassicalCpu;
+  JobResult result;
+};
+
+/// The host of Fig. 1: owns the accelerator registry, dispatches jobs to the
+/// matching resource, measures wall time, and keeps a job log with metrics.
+/// Single-threaded by design — the interesting concurrency in this workbench
+/// lives inside the simulated devices, not in the host scheduler.
+class HostSystem {
+ public:
+  /// Registers an accelerator. At most one accelerator per kind; a duplicate
+  /// kind throws std::invalid_argument.
+  void register_accelerator(std::shared_ptr<Accelerator> accel);
+
+  bool has(AcceleratorKind kind) const;
+
+  /// The registered accelerator of the given kind; throws std::out_of_range
+  /// if none.
+  Accelerator& accelerator(AcceleratorKind kind);
+
+  /// Runs the job on the accelerator of job.kind, measuring wall time, and
+  /// appends a JobRecord. Throws std::out_of_range when no accelerator of
+  /// that kind is registered; a payload returning ok=false is recorded, not
+  /// thrown.
+  JobResult submit(const Job& job);
+
+  const std::vector<JobRecord>& log() const { return log_; }
+
+  /// Aggregate metric across the log: sum of `key` over records that carry it.
+  Real total_metric(const std::string& key) const;
+
+  /// Multi-line report of registered accelerators, their stacks, and the
+  /// utilization counters — the textual form of the Fig. 1 system picture.
+  std::string describe() const;
+
+ private:
+  std::map<AcceleratorKind, std::shared_ptr<Accelerator>> accelerators_;
+  std::vector<JobRecord> log_;
+};
+
+}  // namespace rebooting::core

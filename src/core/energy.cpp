@@ -1,0 +1,78 @@
+#include "core/energy.h"
+
+#include <stdexcept>
+
+namespace rebooting::core {
+
+CmosTechnology CmosTechnology::node_32nm() {
+  return CmosTechnology{.node_name = "32nm",
+                        .vdd = 0.9,
+                        .gate_capacitance = 1.0e-15,
+                        .wire_overhead = 0.6,
+                        .leakage_per_gate = 25.0e-9,
+                        .fo4_delay = 15.0e-12};
+}
+
+CmosTechnology CmosTechnology::node_45nm() {
+  return CmosTechnology{.node_name = "45nm",
+                        .vdd = 1.0,
+                        .gate_capacitance = 1.4e-15,
+                        .wire_overhead = 0.6,
+                        .leakage_per_gate = 30.0e-9,
+                        .fo4_delay = 20.0e-12};
+}
+
+CmosTechnology CmosTechnology::node_22nm() {
+  return CmosTechnology{.node_name = "22nm",
+                        .vdd = 0.8,
+                        .gate_capacitance = 0.7e-15,
+                        .wire_overhead = 0.7,
+                        .leakage_per_gate = 20.0e-9,
+                        .fo4_delay = 11.0e-12};
+}
+
+Real CmosTechnology::switching_energy() const {
+  return (1.0 + wire_overhead) * gate_capacitance * vdd * vdd;
+}
+
+Real GateInventory::nand2_equivalents() const {
+  return 0.5 * static_cast<Real>(inverters) + static_cast<Real>(nand2) +
+         3.0 * static_cast<Real>(xor2) + 6.0 * static_cast<Real>(full_adders) +
+         8.0 * static_cast<Real>(flipflops) + 3.0 * static_cast<Real>(mux2);
+}
+
+GateInventory& GateInventory::operator+=(const GateInventory& other) {
+  inverters += other.inverters;
+  nand2 += other.nand2;
+  xor2 += other.xor2;
+  full_adders += other.full_adders;
+  flipflops += other.flipflops;
+  mux2 += other.mux2;
+  return *this;
+}
+
+BlockPower estimate_block_power(const CmosTechnology& tech,
+                                const GateInventory& gates, Real frequency,
+                                Real activity) {
+  if (frequency < 0.0 || activity < 0.0 || activity > 1.0)
+    throw std::invalid_argument("estimate_block_power: bad frequency/activity");
+  const Real n_eq = gates.nand2_equivalents();
+  BlockPower p;
+  p.dynamic_watts = n_eq * activity * tech.switching_energy() * frequency;
+  p.leakage_watts = n_eq * tech.leakage_per_gate;
+  return p;
+}
+
+Real block_energy_for_ops(const CmosTechnology& tech, const GateInventory& gates,
+                          Real frequency, Real activity, Real ops,
+                          Real cycles_per_op) {
+  if (frequency <= 0.0)
+    throw std::invalid_argument("block_energy_for_ops: frequency must be > 0");
+  const BlockPower p = estimate_block_power(tech, gates, frequency, activity);
+  const Real cycles = ops * cycles_per_op;
+  const Real wall_time = cycles / frequency;
+  const Real energy_per_cycle = p.dynamic_watts / frequency;
+  return cycles * energy_per_cycle + p.leakage_watts * wall_time;
+}
+
+}  // namespace rebooting::core

@@ -1,0 +1,89 @@
+// Gate-level energy/power modelling for the CMOS baseline of Sec. III-B.
+//
+// The paper compares a VO2 coupled-oscillator corner-detection block
+// (0.936 mW) against "the corresponding CMOS implementation at the 32 nm
+// process node" (3 mW). We rebuild that CMOS number from first principles:
+// count the gates in the comparison datapath, multiply by per-gate switching
+// energy at the node (E = alpha * C * Vdd^2), add leakage. The model is a
+// logical-effort-style estimate, which is also what the paper's own number
+// had to be (no netlist is given).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// Technology constants for one process node. The 32 nm preset is calibrated
+/// against published ITRS-era numbers: ~1.0 fF effective switched capacitance
+/// per NAND2-equivalent gate, Vdd 0.9 V, ~25 nW leakage per gate.
+struct CmosTechnology {
+  std::string node_name;
+  Real vdd = 0.9;                      ///< supply voltage [V]
+  Real gate_capacitance = 1.0e-15;     ///< switched C per NAND2-eq gate [F]
+  Real wire_overhead = 0.6;            ///< extra switched C as fraction of gate C
+  Real leakage_per_gate = 25.0e-9;     ///< static power per gate [W]
+  Real fo4_delay = 15.0e-12;           ///< FO4 inverter delay [s]
+
+  static CmosTechnology node_32nm();
+  static CmosTechnology node_45nm();
+  static CmosTechnology node_22nm();
+
+  /// Energy of one output transition of one NAND2-equivalent gate [J],
+  /// including the wire overhead: (1 + wire) * C * Vdd^2. (The full CV^2, not
+  /// CV^2/2: charge + discharge over a switching cycle.)
+  Real switching_energy() const;
+};
+
+/// Gate inventory of a combinational/sequential block, in NAND2-equivalent
+/// units per entry (e.g. an XOR2 is ~3 NAND2-eq, a full adder ~6).
+struct GateInventory {
+  std::size_t inverters = 0;
+  std::size_t nand2 = 0;
+  std::size_t xor2 = 0;
+  std::size_t full_adders = 0;
+  std::size_t flipflops = 0;
+  std::size_t mux2 = 0;
+
+  /// Total NAND2-equivalent gate count using standard-cell equivalences
+  /// (INV 0.5, NAND2 1, XOR2 3, FA 6, DFF 8, MUX2 3).
+  Real nand2_equivalents() const;
+
+  GateInventory& operator+=(const GateInventory& other);
+  friend GateInventory operator+(GateInventory a, const GateInventory& b) {
+    a += b;
+    return a;
+  }
+  friend GateInventory operator*(std::size_t k, GateInventory g) {
+    g.inverters *= k;
+    g.nand2 *= k;
+    g.xor2 *= k;
+    g.full_adders *= k;
+    g.flipflops *= k;
+    g.mux2 *= k;
+    return g;
+  }
+};
+
+/// Power estimate for a digital block clocked at `frequency` with switching
+/// activity `activity` (average fraction of gates toggling per cycle).
+struct BlockPower {
+  Real dynamic_watts = 0.0;
+  Real leakage_watts = 0.0;
+  Real total() const { return dynamic_watts + leakage_watts; }
+};
+
+BlockPower estimate_block_power(const CmosTechnology& tech,
+                                const GateInventory& gates, Real frequency,
+                                Real activity);
+
+/// Energy consumed performing `ops` operations on a block whose per-cycle
+/// energy is fixed: ops * cycles_per_op * per-cycle dynamic energy +
+/// leakage * wall time.
+Real block_energy_for_ops(const CmosTechnology& tech, const GateInventory& gates,
+                          Real frequency, Real activity, Real ops,
+                          Real cycles_per_op);
+
+}  // namespace rebooting::core

@@ -1,0 +1,112 @@
+#include "core/random.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rebooting::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) lane = splitmix64(s);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Real Rng::uniform() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<Real>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be > 0");
+  // Lemire's multiply-then-reject method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+Real Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; reject u1 == 0 to avoid log(0).
+  Real u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const Real u2 = uniform();
+  const Real r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = r * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+Real Rng::normal(Real mean, Real stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(Real p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng((*this)()); }
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Partial Fisher–Yates over an index vector; O(n) setup is fine at the
+  // sizes used by the workload generators.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace rebooting::core

@@ -1,0 +1,82 @@
+// Deterministic, seedable pseudo-random number generation for every engine.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937_64 so that streams are cheap to split per-worker and the
+// sequence is identical across standard libraries — benchmark tables must be
+// reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// xoshiro256** 1.0 generator. Satisfies std::uniform_random_bit_generator,
+/// so it can also be plugged into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64, which is the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform real in [0, 1).
+  Real uniform();
+
+  /// Uniform real in [lo, hi).
+  Real uniform(Real lo, Real hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// rejection method.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  Real normal();
+
+  /// Normal with the given mean and standard deviation.
+  Real normal(Real mean, Real stddev);
+
+  /// True with probability p.
+  bool bernoulli(Real p);
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform_index(i + 1);
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Returns a generator whose stream is independent of this one (created by
+  /// drawing a fresh seed), for per-trial reproducibility in sweeps.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  Real cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Draws `k` distinct indices uniformly from [0, n) (k <= n), in random order.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t k);
+
+}  // namespace rebooting::core

@@ -1,0 +1,191 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rebooting::core {
+
+Real mean(std::span<const Real> xs) {
+  if (xs.empty()) return 0.0;
+  Real s = 0.0;
+  for (const Real x : xs) s += x;
+  return s / static_cast<Real>(xs.size());
+}
+
+Real variance(std::span<const Real> xs) {
+  if (xs.size() < 2) return 0.0;
+  const Real m = mean(xs);
+  Real s = 0.0;
+  for (const Real x : xs) s += (x - m) * (x - m);
+  return s / static_cast<Real>(xs.size() - 1);
+}
+
+Real stddev(std::span<const Real> xs) { return std::sqrt(variance(xs)); }
+
+Real stderr_mean(std::span<const Real> xs) {
+  if (xs.empty()) return 0.0;
+  return stddev(xs) / std::sqrt(static_cast<Real>(xs.size()));
+}
+
+Real percentile(std::span<const Real> xs, Real p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("percentile: p not in [0,1]");
+  std::vector<Real> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const Real pos = p * static_cast<Real>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const Real frac = pos - static_cast<Real>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+Real median(std::span<const Real> xs) { return percentile(xs, 0.5); }
+
+Real min_value(std::span<const Real> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+Real max_value(std::span<const Real> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+LineFit fit_line(std::span<const Real> xs, std::span<const Real> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("fit_line: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+  const Real mx = mean(xs);
+  const Real my = mean(ys);
+  Real sxx = 0.0;
+  Real sxy = 0.0;
+  Real syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Real dx = xs[i] - mx;
+    const Real dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_line: constant x");
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+PowerLawFit fit_power_law(std::span<const Real> xs, std::span<const Real> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_power_law: size mismatch");
+  std::vector<Real> lx;
+  std::vector<Real> ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 2)
+    throw std::invalid_argument("fit_power_law: need >= 2 positive points");
+  const LineFit lf = fit_line(lx, ly);
+  PowerLawFit pf;
+  pf.exponent = lf.slope;
+  pf.amplitude = std::exp(lf.intercept);
+  pf.r_squared = lf.r_squared;
+  pf.points_used = lx.size();
+  return pf;
+}
+
+ExponentialFit fit_exponential(std::span<const Real> xs,
+                               std::span<const Real> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_exponential: size mismatch");
+  std::vector<Real> fx;
+  std::vector<Real> ly;
+  fx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] > 0.0) {
+      fx.push_back(xs[i]);
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (fx.size() < 2)
+    throw std::invalid_argument("fit_exponential: need >= 2 positive points");
+  const LineFit lf = fit_line(fx, ly);
+  ExponentialFit ef;
+  ef.rate = lf.slope;
+  ef.amplitude = std::exp(lf.intercept);
+  ef.r_squared = lf.r_squared;
+  ef.points_used = fx.size();
+  return ef;
+}
+
+Real correlation(std::span<const Real> xs, std::span<const Real> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const Real mx = mean(xs);
+  const Real my = mean(ys);
+  Real sxx = 0.0;
+  Real sxy = 0.0;
+  Real syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Real dx = xs[i] - mx;
+    const Real dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(Real x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const Real delta = x - mean_;
+  mean_ += delta / static_cast<Real>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+Real RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<Real>(n_ - 1);
+}
+
+Real RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(Real lo, Real hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(Real x) {
+  const Real t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<Real>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+Real Histogram::bin_center(std::size_t i) const {
+  const Real width = (hi_ - lo_) / static_cast<Real>(counts_.size());
+  return lo_ + width * (static_cast<Real>(i) + 0.5);
+}
+
+Real Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<Real>(counts_.at(i)) / static_cast<Real>(total_);
+}
+
+}  // namespace rebooting::core

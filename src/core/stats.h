@@ -1,0 +1,118 @@
+// Descriptive statistics and least-squares fitting used by the benchmark
+// harnesses: the Fig. 5 reproduction fits an lk-norm exponent, the SAT
+// scaling study reports medians and percentiles, and the RBM study reports
+// mean +/- stderr across repetitions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+Real mean(std::span<const Real> xs);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+Real variance(std::span<const Real> xs);
+
+Real stddev(std::span<const Real> xs);
+
+/// Standard error of the mean.
+Real stderr_mean(std::span<const Real> xs);
+
+/// p in [0, 1]; linear interpolation between order statistics. The input is
+/// copied and sorted internally.
+Real percentile(std::span<const Real> xs, Real p);
+
+Real median(std::span<const Real> xs);
+
+Real min_value(std::span<const Real> xs);
+Real max_value(std::span<const Real> xs);
+
+/// Result of an ordinary least-squares line fit y ~ slope*x + intercept.
+struct LineFit {
+  Real slope = 0.0;
+  Real intercept = 0.0;
+  /// Coefficient of determination.
+  Real r_squared = 0.0;
+};
+
+/// Fits a line by OLS. Requires xs.size() == ys.size() >= 2 and non-constant
+/// xs; throws std::invalid_argument otherwise.
+LineFit fit_line(std::span<const Real> xs, std::span<const Real> ys);
+
+/// Fits y = a * x^k through log-log linear regression over the points with
+/// x > 0 and y > 0 (others are skipped). Returns {k, a, r^2 of the log fit}.
+/// This is how the Fig. 5 lk-norm exponents are extracted from the XOR
+/// readout curves.
+struct PowerLawFit {
+  Real exponent = 0.0;
+  Real amplitude = 0.0;
+  Real r_squared = 0.0;
+  std::size_t points_used = 0;
+};
+
+PowerLawFit fit_power_law(std::span<const Real> xs, std::span<const Real> ys);
+
+/// Fits y = a * exp(b * x) through log-linear regression over points with
+/// y > 0. Used to characterise solver-scaling curves (b > 0 means the
+/// measured cost grows exponentially in x).
+struct ExponentialFit {
+  Real rate = 0.0;       ///< b
+  Real amplitude = 0.0;  ///< a
+  Real r_squared = 0.0;
+  std::size_t points_used = 0;
+};
+
+ExponentialFit fit_exponential(std::span<const Real> xs,
+                               std::span<const Real> ys);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+Real correlation(std::span<const Real> xs, std::span<const Real> ys);
+
+/// Online accumulator (Welford) for streaming mean/variance, used inside the
+/// simulation loops where storing every sample would be wasteful.
+class RunningStats {
+ public:
+  void add(Real x);
+  std::size_t count() const { return n_; }
+  Real mean() const { return mean_; }
+  Real variance() const;  ///< unbiased; 0 for n < 2
+  Real stddev() const;
+  Real min() const { return min_; }
+  Real max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  Real mean_ = 0.0;
+  Real m2_ = 0.0;
+  Real min_ = 0.0;
+  Real max_ = 0.0;
+};
+
+/// Histogram with fixed-width bins over [lo, hi); samples outside the range
+/// are clamped into the edge bins. Used for the spin-glass avalanche-size
+/// distributions (E8).
+class Histogram {
+ public:
+  Histogram(Real lo, Real hi, std::size_t bins);
+
+  void add(Real x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Center of bin i.
+  Real bin_center(std::size_t i) const;
+  /// Fraction of all samples in bin i (0 if empty histogram).
+  Real bin_fraction(std::size_t i) const;
+
+ private:
+  Real lo_;
+  Real hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rebooting::core

@@ -1,0 +1,87 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::core {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::fixed << std::get<Real>(c);
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    cells[i].reserve(headers_.size());
+    for (std::size_t j = 0; j < headers_.size(); ++j) {
+      cells[i].push_back(format_cell(rows_[i][j]));
+      widths[j] = std::max(widths[j], cells[i][j].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      os << (j == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[j]))
+         << row[j];
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t j = 0; j < headers_.size(); ++j)
+    os << std::string(widths[j] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : cells) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t j = 0; j < headers_.size(); ++j)
+    os << (j ? "," : "") << escape(headers_[j]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j)
+      os << (j ? "," : "") << escape(format_cell(row[j]));
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace rebooting::core

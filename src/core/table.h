@@ -1,0 +1,47 @@
+// Aligned console tables and CSV export for the benchmark harnesses. Every
+// bench binary prints the rows/series of the paper figure it regenerates; a
+// shared formatter keeps that output uniform and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// A cell is text, an integer, or a real (printed with `precision` digits).
+using Cell = std::variant<std::string, std::int64_t, Real>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with aligned columns and a header rule.
+  std::string to_string() const;
+
+  /// Renders as CSV (RFC-ish: cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+/// Prints a section banner used between the sub-experiments of one bench.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace rebooting::core

@@ -1,0 +1,33 @@
+// Core scalar types and numeric constants shared by every engine in the
+// workbench. All physical simulation is done in double precision; sizes and
+// indices are std::size_t unless a domain type (qubit index, pixel coord)
+// says otherwise.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace rebooting::core {
+
+using Real = double;
+using Complex = std::complex<Real>;
+
+inline constexpr Real kPi = 3.14159265358979323846;
+inline constexpr Real kTwoPi = 2.0 * kPi;
+
+/// Boltzmann constant [J/K] — used by the annealer temperature schedules and
+/// thermal-noise amplitudes in the device models.
+inline constexpr Real kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr Real kElementaryCharge = 1.602176634e-19;
+
+/// Relative tolerance suitable for comparing quantities accumulated over a
+/// few thousand floating-point operations.
+inline constexpr Real kTightTol = 1e-9;
+
+/// Looser tolerance for quantities produced by adaptive ODE integration.
+inline constexpr Real kSimTol = 1e-6;
+
+}  // namespace rebooting::core

@@ -1,0 +1,26 @@
+// The Sec. IV engine as a Fig. 1 accelerator: the host offloads SAT /
+// MaxSAT / Ising jobs and the DMM circuit dynamics "execute" them.
+#pragma once
+
+#include "core/accelerator.h"
+
+namespace rebooting::memcomputing {
+
+class MemcomputingAccelerator final : public core::Accelerator {
+ public:
+  std::string name() const override {
+    return "Digital memcomputing machine (SOLG circuit)";
+  }
+  core::AcceleratorKind kind() const override {
+    return core::AcceleratorKind::kMemcomputing;
+  }
+  std::vector<std::string> stack_layers() const override {
+    return {"Combinatorial problem (SAT / MaxSAT / Ising / QUBO)",
+            "Boolean / algebraic formulation",
+            "Self-organizing logic circuit construction",
+            "ODE dynamics (Eqs. 1-2: voltages + memory variables)",
+            "Point-attractor readout (digital solution)"};
+  }
+};
+
+}  // namespace rebooting::memcomputing

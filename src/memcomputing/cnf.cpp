@@ -1,0 +1,161 @@
+#include "memcomputing/cnf.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::memcomputing {
+
+void Cnf::add_clause(Clause clause) {
+  if (clause.literals.empty())
+    throw std::invalid_argument("add_clause: empty clause");
+  for (const Literal lit : clause.literals) {
+    if (lit == 0) throw std::invalid_argument("add_clause: zero literal");
+    if (static_cast<std::size_t>(std::abs(lit)) > num_variables_)
+      throw std::invalid_argument("add_clause: variable out of range");
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+void Cnf::add_clause(std::initializer_list<Literal> lits, core::Real weight) {
+  Clause c;
+  c.literals.assign(lits);
+  c.weight = weight;
+  add_clause(std::move(c));
+}
+
+core::Real Cnf::clause_ratio() const {
+  if (num_variables_ == 0) return 0.0;
+  return static_cast<core::Real>(clauses_.size()) /
+         static_cast<core::Real>(num_variables_);
+}
+
+bool Cnf::clause_satisfied(const Clause& clause, const Assignment& a) const {
+  for (const Literal lit : clause.literals) {
+    const auto v = static_cast<std::size_t>(std::abs(lit));
+    if (a[v] == (lit > 0)) return true;
+  }
+  return false;
+}
+
+bool Cnf::satisfied(const Assignment& a) const {
+  for (const Clause& c : clauses_)
+    if (!clause_satisfied(c, a)) return false;
+  return true;
+}
+
+std::size_t Cnf::count_unsatisfied(const Assignment& a) const {
+  std::size_t count = 0;
+  for (const Clause& c : clauses_)
+    if (!clause_satisfied(c, a)) ++count;
+  return count;
+}
+
+core::Real Cnf::unsatisfied_weight(const Assignment& a) const {
+  core::Real total = 0.0;
+  for (const Clause& c : clauses_)
+    if (!clause_satisfied(c, a)) total += c.weight;
+  return total;
+}
+
+std::string Cnf::to_dimacs() const {
+  std::ostringstream os;
+  os << "p cnf " << num_variables_ << ' ' << clauses_.size() << '\n';
+  for (const Clause& c : clauses_) {
+    for (const Literal lit : c.literals) os << lit << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+Cnf Cnf::from_dimacs(std::istream& in) {
+  std::string tok;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  bool have_header = false;
+  Cnf cnf;
+  Clause current;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      if (!(in >> fmt >> n >> m) || fmt != "cnf")
+        throw std::runtime_error("from_dimacs: malformed problem line");
+      cnf = Cnf(n);
+      have_header = true;
+      continue;
+    }
+    if (!have_header)
+      throw std::runtime_error("from_dimacs: literal before problem line");
+    const long lit = std::stol(tok);
+    if (lit == 0) {
+      cnf.add_clause(std::move(current));
+      current = Clause{};
+    } else {
+      current.literals.push_back(static_cast<Literal>(lit));
+    }
+  }
+  if (!current.literals.empty())
+    throw std::runtime_error("from_dimacs: clause not terminated by 0");
+  if (have_header && cnf.num_clauses() != m)
+    throw std::runtime_error("from_dimacs: clause count mismatch with header");
+  if (!have_header) throw std::runtime_error("from_dimacs: missing header");
+  return cnf;
+}
+
+Cnf Cnf::from_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return from_dimacs(in);
+}
+
+namespace {
+
+Clause random_clause(core::Rng& rng, std::size_t n, std::size_t k) {
+  Clause c;
+  const auto vars = core::sample_without_replacement(rng, n, k);
+  c.literals.reserve(k);
+  for (const std::size_t v : vars) {
+    const auto var = static_cast<Literal>(v + 1);
+    c.literals.push_back(rng.bernoulli(0.5) ? var : -var);
+  }
+  return c;
+}
+
+}  // namespace
+
+Cnf random_ksat(core::Rng& rng, std::size_t n, std::size_t m, std::size_t k) {
+  if (k == 0 || k > n) throw std::invalid_argument("random_ksat: need 0 < k <= n");
+  Cnf cnf(n);
+  for (std::size_t i = 0; i < m; ++i) cnf.add_clause(random_clause(rng, n, k));
+  return cnf;
+}
+
+PlantedInstance planted_ksat(core::Rng& rng, std::size_t n, std::size_t m,
+                             std::size_t k) {
+  if (k == 0 || k > n)
+    throw std::invalid_argument("planted_ksat: need 0 < k <= n");
+  PlantedInstance inst;
+  inst.plant = random_assignment(rng, n);
+  inst.cnf = Cnf(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    Clause c;
+    do {
+      c = random_clause(rng, n, k);
+    } while (!inst.cnf.clause_satisfied(c, inst.plant));
+    inst.cnf.add_clause(std::move(c));
+  }
+  return inst;
+}
+
+Assignment random_assignment(core::Rng& rng, std::size_t n) {
+  Assignment a(n + 1, false);
+  for (std::size_t v = 1; v <= n; ++v) a[v] = rng.bernoulli(0.5);
+  return a;
+}
+
+}  // namespace rebooting::memcomputing

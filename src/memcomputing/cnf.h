@@ -1,0 +1,79 @@
+// CNF formulas, DIMACS I/O, and the SAT workload generators used by the
+// Sec. IV experiments: uniform random k-SAT (the hard-instance ensemble at
+// clause ratio ~4.27) and planted-solution instances (so success can be
+// verified against a known satisfying assignment).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+
+namespace rebooting::memcomputing {
+
+/// A literal is a non-zero integer: +v means variable v, -v its negation
+/// (DIMACS convention, variables numbered from 1).
+using Literal = std::int32_t;
+
+struct Clause {
+  std::vector<Literal> literals;
+  /// Weight used by the MaxSAT/QUBO paths; 1 for plain SAT.
+  core::Real weight = 1.0;
+};
+
+/// Boolean assignment: index 0 unused, values for variables 1..n.
+using Assignment = std::vector<bool>;
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(std::size_t num_variables) : num_variables_(num_variables) {}
+
+  std::size_t num_variables() const { return num_variables_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Appends a clause; throws std::invalid_argument on a zero literal or a
+  /// variable index beyond num_variables().
+  void add_clause(Clause clause);
+  void add_clause(std::initializer_list<Literal> lits, core::Real weight = 1.0);
+
+  /// Clause-to-variable ratio m/n.
+  core::Real clause_ratio() const;
+
+  bool clause_satisfied(const Clause& clause, const Assignment& a) const;
+  bool satisfied(const Assignment& a) const;
+  std::size_t count_unsatisfied(const Assignment& a) const;
+  /// Sum of weights of unsatisfied clauses (the MaxSAT objective).
+  core::Real unsatisfied_weight(const Assignment& a) const;
+
+  /// DIMACS "p cnf" serialization (weights are not encoded; standard CNF).
+  std::string to_dimacs() const;
+  static Cnf from_dimacs(std::istream& in);
+  static Cnf from_dimacs_string(const std::string& text);
+
+ private:
+  std::size_t num_variables_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Uniform random k-SAT: m clauses of k distinct variables each, signs fair
+/// coins. Duplicate clauses are allowed (standard ensemble). Requires k <= n.
+Cnf random_ksat(core::Rng& rng, std::size_t n, std::size_t m, std::size_t k);
+
+/// Random k-SAT with a planted satisfying assignment: clauses are resampled
+/// until satisfied by the plant, giving verifiable-by-construction instances.
+/// Returns the formula and the plant.
+struct PlantedInstance {
+  Cnf cnf;
+  Assignment plant;
+};
+PlantedInstance planted_ksat(core::Rng& rng, std::size_t n, std::size_t m,
+                             std::size_t k);
+
+/// A fresh random assignment of n variables.
+Assignment random_assignment(core::Rng& rng, std::size_t n);
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,174 @@
+#include "memcomputing/dmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rebooting::memcomputing {
+
+DmmSolver::DmmSolver(const Cnf& cnf, DmmOptions options)
+    : cnf_(cnf), opts_(options) {
+  if (cnf.num_variables() == 0 || cnf.num_clauses() == 0)
+    throw std::invalid_argument("DmmSolver: empty formula");
+  clauses_.reserve(cnf.num_clauses());
+  for (const Clause& c : cnf.clauses()) {
+    ClauseData d;
+    d.weight = c.weight;
+    d.vars.reserve(c.literals.size());
+    d.q.reserve(c.literals.size());
+    for (const Literal lit : c.literals) {
+      d.vars.push_back(static_cast<std::size_t>(std::abs(lit)) - 1);
+      d.q.push_back(lit > 0 ? 1.0 : -1.0);
+    }
+    clauses_.push_back(std::move(d));
+  }
+}
+
+DmmResult DmmSolver::solve(core::Rng& rng) const {
+  std::vector<Real> v0(cnf_.num_variables());
+  for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
+  return solve_from(std::move(v0), rng);
+}
+
+DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
+  const std::size_t n = cnf_.num_variables();
+  const std::size_t m = clauses_.size();
+  if (v.size() != n)
+    throw std::invalid_argument("DmmSolver::solve_from: bad v0 size");
+  const DmmParams& p = opts_.params;
+
+  std::vector<Real> xs(m, 0.5);
+  std::vector<Real> xl(m, 1.0);
+  std::vector<Real> dv(n);
+  std::vector<Real> dxs(m);
+  std::vector<Real> dxl(m);
+  std::vector<bool> sign_bit(n);
+  for (std::size_t i = 0; i < n; ++i) sign_bit[i] = v[i] > 0.0;
+
+  DmmResult result;
+  result.best_unsatisfied = m;
+  Real best_weight = -1.0;  // negative = nothing recorded yet
+
+  Assignment a(n + 1, false);
+  const auto evaluate_assignment = [&]() {
+    for (std::size_t i = 0; i < n; ++i) a[i + 1] = v[i] > 0.0;
+    const std::size_t unsat = cnf_.count_unsatisfied(a);
+    result.best_unsatisfied = std::min(result.best_unsatisfied, unsat);
+    const Real w = opts_.maxsat_mode ? cnf_.unsatisfied_weight(a)
+                                     : static_cast<Real>(unsat);
+    if (best_weight < 0.0 || w < best_weight) {
+      best_weight = w;
+      result.assignment = a;
+      result.steps_to_best = result.steps;
+    }
+    return unsat;
+  };
+
+  if (evaluate_assignment() == 0) {
+    result.satisfied = true;
+    result.best_unsatisfied = 0;
+    result.best_unsatisfied_weight = 0.0;
+    return result;
+  }
+
+  const Real xl_ceiling = p.xl_max * static_cast<Real>(m);
+
+  for (std::size_t step = 0; step < opts_.max_steps; ++step) {
+    std::fill(dv.begin(), dv.end(), 0.0);
+
+    Real clause_energy = 0.0;
+    for (std::size_t cm = 0; cm < m; ++cm) {
+      const ClauseData& c = clauses_[cm];
+      const std::size_t k = c.vars.size();
+
+      // Smallest and second-smallest (1 - q v) over the clause's literals.
+      Real min1 = 2.0, min2 = 2.0;
+      std::size_t arg1 = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const Real s = 1.0 - c.q[i] * v[c.vars[i]];
+        if (s < min1) {
+          min2 = min1;
+          min1 = s;
+          arg1 = i;
+        } else if (s < min2) {
+          min2 = s;
+        }
+      }
+      const Real cmeas = 0.5 * min1;  // C_m in [0, 1]
+      clause_energy += cmeas;
+
+      const Real gate_g = xl[cm] * xs[cm];
+      const Real gate_r = (1.0 + p.zeta * xl[cm]) * (1.0 - xs[cm]);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t var = c.vars[i];
+        // Gradient-like term: push literal i toward satisfaction, scaled by
+        // how far the *other* literals are from satisfying the clause.
+        const Real min_excl = (i == arg1) ? min2 : min1;
+        const Real g_term = 0.5 * c.q[i] * min_excl;
+        Real r_term = 0.0;
+        if (p.rigidity && i == arg1) {
+          // Rigidity holds the critical literal at its target.
+          r_term = 0.5 * (c.q[i] - v[var]);
+        }
+        dv[var] += c.weight * (gate_g * g_term + gate_r * r_term);
+      }
+
+      dxs[cm] = p.beta * (xs[cm] + p.epsilon) * (cmeas - p.gamma);
+      dxl[cm] = p.long_term_memory ? p.alpha * (cmeas - p.delta) : 0.0;
+    }
+
+    // Adaptive forward-Euler step from the largest voltage rate.
+    Real max_rate = 0.0;
+    for (const Real r : dv) max_rate = std::max(max_rate, std::abs(r));
+    const Real dt = (max_rate > 0.0)
+                        ? std::clamp(p.dv_cap / max_rate, p.dt_min, p.dt_max)
+                        : p.dt_max;
+    const Real noise_scale =
+        p.noise_stddev > 0.0 ? p.noise_stddev * std::sqrt(dt) : 0.0;
+
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Real nv = v[i] + dt * dv[i];
+      if (noise_scale > 0.0) nv += noise_scale * rng.normal();
+      v[i] = std::clamp(nv, -1.0, 1.0);
+      result.max_abs_voltage = std::max(result.max_abs_voltage, std::abs(v[i]));
+      const bool s = v[i] > 0.0;
+      if (s != sign_bit[i]) {
+        sign_bit[i] = s;
+        ++flips;
+      }
+    }
+    for (std::size_t cm = 0; cm < m; ++cm) {
+      xs[cm] = std::clamp(xs[cm] + dt * dxs[cm], 0.0, 1.0);
+      xl[cm] = std::clamp(xl[cm] + dt * dxl[cm], 1.0, xl_ceiling);
+    }
+
+    result.sim_time += dt;
+    ++result.steps;
+    if (opts_.track_avalanches && flips > 0)
+      result.avalanche_sizes.push_back(flips);
+    if (opts_.energy_stride > 0 && step % opts_.energy_stride == 0)
+      result.energy_trace.push_back(clause_energy);
+
+    // The digital readout only changes when some voltage crossed zero.
+    if (flips > 0) {
+      const std::size_t unsat = evaluate_assignment();
+      if (unsat == 0 && !opts_.maxsat_mode) {
+        result.satisfied = true;
+        result.best_unsatisfied = 0;
+        result.best_unsatisfied_weight = 0.0;
+        return result;
+      }
+    }
+  }
+
+  result.hit_limit = true;
+  result.satisfied = result.best_unsatisfied == 0;
+  result.best_unsatisfied_weight =
+      opts_.maxsat_mode ? std::max(best_weight, 0.0)
+                        : static_cast<Real>(result.best_unsatisfied);
+  return result;
+}
+
+}  // namespace rebooting::memcomputing

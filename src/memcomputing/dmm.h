@@ -1,0 +1,109 @@
+// Digital Memcomputing Machine (DMM) dynamics for k-SAT — the concrete form
+// of the paper's Eqs. 1-2.
+//
+// Each Boolean variable n is a continuous voltage v_n in [-1, 1]; each clause
+// m is a self-organizing OR gate carrying two memory variables: a fast one
+// x_s (the "resistive memory" conductance of Eq. 1) and a slow one x_l (the
+// long-term weight that the feedback of the active elements builds up). With
+// C_m the clause unsatisfaction degree, the flow is
+//
+//   dv_n/dt = sum_m w_m [ x_l x_s G_nm(v) + (1 + zeta x_l)(1 - x_s) R_nm(v) ]
+//   dx_s/dt = beta (x_s + eps)(C_m - gamma)          (fast memory)
+//   dx_l/dt = alpha (C_m - delta)                    (slow memory)
+//
+// with the gradient-like term G_nm = q_nm/2 * min_{j != n}(1 - q_jm v_j) and
+// the rigidity term R_nm = (q_nm - v_n)/2 applied to the clause's critical
+// (minimizing) literal only. This is the published form of the SAT DMM
+// (Traversa & Di Ventra 2017; Bearden et al.), whose trajectories are
+// point-dissipative: bounded, no periodic orbits, equilibria = solutions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "memcomputing/cnf.h"
+
+namespace rebooting::memcomputing {
+
+using core::Real;
+
+struct DmmParams {
+  Real alpha = 5.0;     ///< long-term memory growth rate
+  Real beta = 20.0;     ///< short-term memory rate
+  Real gamma = 0.25;    ///< short-term memory threshold on C_m
+  Real delta = 0.05;    ///< long-term memory threshold on C_m
+  Real epsilon = 1e-3;  ///< keeps x_s from sticking at 0
+  Real zeta = 0.1;      ///< rigidity weighting by long-term memory
+  Real xl_max = 1e4;    ///< long-term memory ceiling (per clause)
+
+  /// Forward-Euler adaptive step: dt = clamp(dv_cap / max|dv|, dt_min, dt_max).
+  Real dt_min = 1.0 / 128.0;
+  Real dt_max = 10.0;
+  Real dv_cap = 0.15;  ///< max voltage change allowed per step
+
+  /// Langevin noise amplitude on the voltage dynamics (E6 robustness study):
+  /// each step adds noise_stddev * sqrt(dt) * N(0,1) per variable.
+  Real noise_stddev = 0.0;
+
+  /// Ablation switches (DESIGN.md Sec. 4): disable the rigidity term or
+  /// freeze the long-term memory at 1.
+  bool rigidity = true;
+  bool long_term_memory = true;
+};
+
+struct DmmOptions {
+  DmmParams params{};
+  std::size_t max_steps = 2'000'000;
+  /// Record sum_m C_m every `energy_stride` steps into result.energy_trace
+  /// (0 = off). Used by the E7 dynamics study.
+  std::size_t energy_stride = 0;
+  /// Record the number of sign flips per integration step (avalanche sizes,
+  /// E8 spin-glass study); only nonzero counts are kept.
+  bool track_avalanches = false;
+  /// In MaxSAT mode the run does not stop at full satisfaction of weights>0
+  /// clauses but keeps improving best_unsatisfied_weight until max_steps.
+  bool maxsat_mode = false;
+};
+
+struct DmmResult {
+  bool satisfied = false;
+  Assignment assignment;           ///< best assignment seen
+  std::size_t steps = 0;           ///< accepted integration steps
+  /// Step index at which the best assignment was first reached (the honest
+  /// time-to-solution in maxsat_mode, where the run does not stop early).
+  std::size_t steps_to_best = 0;
+  Real sim_time = 0.0;             ///< integrated dimensionless time
+  std::size_t best_unsatisfied = 0;
+  Real best_unsatisfied_weight = 0.0;
+  bool hit_limit = false;
+  std::vector<Real> energy_trace;        ///< if energy_stride > 0
+  std::vector<std::size_t> avalanche_sizes;  ///< if track_avalanches
+  /// Largest |v| reached — point-dissipativity check (must stay <= 1 + tol).
+  Real max_abs_voltage = 0.0;
+};
+
+class DmmSolver {
+ public:
+  DmmSolver(const Cnf& cnf, DmmOptions options);
+
+  /// Integrates one trajectory from random initial voltages.
+  DmmResult solve(core::Rng& rng) const;
+
+  /// Integrates from given initial voltages (size = num_variables; values in
+  /// [-1,1]); exposed for the dynamics study and tests.
+  DmmResult solve_from(std::vector<Real> v0, core::Rng& rng) const;
+
+ private:
+  struct ClauseData {
+    std::vector<std::size_t> vars;  ///< 0-based variable indices
+    std::vector<Real> q;            ///< +1 / -1 literal signs
+    Real weight = 1.0;
+  };
+
+  const Cnf& cnf_;
+  DmmOptions opts_;
+  std::vector<ClauseData> clauses_;
+};
+
+}  // namespace rebooting::memcomputing

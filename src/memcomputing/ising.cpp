@@ -1,0 +1,183 @@
+#include "memcomputing/ising.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace rebooting::memcomputing {
+
+void IsingModel::add_bond(std::size_t i, std::size_t j, Real coupling) {
+  if (i >= num_spins_ || j >= num_spins_ || i == j)
+    throw std::invalid_argument("IsingModel::add_bond: bad spin indices");
+  bonds_.push_back({i, j, coupling});
+  adjacency_.clear();  // invalidate cache
+}
+
+Real IsingModel::energy(const SpinConfig& s) const {
+  if (s.size() != num_spins_)
+    throw std::invalid_argument("IsingModel::energy: config size mismatch");
+  Real e = 0.0;
+  for (const IsingBond& b : bonds_)
+    e -= b.coupling * static_cast<Real>(s[b.i]) * static_cast<Real>(s[b.j]);
+  return e;
+}
+
+const std::vector<std::vector<std::size_t>>& IsingModel::adjacency() const {
+  if (adjacency_.empty() && !bonds_.empty()) {
+    adjacency_.assign(num_spins_, {});
+    for (std::size_t b = 0; b < bonds_.size(); ++b) {
+      adjacency_[bonds_[b].i].push_back(b);
+      adjacency_[bonds_[b].j].push_back(b);
+    }
+  }
+  return adjacency_;
+}
+
+Real IsingModel::flip_delta(const SpinConfig& s, std::size_t k) const {
+  const auto& adj = adjacency();
+  Real field = 0.0;
+  for (const std::size_t bi : adj[k]) {
+    const IsingBond& b = bonds_[bi];
+    const std::size_t other = (b.i == k) ? b.j : b.i;
+    field += b.coupling * static_cast<Real>(s[other]);
+  }
+  return 2.0 * static_cast<Real>(s[k]) * field;
+}
+
+FrustratedLoopInstance make_frustrated_loops(core::Rng& rng, std::size_t side,
+                                             std::size_t n_loops,
+                                             std::size_t max_loop_len) {
+  if (side < 3)
+    throw std::invalid_argument("make_frustrated_loops: side must be >= 3");
+  if (max_loop_len < 4) max_loop_len = 4;
+
+  const std::size_t n = side * side;
+  auto spin_at = [side](std::size_t x, std::size_t y) {
+    return (y % side) * side + (x % side);
+  };
+
+  // Accumulate couplings on grid edges keyed by the (ordered) spin pair.
+  std::map<std::pair<std::size_t, std::size_t>, Real> coupling;
+  auto add_edge = [&](std::size_t a, std::size_t b, Real j) {
+    if (a > b) std::swap(a, b);
+    coupling[{a, b}] += j;
+  };
+
+  for (std::size_t loop = 0; loop < n_loops; ++loop) {
+    // Rectangle loops: simple, guaranteed closed lattice loops. Perimeter
+    // 2(w+h) is kept within max_loop_len.
+    const std::size_t max_span =
+        std::max<std::size_t>(1, std::min(side - 1, max_loop_len / 2 - 1));
+    const auto w = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(max_span)));
+    const std::size_t h_cap = std::max<std::size_t>(
+        1, std::min(side - 1, max_loop_len / 2 > w ? max_loop_len / 2 - w : 1));
+    const auto h = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(h_cap)));
+    const auto x0 = rng.uniform_index(side);
+    const auto y0 = rng.uniform_index(side);
+
+    // Collect the perimeter edges in order.
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t x = 0; x < w; ++x) {
+      edges.emplace_back(spin_at(x0 + x, y0), spin_at(x0 + x + 1, y0));
+      edges.emplace_back(spin_at(x0 + x, y0 + h), spin_at(x0 + x + 1, y0 + h));
+    }
+    for (std::size_t y = 0; y < h; ++y) {
+      edges.emplace_back(spin_at(x0, y0 + y), spin_at(x0, y0 + y + 1));
+      edges.emplace_back(spin_at(x0 + w, y0 + y), spin_at(x0 + w, y0 + y + 1));
+    }
+    // One random edge is antiferromagnetic; the rest ferromagnetic.
+    const std::size_t af = rng.uniform_index(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+      add_edge(edges[e].first, edges[e].second, e == af ? -1.0 : 1.0);
+  }
+
+  FrustratedLoopInstance inst{IsingModel(n), 0.0, SpinConfig(n, 1), side};
+  for (const auto& [key, j] : coupling)
+    if (std::abs(j) > 1e-12) inst.model.add_bond(key.first, key.second, j);
+  // All-up attains each loop's minimum simultaneously (violating exactly the
+  // AF bond of every loop), so its energy is the planted ground energy.
+  inst.ground_energy = inst.model.energy(inst.planted);
+  return inst;
+}
+
+AnnealResult simulated_annealing(const IsingModel& model, core::Rng& rng,
+                                 const AnnealOptions& opts) {
+  if (opts.sweeps == 0 || opts.t_start <= 0.0 || opts.t_end <= 0.0)
+    throw std::invalid_argument("simulated_annealing: bad options");
+  const std::size_t n = model.num_spins();
+
+  AnnealResult result;
+  result.best_energy = 0.0;
+  bool have_best = false;
+
+  const Real ratio = opts.t_end / opts.t_start;
+  for (std::size_t restart = 0; restart < std::max<std::size_t>(1, opts.restarts);
+       ++restart) {
+    SpinConfig s(n);
+    for (auto& sp : s) sp = rng.bernoulli(0.5) ? 1 : -1;
+    Real e = model.energy(s);
+    for (std::size_t sweep = 0; sweep < opts.sweeps; ++sweep) {
+      const Real frac = static_cast<Real>(sweep) /
+                        static_cast<Real>(std::max<std::size_t>(1, opts.sweeps - 1));
+      const Real temp = opts.t_start * std::pow(ratio, frac);
+      for (std::size_t f = 0; f < n; ++f) {
+        const std::size_t k = rng.uniform_index(n);
+        const Real delta = model.flip_delta(s, k);
+        ++result.total_flips_attempted;
+        if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+          s[k] = static_cast<std::int8_t>(-s[k]);
+          e += delta;
+          ++result.accepted_flips;
+          if (!have_best || e < result.best_energy) {
+            have_best = true;
+            result.best_energy = e;
+            result.best = s;
+            result.sweeps_to_best = sweep;
+          }
+        }
+      }
+    }
+  }
+  if (!have_best) {
+    // Nothing ever accepted (pathological); fall back to a random state.
+    result.best.assign(n, 1);
+    result.best_energy = model.energy(result.best);
+  }
+  return result;
+}
+
+Cnf ising_to_cnf(const IsingModel& model) {
+  Cnf cnf(model.num_spins());
+  for (const IsingBond& b : model.bonds()) {
+    const auto vi = static_cast<Literal>(b.i + 1);
+    const auto vj = static_cast<Literal>(b.j + 1);
+    const Real w = std::abs(b.coupling);
+    if (w <= 0.0) continue;
+    if (b.coupling > 0.0) {
+      // Ferromagnetic: want equal spins; one clause breaks iff they differ.
+      cnf.add_clause({vi, -vj}, w);
+      cnf.add_clause({-vi, vj}, w);
+    } else {
+      // Antiferromagnetic: want opposite spins.
+      cnf.add_clause({vi, vj}, w);
+      cnf.add_clause({-vi, -vj}, w);
+    }
+  }
+  return cnf;
+}
+
+SpinConfig assignment_to_spins(const Assignment& a, std::size_t num_spins) {
+  SpinConfig s(num_spins);
+  for (std::size_t i = 0; i < num_spins; ++i) s[i] = a[i + 1] ? 1 : -1;
+  return s;
+}
+
+Real cnf_assignment_energy(const IsingModel& model, const Assignment& a) {
+  return model.energy(assignment_to_spins(a, model.num_spins()));
+}
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,101 @@
+// Ising spin-glass substrate for the Sec. IV frustrated-loop experiment
+// (ref [56]): model, frustrated-loop instance generator with planted ground
+// state, simulated-annealing baseline, and the parity-constraint CNF bridge
+// that lets the DMM solve Ising ground states as MaxSAT.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "memcomputing/cnf.h"
+
+namespace rebooting::memcomputing {
+
+using core::Real;
+
+/// Spins are +/-1, stored as int8.
+using SpinConfig = std::vector<std::int8_t>;
+
+struct IsingBond {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  Real coupling = 1.0;  ///< J_ij; H = -sum J_ij s_i s_j (J>0 ferromagnetic)
+};
+
+class IsingModel {
+ public:
+  explicit IsingModel(std::size_t num_spins) : num_spins_(num_spins) {}
+
+  std::size_t num_spins() const { return num_spins_; }
+  const std::vector<IsingBond>& bonds() const { return bonds_; }
+
+  void add_bond(std::size_t i, std::size_t j, Real coupling);
+
+  Real energy(const SpinConfig& s) const;
+  /// Energy change from flipping spin k (O(degree) via adjacency).
+  Real flip_delta(const SpinConfig& s, std::size_t k) const;
+
+  /// Bonds incident to each spin (built lazily on first use of flip_delta).
+  const std::vector<std::vector<std::size_t>>& adjacency() const;
+
+ private:
+  std::size_t num_spins_;
+  std::vector<IsingBond> bonds_;
+  mutable std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/// A frustrated-loop instance (Hen et al. construction, used by ref [56]):
+/// random loops on an LxL grid, each loop ferromagnetic except one
+/// antiferromagnetic bond. The all-up configuration violates exactly the AF
+/// bond of every loop, achieving each loop's minimum simultaneously, so the
+/// planted ground-state energy is known by construction.
+struct FrustratedLoopInstance {
+  IsingModel model;
+  Real ground_energy = 0.0;
+  SpinConfig planted;  ///< all-up ground state
+  std::size_t grid_side = 0;
+};
+
+/// Builds an instance on an LxL periodic grid with `n_loops` random lattice
+/// loops of length in [4, max_loop_len]. Bonds traversed by several loops
+/// accumulate their couplings (couplings that cancel to zero are removed).
+FrustratedLoopInstance make_frustrated_loops(core::Rng& rng, std::size_t side,
+                                             std::size_t n_loops,
+                                             std::size_t max_loop_len = 12);
+
+/// Simulated-annealing baseline (single-spin Metropolis flips, geometric
+/// temperature schedule). Also the "quantum annealer surrogate" used by the
+/// E9 RBM study (Adachi–Henderson role).
+struct AnnealOptions {
+  Real t_start = 3.0;
+  Real t_end = 0.05;
+  std::size_t sweeps = 2000;   ///< temperature steps; one sweep = N flips each
+  std::size_t restarts = 1;
+};
+
+struct AnnealResult {
+  SpinConfig best;
+  Real best_energy = 0.0;
+  std::size_t total_flips_attempted = 0;
+  std::size_t accepted_flips = 0;
+  std::size_t sweeps_to_best = 0;  ///< sweep index when the best was found
+};
+
+AnnealResult simulated_annealing(const IsingModel& model, core::Rng& rng,
+                                 const AnnealOptions& opts = {});
+
+/// Parity-constraint CNF encoding: each bond becomes two 2-literal clauses
+/// of weight |J| such that exactly one is violated iff the bond is violated
+/// (s_i s_j != sign(J)). Variable v = spin v-1 up. Minimizing unsatisfied
+/// weight == minimizing Ising energy; energy = ground contribution +
+/// 2 * unsatisfied_weight relative to sum(-|J|).
+Cnf ising_to_cnf(const IsingModel& model);
+
+/// Converts a CNF assignment (from the DMM/MaxSAT path) back into spins.
+SpinConfig assignment_to_spins(const Assignment& a, std::size_t num_spins);
+
+/// Ising energy implied by a CNF assignment under ising_to_cnf's encoding.
+Real cnf_assignment_energy(const IsingModel& model, const Assignment& a);
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,158 @@
+// Restricted Boltzmann Machine training for the Sec. IV deep-learning claim
+// (refs [55], [57]): contrastive-divergence baseline, an annealer-surrogate
+// negative phase (the role D-Wave plays in Adachi–Henderson), and
+// memcomputing mode-assisted training, where the DMM finds the mode (lowest
+// joint-energy state) of the current model via a weighted-MaxSAT encoding of
+// the RBM's QUBO energy and that mode drives the negative gradient.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "memcomputing/cnf.h"
+
+namespace rebooting::memcomputing {
+
+using core::Real;
+
+/// Binary data vectors (one pattern = nv bits).
+using Pattern = std::vector<std::uint8_t>;
+using Dataset = std::vector<Pattern>;
+
+/// Binary-binary RBM with energy
+///   E(v, h) = -b.v - c.h - h^T W v .
+class BinaryRbm {
+ public:
+  BinaryRbm(std::size_t visible, std::size_t hidden, core::Rng& rng,
+            Real init_stddev = 0.05);
+
+  std::size_t visible() const { return nv_; }
+  std::size_t hidden() const { return nh_; }
+
+  Real weight(std::size_t j, std::size_t i) const { return w_[j * nv_ + i]; }
+  Real visible_bias(std::size_t i) const { return b_[i]; }
+  Real hidden_bias(std::size_t j) const { return c_[j]; }
+
+  /// p(h_j = 1 | v) for all j.
+  std::vector<Real> hidden_probability(const Pattern& v) const;
+  /// p(v_i = 1 | h) for all i.
+  std::vector<Real> visible_probability(const Pattern& h) const;
+
+  Pattern sample_hidden(const Pattern& v, core::Rng& rng) const;
+  Pattern sample_visible(const Pattern& h, core::Rng& rng) const;
+
+  Real joint_energy(const Pattern& v, const Pattern& h) const;
+  /// Free energy F(v) = -b.v - sum_j softplus(c_j + W_j . v).
+  Real free_energy(const Pattern& v) const;
+
+  /// One contrastive-divergence (CD-k) update on a minibatch.
+  void cd_step(const Dataset& batch, std::size_t k, Real learning_rate,
+               core::Rng& rng);
+
+  /// One update whose negative phase is the given joint state (the mode, or
+  /// an annealer sample). Positive phase from the minibatch as usual.
+  void negative_sample_step(const Dataset& batch, const Pattern& neg_v,
+                            const Pattern& neg_h, Real learning_rate);
+
+  /// A set of (v, h) samples from `n_chains` independent Gibbs chains of
+  /// `sweeps` block updates at unit temperature — the role the quantum
+  /// annealer plays in Adachi–Henderson (a cheap source of model samples).
+  std::vector<std::pair<Pattern, Pattern>> gibbs_samples(
+      core::Rng& rng, std::size_t n_chains, std::size_t sweeps) const;
+
+  /// Update whose negative phase is the average over the given samples
+  /// (a proper estimate of the model expectation).
+  void negative_expectation_step(
+      const Dataset& batch,
+      const std::vector<std::pair<Pattern, Pattern>>& samples,
+      Real learning_rate);
+
+  /// Exact mean negative log-likelihood of the dataset; requires nv <= 20
+  /// (enumerates visible space). Used as the training-quality metric.
+  Real exact_nll(const Dataset& data) const;
+
+  /// Mean per-bit reconstruction error over the dataset (v -> h -> v').
+  Real reconstruction_error(const Dataset& data, core::Rng& rng,
+                            std::size_t repeats = 1) const;
+
+  /// Weighted-CNF encoding of the joint energy: variables 1..nv are the
+  /// visible units, nv+1..nv+nh the hidden ones; minimizing unsatisfied
+  /// weight minimizes E(v,h) (up to a constant). This is the bridge the DMM
+  /// mode search runs on.
+  Cnf joint_energy_cnf() const;
+
+  /// Mode search backends. Each returns the best (v, h) found.
+  struct Mode {
+    Pattern v;
+    Pattern h;
+    Real energy = 0.0;
+  };
+  /// Exhaustive over visible space (nv <= 20), hidden maximized analytically.
+  Mode find_mode_exact() const;
+  /// Gibbs-chain annealing on the joint energy.
+  Mode find_mode_annealed(core::Rng& rng, std::size_t sweeps = 300) const;
+  /// DMM MaxSAT dynamics on joint_energy_cnf().
+  Mode find_mode_dmm(core::Rng& rng, std::size_t max_steps = 30'000) const;
+
+ private:
+  std::size_t nv_;
+  std::size_t nh_;
+  std::vector<Real> w_;  ///< row-major [nh][nv]
+  std::vector<Real> b_;
+  std::vector<Real> c_;
+};
+
+/// Synthetic structured dataset: bars-and-stripes on a side x side grid
+/// (every full-row and full-column pattern, plus all-on/all-off), the
+/// standard small generative benchmark. nv = side * side.
+Dataset bars_and_stripes(std::size_t side);
+
+/// Noisy copies of `prototypes`: each sample is a prototype with every bit
+/// flipped with probability flip_prob.
+Dataset noisy_prototypes(core::Rng& rng, const Dataset& prototypes,
+                         std::size_t samples_per_prototype, Real flip_prob);
+
+/// Training procedure selector for the E9 comparison.
+enum class RbmTrainer {
+  kCdBaseline,        ///< plain CD-1 (the supervised-training stand-in)
+  kAnnealerSampled,   ///< negative phase from annealed Gibbs samples
+  kModeAssistedDmm,   ///< negative phase from the DMM mode with prob. p_mode
+};
+
+struct RbmTrainOptions {
+  RbmTrainer trainer = RbmTrainer::kCdBaseline;
+  std::size_t epochs = 100;
+  std::size_t batch_size = 8;
+  Real learning_rate = 0.1;
+  std::size_t cd_k = 1;
+  /// Mode-assisted mixing probability (linearly ramped from p0 to p1 over
+  /// the epochs, per the mode-training recipe) and the reduced step size of
+  /// mode updates relative to the CD learning rate.
+  Real mode_p0 = 0.02;
+  Real mode_p1 = 0.3;
+  Real mode_lr_scale = 0.3;
+  /// Annealer surrogate: chains x sweeps of Gibbs sampling per update.
+  std::size_t anneal_chains = 10;
+  std::size_t anneal_sweeps = 20;
+  std::size_t dmm_max_steps = 20'000;
+  /// Record metrics every `eval_stride` epochs.
+  std::size_t eval_stride = 5;
+};
+
+struct RbmHistoryPoint {
+  std::size_t epoch = 0;
+  Real nll = 0.0;
+  Real reconstruction_error = 0.0;
+};
+
+struct RbmTrainResult {
+  std::vector<RbmHistoryPoint> history;
+  Real final_nll = 0.0;
+  Real final_reconstruction_error = 0.0;
+};
+
+RbmTrainResult train_rbm(BinaryRbm& rbm, const Dataset& data,
+                         const RbmTrainOptions& opts, core::Rng& rng);
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,368 @@
+#include "memcomputing/sat.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace rebooting::memcomputing {
+
+namespace {
+
+/// Shared bookkeeping for the local-search solvers: occurrence lists,
+/// per-clause satisfied-literal counts, and the unsatisfied-clause set, all
+/// maintained incrementally under single-variable flips.
+class LocalSearchState {
+ public:
+  LocalSearchState(const Cnf& cnf, Assignment a)
+      : cnf_(cnf),
+        assignment_(std::move(a)),
+        true_count_(cnf.num_clauses(), 0),
+        clause_pos_(cnf.num_clauses(), kNone),
+        occurrences_(cnf.num_variables() + 1) {
+    for (std::size_t m = 0; m < cnf_.num_clauses(); ++m) {
+      for (const Literal lit : cnf_.clauses()[m].literals) {
+        const auto v = static_cast<std::size_t>(std::abs(lit));
+        occurrences_[v].push_back(m);
+        if (assignment_[v] == (lit > 0)) ++true_count_[m];
+      }
+      if (true_count_[m] == 0) push_unsat(m);
+    }
+  }
+
+  const Assignment& assignment() const { return assignment_; }
+  std::size_t unsat_count() const { return unsat_.size(); }
+  std::size_t random_unsat_clause(core::Rng& rng) const {
+    return unsat_[rng.uniform_index(unsat_.size())];
+  }
+
+  /// Clauses this variable would break (satisfied now only by it) and make
+  /// (unsatisfied now, contains a literal of it that becomes true).
+  std::size_t break_count(std::size_t var) const {
+    std::size_t breaks = 0;
+    for (const std::size_t m : occurrences_[var]) {
+      if (true_count_[m] == 1 && literal_true_of(m, var)) ++breaks;
+    }
+    return breaks;
+  }
+
+  std::size_t make_count(std::size_t var) const {
+    std::size_t makes = 0;
+    for (const std::size_t m : occurrences_[var]) {
+      if (true_count_[m] == 0) ++makes;  // any literal of var flips it true
+    }
+    return makes;
+  }
+
+  void flip(std::size_t var) {
+    assignment_[var] = !assignment_[var];
+    for (const std::size_t m : occurrences_[var]) {
+      // Recompute this clause's contribution incrementally: the flip changes
+      // the truth of every literal of `var` in clause m.
+      for (const Literal lit : cnf_.clauses()[m].literals) {
+        if (static_cast<std::size_t>(std::abs(lit)) != var) continue;
+        const bool now_true = assignment_[var] == (lit > 0);
+        if (now_true) {
+          if (true_count_[m]++ == 0) pop_unsat(m);
+        } else {
+          if (--true_count_[m] == 0) push_unsat(m);
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+  /// True when clause m's only satisfied literal belongs to `var`.
+  bool literal_true_of(std::size_t m, std::size_t var) const {
+    for (const Literal lit : cnf_.clauses()[m].literals) {
+      const auto v = static_cast<std::size_t>(std::abs(lit));
+      if (v == var && assignment_[v] == (lit > 0)) return true;
+    }
+    return false;
+  }
+
+  void push_unsat(std::size_t m) {
+    clause_pos_[m] = unsat_.size();
+    unsat_.push_back(m);
+  }
+
+  void pop_unsat(std::size_t m) {
+    const std::size_t pos = clause_pos_[m];
+    const std::size_t last = unsat_.back();
+    unsat_[pos] = last;
+    clause_pos_[last] = pos;
+    unsat_.pop_back();
+    clause_pos_[m] = kNone;
+  }
+
+  const Cnf& cnf_;
+  Assignment assignment_;
+  std::vector<std::size_t> true_count_;
+  std::vector<std::size_t> unsat_;
+  std::vector<std::size_t> clause_pos_;
+  std::vector<std::vector<std::size_t>> occurrences_;
+};
+
+}  // namespace
+
+SatResult walksat(const Cnf& cnf, core::Rng& rng, const WalkSatOptions& opts) {
+  SatResult result;
+  result.best_unsatisfied = cnf.num_clauses();
+
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, opts.max_tries);
+       ++attempt) {
+    LocalSearchState state(cnf, random_assignment(rng, cnf.num_variables()));
+    for (std::size_t f = 0; f < opts.max_flips; ++f) {
+      if (state.unsat_count() < result.best_unsatisfied) {
+        result.best_unsatisfied = state.unsat_count();
+        result.assignment = state.assignment();
+      }
+      if (state.unsat_count() == 0) {
+        result.satisfied = true;
+        return result;
+      }
+      const std::size_t m = state.random_unsat_clause(rng);
+      const auto& lits = cnf.clauses()[m].literals;
+
+      std::size_t best_var = 0;
+      std::size_t best_break = std::numeric_limits<std::size_t>::max();
+      std::size_t ties = 0;
+      for (const Literal lit : lits) {
+        const auto v = static_cast<std::size_t>(std::abs(lit));
+        const std::size_t b = state.break_count(v);
+        if (b < best_break) {
+          best_break = b;
+          best_var = v;
+          ties = 1;
+        } else if (b == best_break && rng.uniform_index(++ties) == 0) {
+          best_var = v;
+        }
+      }
+
+      std::size_t flip_var = best_var;
+      if (best_break > 0 && rng.bernoulli(opts.noise)) {
+        const Literal lit = lits[rng.uniform_index(lits.size())];
+        flip_var = static_cast<std::size_t>(std::abs(lit));
+      }
+      state.flip(flip_var);
+      ++result.flips;
+    }
+  }
+  result.hit_limit = true;
+  return result;
+}
+
+SatResult gsat(const Cnf& cnf, core::Rng& rng, const GsatOptions& opts) {
+  SatResult result;
+  result.best_unsatisfied = cnf.num_clauses();
+  const std::size_t n = cnf.num_variables();
+
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, opts.max_tries);
+       ++attempt) {
+    LocalSearchState state(cnf, random_assignment(rng, n));
+    for (std::size_t f = 0; f < opts.max_flips; ++f) {
+      if (state.unsat_count() < result.best_unsatisfied) {
+        result.best_unsatisfied = state.unsat_count();
+        result.assignment = state.assignment();
+      }
+      if (state.unsat_count() == 0) {
+        result.satisfied = true;
+        return result;
+      }
+      // Best make-break gain over all variables, random tie-break.
+      std::ptrdiff_t best_gain = std::numeric_limits<std::ptrdiff_t>::min();
+      std::size_t best_var = 0;
+      std::size_t ties = 0;
+      for (std::size_t v = 1; v <= n; ++v) {
+        const auto gain = static_cast<std::ptrdiff_t>(state.make_count(v)) -
+                          static_cast<std::ptrdiff_t>(state.break_count(v));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_var = v;
+          ties = 1;
+        } else if (gain == best_gain && rng.uniform_index(++ties) == 0) {
+          best_var = v;
+        }
+      }
+      if (best_gain < 0 || (best_gain == 0 && !opts.allow_sideways)) break;
+      state.flip(best_var);
+      ++result.flips;
+    }
+  }
+  if (!result.satisfied) result.hit_limit = true;
+  return result;
+}
+
+namespace {
+
+enum class VarState : std::uint8_t { kUnset, kTrue, kFalse };
+
+struct DpllContext {
+  const Cnf& cnf;
+  const DpllOptions& opts;
+  SatResult& result;
+  std::vector<VarState> values;
+
+  bool literal_satisfied(Literal lit) const {
+    const auto v = static_cast<std::size_t>(std::abs(lit));
+    if (values[v] == VarState::kUnset) return false;
+    return (values[v] == VarState::kTrue) == (lit > 0);
+  }
+  bool literal_falsified(Literal lit) const {
+    const auto v = static_cast<std::size_t>(std::abs(lit));
+    if (values[v] == VarState::kUnset) return false;
+    return (values[v] == VarState::kTrue) != (lit > 0);
+  }
+
+  /// Returns false on conflict. Appends assigned variables to `trail`.
+  bool propagate(std::vector<std::size_t>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : cnf.clauses()) {
+        std::size_t unset = 0;
+        Literal unit = 0;
+        bool sat = false;
+        for (const Literal lit : c.literals) {
+          if (literal_satisfied(lit)) {
+            sat = true;
+            break;
+          }
+          if (!literal_falsified(lit)) {
+            ++unset;
+            unit = lit;
+          }
+        }
+        if (sat) continue;
+        if (unset == 0) return false;  // conflict
+        if (unset == 1) {
+          const auto v = static_cast<std::size_t>(std::abs(unit));
+          values[v] = unit > 0 ? VarState::kTrue : VarState::kFalse;
+          trail.push_back(v);
+          ++result.propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Assigns pure literals; appends to trail.
+  void assign_pure_literals(std::vector<std::size_t>& trail) {
+    const std::size_t n = cnf.num_variables();
+    std::vector<std::uint8_t> pos(n + 1, 0);
+    std::vector<std::uint8_t> neg(n + 1, 0);
+    for (const Clause& c : cnf.clauses()) {
+      bool sat = false;
+      for (const Literal lit : c.literals)
+        if (literal_satisfied(lit)) {
+          sat = true;
+          break;
+        }
+      if (sat) continue;
+      for (const Literal lit : c.literals) {
+        const auto v = static_cast<std::size_t>(std::abs(lit));
+        if (values[v] != VarState::kUnset) continue;
+        (lit > 0 ? pos[v] : neg[v]) = 1;
+      }
+    }
+    for (std::size_t v = 1; v <= n; ++v) {
+      if (values[v] != VarState::kUnset) continue;
+      if (pos[v] != neg[v]) {
+        values[v] = pos[v] ? VarState::kTrue : VarState::kFalse;
+        trail.push_back(v);
+      }
+    }
+  }
+
+  bool all_satisfied() const {
+    for (const Clause& c : cnf.clauses()) {
+      bool sat = false;
+      for (const Literal lit : c.literals)
+        if (literal_satisfied(lit)) {
+          sat = true;
+          break;
+        }
+      if (!sat) return false;
+    }
+    return true;
+  }
+
+  std::size_t pick_branch_variable() const {
+    // Most-occurring unset variable in unsatisfied clauses (MOMS-lite).
+    const std::size_t n = cnf.num_variables();
+    std::vector<std::size_t> count(n + 1, 0);
+    for (const Clause& c : cnf.clauses()) {
+      bool sat = false;
+      for (const Literal lit : c.literals)
+        if (literal_satisfied(lit)) {
+          sat = true;
+          break;
+        }
+      if (sat) continue;
+      for (const Literal lit : c.literals) {
+        const auto v = static_cast<std::size_t>(std::abs(lit));
+        if (values[v] == VarState::kUnset) ++count[v];
+      }
+    }
+    std::size_t best = 0;
+    for (std::size_t v = 1; v <= n; ++v)
+      if (count[v] > count[best]) best = v;
+    return best;
+  }
+
+  bool search() {
+    if (result.decisions >= opts.max_decisions) {
+      result.hit_limit = true;
+      return false;
+    }
+    std::vector<std::size_t> trail;
+    if (!propagate(trail)) {
+      undo(trail);
+      return false;
+    }
+    assign_pure_literals(trail);
+    if (all_satisfied()) return true;
+
+    const std::size_t var = pick_branch_variable();
+    if (var == 0) {
+      // Everything assigned but not satisfied: conflict.
+      undo(trail);
+      return false;
+    }
+    for (const VarState branch : {VarState::kTrue, VarState::kFalse}) {
+      ++result.decisions;
+      values[var] = branch;
+      if (search()) return true;
+      values[var] = VarState::kUnset;
+      if (result.hit_limit) break;
+    }
+    undo(trail);
+    return false;
+  }
+
+  void undo(const std::vector<std::size_t>& trail) {
+    for (const std::size_t v : trail) values[v] = VarState::kUnset;
+  }
+};
+
+}  // namespace
+
+SatResult dpll(const Cnf& cnf, const DpllOptions& opts) {
+  SatResult result;
+  result.best_unsatisfied = cnf.num_clauses();
+  DpllContext ctx{cnf, opts, result,
+                  std::vector<VarState>(cnf.num_variables() + 1,
+                                        VarState::kUnset)};
+  if (ctx.search()) {
+    result.satisfied = true;
+    result.assignment.assign(cnf.num_variables() + 1, false);
+    for (std::size_t v = 1; v <= cnf.num_variables(); ++v)
+      result.assignment[v] = ctx.values[v] == VarState::kTrue;
+    result.best_unsatisfied = 0;
+  }
+  return result;
+}
+
+}  // namespace rebooting::memcomputing

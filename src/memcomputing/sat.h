@@ -1,0 +1,62 @@
+// Classical von-Neumann SAT baselines for the Sec. IV comparison: WalkSAT
+// (SKC noise heuristic), GSAT, and DPLL with unit propagation and pure
+// literals. The scaling benches run these against the DMM solver on the same
+// instances.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/random.h"
+#include "memcomputing/cnf.h"
+
+namespace rebooting::memcomputing {
+
+struct SatResult {
+  bool satisfied = false;
+  /// Valid when satisfied; for MaxSAT-style use, the best assignment found.
+  Assignment assignment;
+  /// Work counters: flips for local search, decisions for DPLL.
+  std::size_t flips = 0;
+  std::size_t decisions = 0;
+  std::size_t propagations = 0;
+  /// Fewest unsatisfied clauses seen during the run.
+  std::size_t best_unsatisfied = 0;
+  bool hit_limit = false;  ///< gave up at the work limit (result inconclusive)
+};
+
+struct WalkSatOptions {
+  std::size_t max_flips = 1'000'000;
+  /// Number of independent restarts; each gets max_flips.
+  std::size_t max_tries = 1;
+  /// SKC noise: with this probability pick a random variable from the broken
+  /// clause instead of the greedy one.
+  core::Real noise = 0.5;
+};
+
+/// WalkSAT with the Selman–Kautz–Cohen heuristic: in the chosen unsatisfied
+/// clause, a variable with zero break-count is flipped greedily; otherwise
+/// flip greedy-or-random according to the noise parameter.
+SatResult walksat(const Cnf& cnf, core::Rng& rng,
+                  const WalkSatOptions& opts = {});
+
+struct GsatOptions {
+  std::size_t max_flips = 200'000;
+  std::size_t max_tries = 5;
+  /// Sideways moves allowed (plateau walking).
+  bool allow_sideways = true;
+};
+
+/// GSAT: always flip a variable with the best gain over the whole formula.
+SatResult gsat(const Cnf& cnf, core::Rng& rng, const GsatOptions& opts = {});
+
+struct DpllOptions {
+  /// Abort after this many decisions (exponential blow-up guard).
+  std::size_t max_decisions = 50'000'000;
+};
+
+/// Complete DPLL search with unit propagation and pure-literal elimination.
+/// result.satisfied == false with hit_limit == false is a proof of UNSAT.
+SatResult dpll(const Cnf& cnf, const DpllOptions& opts = {});
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,481 @@
+#include "memcomputing/solg.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "memcomputing/dmm.h"
+
+namespace rebooting::memcomputing {
+
+std::string to_string(GateType type) {
+  switch (type) {
+    case GateType::kAnd: return "AND";
+    case GateType::kOr: return "OR";
+    case GateType::kNot: return "NOT";
+    case GateType::kXor: return "XOR";
+    case GateType::kNand: return "NAND";
+    case GateType::kNor: return "NOR";
+    case GateType::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+bool gate_truth(GateType type, bool a, bool b) {
+  switch (type) {
+    case GateType::kAnd: return a && b;
+    case GateType::kOr: return a || b;
+    case GateType::kNot: return !a;
+    case GateType::kXor: return a != b;
+    case GateType::kNand: return !(a && b);
+    case GateType::kNor: return !(a || b);
+    case GateType::kXnor: return a == b;
+  }
+  return false;
+}
+
+std::size_t gate_arity(GateType type) {
+  return type == GateType::kNot ? 2 : 3;
+}
+
+namespace {
+
+/// Satisfying rows of a gate's truth table, each terminal as +/-1.
+std::vector<std::vector<Real>> satisfying_rows(GateType type) {
+  std::vector<std::vector<Real>> rows;
+  if (type == GateType::kNot) {
+    for (const bool a : {false, true})
+      rows.push_back({a ? 1.0 : -1.0, gate_truth(type, a, false) ? 1.0 : -1.0});
+    return rows;
+  }
+  for (const bool a : {false, true})
+    for (const bool b : {false, true})
+      rows.push_back({a ? 1.0 : -1.0, b ? 1.0 : -1.0,
+                      gate_truth(type, a, b) ? 1.0 : -1.0});
+  return rows;
+}
+
+}  // namespace
+
+std::size_t SolgCircuit::add_net() {
+  pinned_.push_back(-1);
+  return pinned_.size() - 1;
+}
+
+std::size_t SolgCircuit::add_nets(std::size_t count) {
+  const std::size_t first = pinned_.size();
+  pinned_.insert(pinned_.end(), count, static_cast<std::int8_t>(-1));
+  return first;
+}
+
+void SolgCircuit::pin(std::size_t net, bool value) {
+  pinned_.at(net) = value ? 1 : 0;
+}
+
+void SolgCircuit::unpin(std::size_t net) { pinned_.at(net) = -1; }
+
+bool SolgCircuit::is_pinned(std::size_t net) const {
+  return pinned_.at(net) >= 0;
+}
+
+void SolgCircuit::add_gate(GateType type, std::vector<std::size_t> terminals) {
+  if (terminals.size() != gate_arity(type))
+    throw std::invalid_argument("add_gate: wrong terminal count for " +
+                                to_string(type));
+  for (const std::size_t t : terminals)
+    if (t >= pinned_.size())
+      throw std::invalid_argument("add_gate: unknown net");
+  gates_.push_back({type, std::move(terminals)});
+}
+
+bool SolgCircuit::check(const std::vector<bool>& values) const {
+  if (values.size() != pinned_.size())
+    throw std::invalid_argument("check: values size mismatch");
+  for (const SolgGate& g : gates_) {
+    const bool a = values[g.terminals[0]];
+    const bool b = g.type == GateType::kNot ? false : values[g.terminals[1]];
+    const bool out = values[g.terminals.back()];
+    if (gate_truth(g.type, a, b) != out) return false;
+  }
+  return true;
+}
+
+Cnf SolgCircuit::to_cnf() const {
+  Cnf cnf(pinned_.size());
+  auto lit = [](std::size_t net, bool positive) {
+    const auto v = static_cast<Literal>(net + 1);
+    return positive ? v : -v;
+  };
+  for (const SolgGate& g : gates_) {
+    const std::size_t o = g.terminals.back();
+    const std::size_t a = g.terminals[0];
+    // For inverted gates the output literal polarity is flipped relative to
+    // the base AND/OR/XOR encoding.
+    const bool inv = g.type == GateType::kNand || g.type == GateType::kNor ||
+                     g.type == GateType::kXnor || g.type == GateType::kNot;
+    switch (g.type) {
+      case GateType::kNot:
+        cnf.add_clause({lit(o, true), lit(a, true)});
+        cnf.add_clause({lit(o, false), lit(a, false)});
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        const std::size_t b = g.terminals[1];
+        cnf.add_clause({lit(o, inv), lit(a, true)});
+        cnf.add_clause({lit(o, inv), lit(b, true)});
+        cnf.add_clause({lit(o, !inv), lit(a, false), lit(b, false)});
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const std::size_t b = g.terminals[1];
+        cnf.add_clause({lit(o, !inv), lit(a, false)});
+        cnf.add_clause({lit(o, !inv), lit(b, false)});
+        cnf.add_clause({lit(o, inv), lit(a, true), lit(b, true)});
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const std::size_t b = g.terminals[1];
+        cnf.add_clause({lit(o, inv), lit(a, true), lit(b, true)});
+        cnf.add_clause({lit(o, inv), lit(a, false), lit(b, false)});
+        cnf.add_clause({lit(o, !inv), lit(a, true), lit(b, false)});
+        cnf.add_clause({lit(o, !inv), lit(a, false), lit(b, true)});
+        break;
+      }
+    }
+  }
+  for (std::size_t net = 0; net < pinned_.size(); ++net)
+    if (pinned_[net] >= 0) cnf.add_clause({lit(net, pinned_[net] != 0)});
+  return cnf;
+}
+
+SolgResult SolgCircuit::solve(core::Rng& rng, const SolgOptions& opts) const {
+  return opts.engine == SolgEngine::kDmm ? solve_dmm(rng, opts)
+                                         : solve_native(rng, opts);
+}
+
+SolgResult SolgCircuit::solve_dmm(core::Rng& rng,
+                                  const SolgOptions& opts) const {
+  const Cnf cnf = to_cnf();
+  DmmOptions dopts;
+  dopts.max_steps = opts.max_steps;
+  const DmmSolver solver(cnf, dopts);
+
+  SolgResult result;
+  for (std::size_t attempt = 0;
+       attempt < std::max<std::size_t>(1, opts.restarts); ++attempt) {
+    result.restarts_used = attempt;
+    const DmmResult dr = solver.solve(rng);
+    result.steps += dr.steps;
+    if (dr.satisfied) {
+      result.values.assign(pinned_.size(), false);
+      for (std::size_t net = 0; net < pinned_.size(); ++net)
+        result.values[net] = dr.assignment[net + 1];
+      result.consistent = check(result.values);
+      result.residual = 0.0;
+      return result;
+    }
+  }
+  result.values.assign(pinned_.size(), false);
+  return result;
+}
+
+SolgResult SolgCircuit::solve_native(core::Rng& rng,
+                                     const SolgOptions& opts) const {
+  const std::size_t nets = pinned_.size();
+  SolgResult result;
+
+  // Precompute each gate's satisfying rows once per type.
+  std::vector<std::vector<std::vector<Real>>> rows_of(gates_.size());
+  for (std::size_t g = 0; g < gates_.size(); ++g)
+    rows_of[g] = satisfying_rows(gates_[g].type);
+
+  std::vector<Real> v(nets), dv(nets), xg(gates_.size());
+  std::vector<Real> term(3), attract(3);
+
+  for (std::size_t attempt = 0;
+       attempt < std::max<std::size_t>(1, opts.restarts); ++attempt) {
+    result.restarts_used = attempt;
+    for (std::size_t i = 0; i < nets; ++i)
+      v[i] = pinned_[i] >= 0 ? (pinned_[i] ? 1.0 : -1.0)
+                             : rng.uniform(-0.8, 0.8);
+    std::fill(xg.begin(), xg.end(), 1.0);
+
+    for (std::size_t step = 0; step < opts.max_steps; ++step) {
+      std::fill(dv.begin(), dv.end(), 0.0);
+      Real total_mismatch = 0.0;
+
+      for (std::size_t g = 0; g < gates_.size(); ++g) {
+        const SolgGate& gate = gates_[g];
+        const std::size_t arity = gate.terminals.size();
+        for (std::size_t t = 0; t < arity; ++t)
+          term[t] = v[gate.terminals[t]];
+
+        // Softmin attraction toward the satisfying rows.
+        Real wsum = 0.0;
+        Real best_dist = 1e30;
+        std::fill(attract.begin(), attract.begin() + arity, 0.0);
+        for (const auto& row : rows_of[g]) {
+          Real d2 = 0.0;
+          for (std::size_t t = 0; t < arity; ++t) {
+            const Real diff = term[t] - row[t];
+            d2 += diff * diff;
+          }
+          best_dist = std::min(best_dist, d2);
+          const Real w = std::exp(-d2 / opts.softmin_tau);
+          wsum += w;
+          for (std::size_t t = 0; t < arity; ++t)
+            attract[t] += w * (row[t] - term[t]);
+        }
+        // Mismatch in [0, ~1]: distance to the nearest satisfying row.
+        const Real mismatch = std::sqrt(best_dist) / 2.0;
+        total_mismatch += mismatch;
+
+        if (wsum > 0.0) {
+          const Real scale = xg[g] / wsum;
+          for (std::size_t t = 0; t < arity; ++t)
+            dv[gate.terminals[t]] += scale * attract[t];
+        }
+        // Gate memory: grows while inconsistent (feedback of the active
+        // elements), relaxes once the gate self-organized.
+        xg[g] = std::clamp(
+            xg[g] + opts.memory_rate * (mismatch - opts.memory_threshold) *
+                        opts.dt_max / 16.0,
+            1.0, opts.memory_max);
+      }
+
+      Real max_rate = 0.0;
+      for (std::size_t i = 0; i < nets; ++i) {
+        if (pinned_[i] >= 0) dv[i] = 0.0;
+        max_rate = std::max(max_rate, std::abs(dv[i]));
+      }
+      const Real dt =
+          max_rate > 0.0
+              ? std::clamp(opts.dv_cap / max_rate, opts.dt_min, opts.dt_max)
+              : opts.dt_max;
+      const Real noise = opts.noise_stddev * std::sqrt(dt);
+      for (std::size_t i = 0; i < nets; ++i) {
+        if (pinned_[i] >= 0) continue;
+        v[i] = std::clamp(v[i] + dt * dv[i] + noise * rng.normal(), -1.0, 1.0);
+      }
+
+      ++result.steps;
+      if (step % 16 == 0) {
+        std::vector<bool> digit(nets);
+        for (std::size_t i = 0; i < nets; ++i) digit[i] = v[i] > 0.0;
+        if (check(digit)) {
+          result.consistent = true;
+          result.values = std::move(digit);
+          result.residual = total_mismatch / static_cast<Real>(gates_.size());
+          return result;
+        }
+      }
+    }
+  }
+
+  result.values.assign(nets, false);
+  for (std::size_t i = 0; i < nets; ++i) result.values[i] = v[i] > 0.0;
+  result.consistent = check(result.values);
+  return result;
+}
+
+MultiplierCircuit build_multiplier(std::size_t a_width, std::size_t b_width) {
+  if (a_width == 0 || b_width == 0)
+    throw std::invalid_argument("build_multiplier: zero width");
+  MultiplierCircuit mc;
+  SolgCircuit& c = mc.circuit;
+
+  for (std::size_t i = 0; i < a_width; ++i) mc.a_bits.push_back(c.add_net());
+  for (std::size_t i = 0; i < b_width; ++i) mc.b_bits.push_back(c.add_net());
+
+  // Partial products pp[i][j] = a_i AND b_j.
+  std::vector<std::vector<std::size_t>> pp(a_width,
+                                           std::vector<std::size_t>(b_width));
+  for (std::size_t i = 0; i < a_width; ++i)
+    for (std::size_t j = 0; j < b_width; ++j) {
+      pp[i][j] = c.add_net();
+      c.add_gate(GateType::kAnd, {mc.a_bits[i], mc.b_bits[j], pp[i][j]});
+    }
+
+  // Column-wise carry-save reduction with full/half adders built from SOLGs.
+  auto half_adder = [&c](std::size_t x, std::size_t y, std::size_t& sum,
+                         std::size_t& carry) {
+    sum = c.add_net();
+    carry = c.add_net();
+    c.add_gate(GateType::kXor, {x, y, sum});
+    c.add_gate(GateType::kAnd, {x, y, carry});
+  };
+  auto full_adder = [&c](std::size_t x, std::size_t y, std::size_t z,
+                         std::size_t& sum, std::size_t& carry) {
+    const std::size_t s1 = c.add_net();
+    const std::size_t c1 = c.add_net();
+    const std::size_t c2 = c.add_net();
+    sum = c.add_net();
+    carry = c.add_net();
+    c.add_gate(GateType::kXor, {x, y, s1});
+    c.add_gate(GateType::kAnd, {x, y, c1});
+    c.add_gate(GateType::kXor, {s1, z, sum});
+    c.add_gate(GateType::kAnd, {s1, z, c2});
+    c.add_gate(GateType::kOr, {c1, c2, carry});
+  };
+
+  const std::size_t out_width = a_width + b_width;
+  // One spare column: the top column's adder still produces a carry net
+  // (always 0 for in-range products); it lands there and is simply not part
+  // of the product readout.
+  std::vector<std::vector<std::size_t>> columns(out_width + 1);
+  for (std::size_t i = 0; i < a_width; ++i)
+    for (std::size_t j = 0; j < b_width; ++j)
+      columns[i + j].push_back(pp[i][j]);
+
+  for (std::size_t col = 0; col < out_width; ++col) {
+    while (columns[col].size() > 1) {
+      if (columns[col].size() >= 3) {
+        const std::size_t x = columns[col].back(); columns[col].pop_back();
+        const std::size_t y = columns[col].back(); columns[col].pop_back();
+        const std::size_t z = columns[col].back(); columns[col].pop_back();
+        std::size_t sum = 0, carry = 0;
+        full_adder(x, y, z, sum, carry);
+        columns[col].push_back(sum);
+        columns[col + 1].push_back(carry);
+      } else {
+        const std::size_t x = columns[col].back(); columns[col].pop_back();
+        const std::size_t y = columns[col].back(); columns[col].pop_back();
+        std::size_t sum = 0, carry = 0;
+        half_adder(x, y, sum, carry);
+        columns[col].push_back(sum);
+        columns[col + 1].push_back(carry);
+      }
+    }
+    if (columns[col].empty()) {
+      // Column with no contributions: a constant-0 product bit.
+      const std::size_t zero = c.add_net();
+      c.pin(zero, false);
+      columns[col].push_back(zero);
+    }
+    mc.product_bits.push_back(columns[col].front());
+  }
+  return mc;
+}
+
+SubsetSumCircuit build_subset_sum(const std::vector<std::uint64_t>& values) {
+  if (values.empty())
+    throw std::invalid_argument("build_subset_sum: no values");
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) {
+    if (v == 0) throw std::invalid_argument("build_subset_sum: zero value");
+    if (total > ~0ull - v)
+      throw std::invalid_argument("build_subset_sum: total overflows");
+    total += v;
+  }
+  std::size_t width = 1;
+  while ((total >> width) != 0) ++width;
+
+  SubsetSumCircuit sc;
+  SolgCircuit& c = sc.circuit;
+  const std::size_t zero = c.add_net();
+  c.pin(zero, false);
+
+  for (std::size_t i = 0; i < values.size(); ++i)
+    sc.selectors.push_back(c.add_net());
+
+  // Gated operand i: bit j is the selector net where value bit j is 1 and
+  // the shared zero net otherwise — selecting multiplies by 0 or 1 for free.
+  auto operand = [&](std::size_t i) {
+    std::vector<std::size_t> bits(width, zero);
+    for (std::size_t j = 0; j < width; ++j)
+      if ((values[i] >> j) & 1ull) bits[j] = sc.selectors[i];
+    return bits;
+  };
+
+  auto full_adder = [&c](std::size_t x, std::size_t y, std::size_t z,
+                         std::size_t& sum, std::size_t& carry) {
+    const std::size_t s1 = c.add_net();
+    const std::size_t c1 = c.add_net();
+    const std::size_t c2 = c.add_net();
+    sum = c.add_net();
+    carry = c.add_net();
+    c.add_gate(GateType::kXor, {x, y, s1});
+    c.add_gate(GateType::kAnd, {x, y, c1});
+    c.add_gate(GateType::kXor, {s1, z, sum});
+    c.add_gate(GateType::kAnd, {s1, z, c2});
+    c.add_gate(GateType::kOr, {c1, c2, carry});
+  };
+
+  // Sequential ripple accumulation. The final carry out of the top bit is a
+  // free net: the sum register is sized for the total, so it is 0 in every
+  // consistent state.
+  std::vector<std::size_t> acc = operand(0);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const std::vector<std::size_t> b = operand(i);
+    std::vector<std::size_t> next(width);
+    std::size_t carry = zero;
+    for (std::size_t j = 0; j < width; ++j) {
+      std::size_t sum = 0;
+      std::size_t carry_out = 0;
+      full_adder(acc[j], b[j], carry, sum, carry_out);
+      next[j] = sum;
+      carry = carry_out;
+    }
+    acc = std::move(next);
+  }
+  sc.sum_bits = std::move(acc);
+  return sc;
+}
+
+SubsetSumResult solg_subset_sum(const std::vector<std::uint64_t>& values,
+                                std::uint64_t target, core::Rng& rng,
+                                const SolgOptions& opts) {
+  SubsetSumCircuit sc = build_subset_sum(values);
+  if (sc.sum_bits.size() < 64 && (target >> sc.sum_bits.size()) != 0)
+    throw std::invalid_argument("solg_subset_sum: target exceeds total");
+  for (std::size_t j = 0; j < sc.sum_bits.size(); ++j)
+    sc.circuit.pin(sc.sum_bits[j], ((target >> j) & 1ull) != 0);
+
+  SubsetSumResult result;
+  result.dynamics = sc.circuit.solve(rng, opts);
+  if (!result.dynamics.consistent) return result;
+  result.selection.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    result.selection[i] = result.dynamics.values[sc.selectors[i]];
+    if (result.selection[i]) result.achieved += values[i];
+  }
+  result.found = result.achieved == target;
+  return result;
+}
+
+FactorResult solg_factor(std::uint64_t n, std::size_t a_width,
+                         std::size_t b_width, core::Rng& rng,
+                         const SolgOptions& opts) {
+  MultiplierCircuit mc = build_multiplier(a_width, b_width);
+  const std::size_t out_width = mc.product_bits.size();
+  if (out_width < 64 && (n >> out_width) != 0)
+    throw std::invalid_argument("solg_factor: n does not fit the multiplier");
+
+  for (std::size_t b = 0; b < out_width; ++b)
+    mc.circuit.pin(mc.product_bits[b], ((n >> b) & 1ull) != 0);
+  if (n % 2 == 1) {
+    // Odd target: both factors must be odd.
+    mc.circuit.pin(mc.a_bits[0], true);
+    mc.circuit.pin(mc.b_bits[0], true);
+  }
+
+  FactorResult fr;
+  fr.dynamics = mc.circuit.solve(rng, opts);
+  if (!fr.dynamics.consistent) return fr;
+
+  auto read_bits = [&](const std::vector<std::size_t>& bits) {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      if (fr.dynamics.values[bits[i]]) value |= 1ull << i;
+    return value;
+  };
+  fr.a = read_bits(mc.a_bits);
+  fr.b = read_bits(mc.b_bits);
+  fr.found = fr.a * fr.b == n;
+  return fr;
+}
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,177 @@
+// Self-Organizing Logic Gates (SOLGs) and circuits of them — Sec. IV's
+// building block.
+//
+// A SOLG is "terminal agnostic": any terminal may be driven, and the gate's
+// dynamic correction modules push ALL terminals toward a consistent row of
+// the gate's truth table. Assembling SOLGs into the Boolean circuit of a
+// problem, pinning the known terminals (e.g. a multiplier's output to the
+// integer to factor), and letting the continuous dynamics relax yields the
+// unknown terminals (the factors) at the equilibrium — the DMM-as-circuit
+// picture of Eqs. 1-2.
+//
+// The per-gate dynamics implemented here: every satisfying truth-table row r
+// attracts the gate's terminal voltages with a softmin weight in the
+// distance to r, scaled by a per-gate memory x_g that grows while the gate
+// is inconsistent (the "active element feedback") and decays once satisfied.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+#include "memcomputing/cnf.h"
+
+namespace rebooting::memcomputing {
+
+using core::Real;
+
+enum class GateType { kAnd, kOr, kNot, kXor, kNand, kNor, kXnor };
+
+std::string to_string(GateType type);
+
+/// Logic value of the gate output for the given inputs (b-size 1 for NOT).
+bool gate_truth(GateType type, bool a, bool b);
+
+/// Number of terminals (inputs + output).
+std::size_t gate_arity(GateType type);
+
+struct SolgGate {
+  GateType type = GateType::kAnd;
+  /// Net ids, inputs first, output last (NOT: {in, out}).
+  std::vector<std::size_t> terminals;
+};
+
+/// Which continuous dynamics relax the circuit.
+enum class SolgEngine {
+  /// Tseitin-encode the circuit into CNF and run the DMM clause dynamics of
+  /// dmm.h — the scalable realization (a CNF clause IS a self-organizing OR
+  /// gate). Default.
+  kDmm,
+  /// Direct per-gate relaxation: every terminal is attracted to the
+  /// softmin-nearest satisfying truth-table row, amplified by a per-gate
+  /// memory. Transparent and instructive, but prone to freezing on deep
+  /// circuits — kept as the didactic engine and for the ablation comparison.
+  kNativeRelaxation,
+};
+
+struct SolgOptions {
+  SolgEngine engine = SolgEngine::kDmm;
+  Real softmin_tau = 0.5;     ///< sharpness of the row attraction (native)
+  Real memory_rate = 2.0;     ///< gate-memory growth/decay rate (native)
+  Real memory_threshold = 0.25;
+  Real memory_max = 20.0;
+  Real dt_min = 1.0 / 256.0;
+  Real dt_max = 1.0;
+  Real dv_cap = 0.12;
+  Real noise_stddev = 0.02;   ///< small exploration noise (native)
+  std::size_t max_steps = 400'000;
+  std::size_t restarts = 8;   ///< independent trajectories before giving up
+};
+
+struct SolgResult {
+  bool consistent = false;       ///< all gates satisfied at digitization
+  std::vector<bool> values;      ///< digitized net values
+  std::size_t steps = 0;         ///< steps in the successful (or last) run
+  std::size_t restarts_used = 0;
+  Real residual = 0.0;           ///< final mean gate mismatch
+};
+
+/// A circuit of SOLGs over a set of nets.
+class SolgCircuit {
+ public:
+  /// Adds a floating net; returns its id.
+  std::size_t add_net();
+  /// Adds `count` nets; returns the id of the first (ids are consecutive).
+  std::size_t add_nets(std::size_t count);
+
+  /// Pins a net to a logic value (its voltage is held at +/-1).
+  void pin(std::size_t net, bool value);
+  void unpin(std::size_t net);
+  bool is_pinned(std::size_t net) const;
+
+  void add_gate(GateType type, std::vector<std::size_t> terminals);
+
+  std::size_t num_nets() const { return pinned_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::vector<SolgGate>& gates() const { return gates_; }
+
+  /// True when `values` satisfies every gate relation.
+  bool check(const std::vector<bool>& values) const;
+
+  /// Tseitin encoding of the circuit: one CNF variable per net (net i ->
+  /// variable i+1), the standard gate clauses, and a unit clause per pinned
+  /// net. Satisfying assignments == consistent circuit states.
+  Cnf to_cnf() const;
+
+  /// Relaxes the circuit from random initial voltages (restarting up to
+  /// opts.restarts times) until every gate is digitally consistent, using
+  /// the engine selected in the options.
+  SolgResult solve(core::Rng& rng, const SolgOptions& opts = {}) const;
+
+ private:
+  SolgResult solve_native(core::Rng& rng, const SolgOptions& opts) const;
+  SolgResult solve_dmm(core::Rng& rng, const SolgOptions& opts) const;
+
+  std::vector<SolgGate> gates_;
+  std::vector<std::int8_t> pinned_;      // -1 not pinned, else 0/1
+};
+
+/// Ripple-carry unsigned multiplier built from SOLGs (AND partial products +
+/// full adders from XOR/AND/OR). Exposes the operand and product nets so the
+/// circuit runs forward (multiply) or backward (factor) — the terminal-
+/// agnostic showcase.
+struct MultiplierCircuit {
+  SolgCircuit circuit;
+  std::vector<std::size_t> a_bits;        ///< LSB first
+  std::vector<std::size_t> b_bits;
+  std::vector<std::size_t> product_bits;  ///< a_bits + b_bits wide
+};
+
+MultiplierCircuit build_multiplier(std::size_t a_width, std::size_t b_width);
+
+/// Factors `n` by pinning the product of an a_width x b_width SOLG
+/// multiplier and letting the inputs self-organize. Both operands' LSBs are
+/// pinned to 1 (odd factors) when `n` is odd. Returns factors on success.
+struct FactorResult {
+  bool found = false;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  SolgResult dynamics;
+};
+
+FactorResult solg_factor(std::uint64_t n, std::size_t a_width,
+                         std::size_t b_width, core::Rng& rng,
+                         const SolgOptions& opts = {});
+
+/// Subset sum as a self-organizing algebraic circuit (the integer-linear-
+/// programming flavour of ref [48]): selector bits gate each value into an
+/// SOLG adder tree whose sum output is pinned to the target; relaxing the
+/// circuit finds which subset adds up to it.
+struct SubsetSumCircuit {
+  SolgCircuit circuit;
+  std::vector<std::size_t> selectors;  ///< one net per input value
+  std::vector<std::size_t> sum_bits;   ///< LSB first
+};
+
+/// Builds the circuit for the given values (each value's bits are hardwired
+/// into AND gates with its selector). Sum register is wide enough for the
+/// total of all values.
+SubsetSumCircuit build_subset_sum(const std::vector<std::uint64_t>& values);
+
+struct SubsetSumResult {
+  bool found = false;
+  std::vector<bool> selection;  ///< per input value
+  std::uint64_t achieved = 0;
+  SolgResult dynamics;
+};
+
+/// Finds a subset of `values` summing exactly to `target` by pinning the
+/// adder-tree output and relaxing. Returns found=false when no subset exists
+/// (within the solver budget — the DMM cannot certify infeasibility).
+SubsetSumResult solg_subset_sum(const std::vector<std::uint64_t>& values,
+                                std::uint64_t target, core::Rng& rng,
+                                const SolgOptions& opts = {});
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,256 @@
+#include "oscillator/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.h"
+
+namespace rebooting::oscillator {
+
+namespace {
+
+struct Window {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+Window settle_window(std::size_t samples, Real settle_fraction) {
+  const auto first =
+      static_cast<std::size_t>(settle_fraction * static_cast<Real>(samples));
+  if (first >= samples) return {samples, 0};
+  return {first, samples - first};
+}
+
+Real channel_threshold(std::span<const Real> s) {
+  const auto [mn, mx] = std::minmax_element(s.begin(), s.end());
+  return 0.5 * (*mn + *mx);
+}
+
+}  // namespace
+
+std::vector<Real> rising_edge_times(std::span<const Real> samples, Real t0,
+                                    Real dt) {
+  std::vector<Real> edges;
+  if (samples.size() < 2) return edges;
+  const Real thr = channel_threshold(samples);
+  // A flat channel has min == max; treat as non-oscillating.
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  if (*mx - *mn < 1e-12) return edges;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i - 1] < thr && samples[i] >= thr) {
+      const Real frac = (thr - samples[i - 1]) / (samples[i] - samples[i - 1]);
+      edges.push_back(t0 + dt * (static_cast<Real>(i - 1) + frac));
+    }
+  }
+  return edges;
+}
+
+Real estimate_frequency(std::span<const Real> samples, Real t0, Real dt) {
+  const auto edges = rising_edge_times(samples, t0, dt);
+  if (edges.size() < 2) return 0.0;
+  const Real span = edges.back() - edges.front();
+  if (span <= 0.0) return 0.0;
+  return static_cast<Real>(edges.size() - 1) / span;
+}
+
+Real trace_frequency(const Trace& trace, std::size_t osc,
+                     Real settle_fraction) {
+  const auto& ch = trace.node_voltage.at(osc);
+  const auto w = settle_window(ch.size(), settle_fraction);
+  if (w.count < 2) return 0.0;
+  return estimate_frequency(std::span(ch).subspan(w.first, w.count),
+                            trace.time[w.first], trace.dt);
+}
+
+bool is_locked(const Trace& trace, std::size_t a, std::size_t b, Real rel_tol,
+               Real settle_fraction) {
+  const Real fa = trace_frequency(trace, a, settle_fraction);
+  const Real fb = trace_frequency(trace, b, settle_fraction);
+  if (fa <= 0.0 || fb <= 0.0) return false;
+  return std::abs(fa - fb) / (0.5 * (fa + fb)) < rel_tol;
+}
+
+Real phase_difference(const Trace& trace, std::size_t a, std::size_t b,
+                      Real settle_fraction) {
+  const auto& ca = trace.node_voltage.at(a);
+  const auto& cb = trace.node_voltage.at(b);
+  const auto w = settle_window(ca.size(), settle_fraction);
+  if (w.count < 2) return 0.0;
+  const Real t0 = trace.time[w.first];
+  const auto ea =
+      rising_edge_times(std::span(ca).subspan(w.first, w.count), t0, trace.dt);
+  const auto eb =
+      rising_edge_times(std::span(cb).subspan(w.first, w.count), t0, trace.dt);
+  if (ea.size() < 2 || eb.empty()) return 0.0;
+  const Real period =
+      (ea.back() - ea.front()) / static_cast<Real>(ea.size() - 1);
+  if (period <= 0.0) return 0.0;
+
+  // Average the circular lag of each b-edge after its preceding a-edge.
+  Real sum_sin = 0.0;
+  Real sum_cos = 0.0;
+  std::size_t used = 0;
+  for (const Real tb : eb) {
+    const auto it = std::upper_bound(ea.begin(), ea.end(), tb);
+    if (it == ea.begin()) continue;
+    const Real lag = tb - *(it - 1);
+    const Real angle = core::kTwoPi * lag / period;
+    sum_sin += std::sin(angle);
+    sum_cos += std::cos(angle);
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  Real phase = std::atan2(sum_sin, sum_cos);
+  if (phase < 0.0) phase += core::kTwoPi;
+  return phase;
+}
+
+namespace {
+
+Real xor_average_over(std::span<const Real> a, std::span<const Real> b) {
+  const Real tha = channel_threshold(a);
+  const Real thb = channel_threshold(b);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool da = a[i] >= tha;
+    const bool db = b[i] >= thb;
+    if (da != db) ++mismatches;
+  }
+  return static_cast<Real>(mismatches) / static_cast<Real>(a.size());
+}
+
+}  // namespace
+
+Real xor_average(const Trace& trace, std::size_t a, std::size_t b,
+                 Real settle_fraction) {
+  const auto& ca = trace.node_voltage.at(a);
+  const auto& cb = trace.node_voltage.at(b);
+  const auto w = settle_window(ca.size(), settle_fraction);
+  if (w.count == 0) return 0.0;
+  return xor_average_over(std::span(ca).subspan(w.first, w.count),
+                          std::span(cb).subspan(w.first, w.count));
+}
+
+Real xor_distance_measure(const Trace& trace, std::size_t a, std::size_t b,
+                          Real settle_fraction) {
+  return 1.0 - xor_average(trace, a, b, settle_fraction);
+}
+
+Real xor_distance_measure_windowed(const Trace& trace, std::size_t a,
+                                   std::size_t b, std::size_t cycles,
+                                   Real settle_fraction) {
+  const Real f = trace_frequency(trace, a, settle_fraction);
+  if (f <= 0.0 || cycles == 0)
+    return xor_distance_measure(trace, a, b, settle_fraction);
+  const auto& ca = trace.node_voltage.at(a);
+  const auto& cb = trace.node_voltage.at(b);
+  const auto w = settle_window(ca.size(), settle_fraction);
+  const auto want = static_cast<std::size_t>(
+      std::ceil(static_cast<Real>(cycles) / (f * trace.dt)));
+  const std::size_t count = std::min(w.count, std::max<std::size_t>(want, 2));
+  if (count == 0) return 0.0;
+  return 1.0 - xor_average_over(std::span(ca).subspan(w.first, count),
+                                std::span(cb).subspan(w.first, count));
+}
+
+LkFit fit_lk_exponent(std::span<const Real> deltas,
+                      std::span<const Real> measures, Real fit_lo,
+                      Real fit_hi) {
+  if (deltas.size() != measures.size() || deltas.size() < 5)
+    throw std::invalid_argument("fit_lk_exponent: need >= 5 paired points");
+
+  const auto min_it = std::min_element(measures.begin(), measures.end());
+  const auto max_it = std::max_element(measures.begin(), measures.end());
+  const Real floor = *min_it;
+  const Real ceil = *max_it;
+  if (!(ceil > floor))
+    throw std::invalid_argument("fit_lk_exponent: flat measure curve");
+  const auto min_idx =
+      static_cast<std::size_t>(std::distance(measures.begin(), min_it));
+  const Real delta0 = deltas[min_idx];
+
+  std::vector<Real> xs;
+  std::vector<Real> ys;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Real rel = (measures[i] - floor) / (ceil - floor);
+    if (rel >= fit_lo && rel <= fit_hi && std::abs(deltas[i] - delta0) > 0.0) {
+      xs.push_back(std::abs(deltas[i] - delta0));
+      ys.push_back(measures[i] - floor);
+    }
+  }
+  if (xs.size() < 3)
+    throw std::invalid_argument("fit_lk_exponent: too few points in fit band");
+
+  const auto pf = core::fit_power_law(xs, ys);
+  return LkFit{.k = pf.exponent,
+               .amplitude = pf.amplitude,
+               .delta0 = delta0,
+               .r_squared = pf.r_squared,
+               .points_used = pf.points_used};
+}
+
+namespace {
+
+/// First |d - d0| at which the floor-subtracted measure crosses `level`,
+/// scanning outward on one side of index `min_idx`; linear interpolation
+/// between samples. `dir` is +1 (right) or -1 (left). Returns 0 if never
+/// crossed on this side.
+Real crossing_width(std::span<const Real> deltas, std::span<const Real> rel,
+                    std::size_t min_idx, int dir, Real level) {
+  const Real d0 = deltas[min_idx];
+  Real prev_h = rel[min_idx];
+  Real prev_w = 0.0;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(min_idx) + dir;
+       i >= 0 && i < static_cast<std::ptrdiff_t>(deltas.size()); i += dir) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Real h = rel[idx];
+    const Real w = std::abs(deltas[idx] - d0);
+    if (h >= level) {
+      if (h == prev_h) return w;
+      const Real frac = (level - prev_h) / (h - prev_h);
+      return prev_w + frac * (w - prev_w);
+    }
+    prev_h = h;
+    prev_w = w;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Real estimate_lk_by_widths(std::span<const Real> deltas,
+                           std::span<const Real> measures, Real f1, Real f2) {
+  if (deltas.size() != measures.size() || deltas.size() < 5)
+    throw std::invalid_argument("estimate_lk_by_widths: need >= 5 points");
+  if (!(0.0 < f1 && f1 < f2 && f2 < 1.0))
+    throw std::invalid_argument("estimate_lk_by_widths: need 0 < f1 < f2 < 1");
+
+  const auto min_it = std::min_element(measures.begin(), measures.end());
+  const auto max_it = std::max_element(measures.begin(), measures.end());
+  const Real floor = *min_it;
+  const Real height = *max_it - floor;
+  if (height <= 0.0)
+    throw std::invalid_argument("estimate_lk_by_widths: flat curve");
+  const auto min_idx =
+      static_cast<std::size_t>(std::distance(measures.begin(), min_it));
+
+  std::vector<Real> rel(measures.size());
+  for (std::size_t i = 0; i < measures.size(); ++i)
+    rel[i] = (measures[i] - floor) / height;
+
+  auto width_at = [&](Real f) {
+    const Real wr = crossing_width(deltas, rel, min_idx, +1, f);
+    const Real wl = crossing_width(deltas, rel, min_idx, -1, f);
+    if (wr > 0.0 && wl > 0.0) return 0.5 * (wr + wl);
+    return std::max(wr, wl);
+  };
+  const Real w1 = width_at(f1);
+  const Real w2 = width_at(f2);
+  if (w1 <= 0.0 || w2 <= w1)
+    throw std::invalid_argument(
+        "estimate_lk_by_widths: levels not crossed in order");
+  return std::log(f2 / f1) / std::log(w2 / w1);
+}
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,89 @@
+// Waveform analysis for the oscillator engine: frequency estimation,
+// frequency-locking detection (Fig. 3), phase difference, the thresholded
+// time-averaged XOR readout (Fig. 4), and lk-norm exponent extraction
+// (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "oscillator/network.h"
+
+namespace rebooting::oscillator {
+
+using core::Real;
+
+/// Interpolated rising-edge crossing times of `samples` through the midpoint
+/// between its min and max over the analysis window. `t0` and `dt` locate the
+/// samples in time. Returns an empty vector when the channel never crosses
+/// (no oscillation).
+std::vector<Real> rising_edge_times(std::span<const Real> samples, Real t0,
+                                    Real dt);
+
+/// Mean oscillation frequency from rising-edge spacing [Hz]; 0 when fewer
+/// than two edges exist.
+Real estimate_frequency(std::span<const Real> samples, Real t0, Real dt);
+
+/// Frequency of channel `osc` over the post-settle window of a trace.
+Real trace_frequency(const Trace& trace, std::size_t osc,
+                     Real settle_fraction = 0.3);
+
+/// Two channels are frequency-locked when their estimated frequencies agree
+/// to within `rel_tol` (both must actually oscillate).
+bool is_locked(const Trace& trace, std::size_t a, std::size_t b,
+               Real rel_tol = 5e-3, Real settle_fraction = 0.3);
+
+/// Mean phase of channel b relative to channel a, in radians in [0, 2*pi),
+/// computed from rising-edge lags modulo the period. Anti-phase locking (the
+/// natural state of a matched capacitively-coupled pair) reads ~pi.
+Real phase_difference(const Trace& trace, std::size_t a, std::size_t b,
+                      Real settle_fraction = 0.3);
+
+/// The Fig. 4 readout: binarize both waveforms at their window midpoints,
+/// XOR, time-average. Returns Avg(XOR) in [0, 1].
+Real xor_average(const Trace& trace, std::size_t a, std::size_t b,
+                 Real settle_fraction = 0.3);
+
+/// The paper's distance measure [1 - Avg(XOR)]: ~0 for matched (anti-phase
+/// locked) inputs, growing with |delta Vgs| following an lk-norm profile.
+Real xor_distance_measure(const Trace& trace, std::size_t a, std::size_t b,
+                          Real settle_fraction = 0.3);
+
+/// Readout with a finite averaging window of `cycles` oscillation periods
+/// (the accuracy-tunable knob of ref [44]): fewer cycles = faster but
+/// noisier measure.
+Real xor_distance_measure_windowed(const Trace& trace, std::size_t a,
+                                   std::size_t b, std::size_t cycles,
+                                   Real settle_fraction = 0.3);
+
+/// Fits measure(delta) ~ amplitude * |delta - delta0|^k around the curve
+/// minimum, using the points whose measure lies between `fit_lo` and
+/// `fit_hi` times the curve's maximum (this excludes the flat bottom and the
+/// irregular lock-range edge, as in Fig. 5). Throws std::invalid_argument if
+/// fewer than 3 points qualify.
+struct LkFit {
+  Real k = 0.0;          ///< fitted norm exponent
+  Real amplitude = 0.0;
+  Real delta0 = 0.0;     ///< location of the measure minimum
+  Real r_squared = 0.0;
+  std::size_t points_used = 0;
+};
+
+LkFit fit_lk_exponent(std::span<const Real> deltas,
+                      std::span<const Real> measures, Real fit_lo = 0.05,
+                      Real fit_hi = 0.7);
+
+/// Robust exponent estimate from level-crossing widths: for a power-law rise
+/// m = floor + a*|d|^k, the half-widths w(f) at which the curve reaches a
+/// fraction f of its height satisfy k = ln(f2/f1) / ln(w(f2)/w(f1)). Using
+/// interpolated crossings at f1/f2 of the (floor-subtracted) height makes the
+/// estimate insensitive to floor noise, which dominates the regression-based
+/// fit on simulated curves. Half-widths are averaged over both sides of the
+/// minimum. Throws std::invalid_argument if either level is never crossed.
+Real estimate_lk_by_widths(std::span<const Real> deltas,
+                           std::span<const Real> measures, Real f1 = 0.2,
+                           Real f2 = 0.6);
+
+}  // namespace rebooting::oscillator

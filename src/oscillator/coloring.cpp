@@ -1,0 +1,150 @@
+#include "oscillator/coloring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "oscillator/analysis.h"
+
+namespace rebooting::oscillator {
+
+Graph Graph::cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("Graph::cycle: need n >= 3");
+  Graph g{n, {}};
+  for (std::size_t i = 0; i < n; ++i) g.edges.emplace_back(i, (i + 1) % n);
+  return g;
+}
+
+Graph Graph::complete(std::size_t n) {
+  Graph g{n, {}};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) g.edges.emplace_back(i, j);
+  return g;
+}
+
+Graph Graph::random(core::Rng& rng, std::size_t n, core::Real p) {
+  Graph g{n, {}};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) g.edges.emplace_back(i, j);
+  return g;
+}
+
+std::size_t Graph::conflicts(const std::vector<std::size_t>& coloring) const {
+  if (coloring.size() != num_vertices)
+    throw std::invalid_argument("conflicts: coloring size mismatch");
+  std::size_t bad = 0;
+  for (const auto& [a, b] : edges)
+    if (coloring[a] == coloring[b]) ++bad;
+  return bad;
+}
+
+namespace {
+
+/// Circular distance between two phases [rad].
+Real circ_dist(Real a, Real b) {
+  Real d = std::abs(a - b);
+  return std::min(d, core::kTwoPi - d);
+}
+
+/// Clusters phases into k circular groups: farthest-first center seeding,
+/// then nearest-center assignment.
+std::vector<std::size_t> cluster_phases(const std::vector<Real>& phases,
+                                        std::size_t k) {
+  std::vector<Real> centers{phases.front()};
+  while (centers.size() < k) {
+    std::size_t farthest = 0;
+    Real best = -1.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      Real nearest = 1e300;
+      for (const Real c : centers) nearest = std::min(nearest, circ_dist(phases[i], c));
+      if (nearest > best) {
+        best = nearest;
+        farthest = i;
+      }
+    }
+    centers.push_back(phases[farthest]);
+  }
+  std::vector<std::size_t> assignment(phases.size(), 0);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    Real nearest = 1e300;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const Real d = circ_dist(phases[i], centers[c]);
+      if (d < nearest) {
+        nearest = d;
+        assignment[i] = c;
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+ColoringResult color_graph(const Graph& graph, const ColoringOptions& opts) {
+  if (graph.num_vertices < 2)
+    throw std::invalid_argument("color_graph: need >= 2 vertices");
+  if (opts.colors < 2)
+    throw std::invalid_argument("color_graph: need >= 2 colors");
+
+  ColoringResult best;
+  best.conflicts = graph.edges.size() + 1;
+
+  for (std::size_t attempt = 0;
+       attempt < std::max<std::size_t>(1, opts.restarts); ++attempt) {
+    CoupledOscillatorNetwork net(OscillatorParams{}, graph.num_vertices);
+    for (const auto& [a, b] : graph.edges)
+      net.add_coupling(
+          {.a = a, .b = b, .r = opts.coupling_r, .c = opts.coupling_c});
+
+    SimulationOptions sim = opts.sim;
+    // Vary initial conditions across restarts.
+    sim.initial_offset = 0.8 + 0.4 * static_cast<Real>(attempt % 3);
+    const Trace trace = net.simulate(sim);
+
+    std::vector<Real> phases(graph.num_vertices, 0.0);
+    for (std::size_t v = 1; v < graph.num_vertices; ++v)
+      phases[v] = phase_difference(trace, 0, v, sim.settle_fraction);
+
+    const auto coloring = cluster_phases(phases, opts.colors);
+    const std::size_t bad = graph.conflicts(coloring);
+    if (bad < best.conflicts) {
+      best.coloring = coloring;
+      best.conflicts = bad;
+      best.phases = phases;
+      best.restarts_used = attempt;
+      if (bad == 0) break;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> greedy_coloring(const Graph& graph) {
+  std::vector<std::size_t> degree(graph.num_vertices, 0);
+  std::vector<std::vector<std::size_t>> adj(graph.num_vertices);
+  for (const auto& [a, b] : graph.edges) {
+    ++degree[a];
+    ++degree[b];
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<std::size_t> order(graph.num_vertices);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return degree[x] > degree[y];
+                   });
+  constexpr std::size_t kUncolored = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> coloring(graph.num_vertices, kUncolored);
+  for (const std::size_t v : order) {
+    std::vector<bool> used(graph.num_vertices + 1, false);
+    for (const std::size_t u : adj[v])
+      if (coloring[u] != kUncolored) used[coloring[u]] = true;
+    std::size_t c = 0;
+    while (used[c]) ++c;
+    coloring[v] = c;
+  }
+  return coloring;
+}
+
+}  // namespace rebooting::oscillator

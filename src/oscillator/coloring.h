@@ -1,0 +1,59 @@
+// Graph vertex coloring via the phase dynamics of coupled oscillators
+// (ref [42], Parihar et al., cited by Sec. III as a computer-vision-adjacent
+// application of the same arrays).
+//
+// One oscillator per vertex; every graph edge becomes an anti-phase-favouring
+// coupling branch. After the network settles, oscillators that must differ
+// (neighbours) sit apart in phase, and clustering the settled phases into k
+// circular groups reads out a k-coloring. The method is a heuristic — like
+// the hardware it models, it minimizes conflicts rather than certifying
+// optimality — so results report the conflict count alongside the coloring.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "oscillator/network.h"
+
+namespace rebooting::oscillator {
+
+/// Undirected simple graph on vertices [0, n).
+struct Graph {
+  std::size_t num_vertices = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  static Graph cycle(std::size_t n);
+  static Graph complete(std::size_t n);
+  /// Erdos–Renyi G(n, p).
+  static Graph random(core::Rng& rng, std::size_t n, core::Real p);
+
+  /// Number of edges whose endpoints share a color.
+  std::size_t conflicts(const std::vector<std::size_t>& coloring) const;
+};
+
+struct ColoringOptions {
+  std::size_t colors = 3;
+  Real coupling_r = 15e3;
+  Real coupling_c = 1e-12;
+  SimulationOptions sim{};
+  /// Independent runs with different initial conditions; best kept.
+  std::size_t restarts = 3;
+};
+
+struct ColoringResult {
+  std::vector<std::size_t> coloring;  ///< color per vertex
+  std::size_t conflicts = 0;
+  std::vector<Real> phases;           ///< settled phase per vertex [rad]
+  std::size_t restarts_used = 0;
+};
+
+/// Runs the oscillator network for the graph and clusters the settled phases
+/// into `colors` circular groups (greedy farthest-first circular clustering).
+ColoringResult color_graph(const Graph& graph, const ColoringOptions& opts = {});
+
+/// Classical baseline: greedy coloring in descending-degree order. Returns
+/// the coloring (may use more than k colors; the bench reports how many).
+std::vector<std::size_t> greedy_coloring(const Graph& graph);
+
+}  // namespace rebooting::oscillator

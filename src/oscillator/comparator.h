@@ -1,0 +1,121 @@
+// The analog comparison primitive of Sec. III-B: a pair of RC-coupled VO2
+// oscillators whose gate voltages encode the two values under comparison and
+// whose thresholded time-averaged XOR readout yields a monotone distance
+// measure approximating |a - b|^k (Fig. 5).
+//
+// Running the full pair ODE for every pixel comparison would make the vision
+// benchmarks needlessly slow, so the comparator is calibrated once: the
+// measure-vs-delta curve is sampled by simulation and interpolated
+// afterwards. The exact simulated path is kept for verification
+// (distance_simulated) and the calibration also yields the power/energy
+// figures used in the Sec. III-B power comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/types.h"
+#include "oscillator/analysis.h"
+#include "oscillator/network.h"
+
+namespace rebooting::oscillator {
+
+using core::Real;
+
+struct ComparatorConfig {
+  OscillatorParams params{};
+  Real coupling_r = 15.0e3;   ///< Rc [ohm]; smaller = stronger coupling
+  Real coupling_c = 1.0e-12;  ///< Cc [F]
+  CouplingTopology topology = CouplingTopology::kSeriesRC;
+  /// Inputs in [0, 1] map linearly onto [vgs_center - vgs_half_span,
+  /// vgs_center + vgs_half_span]. The default center sits in the linear
+  /// part of the f(Vgs) tuning curve, where the measure is a clean monotone
+  /// distance (k ~ 1); centers near the tuning-curve extremum give the
+  /// strongly nonlinear norms of Fig. 5.
+  Real vgs_center = 1.0;
+  Real vgs_half_span = 0.15;
+  /// Calibration grid: number of delta-Vgs samples on each side of zero.
+  std::size_t calibration_points = 17;
+  SimulationOptions sim{};
+  /// Cycles averaged by the XOR readout (the ref [44] accuracy/latency knob).
+  std::size_t readout_cycles = 32;
+};
+
+/// Calibration product: the measured distance curve and the electrical
+/// figures extracted alongside it.
+struct ComparatorCalibration {
+  std::vector<Real> delta_vgs;  ///< sorted sample grid
+  std::vector<Real> measure;    ///< [1 - Avg(XOR)] at each delta
+  Real pair_power_watts = 0.0;  ///< mean supply power of the two oscillators
+  Real oscillation_hz = 0.0;    ///< locked frequency at delta = 0
+  LkFit norm_fit{};             ///< lk exponent fitted to the curve
+};
+
+class OscillatorComparator {
+ public:
+  /// Runs the calibration sweep (2*calibration_points+1 pair simulations).
+  explicit OscillatorComparator(ComparatorConfig config);
+
+  const ComparatorConfig& config() const { return config_; }
+  const ComparatorCalibration& calibration() const { return calibration_; }
+
+  /// Distance measure for inputs a, b in [0, 1], via the calibrated curve
+  /// (linear interpolation, monotonized away from the minimum). Output is in
+  /// [0, 1]: ~0 for equal inputs.
+  Real distance(Real a, Real b) const;
+
+  /// Same comparison done by a full pair simulation (slow; used by tests to
+  /// bound the interpolation error).
+  Real distance_simulated(Real a, Real b) const;
+
+  /// Measure value that corresponds to an input difference of `delta_input`
+  /// (in input units), i.e. the decision threshold the vision pipeline should
+  /// use to emulate "differs by more than delta_input".
+  Real threshold_for_input_delta(Real delta_input) const;
+
+  /// Average electrical power of one comparison unit: the oscillator pair
+  /// plus the XOR readout logic clocked at the oscillation frequency [W].
+  Real unit_power_watts() const;
+
+  /// Time one comparison takes: readout_cycles / oscillation frequency [s].
+  Real comparison_seconds() const;
+
+  /// Energy per comparison [J].
+  Real energy_per_comparison() const { return unit_power_watts() * comparison_seconds(); }
+
+ private:
+  Real input_to_vgs(Real x) const;
+  Real interpolate_measure(Real delta_vgs) const;
+
+  ComparatorConfig config_;
+  ComparatorCalibration calibration_;
+  std::vector<Real> monotone_measure_;  ///< measure made non-decreasing in |delta|
+  Real readout_power_watts_ = 0.0;
+};
+
+/// The Sec. III accelerator as seen by the Fig. 1 host system.
+class OscillatorAccelerator final : public core::Accelerator {
+ public:
+  explicit OscillatorAccelerator(ComparatorConfig config)
+      : comparator_(std::move(config)) {}
+
+  std::string name() const override { return "VO2 coupled-oscillator array"; }
+  core::AcceleratorKind kind() const override {
+    return core::AcceleratorKind::kOscillator;
+  }
+  std::vector<std::string> stack_layers() const override {
+    return {"Vision application (FAST corner detection)",
+            "Distance-norm comparison mapping",
+            "Gate-voltage (Vgs) input encoding",
+            "Coupled VO2 relaxation-oscillator pairs",
+            "Threshold-XOR time-averaged readout"};
+  }
+
+  const OscillatorComparator& comparator() const { return comparator_; }
+
+ private:
+  OscillatorComparator comparator_;
+};
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,102 @@
+#include "oscillator/matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rebooting::oscillator {
+
+std::size_t TemplateMatcher::add_template(Feature feature) {
+  if (feature.empty())
+    throw std::invalid_argument("add_template: empty feature");
+  if (!templates_.empty() && feature.size() != templates_.front().size())
+    throw std::invalid_argument("add_template: dimension mismatch");
+  templates_.push_back(std::move(feature));
+  return templates_.size() - 1;
+}
+
+Real TemplateMatcher::aggregate_distance(const Feature& a, const Feature& b,
+                                         MatcherStats* stats) const {
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    sum += comparator_.distance(a[i], b[i]);
+  if (stats) {
+    stats->comparisons += a.size();
+    stats->energy_joules +=
+        static_cast<Real>(a.size()) * comparator_.energy_per_comparison();
+    // All components of one template comparison run on parallel pairs.
+    stats->latency_seconds += comparator_.comparison_seconds();
+  }
+  return sum / static_cast<Real>(a.size());
+}
+
+std::vector<MatchRank> TemplateMatcher::rank(const Feature& query,
+                                             MatcherStats* stats) const {
+  if (templates_.empty()) throw std::invalid_argument("rank: no templates");
+  if (query.size() != dimension())
+    throw std::invalid_argument("rank: query dimension mismatch");
+  std::vector<MatchRank> ranks;
+  ranks.reserve(templates_.size());
+  for (std::size_t t = 0; t < templates_.size(); ++t)
+    ranks.push_back({t, aggregate_distance(query, templates_[t], stats)});
+  std::stable_sort(ranks.begin(), ranks.end(),
+                   [](const MatchRank& x, const MatchRank& y) {
+                     return x.aggregate_distance < y.aggregate_distance;
+                   });
+  return ranks;
+}
+
+std::size_t TemplateMatcher::best_match(const Feature& query,
+                                        MatcherStats* stats) const {
+  return rank(query, stats).front().template_index;
+}
+
+std::vector<std::size_t> TemplateMatcher::cluster(std::size_t k,
+                                                  MatcherStats* stats) const {
+  if (k == 0 || k > templates_.size())
+    throw std::invalid_argument("cluster: need 0 < k <= template count");
+  // Farthest-first medoid seeding.
+  std::vector<std::size_t> medoids{0};
+  while (medoids.size() < k) {
+    std::size_t farthest = 0;
+    Real best = -1.0;
+    for (std::size_t t = 0; t < templates_.size(); ++t) {
+      Real nearest = std::numeric_limits<Real>::max();
+      for (const std::size_t m : medoids)
+        nearest = std::min(
+            nearest, aggregate_distance(templates_[t], templates_[m], stats));
+      if (nearest > best) {
+        best = nearest;
+        farthest = t;
+      }
+    }
+    medoids.push_back(farthest);
+  }
+  // Assign every template to the closest medoid.
+  std::vector<std::size_t> assignment(templates_.size(), 0);
+  for (std::size_t t = 0; t < templates_.size(); ++t) {
+    Real nearest = std::numeric_limits<Real>::max();
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      const Real d =
+          aggregate_distance(templates_[t], templates_[medoids[c]], stats);
+      if (d < nearest) {
+        nearest = d;
+        assignment[t] = c;
+      }
+    }
+  }
+  return assignment;
+}
+
+Feature text_to_feature(const std::string& text, std::size_t width) {
+  if (width == 0) throw std::invalid_argument("text_to_feature: zero width");
+  Feature f(width, 0.0);
+  for (std::size_t i = 0; i < width && i < text.size(); ++i) {
+    const auto code = static_cast<unsigned char>(text[i]);
+    // Printable ASCII mapped into [0, 1]; other bytes clamp to the ends.
+    f[i] = std::clamp((static_cast<Real>(code) - 32.0) / 95.0, 0.0, 1.0);
+  }
+  return f;
+}
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,82 @@
+// Associative template matching on the oscillator distance norm — the
+// "degree of matching ... for pattern recognition, clustering, and text
+// recognition" co-processor of ref [44] that Sec. III cites as the
+// motivating application class.
+//
+// A query vector is compared against every stored template, one analog
+// distance evaluation per component (all components of one comparison run on
+// parallel oscillator pairs in hardware). The aggregate measure approximates
+// an lk norm of the component-wise differences, so ranking by it is
+// nearest-neighbour matching.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "oscillator/comparator.h"
+
+namespace rebooting::oscillator {
+
+/// Feature vectors with components in [0, 1] (the comparator input range).
+using Feature = std::vector<Real>;
+
+struct MatchRank {
+  std::size_t template_index = 0;
+  Real aggregate_distance = 0.0;  ///< mean component measure, in [0, 1]
+};
+
+struct MatcherStats {
+  std::size_t comparisons = 0;          ///< analog distance evaluations
+  Real energy_joules = 0.0;             ///< comparisons x unit energy
+  Real latency_seconds = 0.0;           ///< with per-template parallelism
+};
+
+class TemplateMatcher {
+ public:
+  /// Borrows the calibrated comparator (shared with the vision pipeline).
+  explicit TemplateMatcher(const OscillatorComparator& comparator)
+      : comparator_(comparator) {}
+
+  /// Stores a template; returns its index. All templates must share the
+  /// dimension of the first one.
+  std::size_t add_template(Feature feature);
+  std::size_t size() const { return templates_.size(); }
+  std::size_t dimension() const {
+    return templates_.empty() ? 0 : templates_.front().size();
+  }
+
+  /// Distances of the query to every template, sorted ascending (best match
+  /// first). Throws std::invalid_argument on dimension mismatch or an empty
+  /// store. `stats`, if given, accumulates the energy/latency account: the
+  /// hardware evaluates one template's components in parallel, so latency is
+  /// one comparison window per template.
+  std::vector<MatchRank> rank(const Feature& query,
+                              MatcherStats* stats = nullptr) const;
+
+  /// Index of the nearest template.
+  std::size_t best_match(const Feature& query,
+                         MatcherStats* stats = nullptr) const;
+
+  /// One-shot k-medoid-style clustering of the stored templates using the
+  /// analog distance: assigns each template to the nearest of `k` medoids
+  /// chosen greedily (farthest-first traversal). Returns the cluster index
+  /// per template. Demonstrates the ref [44] "clustering" use.
+  std::vector<std::size_t> cluster(std::size_t k,
+                                   MatcherStats* stats = nullptr) const;
+
+ private:
+  Real aggregate_distance(const Feature& a, const Feature& b,
+                          MatcherStats* stats) const;
+
+  const OscillatorComparator& comparator_;
+  std::vector<Feature> templates_;
+};
+
+/// Encodes ASCII text into features for the "text recognition" use of
+/// ref [44]: each character maps to its normalized code point, so similar
+/// strings are close in the component-wise norm. Fixed width: truncates or
+/// pads with zeros.
+Feature text_to_feature(const std::string& text, std::size_t width);
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,186 @@
+#include "oscillator/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/linalg.h"
+#include "core/ode.h"
+
+namespace rebooting::oscillator {
+
+bool OscillatorParams::sustains_oscillation(Real vgs) const {
+  const Real rs = transistor.resistance(vgs);
+  // Steady-state voltage across the VO2 in each phase if no switching
+  // occurred; oscillation requires the insulating divider to trip the IMT
+  // and the metallic divider to drop below the MIT (load line crossing the
+  // unstable region, Sec. III-A).
+  const Real v_dev_ins = vdd * vo2.r_insulating / (vo2.r_insulating + rs);
+  const Real v_dev_met = vdd * vo2.r_metallic / (vo2.r_metallic + rs);
+  return v_dev_ins > vo2.v_imt && v_dev_met < vo2.v_mit;
+}
+
+CoupledOscillatorNetwork::CoupledOscillatorNetwork(OscillatorParams params,
+                                                   std::size_t n)
+    : params_(params), vgs_(n, params.transistor.vth + 0.5) {
+  if (n == 0)
+    throw std::invalid_argument("CoupledOscillatorNetwork: need >= 1 oscillator");
+  params_.validate();
+}
+
+void CoupledOscillatorNetwork::set_gate_voltage(std::size_t osc, Real vgs) {
+  vgs_.at(osc) = vgs;
+}
+
+void CoupledOscillatorNetwork::add_coupling(CouplingBranch branch) {
+  if (branch.a >= size() || branch.b >= size() || branch.a == branch.b)
+    throw std::invalid_argument("add_coupling: bad oscillator indices");
+  if (branch.r <= 0.0 || branch.c < 0.0)
+    throw std::invalid_argument("add_coupling: need R > 0 and C >= 0");
+  if (branch.topology == CouplingTopology::kSeriesRC && branch.c <= 0.0)
+    throw std::invalid_argument("add_coupling: series RC needs C > 0");
+  branches_.push_back(branch);
+}
+
+Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
+  if (opts.dt <= 0.0 || opts.duration <= 0.0)
+    throw std::invalid_argument("simulate: dt and duration must be > 0");
+
+  const std::size_t n = size();
+
+  // Series-RC branches carry one extra state each (their capacitor voltage),
+  // appended after the node voltages.
+  std::vector<std::size_t> series_state;  // state index per branch, or npos
+  std::size_t n_series = 0;
+  for (const auto& br : branches_) {
+    if (br.topology == CouplingTopology::kSeriesRC)
+      series_state.push_back(n + n_series++);
+    else
+      series_state.push_back(static_cast<std::size_t>(-1));
+  }
+
+  // Parallel-RC bridging capacitors couple the dV/dt terms, so we assemble
+  // the node capacitance matrix
+  //   M_ii = c_node + sum of incident bridging Cc,  M_ij = -Cc(i,j)
+  // and solve M * dV/dt = I(V) each evaluation with a one-time LU.
+  core::Matrix cap(n, n);
+  for (std::size_t i = 0; i < n; ++i) cap(i, i) = params_.c_node;
+  for (const auto& br : branches_) {
+    if (br.topology != CouplingTopology::kParallelRC) continue;
+    cap(br.a, br.a) += br.c;
+    cap(br.b, br.b) += br.c;
+    cap(br.a, br.b) -= br.c;
+    cap(br.b, br.a) -= br.c;
+  }
+  const core::LuFactorization cap_lu(cap);
+
+  std::vector<Real> y(n + n_series, 0.0);
+  // Start adjacent oscillators half a swing apart (plus a deterministic
+  // stagger): the in-phase synchronous orbit of a matched pair is only
+  // weakly unstable, and physical arrays settle into the anti-phase locked
+  // state (refs [40],[43]); these initial conditions land in that basin
+  // without waiting out a long symmetric transient.
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = opts.initial_offset * static_cast<Real>(i % 2) +
+           1.0e-3 * static_cast<Real>(i + 1);
+
+  std::vector<Vo2Phase> phases(n, Vo2Phase::kInsulating);
+
+  // Per-oscillator transistor conductances are constant during a run.
+  std::vector<Real> g_tr(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g_tr[i] = params_.transistor.conductance(vgs_[i]);
+
+  const Real vdd = params_.vdd;
+
+  const core::OdeRhs rhs = [&](Real /*t*/, std::span<const Real> s,
+                               std::span<Real> ds) {
+    // Currents into each node: VO2 charging minus MOSFET discharge...
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real g_dev = 1.0 / params_.vo2.resistance(phases[i]);
+      ds[i] = (vdd - s[i]) * g_dev - s[i] * g_tr[i];
+    }
+    // ...plus the coupling branch currents.
+    for (std::size_t b = 0; b < branches_.size(); ++b) {
+      const auto& br = branches_[b];
+      if (br.topology == CouplingTopology::kSeriesRC) {
+        const std::size_t vc = series_state[b];
+        const Real i_branch = (s[br.a] - s[br.b] - s[vc]) / br.r;
+        ds[br.a] -= i_branch;
+        ds[br.b] += i_branch;
+        ds[vc] = i_branch / br.c;
+      } else {
+        const Real i_r = (s[br.a] - s[br.b]) / br.r;
+        ds[br.a] -= i_r;
+        ds[br.b] += i_r;
+      }
+    }
+    // Capacitance-matrix solve turns node currents into voltage rates; the
+    // series-branch capacitor rates are already final.
+    cap_lu.solve_in_place(ds.subspan(0, n));
+  };
+
+  const auto total_steps =
+      static_cast<std::size_t>(std::ceil(opts.duration / opts.dt));
+  const std::size_t stride = std::max<std::size_t>(1, opts.sample_stride);
+
+  Trace trace;
+  trace.dt = opts.dt * static_cast<Real>(stride);
+  trace.node_voltage.assign(n, {});
+  const std::size_t expected = total_steps / stride + 2;
+  trace.time.reserve(expected);
+  trace.supply_current.reserve(expected);
+  for (auto& ch : trace.node_voltage) ch.reserve(expected);
+
+  auto record = [&](Real t) {
+    trace.time.push_back(t);
+    Real idd = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      trace.node_voltage[i].push_back(y[i]);
+      idd += (vdd - y[i]) / params_.vo2.resistance(phases[i]);
+    }
+    trace.supply_current.push_back(idd);
+  };
+
+  std::vector<Real> scratch(5 * y.size());
+  Real t = 0.0;
+  record(t);
+  for (std::size_t step = 1; step <= total_steps; ++step) {
+    core::heun_step(rhs, t, opts.dt, y, scratch);
+    t += opts.dt;
+    // Hysteresis events: flip any device whose terminal voltage crossed its
+    // threshold during this step. dt is ~2000x smaller than the oscillation
+    // period, so boundary-flipping is well inside the integration error.
+    for (std::size_t i = 0; i < n; ++i)
+      phases[i] = params_.vo2.next_phase(phases[i], vdd - y[i]);
+    if (step % stride == 0) record(t);
+  }
+  return trace;
+}
+
+Real CoupledOscillatorNetwork::average_power(const Trace& trace,
+                                             Real settle_fraction) const {
+  if (trace.samples() == 0) return 0.0;
+  const auto first = static_cast<std::size_t>(
+      settle_fraction * static_cast<Real>(trace.samples()));
+  if (first >= trace.samples()) return 0.0;
+  Real sum = 0.0;
+  for (std::size_t k = first; k < trace.samples(); ++k)
+    sum += trace.supply_current[k];
+  const Real mean_idd = sum / static_cast<Real>(trace.samples() - first);
+  return params_.vdd * mean_idd;
+}
+
+RelaxationOscillator::RelaxationOscillator(OscillatorParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+Trace RelaxationOscillator::simulate(Real vgs,
+                                     const SimulationOptions& opts) const {
+  CoupledOscillatorNetwork net(params_, 1);
+  net.set_gate_voltage(0, vgs);
+  return net.simulate(opts);
+}
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,117 @@
+// Coupled relaxation-oscillator network simulator (Sec. III-A).
+//
+// N identical 1T1R VO2 oscillators, each with its own gate voltage Vgs
+// (the information input), pairwise coupled at their output nodes through
+// series RC branches. The continuous dynamics are the node-capacitor charge
+// equations; the VO2 phase of each oscillator is a discrete hysteresis state
+// handled as a switching event applied at step boundaries (the integration
+// step is ~2000x shorter than the oscillation period, so boundary switching
+// stays well inside the integration error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "oscillator/vo2.h"
+
+namespace rebooting::oscillator {
+
+using core::Real;
+
+/// How the "simple resistive and capacitive elements" of Fig. 3 are wired
+/// between two output nodes.
+enum class CouplingTopology {
+  /// R in series with C: one branch current (va - vb - vcap)/R, one extra
+  /// state (the branch capacitor voltage). Decreasing Rc strengthens the
+  /// anti-phase capacitive coupling — the Fig. 5 coupling-strength knob.
+  kSeriesRC,
+  /// R and C in parallel, both bridging the nodes directly. The capacitive
+  /// path favours anti-phase locking, the resistive path in-phase; kept for
+  /// the coupling-topology ablation. Bridging capacitors make the node
+  /// capacitance matrix non-diagonal (handled by one LU per run).
+  kParallelRC,
+};
+
+struct CouplingBranch {
+  std::size_t a = 0;
+  std::size_t b = 1;
+  Real r = 20.0e3;   ///< coupling resistance Rc [ohm]
+  Real c = 1.0e-12;  ///< coupling capacitance Cc [F]
+  CouplingTopology topology = CouplingTopology::kSeriesRC;
+};
+
+/// Sampled output of a network simulation: per-oscillator node-voltage traces
+/// plus the instantaneous supply current (for power accounting).
+struct Trace {
+  Real dt = 0.0;                               ///< sample spacing [s]
+  std::vector<Real> time;                      ///< sample instants [s]
+  std::vector<std::vector<Real>> node_voltage; ///< [oscillator][sample]
+  std::vector<Real> supply_current;            ///< total Idd at each sample [A]
+
+  std::size_t oscillators() const { return node_voltage.size(); }
+  std::size_t samples() const { return time.size(); }
+};
+
+struct SimulationOptions {
+  Real duration = 60.0e-6;   ///< simulated time [s]
+  Real dt = 0.5e-9;          ///< integration step [s]
+  std::size_t sample_stride = 4;  ///< record every k-th step
+  /// Discard this leading fraction of the trace before analysis windows are
+  /// taken (start-up transient).
+  Real settle_fraction = 0.3;
+  /// Initial node voltage given to odd-indexed oscillators [V]. Varying this
+  /// across repeated runs decorrelates the residual phase wobble, so
+  /// averaged readout curves are smooth; offsets >= 0.8 V reliably land a
+  /// matched pair in the anti-phase basin across the coupling range.
+  Real initial_offset = 1.2;
+};
+
+/// The coupled-oscillator array. All oscillators share one device parameter
+/// set (matched devices, as in the experiments of ref [40]); per-oscillator
+/// mismatch enters through the individual gate voltages.
+class CoupledOscillatorNetwork {
+ public:
+  CoupledOscillatorNetwork(OscillatorParams params, std::size_t n);
+
+  void set_gate_voltage(std::size_t osc, Real vgs);
+  Real gate_voltage(std::size_t osc) const { return vgs_.at(osc); }
+
+  void add_coupling(CouplingBranch branch);
+  const std::vector<CouplingBranch>& couplings() const { return branches_; }
+
+  std::size_t size() const { return vgs_.size(); }
+  const OscillatorParams& params() const { return params_; }
+
+  /// Integrates the network from a cold start (all nodes at 0 V, all devices
+  /// insulating, staggered tiny initial offsets so ties break
+  /// deterministically) and returns the sampled trace.
+  Trace simulate(const SimulationOptions& opts) const;
+
+  /// Average power drawn from the supply over the post-settle window of a
+  /// trace [W]: vdd * mean(Idd).
+  Real average_power(const Trace& trace, Real settle_fraction) const;
+
+ private:
+  OscillatorParams params_;
+  std::vector<Real> vgs_;
+  std::vector<CouplingBranch> branches_;
+};
+
+/// Convenience single-oscillator wrapper used for frequency-vs-Vgs
+/// characterisation (the tuning curve that makes Vgs an input encoding).
+class RelaxationOscillator {
+ public:
+  explicit RelaxationOscillator(OscillatorParams params);
+
+  /// Simulates the free-running oscillator at the given gate voltage and
+  /// returns its trace.
+  Trace simulate(Real vgs, const SimulationOptions& opts) const;
+
+  const OscillatorParams& params() const { return params_; }
+
+ private:
+  OscillatorParams params_;
+};
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,101 @@
+// Device models for the Sec. III substrate: the hysteretic VO2
+// insulator-metal-transition (IMT) resistor and the series MOSFET that tunes
+// the oscillation frequency.
+//
+// A VO2 film switches abruptly from an insulating phase (high resistance) to
+// a metallic phase (low resistance) when the voltage across it exceeds an
+// IMT threshold, and back when it falls below the (lower) MIT threshold —
+// the hysteresis window that enables relaxation oscillation in the 1T1R
+// configuration of Fig. 3. Parameter ranges follow the cited
+// Shukla/Parihar/Datta hybrid VO2-MOSFET oscillator papers.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/types.h"
+
+namespace rebooting::oscillator {
+
+using core::Real;
+
+/// Phase of the VO2 film.
+enum class Vo2Phase { kInsulating, kMetallic };
+
+/// Hysteretic two-state VO2 resistor.
+struct Vo2Device {
+  Real r_insulating = 680.0e3;  ///< resistance in the insulating phase [ohm]
+  Real r_metallic = 25.0e3;     ///< resistance in the metallic phase [ohm]
+  Real v_imt = 1.4;             ///< insulator->metal trigger voltage [V]
+  Real v_mit = 0.6;             ///< metal->insulator release voltage [V]
+
+  /// Validates the hysteresis window (v_mit < v_imt, resistances ordered).
+  void validate() const {
+    if (!(r_insulating > r_metallic) || r_metallic <= 0.0)
+      throw std::invalid_argument("Vo2Device: need r_insulating > r_metallic > 0");
+    if (!(v_imt > v_mit) || v_mit <= 0.0)
+      throw std::invalid_argument("Vo2Device: need v_imt > v_mit > 0");
+  }
+
+  Real resistance(Vo2Phase phase) const {
+    return phase == Vo2Phase::kInsulating ? r_insulating : r_metallic;
+  }
+
+  /// Applies the hysteretic switching rule for the voltage currently across
+  /// the device; returns the (possibly updated) phase.
+  Vo2Phase next_phase(Vo2Phase phase, Real v_across) const {
+    if (phase == Vo2Phase::kInsulating && v_across >= v_imt)
+      return Vo2Phase::kMetallic;
+    if (phase == Vo2Phase::kMetallic && v_across <= v_mit)
+      return Vo2Phase::kInsulating;
+    return phase;
+  }
+};
+
+/// Series MOSFET operated in the triode region as a gate-voltage-controlled
+/// resistor: channel conductance g = k_triode * (vgs - vth), clamped at a
+/// floor so the device never becomes a perfect open circuit (sub-threshold
+/// leakage).
+struct SeriesTransistor {
+  Real k_triode = 1.3e-5;   ///< transconductance density [S/V]
+  Real vth = 0.4;           ///< threshold voltage [V]
+  Real g_leak = 1.0e-7;     ///< off-state conductance floor [S]
+
+  void validate() const {
+    if (k_triode <= 0.0 || g_leak <= 0.0)
+      throw std::invalid_argument("SeriesTransistor: conductances must be > 0");
+  }
+
+  Real conductance(Real vgs) const {
+    const Real overdrive = vgs - vth;
+    return overdrive > 0.0 ? k_triode * overdrive + g_leak : g_leak;
+  }
+
+  Real resistance(Real vgs) const { return 1.0 / conductance(vgs); }
+};
+
+/// Full parameter set of one 1T1R relaxation oscillator (Fig. 3 inset):
+/// Vdd — VO2 — output node (capacitance c_node) — MOSFET — ground.
+struct OscillatorParams {
+  Vo2Device vo2{};
+  SeriesTransistor transistor{};
+  Real vdd = 2.5;          ///< supply [V]
+  Real c_node = 2.0e-12;   ///< output-node capacitance [F]
+
+  void validate() const {
+    vo2.validate();
+    transistor.validate();
+    if (vdd <= vo2.v_imt)
+      throw std::invalid_argument(
+          "OscillatorParams: vdd must exceed the IMT threshold for oscillation");
+    if (c_node <= 0.0)
+      throw std::invalid_argument("OscillatorParams: c_node must be > 0");
+  }
+
+  /// Checks the load-line condition of Sec. III-A: the series resistance must
+  /// bias the device inside the hysteretic (unstable) window in both phases,
+  /// i.e. the insulating divider must trip the IMT and the metallic divider
+  /// must fall below it so neither phase has a stable operating point.
+  bool sustains_oscillation(Real vgs) const;
+};
+
+}  // namespace rebooting::oscillator

@@ -1,0 +1,366 @@
+#include "quantum/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rebooting::quantum {
+
+using core::kPi;
+using core::Real;
+
+Circuit qft_circuit(std::size_t n) {
+  Circuit c(n);
+  // Standard QFT: H then controlled phases, finished with bit-reversal swaps.
+  for (std::size_t j = n; j-- > 0;) {
+    c.h(j);
+    for (std::size_t k = j; k-- > 0;) {
+      const Real angle = kPi / static_cast<Real>(1ull << (j - k));
+      // Controlled-phase built from the native vocabulary:
+      // CP(theta) = P(theta/2) on both + CX conjugated P(-theta/2).
+      c.phase(j, angle / 2.0);
+      c.cx(j, k);
+      c.phase(k, -angle / 2.0);
+      c.cx(j, k);
+      c.phase(k, angle / 2.0);
+    }
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) c.swap(i, n - 1 - i);
+  return c;
+}
+
+Circuit inverse_qft_circuit(std::size_t n) {
+  const Circuit fwd = qft_circuit(n);
+  Circuit inv(n);
+  // Reverse the op list, negating angles (all gates used are self-inverse or
+  // parameterized rotations/phases).
+  const auto& ops = fwd.operations();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    Operation op = *it;
+    if (is_parameterized(op.kind)) op.angle = -op.angle;
+    inv.add(op.kind, op.qubits, op.angle);
+  }
+  return inv;
+}
+
+std::size_t grover_optimal_iterations(std::size_t num_qubits,
+                                      std::size_t num_marked) {
+  if (num_marked == 0) return 1;
+  const Real n = static_cast<Real>(1ull << num_qubits);
+  const Real m = static_cast<Real>(num_marked);
+  const auto iters = static_cast<std::size_t>(
+      std::floor(kPi / 4.0 * std::sqrt(n / m)));
+  return std::max<std::size_t>(1, iters);
+}
+
+GroverResult grover_search(std::size_t num_qubits,
+                           const OraclePredicate& marked, core::Rng& rng,
+                           std::size_t iterations) {
+  const std::uint64_t dim = 1ull << num_qubits;
+  std::size_t num_marked = 0;
+  for (std::uint64_t s = 0; s < dim; ++s)
+    if (marked(s)) ++num_marked;
+
+  GroverResult result;
+  result.iterations =
+      iterations > 0 ? iterations
+                     : grover_optimal_iterations(num_qubits, num_marked);
+
+  StateVector state(num_qubits);
+  const Gate2x2 h = gate_matrix(GateKind::kH);
+  const Gate2x2 x = gate_matrix(GateKind::kX);
+  const Gate2x2 z = gate_matrix(GateKind::kZ);
+  for (std::size_t q = 0; q < num_qubits; ++q) state.apply_1q(h, q);
+
+  std::vector<std::size_t> controls(num_qubits - 1);
+  std::iota(controls.begin(), controls.end(), 0);
+
+  for (std::size_t it = 0; it < result.iterations; ++it) {
+    // Phase oracle (black box).
+    state.apply_diagonal([&marked](std::uint64_t s) {
+      return marked(s) ? Real{-1.0} : Real{1.0};
+    });
+    ++result.oracle_calls;
+    // Diffusion: H^n X^n (multi-controlled Z) X^n H^n, gate-built.
+    for (std::size_t q = 0; q < num_qubits; ++q) state.apply_1q(h, q);
+    for (std::size_t q = 0; q < num_qubits; ++q) state.apply_1q(x, q);
+    if (num_qubits == 1) {
+      state.apply_1q(z, 0);
+    } else {
+      state.apply_controlled(z, controls, num_qubits - 1);
+    }
+    for (std::size_t q = 0; q < num_qubits; ++q) state.apply_1q(x, q);
+    for (std::size_t q = 0; q < num_qubits; ++q) state.apply_1q(h, q);
+  }
+
+  Real p_marked = 0.0;
+  const auto probs = state.probabilities();
+  for (std::uint64_t s = 0; s < dim; ++s)
+    if (marked(s)) p_marked += probs[s];
+  result.success_probability = p_marked;
+  result.found = state.sample(rng);
+  result.is_marked = marked(result.found);
+  return result;
+}
+
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>((__uint128_t{a} * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1ull) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+/// Continued-fraction expansion of phase ~ s/r with denominator bound.
+std::uint64_t denominator_from_phase(Real phase, std::uint64_t max_den) {
+  // Convergents of the continued fraction of `phase`.
+  std::uint64_t prev_den = 0;
+  std::uint64_t den = 1;
+  Real frac = phase;
+  for (int iter = 0; iter < 64; ++iter) {
+    const Real floor_part = std::floor(frac);
+    const auto a = static_cast<std::uint64_t>(floor_part);
+    const std::uint64_t next_den = (iter == 0) ? 1 : a * den + prev_den;
+    if (iter > 0) {
+      if (next_den > max_den) break;
+      prev_den = den;
+      den = next_den;
+    }
+    const Real rem = frac - floor_part;
+    if (rem < 1e-12) break;
+    frac = 1.0 / rem;
+  }
+  return den;
+}
+
+/// One run of quantum order finding for a mod n. Returns the measured-phase
+/// candidate denominator (possible order), or 0.
+std::uint64_t order_finding_run(std::uint64_t a, std::uint64_t n,
+                                core::Rng& rng, std::size_t& qubits_used) {
+  const auto work_bits = static_cast<std::size_t>(std::ceil(std::log2(n)));
+  const std::size_t count_bits = 2 * work_bits;
+  const std::size_t total = count_bits + work_bits;
+  qubits_used = std::max(qubits_used, total);
+
+  StateVector state(total);
+  const Gate2x2 h = gate_matrix(GateKind::kH);
+  // Counting register in uniform superposition; work register to |1>.
+  for (std::size_t q = 0; q < count_bits; ++q) state.apply_1q(h, q);
+  state.apply_1q(gate_matrix(GateKind::kX), count_bits);
+
+  // Controlled modular multiplications: for each counting bit k, map the
+  // work register y -> a^(2^k) y mod n on branches where bit k is set. This
+  // is the standard black-box for the modular-exponentiation circuit.
+  const std::uint64_t work_mask = ((1ull << work_bits) - 1) << count_bits;
+  for (std::size_t k = 0; k < count_bits; ++k) {
+    const std::uint64_t factor = powmod(a, 1ull << k, n);
+    state.apply_permutation([&](std::uint64_t s) -> std::uint64_t {
+      if (!(s & (1ull << k))) return s;
+      const std::uint64_t y = (s & work_mask) >> count_bits;
+      if (y >= n) return s;  // out-of-range states are fixed points
+      const std::uint64_t y2 = mulmod(factor, y, n);
+      return (s & ~work_mask) | (y2 << count_bits);
+    });
+  }
+
+  // Gate-level inverse QFT on the counting register, then measure it.
+  const Circuit iqft = inverse_qft_circuit(count_bits);
+  for (const Operation& op : iqft.operations()) apply_operation(state, op);
+
+  std::uint64_t measured = 0;
+  for (std::size_t q = 0; q < count_bits; ++q)
+    if (state.measure_qubit(q, rng)) measured |= 1ull << q;
+
+  const Real phase = static_cast<Real>(measured) /
+                     static_cast<Real>(1ull << count_bits);
+  if (phase == 0.0) return 0;
+  return denominator_from_phase(phase, n);
+}
+
+}  // namespace
+
+ShorResult shor_factor(std::uint64_t n, core::Rng& rng,
+                       std::size_t max_attempts, bool require_quantum) {
+  if (n < 4) throw std::invalid_argument("shor_factor: n must be >= 4");
+  ShorResult result;
+  if (n % 2 == 0) {
+    result.success = true;
+    result.factor1 = 2;
+    result.factor2 = n / 2;
+    return result;
+  }
+  // Perfect-power check (classical preprocessing): n == r^b for some b >= 2?
+  for (std::uint64_t b = 2; (1ull << b) <= n; ++b) {
+    const Real root = std::pow(static_cast<Real>(n), 1.0 / static_cast<Real>(b));
+    const auto guess = static_cast<std::uint64_t>(std::llround(root));
+    for (std::uint64_t r = (guess > 2 ? guess - 1 : 2); r <= guess + 1; ++r) {
+      std::uint64_t p = 1;
+      bool overflow = false;
+      for (std::uint64_t i = 0; i < b; ++i) {
+        if (p > n / r) {
+          overflow = true;
+          break;
+        }
+        p *= r;
+      }
+      if (!overflow && p == n) {
+        result.success = true;
+        result.factor1 = r;
+        result.factor2 = n / r;
+        return result;
+      }
+    }
+  }
+
+  while (result.attempts < max_attempts) {
+    ++result.attempts;
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(2, static_cast<std::int64_t>(n - 2)));
+    const std::uint64_t g = gcd_u64(a, n);
+    if (g > 1) {
+      if (require_quantum) continue;  // resample a coprime base
+      // A nontrivial divisor is a nontrivial divisor.
+      result.success = true;
+      result.factor1 = g;
+      result.factor2 = n / g;
+      result.last_base = a;
+      return result;
+    }
+    const std::uint64_t r = order_finding_run(a, n, rng, result.qubits_used);
+    result.used_quantum = true;
+    if (r == 0 || r % 2 == 1) continue;
+    if (powmod(a, r, n) != 1) continue;  // candidate denominator wasn't the order
+    const std::uint64_t half = powmod(a, r / 2, n);
+    if (half == n - 1) continue;  // trivial square root
+    const std::uint64_t f1 = gcd_u64(half - 1, n);
+    const std::uint64_t f2 = gcd_u64(half + 1, n);
+    for (const std::uint64_t f : {f1, f2}) {
+      if (f > 1 && f < n && n % f == 0) {
+        result.success = true;
+        result.factor1 = f;
+        result.factor2 = n / f;
+        result.last_base = a;
+        result.period = r;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t bernstein_vazirani(std::uint64_t secret, std::size_t num_qubits,
+                                 core::Rng& rng) {
+  if (num_qubits == 0 || num_qubits > 20)
+    throw std::invalid_argument("bernstein_vazirani: bad qubit count");
+  // Phase-oracle form: H^n, Z on the bits of s, H^n. One query.
+  Circuit c(num_qubits);
+  for (std::size_t q = 0; q < num_qubits; ++q) c.h(q);
+  for (std::size_t q = 0; q < num_qubits; ++q)
+    if (secret & (1ull << q)) c.z(q);
+  for (std::size_t q = 0; q < num_qubits; ++q) c.h(q);
+  StateVector state = simulate(c);
+  return state.sample(rng);  // deterministically |s> in the noiseless case
+}
+
+bool deutsch_jozsa_is_balanced(std::size_t num_qubits, bool balanced,
+                               core::Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t q = 0; q < num_qubits; ++q) c.h(q);
+  if (balanced) c.z(0);  // parity-of-bit-0 oracle: balanced
+  for (std::size_t q = 0; q < num_qubits; ++q) c.h(q);
+  StateVector state = simulate(c);
+  return state.sample(rng) != 0;  // |0..0> iff constant
+}
+
+DnaSequence random_dna(core::Rng& rng, std::size_t length) {
+  DnaSequence seq(length);
+  for (auto& b : seq) b = static_cast<Base>(rng.uniform_index(4));
+  return seq;
+}
+
+DnaSequence dna_from_string(const std::string& text) {
+  DnaSequence seq;
+  seq.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case 'A': case 'a': seq.push_back(Base::A); break;
+      case 'C': case 'c': seq.push_back(Base::C); break;
+      case 'G': case 'g': seq.push_back(Base::G); break;
+      case 'T': case 't': seq.push_back(Base::T); break;
+      default:
+        throw std::invalid_argument("dna_from_string: bad base character");
+    }
+  }
+  return seq;
+}
+
+std::string dna_to_string(const DnaSequence& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (const Base b : seq) out += "ACGT"[static_cast<std::size_t>(b)];
+  return out;
+}
+
+std::vector<std::size_t> dna_match_classical(const DnaSequence& text,
+                                             const DnaSequence& pattern,
+                                             std::size_t* comparisons) {
+  std::vector<std::size_t> matches;
+  if (pattern.empty() || pattern.size() > text.size()) return matches;
+  std::size_t cmp = 0;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < pattern.size(); ++j) {
+      ++cmp;
+      if (text[i + j] != pattern[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) matches.push_back(i);
+  }
+  if (comparisons) *comparisons += cmp;
+  return matches;
+}
+
+DnaMatchResult dna_match_grover(const DnaSequence& text,
+                                const DnaSequence& pattern, core::Rng& rng) {
+  DnaMatchResult result;
+  if (pattern.empty() || pattern.size() > text.size()) return result;
+  const std::size_t offsets = text.size() - pattern.size() + 1;
+  std::size_t bits = 1;
+  while ((1ull << bits) < offsets) ++bits;
+  result.index_qubits = bits;
+
+  const auto is_match = [&](std::uint64_t i) {
+    if (i >= offsets) return false;
+    for (std::size_t j = 0; j < pattern.size(); ++j)
+      if (text[i + j] != pattern[j]) return false;
+    return true;
+  };
+
+  const GroverResult g = grover_search(bits, is_match, rng);
+  result.oracle_calls = g.oracle_calls;
+  result.success_probability = g.success_probability;
+  if (g.is_marked) result.position = g.found;
+  return result;
+}
+
+}  // namespace rebooting::quantum

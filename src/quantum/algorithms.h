@@ -1,0 +1,116 @@
+// Algorithm library — the top of the Fig. 2 stack, covering the paper's
+// Sec. II-C application claims: Shor's factoring ("break any RSA-based
+// encryption") and data-parallel search over a superposed dataset (the
+// genome/DNA use case, realized as Grover substring matching).
+//
+// Oracles are black boxes, as in the standard algorithm statements: phase
+// oracles are applied as diagonals and the modular-exponentiation unitary of
+// Shor as the basis-state permutation |x>|y> -> |x>|a^x y mod N>. Everything
+// else (superposition preparation, QFT, diffusion, measurement) is built
+// gate-by-gate and runs through the full compiler/runtime stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "quantum/circuit.h"
+
+namespace rebooting::quantum {
+
+/// Gate-level quantum Fourier transform on qubits [0, n) (bit-reversed
+/// convention folded in via final swaps).
+Circuit qft_circuit(std::size_t n);
+Circuit inverse_qft_circuit(std::size_t n);
+
+/// ---- Grover search -----------------------------------------------------
+
+using OraclePredicate = std::function<bool(std::uint64_t)>;
+
+struct GroverResult {
+  std::uint64_t found = 0;
+  bool is_marked = false;
+  std::size_t iterations = 0;
+  core::Real success_probability = 0.0;  ///< total marked probability at end
+  std::size_t oracle_calls = 0;
+};
+
+/// Optimal iteration count round(pi/4 sqrt(N/M)) (>= 1).
+std::size_t grover_optimal_iterations(std::size_t num_qubits,
+                                      std::size_t num_marked);
+
+/// Runs Grover on n qubits with a black-box phase oracle; the diffusion
+/// operator is built from gates. `iterations` of 0 selects the optimum for
+/// the actual marked count.
+GroverResult grover_search(std::size_t num_qubits, const OraclePredicate& marked,
+                           core::Rng& rng, std::size_t iterations = 0);
+
+/// ---- Shor's factoring ---------------------------------------------------
+
+struct ShorResult {
+  bool success = false;
+  std::uint64_t factor1 = 0;
+  std::uint64_t factor2 = 0;
+  std::size_t attempts = 0;       ///< quantum order-finding runs used
+  std::uint64_t last_base = 0;    ///< the 'a' that produced the factors
+  std::uint64_t period = 0;       ///< the order r of a mod N
+  std::size_t qubits_used = 0;
+  bool used_quantum = false;      ///< false when classical shortcuts sufficed
+};
+
+/// Factors composite N (>= 4) via quantum period finding with continued-
+/// fraction post-processing. Requires 3*ceil(log2 N) qubits to simulate;
+/// practical here for N up to ~100. With `require_quantum`, lucky classical
+/// hits (gcd(a, N) > 1) are resampled instead of returned, so the factors
+/// demonstrably come from order finding (used by the E11 bench).
+ShorResult shor_factor(std::uint64_t n, core::Rng& rng,
+                       std::size_t max_attempts = 20,
+                       bool require_quantum = false);
+
+/// ---- Oracle-based textbook algorithms ----------------------------------
+
+/// Bernstein–Vazirani: recovers the hidden string s from one oracle query.
+/// Fully gate-built (the oracle is Z gates on the bits of s).
+std::uint64_t bernstein_vazirani(std::uint64_t secret, std::size_t num_qubits,
+                                 core::Rng& rng);
+
+/// Deutsch–Jozsa on a parity (balanced) or constant oracle; returns true if
+/// the algorithm declares "balanced".
+bool deutsch_jozsa_is_balanced(std::size_t num_qubits, bool balanced,
+                               core::Rng& rng);
+
+/// ---- DNA subsequence matching (Sec. II-C genome use case) --------------
+
+/// Four-letter genome alphabet.
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+using DnaSequence = std::vector<Base>;
+
+DnaSequence random_dna(core::Rng& rng, std::size_t length);
+DnaSequence dna_from_string(const std::string& text);
+std::string dna_to_string(const DnaSequence& seq);
+
+/// Exact-match positions of `pattern` in `text` (classical scan); also
+/// reports the number of base comparisons performed.
+std::vector<std::size_t> dna_match_classical(const DnaSequence& text,
+                                             const DnaSequence& pattern,
+                                             std::size_t* comparisons = nullptr);
+
+struct DnaMatchResult {
+  std::optional<std::size_t> position;  ///< a matching offset, if found
+  std::size_t oracle_calls = 0;         ///< Grover iterations used
+  std::size_t index_qubits = 0;
+  core::Real success_probability = 0.0;
+};
+
+/// Grover search over the match-offset register: the oracle marks offsets i
+/// where text[i..i+m) == pattern. One oracle call examines the entire
+/// encoded dataset in superposition — the paper's "computation of the entire
+/// data-set in parallel".
+DnaMatchResult dna_match_grover(const DnaSequence& text,
+                                const DnaSequence& pattern, core::Rng& rng);
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,199 @@
+#include "quantum/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::quantum {
+
+using core::kPi;
+
+std::string to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI: return "i";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kRx: return "rx";
+    case GateKind::kRy: return "ry";
+    case GateKind::kRz: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kCx: return "cx";
+    case GateKind::kCz: return "cz";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kCcx: return "ccx";
+    case GateKind::kMeasure: return "measure";
+  }
+  return "?";
+}
+
+bool is_parameterized(GateKind kind) {
+  return kind == GateKind::kRx || kind == GateKind::kRy ||
+         kind == GateKind::kRz || kind == GateKind::kPhase;
+}
+
+std::size_t qubit_count(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCx:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+      return 2;
+    case GateKind::kCcx:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+Gate2x2 gate_matrix(GateKind kind, core::Real angle) {
+  using C = Complex;
+  const core::Real inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  switch (kind) {
+    case GateKind::kI:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, C{1, 0}};
+    case GateKind::kX:
+      return {C{0, 0}, C{1, 0}, C{1, 0}, C{0, 0}};
+    case GateKind::kY:
+      return {C{0, 0}, C{0, -1}, C{0, 1}, C{0, 0}};
+    case GateKind::kZ:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, C{-1, 0}};
+    case GateKind::kH:
+      return {C{inv_sqrt2, 0}, C{inv_sqrt2, 0}, C{inv_sqrt2, 0},
+              C{-inv_sqrt2, 0}};
+    case GateKind::kS:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, C{0, 1}};
+    case GateKind::kSdg:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, C{0, -1}};
+    case GateKind::kT:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, std::polar(1.0, kPi / 4.0)};
+    case GateKind::kTdg:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, std::polar(1.0, -kPi / 4.0)};
+    case GateKind::kRx: {
+      const core::Real c = std::cos(angle / 2.0);
+      const core::Real s = std::sin(angle / 2.0);
+      return {C{c, 0}, C{0, -s}, C{0, -s}, C{c, 0}};
+    }
+    case GateKind::kRy: {
+      const core::Real c = std::cos(angle / 2.0);
+      const core::Real s = std::sin(angle / 2.0);
+      return {C{c, 0}, C{-s, 0}, C{s, 0}, C{c, 0}};
+    }
+    case GateKind::kRz:
+      return {std::polar(1.0, -angle / 2.0), C{0, 0}, C{0, 0},
+              std::polar(1.0, angle / 2.0)};
+    case GateKind::kPhase:
+      return {C{1, 0}, C{0, 0}, C{0, 0}, std::polar(1.0, angle)};
+    default:
+      throw std::invalid_argument("gate_matrix: not a single-qubit gate: " +
+                                  to_string(kind));
+  }
+}
+
+std::string Operation::to_string() const {
+  std::ostringstream os;
+  os << rebooting::quantum::to_string(kind);
+  for (const std::size_t q : qubits) os << " q" << q;
+  // Max precision so disassemble/assemble round-trips exactly.
+  if (is_parameterized(kind)) os << ' ' << std::setprecision(17) << angle;
+  return os.str();
+}
+
+Circuit::Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0)
+    throw std::invalid_argument("Circuit: need at least one qubit");
+}
+
+Circuit& Circuit::add(GateKind kind, std::vector<std::size_t> qubits,
+                      core::Real angle) {
+  if (kind != GateKind::kMeasure && qubits.size() != qubit_count(kind))
+    throw std::invalid_argument("Circuit::add: wrong qubit count for " +
+                                rebooting::quantum::to_string(kind));
+  for (const std::size_t q : qubits)
+    if (q >= num_qubits_)
+      throw std::invalid_argument("Circuit::add: qubit out of range");
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    for (std::size_t j = i + 1; j < qubits.size(); ++j)
+      if (qubits[i] == qubits[j])
+        throw std::invalid_argument("Circuit::add: duplicate qubit");
+  ops_.push_back({kind, std::move(qubits), angle});
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  if (other.num_qubits_ != num_qubits_)
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
+std::size_t Circuit::multi_qubit_gates() const {
+  std::size_t n = 0;
+  for (const Operation& op : ops_)
+    if (op.kind != GateKind::kMeasure && op.qubits.size() > 1) ++n;
+  return n;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> ready(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Operation& op : ops_) {
+    std::size_t start = 0;
+    for (const std::size_t q : op.qubits) start = std::max(start, ready[q]);
+    for (const std::size_t q : op.qubits) ready[q] = start + 1;
+    depth = std::max(depth, start + 1);
+  }
+  return depth;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "qubits " << num_qubits_ << '\n';
+  for (const Operation& op : ops_) os << op.to_string() << '\n';
+  return os.str();
+}
+
+void apply_operation(StateVector& state, const Operation& op) {
+  switch (op.kind) {
+    case GateKind::kMeasure:
+      throw std::invalid_argument("apply_operation: measurement is not unitary");
+    case GateKind::kCx: {
+      const std::size_t controls[] = {op.qubits[0]};
+      state.apply_controlled(gate_matrix(GateKind::kX), controls, op.qubits[1]);
+      return;
+    }
+    case GateKind::kCz: {
+      const std::size_t controls[] = {op.qubits[0]};
+      state.apply_controlled(gate_matrix(GateKind::kZ), controls, op.qubits[1]);
+      return;
+    }
+    case GateKind::kCcx: {
+      const std::size_t controls[] = {op.qubits[0], op.qubits[1]};
+      state.apply_controlled(gate_matrix(GateKind::kX), controls, op.qubits[2]);
+      return;
+    }
+    case GateKind::kSwap:
+      state.swap_qubits(op.qubits[0], op.qubits[1]);
+      return;
+    default:
+      state.apply_1q(gate_matrix(op.kind, op.angle), op.qubits[0]);
+      return;
+  }
+}
+
+StateVector simulate(const Circuit& circuit) {
+  StateVector state(circuit.num_qubits());
+  for (const Operation& op : circuit.operations()) {
+    if (op.kind == GateKind::kMeasure) continue;
+    apply_operation(state, op);
+  }
+  return state;
+}
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,101 @@
+// Gate library and circuit IR — the instruction-level layers of Fig. 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "quantum/state.h"
+
+namespace rebooting::quantum {
+
+/// Gate vocabulary. The native set of the simulated device is
+/// {RX, RY, RZ, CZ}; everything else is sugar the compiler lowers.
+enum class GateKind {
+  kI, kX, kY, kZ, kH, kS, kSdg, kT, kTdg,
+  kRx, kRy, kRz, kPhase,   // parameterized single-qubit
+  kCx, kCz, kSwap,         // two-qubit
+  kCcx,                    // Toffoli (three-qubit)
+  kMeasure,                // computational-basis measurement of one qubit
+};
+
+std::string to_string(GateKind kind);
+bool is_parameterized(GateKind kind);
+std::size_t qubit_count(GateKind kind);
+
+/// 2x2 matrices for the single-qubit kinds (angle used when parameterized).
+Gate2x2 gate_matrix(GateKind kind, core::Real angle = 0.0);
+
+struct Operation {
+  GateKind kind = GateKind::kI;
+  std::vector<std::size_t> qubits;  ///< targets; controls first for kCx/kCcx
+  core::Real angle = 0.0;
+
+  std::string to_string() const;
+};
+
+/// A straight-line quantum circuit (measurements allowed anywhere; the
+/// runtime samples at the end unless explicit measures are present).
+class Circuit {
+ public:
+  explicit Circuit(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::vector<Operation>& operations() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  Circuit& add(GateKind kind, std::vector<std::size_t> qubits,
+               core::Real angle = 0.0);
+
+  // Convenience builders.
+  Circuit& i(std::size_t q) { return add(GateKind::kI, {q}); }
+  Circuit& x(std::size_t q) { return add(GateKind::kX, {q}); }
+  Circuit& y(std::size_t q) { return add(GateKind::kY, {q}); }
+  Circuit& z(std::size_t q) { return add(GateKind::kZ, {q}); }
+  Circuit& h(std::size_t q) { return add(GateKind::kH, {q}); }
+  Circuit& s(std::size_t q) { return add(GateKind::kS, {q}); }
+  Circuit& sdg(std::size_t q) { return add(GateKind::kSdg, {q}); }
+  Circuit& t(std::size_t q) { return add(GateKind::kT, {q}); }
+  Circuit& tdg(std::size_t q) { return add(GateKind::kTdg, {q}); }
+  Circuit& rx(std::size_t q, core::Real a) { return add(GateKind::kRx, {q}, a); }
+  Circuit& ry(std::size_t q, core::Real a) { return add(GateKind::kRy, {q}, a); }
+  Circuit& rz(std::size_t q, core::Real a) { return add(GateKind::kRz, {q}, a); }
+  Circuit& phase(std::size_t q, core::Real a) {
+    return add(GateKind::kPhase, {q}, a);
+  }
+  Circuit& cx(std::size_t c, std::size_t t) { return add(GateKind::kCx, {c, t}); }
+  Circuit& cz(std::size_t a, std::size_t b) { return add(GateKind::kCz, {a, b}); }
+  Circuit& swap(std::size_t a, std::size_t b) {
+    return add(GateKind::kSwap, {a, b});
+  }
+  Circuit& ccx(std::size_t c1, std::size_t c2, std::size_t t) {
+    return add(GateKind::kCcx, {c1, c2, t});
+  }
+  Circuit& measure(std::size_t q) { return add(GateKind::kMeasure, {q}); }
+
+  /// Appends all of `other`'s operations (qubit counts must match).
+  Circuit& append(const Circuit& other);
+
+  /// Number of two-or-more-qubit gates (the expensive ones on hardware).
+  std::size_t multi_qubit_gates() const;
+
+  /// Circuit depth: longest chain of operations sharing qubits.
+  std::size_t depth() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Operation> ops_;
+};
+
+/// Applies one operation (except kMeasure) to a state vector.
+void apply_operation(StateVector& state, const Operation& op);
+
+/// Runs all unitary operations of the circuit on |0..0> and returns the
+/// final state (measurement ops are skipped). Convenience for tests and
+/// algorithm code; the runtime layer adds shots and noise.
+StateVector simulate(const Circuit& circuit);
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,343 @@
+#include "quantum/compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "quantum/qisa.h"
+
+namespace rebooting::quantum {
+
+using core::kPi;
+using core::kTwoPi;
+
+Topology Topology::all_to_all(std::size_t n) {
+  Topology t(n, "all-to-all");
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t(n, "line");
+  for (std::size_t a = 0; a + 1 < n; ++a) t.add_edge(a, a + 1);
+  return t;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  Topology t(rows * cols, "grid");
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t q = r * cols + c;
+      if (c + 1 < cols) t.add_edge(q, q + 1);
+      if (r + 1 < rows) t.add_edge(q, q + cols);
+    }
+  return t;
+}
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  if (a >= n_ || b >= n_ || a == b)
+    throw std::invalid_argument("Topology: bad edge");
+  edges_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool Topology::connected(std::size_t a, std::size_t b) const {
+  return edges_.contains({std::min(a, b), std::max(a, b)});
+}
+
+std::vector<std::size_t> Topology::shortest_path(std::size_t a,
+                                                 std::size_t b) const {
+  if (a == b) return {a};
+  std::vector<std::size_t> parent(n_, n_);
+  std::deque<std::size_t> queue{a};
+  parent[a] = a;
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    for (std::size_t next = 0; next < n_; ++next) {
+      if (parent[next] != n_ || !connected(cur, next)) continue;
+      parent[next] = cur;
+      if (next == b) {
+        std::vector<std::size_t> path{b};
+        std::size_t walk = b;
+        while (walk != a) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  throw std::runtime_error("Topology::shortest_path: disconnected qubits");
+}
+
+namespace {
+
+/// Emits the native-gate lowering of one operation.
+void lower(const Operation& op, Circuit& out) {
+  const auto& q = op.qubits;
+  switch (op.kind) {
+    case GateKind::kI:
+      return;  // dropped
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kCz:
+    case GateKind::kMeasure:
+      out.add(op.kind, q, op.angle);
+      return;
+    case GateKind::kX:
+      out.rx(q[0], kPi);
+      return;
+    case GateKind::kY:
+      out.ry(q[0], kPi);
+      return;
+    case GateKind::kZ:
+      out.rz(q[0], kPi);
+      return;
+    case GateKind::kH:
+      // H = X * Ry(pi/2) exactly (as real matrices); apply Ry then X.
+      out.ry(q[0], kPi / 2.0);
+      out.rx(q[0], kPi);
+      return;
+    case GateKind::kS:
+      out.rz(q[0], kPi / 2.0);
+      return;
+    case GateKind::kSdg:
+      out.rz(q[0], -kPi / 2.0);
+      return;
+    case GateKind::kT:
+      out.rz(q[0], kPi / 4.0);
+      return;
+    case GateKind::kTdg:
+      out.rz(q[0], -kPi / 4.0);
+      return;
+    case GateKind::kPhase:
+      out.rz(q[0], op.angle);
+      return;
+    case GateKind::kCx:
+      lower({GateKind::kH, {q[1]}, 0.0}, out);
+      out.cz(q[0], q[1]);
+      lower({GateKind::kH, {q[1]}, 0.0}, out);
+      return;
+    case GateKind::kSwap:
+      lower({GateKind::kCx, {q[0], q[1]}, 0.0}, out);
+      lower({GateKind::kCx, {q[1], q[0]}, 0.0}, out);
+      lower({GateKind::kCx, {q[0], q[1]}, 0.0}, out);
+      return;
+    case GateKind::kCcx: {
+      // Standard 6-CX Toffoli.
+      const std::size_t c1 = q[0], c2 = q[1], t = q[2];
+      auto emit = [&out](GateKind k, std::vector<std::size_t> qs,
+                         core::Real a = 0.0) {
+        lower({k, std::move(qs), a}, out);
+      };
+      emit(GateKind::kH, {t});
+      emit(GateKind::kCx, {c2, t});
+      emit(GateKind::kTdg, {t});
+      emit(GateKind::kCx, {c1, t});
+      emit(GateKind::kT, {t});
+      emit(GateKind::kCx, {c2, t});
+      emit(GateKind::kTdg, {t});
+      emit(GateKind::kCx, {c1, t});
+      emit(GateKind::kT, {c2});
+      emit(GateKind::kT, {t});
+      emit(GateKind::kH, {t});
+      emit(GateKind::kCx, {c1, c2});
+      emit(GateKind::kT, {c1});
+      emit(GateKind::kTdg, {c2});
+      emit(GateKind::kCx, {c1, c2});
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Circuit decompose_to_native(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits());
+  for (const Operation& op : circuit.operations()) lower(op, out);
+  return out;
+}
+
+RoutingResult route(const Circuit& circuit, const Topology& topology) {
+  if (topology.num_qubits() < circuit.num_qubits())
+    throw std::invalid_argument("route: topology too small");
+  RoutingResult result{Circuit(topology.num_qubits()), {}, 0};
+
+  // logical -> physical and its inverse; identity initial placement.
+  std::vector<std::size_t> phys(topology.num_qubits());
+  std::vector<std::size_t> logical_at(topology.num_qubits());
+  for (std::size_t i = 0; i < phys.size(); ++i) phys[i] = logical_at[i] = i;
+
+  auto apply_swap = [&](std::size_t pa, std::size_t pb) {
+    result.circuit.swap(pa, pb);
+    ++result.swaps_inserted;
+    const std::size_t la = logical_at[pa];
+    const std::size_t lb = logical_at[pb];
+    std::swap(logical_at[pa], logical_at[pb]);
+    phys[la] = pb;
+    phys[lb] = pa;
+  };
+
+  for (const Operation& op : circuit.operations()) {
+    if (op.qubits.size() > 2)
+      throw std::invalid_argument("route: decompose 3-qubit gates first");
+    if (op.qubits.size() == 1 || op.kind == GateKind::kMeasure) {
+      result.circuit.add(op.kind, {phys[op.qubits[0]]}, op.angle);
+      continue;
+    }
+    std::size_t pa = phys[op.qubits[0]];
+    std::size_t pb = phys[op.qubits[1]];
+    if (!topology.connected(pa, pb)) {
+      const auto path = topology.shortest_path(pa, pb);
+      // Walk operand A down the path until adjacent to B.
+      for (std::size_t i = 0; i + 2 < path.size(); ++i)
+        apply_swap(path[i], path[i + 1]);
+      pa = phys[op.qubits[0]];
+      pb = phys[op.qubits[1]];
+    }
+    result.circuit.add(op.kind, {pa, pb}, op.angle);
+  }
+  result.final_map.assign(circuit.num_qubits(), 0);
+  for (std::size_t l = 0; l < circuit.num_qubits(); ++l)
+    result.final_map[l] = phys[l];
+  return result;
+}
+
+namespace {
+
+bool is_rotation(GateKind k) {
+  return k == GateKind::kRx || k == GateKind::kRy || k == GateKind::kRz;
+}
+
+bool angle_is_trivial(core::Real a) {
+  const core::Real reduced = std::remainder(a, kTwoPi);
+  return std::abs(reduced) < 1e-12;
+}
+
+/// One optimization pass; returns true if anything changed.
+bool optimize_pass(std::vector<Operation>& ops) {
+  bool changed = false;
+  std::vector<Operation> out;
+  out.reserve(ops.size());
+  // last_on[q] = index into `out` of the last op touching qubit q.
+  std::vector<std::ptrdiff_t> last_on;
+
+  auto grow = [&last_on](std::size_t q) {
+    if (q >= last_on.size()) last_on.resize(q + 1, -1);
+  };
+
+  for (Operation& op : ops) {
+    for (const std::size_t q : op.qubits) grow(q);
+
+    if (is_rotation(op.kind) && angle_is_trivial(op.angle)) {
+      changed = true;
+      continue;
+    }
+
+    if (is_rotation(op.kind)) {
+      const std::size_t q = op.qubits[0];
+      const std::ptrdiff_t prev = last_on[q];
+      if (prev >= 0 && out[static_cast<std::size_t>(prev)].kind == op.kind &&
+          out[static_cast<std::size_t>(prev)].qubits.size() == 1) {
+        auto& merged = out[static_cast<std::size_t>(prev)];
+        merged.angle = std::remainder(merged.angle + op.angle, kTwoPi);
+        changed = true;
+        if (angle_is_trivial(merged.angle)) {
+          // Remove the merged-away identity (mark as kI; swept below).
+          merged.kind = GateKind::kI;
+          last_on[q] = -1;
+        }
+        continue;
+      }
+    }
+
+    if (op.kind == GateKind::kCz) {
+      const std::size_t a = op.qubits[0];
+      const std::size_t b = op.qubits[1];
+      const std::ptrdiff_t pa = last_on[a];
+      if (pa >= 0 && pa == last_on[b]) {
+        const auto& prev = out[static_cast<std::size_t>(pa)];
+        if (prev.kind == GateKind::kCz &&
+            ((prev.qubits[0] == a && prev.qubits[1] == b) ||
+             (prev.qubits[0] == b && prev.qubits[1] == a))) {
+          out[static_cast<std::size_t>(pa)].kind = GateKind::kI;
+          last_on[a] = last_on[b] = -1;
+          changed = true;
+          continue;
+        }
+      }
+    }
+
+    out.push_back(std::move(op));
+    const auto idx = static_cast<std::ptrdiff_t>(out.size() - 1);
+    for (const std::size_t q : out.back().qubits) last_on[q] = idx;
+  }
+
+  // Sweep out the kI tombstones.
+  std::vector<Operation> swept;
+  swept.reserve(out.size());
+  for (Operation& op : out)
+    if (op.kind != GateKind::kI) swept.push_back(std::move(op));
+  ops = std::move(swept);
+  return changed;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit) {
+  std::vector<Operation> ops(circuit.operations().begin(),
+                             circuit.operations().end());
+  // Fixpoint with a safety bound (each pass strictly shrinks or stabilizes).
+  for (std::size_t pass = 0; pass < ops.size() + 2; ++pass)
+    if (!optimize_pass(ops)) break;
+  Circuit out(circuit.num_qubits());
+  for (Operation& op : ops) out.add(op.kind, std::move(op.qubits), op.angle);
+  return out;
+}
+
+Schedule schedule_asap(const Circuit& circuit) {
+  Schedule sched;
+  sched.start_cycle.reserve(circuit.size());
+  std::vector<std::size_t> ready(circuit.num_qubits(), 0);
+  for (const Operation& op : circuit.operations()) {
+    std::size_t start = 0;
+    for (const std::size_t q : op.qubits) start = std::max(start, ready[q]);
+    const std::size_t end = start + instruction_cycles(op.kind);
+    for (const std::size_t q : op.qubits) ready[q] = end;
+    sched.start_cycle.push_back(start);
+    sched.total_cycles = std::max(sched.total_cycles, end);
+  }
+  return sched;
+}
+
+CompiledProgram compile(const Circuit& circuit, const Topology& topology,
+                        bool enable_optimizer) {
+  CompiledProgram prog{Circuit(1), {}, {}, {}};
+  prog.report.source_gates = circuit.size();
+  prog.report.source_depth = circuit.depth();
+
+  const Circuit lowered = decompose_to_native(circuit);
+  prog.report.decomposed_gates = lowered.size();
+
+  RoutingResult routed = route(lowered, topology);
+  prog.report.swaps_inserted = routed.swaps_inserted;
+  // Routing introduces SWAPs — lower them too.
+  const Circuit relowered = decompose_to_native(routed.circuit);
+  prog.report.routed_gates = relowered.size();
+
+  prog.circuit = enable_optimizer ? optimize(relowered) : relowered;
+  prog.report.optimized_gates = prog.circuit.size();
+  prog.report.final_depth = prog.circuit.depth();
+
+  prog.schedule = schedule_asap(prog.circuit);
+  prog.report.total_cycles = prog.schedule.total_cycles;
+  prog.final_map = std::move(routed.final_map);
+  return prog;
+}
+
+}  // namespace rebooting::quantum

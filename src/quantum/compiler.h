@@ -1,0 +1,97 @@
+// The compiler layer of the Fig. 2 stack: lowering to the native gate set,
+// qubit mapping/routing onto a constrained topology, peephole optimization,
+// and ASAP scheduling onto device cycles.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "quantum/circuit.h"
+
+namespace rebooting::quantum {
+
+/// Physical qubit connectivity of the simulated device.
+class Topology {
+ public:
+  /// Every pair connected (ideal device).
+  static Topology all_to_all(std::size_t n);
+  /// Qubits on a line: i -- i+1.
+  static Topology line(std::size_t n);
+  /// rows x cols grid with nearest-neighbour links.
+  static Topology grid(std::size_t rows, std::size_t cols);
+
+  std::size_t num_qubits() const { return n_; }
+  bool connected(std::size_t a, std::size_t b) const;
+  /// BFS shortest path between physical qubits (inclusive of endpoints).
+  std::vector<std::size_t> shortest_path(std::size_t a, std::size_t b) const;
+  const std::set<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+  std::string name() const { return name_; }
+
+ private:
+  Topology(std::size_t n, std::string name) : n_(n), name_(std::move(name)) {}
+  void add_edge(std::size_t a, std::size_t b);
+
+  std::size_t n_ = 0;
+  std::string name_;
+  std::set<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+/// Lowers every gate to the native set {rx, ry, rz, cz}; measurements pass
+/// through. Exact up to global phase.
+Circuit decompose_to_native(const Circuit& circuit);
+
+struct RoutingResult {
+  Circuit circuit;                     ///< with SWAPs inserted, physical qubits
+  std::vector<std::size_t> final_map;  ///< logical -> physical at the end
+  std::size_t swaps_inserted = 0;
+};
+
+/// Greedy router: walks each two-qubit gate's operands together along the
+/// BFS shortest path, inserting SWAPs and permuting the logical->physical
+/// map. Identity initial placement.
+RoutingResult route(const Circuit& circuit, const Topology& topology);
+
+/// Peephole optimizer run to fixpoint: merges adjacent rotations on the same
+/// qubit and axis (dropping angles ~ 0 mod 2*pi) and cancels adjacent equal
+/// CZ pairs.
+Circuit optimize(const Circuit& circuit);
+
+struct Schedule {
+  std::vector<std::size_t> start_cycle;  ///< per operation
+  std::size_t total_cycles = 0;
+};
+
+/// ASAP scheduling with instruction_cycles() durations; operations on
+/// disjoint qubits overlap.
+Schedule schedule_asap(const Circuit& circuit);
+
+/// The full pipeline with per-stage statistics — what the Fig. 2 "compiler +
+/// runtime support" layers report upward.
+struct CompileReport {
+  std::size_t source_gates = 0;
+  std::size_t decomposed_gates = 0;
+  std::size_t routed_gates = 0;
+  std::size_t optimized_gates = 0;
+  std::size_t swaps_inserted = 0;
+  std::size_t source_depth = 0;
+  std::size_t final_depth = 0;
+  std::size_t total_cycles = 0;
+};
+
+struct CompiledProgram {
+  Circuit circuit;
+  Schedule schedule;
+  CompileReport report;
+  std::vector<std::size_t> final_map;
+};
+
+/// decompose -> route -> decompose (lowers routing SWAPs) -> optimize ->
+/// schedule.
+CompiledProgram compile(const Circuit& circuit, const Topology& topology,
+                        bool enable_optimizer = true);
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,55 @@
+// QAOA (Farhi et al.) for Ising ground-state search — the quantum
+// counterpart to the paper's Sec. IV optimization workloads, built on the
+// same accelerator substrate. Included as the cross-paradigm extension the
+// paper invites: its Sec. I groups adiabatic/quantum optimization with
+// memcomputing as the post-von-Neumann answers to combinatorial problems
+// (the cross_paradigm_ising bench runs all three on one instance).
+//
+// Spins map to qubits (one each); the cost Hamiltonian is the Ising energy
+// H = -sum J_ij s_i s_j applied as a diagonal phase, the mixer is RX on
+// every qubit. Angles are optimized by per-layer coordinate grid descent on
+// the exact expectation (computable here because the device is simulated).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "quantum/state.h"
+
+namespace rebooting::quantum {
+
+/// Minimal Ising view (kept independent of the memcomputing module; bridge
+/// from memcomputing::IsingModel bond-by-bond).
+struct IsingBondView {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  core::Real coupling = 1.0;  ///< H = -sum J s_i s_j
+};
+
+struct QaoaOptions {
+  std::size_t layers = 2;           ///< p
+  std::size_t grid_points = 24;     ///< per-angle resolution of the search
+  std::size_t sweeps = 2;           ///< coordinate-descent passes over angles
+  std::size_t samples = 512;        ///< measurement shots at the optimum
+};
+
+struct QaoaResult {
+  std::vector<std::int8_t> best_spins;  ///< lowest-energy sampled state
+  core::Real best_energy = 0.0;
+  core::Real expected_energy = 0.0;     ///< <H> at the optimized angles
+  std::vector<core::Real> gammas;       ///< optimized cost angles (size p)
+  std::vector<core::Real> betas;        ///< optimized mixer angles (size p)
+  std::size_t circuit_evaluations = 0;  ///< state preparations spent
+};
+
+/// Ising energy of a spin configuration under the bond list.
+core::Real ising_energy(const std::vector<IsingBondView>& bonds,
+                        const std::vector<std::int8_t>& spins);
+
+/// Runs QAOA on `num_spins` qubits (<= 20 for the simulator).
+QaoaResult qaoa_ising(std::size_t num_spins,
+                      const std::vector<IsingBondView>& bonds, core::Rng& rng,
+                      const QaoaOptions& opts = {});
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,114 @@
+#include "quantum/qisa.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::quantum {
+
+std::size_t instruction_cycles(GateKind kind) {
+  switch (kind) {
+    case GateKind::kMeasure: return 10;
+    case GateKind::kCx:
+    case GateKind::kCz:
+    case GateKind::kSwap: return 2;
+    case GateKind::kCcx: return 6;
+    default: return 1;
+  }
+}
+
+namespace {
+
+const std::map<std::string, GateKind>& mnemonic_table() {
+  static const std::map<std::string, GateKind> table = {
+      {"i", GateKind::kI},       {"x", GateKind::kX},
+      {"y", GateKind::kY},       {"z", GateKind::kZ},
+      {"h", GateKind::kH},       {"s", GateKind::kS},
+      {"sdg", GateKind::kSdg},   {"t", GateKind::kT},
+      {"tdg", GateKind::kTdg},   {"rx", GateKind::kRx},
+      {"ry", GateKind::kRy},     {"rz", GateKind::kRz},
+      {"p", GateKind::kPhase},   {"cx", GateKind::kCx},
+      {"cz", GateKind::kCz},     {"swap", GateKind::kSwap},
+      {"ccx", GateKind::kCcx},   {"measure", GateKind::kMeasure},
+  };
+  return table;
+}
+
+std::size_t parse_qubit(const std::string& tok, std::size_t line_no) {
+  if (tok.size() < 2 || tok[0] != 'q')
+    throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                             ": expected qubit operand, got '" + tok + "'");
+  return static_cast<std::size_t>(std::stoul(tok.substr(1)));
+}
+
+}  // namespace
+
+Circuit assemble(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  std::size_t num_qubits = 0;
+  std::vector<Operation> pending;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string mnemonic;
+    if (!(ls >> mnemonic)) continue;  // blank line
+
+    if (mnemonic == "qubits") {
+      if (have_header)
+        throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                                 ": duplicate qubits directive");
+      if (!(ls >> num_qubits) || num_qubits == 0)
+        throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                                 ": bad qubits directive");
+      have_header = true;
+      continue;
+    }
+
+    const auto it = mnemonic_table().find(mnemonic);
+    if (it == mnemonic_table().end())
+      throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                               ": unknown mnemonic '" + mnemonic + "'");
+    Operation op;
+    op.kind = it->second;
+    const std::size_t operands =
+        op.kind == GateKind::kMeasure ? 1 : qubit_count(op.kind);
+    for (std::size_t i = 0; i < operands; ++i) {
+      std::string tok;
+      if (!(ls >> tok))
+        throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                                 ": missing qubit operand");
+      op.qubits.push_back(parse_qubit(tok, line_no));
+    }
+    if (is_parameterized(op.kind)) {
+      if (!(ls >> op.angle))
+        throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                                 ": missing angle");
+    }
+    std::string extra;
+    if (ls >> extra)
+      throw std::runtime_error("qisa line " + std::to_string(line_no) +
+                               ": trailing token '" + extra + "'");
+    pending.push_back(std::move(op));
+  }
+
+  if (!have_header) throw std::runtime_error("qisa: missing qubits directive");
+  Circuit circuit(num_qubits);
+  for (Operation& op : pending)
+    circuit.add(op.kind, std::move(op.qubits), op.angle);
+  return circuit;
+}
+
+std::string disassemble(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "qubits " << circuit.num_qubits() << '\n';
+  for (const Operation& op : circuit.operations()) os << op.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,33 @@
+// QISA — the quantum instruction set of the Fig. 2 stack ("a well-defined
+// set of quantum instructions" executed by the microarchitecture).
+//
+// Text format, one instruction per line:
+//   qubits 5
+//   h q0
+//   cz q0 q1
+//   rx q2 1.5707963
+//   measure q3
+// '#' starts a comment. The assembler produces a Circuit; the disassembler
+// round-trips. Each instruction carries a duration in device cycles used by
+// the scheduler.
+#pragma once
+
+#include <string>
+
+#include "quantum/circuit.h"
+
+namespace rebooting::quantum {
+
+/// Duration, in device cycles, the simulated microarchitecture charges for a
+/// gate kind (single-qubit rotations 1, CZ 2, measurement 10 — typical
+/// relative magnitudes for transmon stacks).
+std::size_t instruction_cycles(GateKind kind);
+
+/// Assembles QISA text into a circuit; throws std::runtime_error with a line
+/// number on malformed input.
+Circuit assemble(const std::string& text);
+
+/// Disassembles a circuit back to QISA text (inverse of assemble).
+std::string disassemble(const Circuit& circuit);
+
+}  // namespace rebooting::quantum

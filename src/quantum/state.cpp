@@ -1,0 +1,122 @@
+#include "quantum/state.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rebooting::quantum {
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > 26)
+    throw std::invalid_argument("StateVector: qubit count out of range [1,26]");
+  amps_.assign(1ull << num_qubits, Complex{0.0, 0.0});
+  amps_[0] = Complex{1.0, 0.0};
+}
+
+void StateVector::apply_1q(const Gate2x2& g, std::size_t target) {
+  if (target >= num_qubits_)
+    throw std::invalid_argument("apply_1q: target out of range");
+  const std::uint64_t bit = 1ull << target;
+  const std::uint64_t dim = amps_.size();
+  for (std::uint64_t base = 0; base < dim; ++base) {
+    if (base & bit) continue;  // visit each pair once, from its |0> member
+    const std::uint64_t other = base | bit;
+    const Complex a0 = amps_[base];
+    const Complex a1 = amps_[other];
+    amps_[base] = g.m00 * a0 + g.m01 * a1;
+    amps_[other] = g.m10 * a0 + g.m11 * a1;
+  }
+}
+
+void StateVector::apply_controlled(const Gate2x2& g,
+                                   std::span<const std::size_t> controls,
+                                   std::size_t target) {
+  if (target >= num_qubits_)
+    throw std::invalid_argument("apply_controlled: target out of range");
+  std::uint64_t cmask = 0;
+  for (const std::size_t c : controls) {
+    if (c >= num_qubits_ || c == target)
+      throw std::invalid_argument("apply_controlled: bad control");
+    cmask |= 1ull << c;
+  }
+  const std::uint64_t bit = 1ull << target;
+  const std::uint64_t dim = amps_.size();
+  for (std::uint64_t base = 0; base < dim; ++base) {
+    if (base & bit) continue;
+    if ((base & cmask) != cmask) continue;
+    const std::uint64_t other = base | bit;
+    const Complex a0 = amps_[base];
+    const Complex a1 = amps_[other];
+    amps_[base] = g.m00 * a0 + g.m01 * a1;
+    amps_[other] = g.m10 * a0 + g.m11 * a1;
+  }
+}
+
+void StateVector::swap_qubits(std::size_t a, std::size_t b) {
+  if (a >= num_qubits_ || b >= num_qubits_)
+    throw std::invalid_argument("swap_qubits: out of range");
+  if (a == b) return;
+  const std::uint64_t ba = 1ull << a;
+  const std::uint64_t bb = 1ull << b;
+  for (std::uint64_t s = 0; s < amps_.size(); ++s) {
+    const bool va = s & ba;
+    const bool vb = s & bb;
+    if (va && !vb) std::swap(amps_[s], amps_[(s ^ ba) | bb]);
+  }
+}
+
+Real StateVector::probability_one(std::size_t qubit) const {
+  if (qubit >= num_qubits_)
+    throw std::invalid_argument("probability_one: out of range");
+  const std::uint64_t bit = 1ull << qubit;
+  Real p = 0.0;
+  for (std::uint64_t s = 0; s < amps_.size(); ++s)
+    if (s & bit) p += std::norm(amps_[s]);
+  return p;
+}
+
+std::vector<Real> StateVector::probabilities() const {
+  std::vector<Real> p(amps_.size());
+  for (std::uint64_t s = 0; s < amps_.size(); ++s) p[s] = std::norm(amps_[s]);
+  return p;
+}
+
+std::uint64_t StateVector::sample(core::Rng& rng) const {
+  Real r = rng.uniform();
+  for (std::uint64_t s = 0; s + 1 < amps_.size(); ++s) {
+    r -= std::norm(amps_[s]);
+    if (r <= 0.0) return s;
+  }
+  return amps_.size() - 1;
+}
+
+bool StateVector::measure_qubit(std::size_t qubit, core::Rng& rng) {
+  const Real p1 = probability_one(qubit);
+  const bool outcome = rng.uniform() < p1;
+  const Real keep = outcome ? p1 : 1.0 - p1;
+  const Real scale = keep > 0.0 ? 1.0 / std::sqrt(keep) : 0.0;
+  const std::uint64_t bit = 1ull << qubit;
+  for (std::uint64_t s = 0; s < amps_.size(); ++s) {
+    if (((s & bit) != 0) == outcome)
+      amps_[s] *= scale;
+    else
+      amps_[s] = Complex{0.0, 0.0};
+  }
+  return outcome;
+}
+
+Real StateVector::norm() const {
+  Real n = 0.0;
+  for (const Complex& a : amps_) n += std::norm(a);
+  return std::sqrt(n);
+}
+
+Real StateVector::fidelity(const StateVector& other) const {
+  if (other.dimension() != dimension())
+    throw std::invalid_argument("fidelity: dimension mismatch");
+  Complex overlap{0.0, 0.0};
+  for (std::uint64_t s = 0; s < amps_.size(); ++s)
+    overlap += std::conj(amps_[s]) * other.amps_[s];
+  return std::norm(overlap);
+}
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,146 @@
+#include "vision/fast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rebooting::vision {
+
+const std::array<Pixel, 16>& bresenham_ring() {
+  static const std::array<Pixel, 16> ring = {{{0, -3},
+                                              {1, -3},
+                                              {2, -2},
+                                              {3, -1},
+                                              {3, 0},
+                                              {3, 1},
+                                              {2, 2},
+                                              {1, 3},
+                                              {0, 3},
+                                              {-1, 3},
+                                              {-2, 2},
+                                              {-3, 1},
+                                              {-3, 0},
+                                              {-3, -1},
+                                              {-2, -2},
+                                              {-1, -3}}};
+  return ring;
+}
+
+bool has_contiguous_arc(const std::array<bool, 16>& flags,
+                        std::size_t arc_length) {
+  if (arc_length == 0) return true;
+  if (arc_length > 16) return false;
+  std::size_t run = 0;
+  // Doubling the ring handles wrap-around runs; a run of 16 is caught too.
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (flags[i % 16]) {
+      ++run;
+      if (run >= arc_length) return true;
+    } else {
+      run = 0;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+struct RingRead {
+  std::array<Real, 16> value{};
+  std::array<bool, 16> brighter{};
+  std::array<bool, 16> darker{};
+};
+
+RingRead read_ring(const Image& img, int x, int y, Real threshold) {
+  RingRead r;
+  const Real center = img.at_clamped(x, y);
+  const auto& ring = bresenham_ring();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    r.value[i] = img.at_clamped(x + ring[i].x, y + ring[i].y);
+    r.brighter[i] = r.value[i] > center + threshold;
+    r.darker[i] = r.value[i] < center - threshold;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool fast_segment_test(const Image& img, int x, int y,
+                       const FastOptions& opts) {
+  const RingRead r = read_ring(img, x, y, opts.threshold);
+  return has_contiguous_arc(r.brighter, opts.arc_length) ||
+         has_contiguous_arc(r.darker, opts.arc_length);
+}
+
+Real fast_corner_score(const Image& img, int x, int y,
+                       const FastOptions& opts) {
+  const RingRead r = read_ring(img, x, y, opts.threshold);
+  const Real center = img.at_clamped(x, y);
+  Real best = 0.0;
+  for (const auto& flags : {r.brighter, r.darker}) {
+    if (!has_contiguous_arc(flags, opts.arc_length)) continue;
+    // Sum |contrast| over every qualifying pixel; a simple, monotone score
+    // that suffices for 3x3 non-max suppression.
+    Real score = 0.0;
+    for (std::size_t i = 0; i < 16; ++i)
+      if (flags[i]) score += std::abs(r.value[i] - center);
+    best = std::max(best, score);
+  }
+  return best;
+}
+
+std::vector<FastDetection> fast_detect(const Image& img,
+                                       const FastOptions& opts,
+                                       std::size_t* compare_ops) {
+  const int w = static_cast<int>(img.width());
+  const int h = static_cast<int>(img.height());
+  const int border = opts.skip_border ? 3 : 0;
+
+  // Score map for non-max suppression (0 = not a corner).
+  std::vector<Real> score(img.width() * img.height(), 0.0);
+  std::size_t ops = 0;
+  for (int y = border; y < h - border; ++y) {
+    for (int x = border; x < w - border; ++x) {
+      // 16 ring-vs-center comparisons per candidate pixel. (Real FAST short-
+      // circuits via the 4-pixel pretest; we count the full ring because the
+      // oscillator block evaluates all 16 in parallel and the CMOS baseline
+      // is sized for the same worst case.)
+      ops += 16;
+      const Real s = fast_corner_score(img, x, y, opts);
+      score[static_cast<std::size_t>(y) * img.width() +
+            static_cast<std::size_t>(x)] = s;
+    }
+  }
+  if (compare_ops) *compare_ops += ops;
+
+  std::vector<FastDetection> out;
+  for (int y = border; y < h - border; ++y) {
+    for (int x = border; x < w - border; ++x) {
+      const Real s = score[static_cast<std::size_t>(y) * img.width() +
+                           static_cast<std::size_t>(x)];
+      if (s <= 0.0) continue;
+      if (opts.non_max_suppression) {
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const int nx = x + dx;
+            const int ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            const Real ns = score[static_cast<std::size_t>(ny) * img.width() +
+                                  static_cast<std::size_t>(nx)];
+            // Strict-greater on one side of the tie so plateaus keep exactly
+            // one detection.
+            if (ns > s || (ns == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+              is_max = false;
+              break;
+            }
+          }
+        if (!is_max) continue;
+      }
+      out.push_back({{x, y}, s});
+    }
+  }
+  return out;
+}
+
+}  // namespace rebooting::vision

@@ -1,0 +1,57 @@
+// Software FAST-N corner detection (Rosten & Drummond, ref [45]) — the
+// von Neumann baseline of Sec. III-B. A pixel is a corner when N contiguous
+// pixels on the radius-3 Bresenham circle are all brighter than p + t or all
+// darker than p - t.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "vision/image.h"
+
+namespace rebooting::vision {
+
+/// The 16 offsets of the radius-3 Bresenham circle, in clockwise order
+/// starting from (0, -3) — the standard FAST ring.
+const std::array<Pixel, 16>& bresenham_ring();
+
+struct FastOptions {
+  Real threshold = 0.12;       ///< intensity threshold t (image units, [0,1])
+  std::size_t arc_length = 9;  ///< N contiguous pixels required (FAST-N)
+  bool non_max_suppression = true;
+  /// Ring pixels are read with edge clamping; detections closer than 3 px to
+  /// the border are dropped when this is set (clamped reads make them
+  /// unreliable).
+  bool skip_border = true;
+};
+
+struct FastDetection {
+  Pixel position;
+  Real score = 0.0;  ///< sum of |ring - center| over the contiguous arc
+};
+
+/// Classification of a single pixel against the ring (exposed for tests and
+/// for the oscillator pipeline, which reuses the arc logic).
+bool fast_segment_test(const Image& img, int x, int y,
+                       const FastOptions& opts);
+
+/// Corner score used for non-max suppression: the summed absolute contrast
+/// over the best qualifying arc; 0 when not a corner.
+Real fast_corner_score(const Image& img, int x, int y, const FastOptions& opts);
+
+/// Full-frame detection. Counts of elementary compare operations are
+/// accumulated into `compare_ops` when non-null (used by the Sec. III-B
+/// energy accounting: each ring-pixel-vs-center test is one comparison).
+std::vector<FastDetection> fast_detect(const Image& img,
+                                       const FastOptions& opts,
+                                       std::size_t* compare_ops = nullptr);
+
+/// Helper shared by both detectors: true when `flags` (16 booleans around
+/// the ring) contains a run of at least `arc_length` consecutive set bits,
+/// treating the ring as circular.
+bool has_contiguous_arc(const std::array<bool, 16>& flags,
+                        std::size_t arc_length);
+
+}  // namespace rebooting::vision

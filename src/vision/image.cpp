@@ -1,0 +1,253 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebooting::vision {
+
+Image::Image(std::size_t width, std::size_t height, Real fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("Image: zero dimension");
+}
+
+Real Image::at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+  const auto cx = std::clamp<std::ptrdiff_t>(
+      x, 0, static_cast<std::ptrdiff_t>(width_) - 1);
+  const auto cy = std::clamp<std::ptrdiff_t>(
+      y, 0, static_cast<std::ptrdiff_t>(height_) - 1);
+  return pixels_[static_cast<std::size_t>(cy) * width_ +
+                 static_cast<std::size_t>(cx)];
+}
+
+void Image::add_noise(core::Rng& rng, Real stddev) {
+  if (stddev <= 0.0) return;
+  for (Real& p : pixels_) p = std::clamp(p + rng.normal(0.0, stddev), 0.0, 1.0);
+}
+
+void Image::save_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_pgm: cannot open " + path);
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  for (const Real p : pixels_) {
+    const auto byte = static_cast<unsigned char>(
+        std::clamp(p, 0.0, 1.0) * 255.0 + 0.5);
+    out.put(static_cast<char>(byte));
+  }
+  if (!out) throw std::runtime_error("save_pgm: write failed for " + path);
+}
+
+Image Image::load_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_pgm: cannot open " + path);
+
+  auto next_token = [&in, &path]() {
+    std::string tok;
+    while (in >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return tok;
+    }
+    throw std::runtime_error("load_pgm: truncated header in " + path);
+  };
+
+  const std::string magic = next_token();
+  if (magic != "P5" && magic != "P2")
+    throw std::runtime_error("load_pgm: unsupported magic in " + path);
+  const auto width = static_cast<std::size_t>(std::stoul(next_token()));
+  const auto height = static_cast<std::size_t>(std::stoul(next_token()));
+  const auto maxval = std::stoul(next_token());
+  if (width == 0 || height == 0 || maxval == 0 || maxval > 255)
+    throw std::runtime_error("load_pgm: bad dimensions/maxval in " + path);
+
+  Image img(width, height);
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    std::vector<unsigned char> raw(width * height);
+    in.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (static_cast<std::size_t>(in.gcount()) != raw.size())
+      throw std::runtime_error("load_pgm: truncated pixel data in " + path);
+    for (std::size_t i = 0; i < raw.size(); ++i)
+      img.pixels_[i] = static_cast<Real>(raw[i]) / static_cast<Real>(maxval);
+  } else {
+    for (auto& px : img.pixels_) {
+      unsigned long v = 0;
+      if (!(in >> v))
+        throw std::runtime_error("load_pgm: truncated pixel data in " + path);
+      px = static_cast<Real>(v) / static_cast<Real>(maxval);
+    }
+  }
+  return img;
+}
+
+namespace {
+
+void fill_rect(Image& img, int x0, int y0, int w, int h, Real value) {
+  for (int y = y0; y < y0 + h; ++y)
+    for (int x = x0; x < x0 + w; ++x)
+      if (img.in_bounds(x, y))
+        img.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) = value;
+}
+
+struct Pt {
+  Real x, y;
+};
+
+/// Point-in-convex-polygon via consistent cross-product sign.
+bool inside_convex(const std::vector<Pt>& poly, Real px, Real py) {
+  bool any_neg = false;
+  bool any_pos = false;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Pt& a = poly[i];
+    const Pt& b = poly[(i + 1) % poly.size()];
+    const Real cross = (b.x - a.x) * (py - a.y) - (b.y - a.y) * (px - a.x);
+    if (cross < 0.0) any_neg = true;
+    if (cross > 0.0) any_pos = true;
+    if (any_neg && any_pos) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Scene make_rectangle_scene(core::Rng& rng, std::size_t width,
+                           std::size_t height, std::size_t n_rects,
+                           Real contrast, Real noise_stddev) {
+  Scene scene;
+  scene.image = Image(width, height, 0.2);
+  const int margin = 10;
+  std::vector<std::array<int, 4>> placed;  // x, y, w, h
+
+  std::size_t attempts = 0;
+  while (placed.size() < n_rects && attempts < n_rects * 200) {
+    ++attempts;
+    const int w = static_cast<int>(rng.uniform_int(12, 40));
+    const int h = static_cast<int>(rng.uniform_int(12, 40));
+    if (static_cast<int>(width) - 2 * margin - w <= 0 ||
+        static_cast<int>(height) - 2 * margin - h <= 0)
+      continue;
+    const int x = static_cast<int>(
+        rng.uniform_int(margin, static_cast<int>(width) - margin - w));
+    const int y = static_cast<int>(
+        rng.uniform_int(margin, static_cast<int>(height) - margin - h));
+    // Reject overlapping placements (with a 4-px halo so corners stay clean).
+    bool overlaps = false;
+    for (const auto& r : placed) {
+      if (x < r[0] + r[2] + 4 && r[0] < x + w + 4 && y < r[1] + r[3] + 4 &&
+          r[1] < y + h + 4) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    placed.push_back({x, y, w, h});
+    fill_rect(scene.image, x, y, w, h, 0.2 + contrast);
+    scene.true_corners.push_back({x, y});
+    scene.true_corners.push_back({x + w - 1, y});
+    scene.true_corners.push_back({x, y + h - 1});
+    scene.true_corners.push_back({x + w - 1, y + h - 1});
+  }
+  scene.image.add_noise(rng, noise_stddev);
+  return scene;
+}
+
+Scene make_polygon_scene(core::Rng& rng, std::size_t width, std::size_t height,
+                         std::size_t n_polygons, Real contrast,
+                         Real noise_stddev) {
+  Scene scene;
+  scene.image = Image(width, height, 0.2);
+  for (std::size_t p = 0; p < n_polygons; ++p) {
+    const auto sides = static_cast<std::size_t>(rng.uniform_int(3, 6));
+    const Real cx = rng.uniform(30.0, static_cast<Real>(width) - 30.0);
+    const Real cy = rng.uniform(30.0, static_cast<Real>(height) - 30.0);
+    const Real radius = rng.uniform(12.0, 24.0);
+    const Real rot = rng.uniform(0.0, core::kTwoPi);
+    std::vector<Pt> poly;
+    for (std::size_t s = 0; s < sides; ++s) {
+      const Real ang = rot + core::kTwoPi * static_cast<Real>(s) /
+                                 static_cast<Real>(sides);
+      poly.push_back({cx + radius * std::cos(ang), cy + radius * std::sin(ang)});
+    }
+    const int x0 = std::max(0, static_cast<int>(cx - radius - 2));
+    const int x1 = std::min(static_cast<int>(width) - 1,
+                            static_cast<int>(cx + radius + 2));
+    const int y0 = std::max(0, static_cast<int>(cy - radius - 2));
+    const int y1 = std::min(static_cast<int>(height) - 1,
+                            static_cast<int>(cy + radius + 2));
+    for (int y = y0; y <= y1; ++y)
+      for (int x = x0; x <= x1; ++x)
+        if (inside_convex(poly, static_cast<Real>(x), static_cast<Real>(y)))
+          scene.image.at(static_cast<std::size_t>(x),
+                         static_cast<std::size_t>(y)) = 0.2 + contrast;
+    for (const Pt& v : poly) {
+      const int vx = static_cast<int>(std::lround(v.x));
+      const int vy = static_cast<int>(std::lround(v.y));
+      if (scene.image.in_bounds(vx, vy))
+        scene.true_corners.push_back({vx, vy});
+    }
+  }
+  scene.image.add_noise(rng, noise_stddev);
+  return scene;
+}
+
+Scene make_checkerboard_scene(std::size_t width, std::size_t height,
+                              std::size_t cell, Real low, Real high) {
+  if (cell == 0) throw std::invalid_argument("make_checkerboard_scene: cell=0");
+  Scene scene;
+  scene.image = Image(width, height);
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x)
+      scene.image.at(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? low : high;
+  for (std::size_t gy = cell; gy < height; gy += cell)
+    for (std::size_t gx = cell; gx < width; gx += cell)
+      scene.true_corners.push_back(
+          {static_cast<int>(gx), static_cast<int>(gy)});
+  return scene;
+}
+
+MatchScore score_detections(const std::vector<Pixel>& detections,
+                            const std::vector<Pixel>& ground_truth,
+                            Real radius) {
+  MatchScore s;
+  s.detections = detections.size();
+  s.ground_truth = ground_truth.size();
+  const Real r2 = radius * radius;
+  auto near = [&](const Pixel& a, const Pixel& b) {
+    const Real dx = static_cast<Real>(a.x - b.x);
+    const Real dy = static_cast<Real>(a.y - b.y);
+    return dx * dx + dy * dy <= r2;
+  };
+  std::size_t matched_det = 0;
+  for (const Pixel& d : detections)
+    for (const Pixel& g : ground_truth)
+      if (near(d, g)) {
+        ++matched_det;
+        break;
+      }
+  std::size_t matched_gt = 0;
+  for (const Pixel& g : ground_truth)
+    for (const Pixel& d : detections)
+      if (near(d, g)) {
+        ++matched_gt;
+        break;
+      }
+  s.precision = detections.empty()
+                    ? 0.0
+                    : static_cast<Real>(matched_det) /
+                          static_cast<Real>(detections.size());
+  s.recall = ground_truth.empty()
+                 ? 0.0
+                 : static_cast<Real>(matched_gt) /
+                       static_cast<Real>(ground_truth.size());
+  return s;
+}
+
+}  // namespace rebooting::vision

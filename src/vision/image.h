@@ -1,0 +1,109 @@
+// Grayscale image container, PGM I/O, and synthetic scene generation for the
+// Sec. III-B corner-detection experiments. Scenes are generated (axis-aligned
+// and rotated rectangles, polygons, gradients, noise) because the paper ships
+// no image set; ground-truth corner locations are produced alongside, so the
+// benchmarks can score detector agreement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace rebooting::vision {
+
+using core::Real;
+
+/// Row-major grayscale image with intensities in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, Real fill = 0.0);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  Real& at(std::size_t x, std::size_t y) { return pixels_[y * width_ + x]; }
+  Real at(std::size_t x, std::size_t y) const { return pixels_[y * width_ + x]; }
+
+  /// Clamped access: coordinates outside the image read the nearest edge
+  /// pixel (used by the ring sampler near borders).
+  Real at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+
+  bool in_bounds(std::ptrdiff_t x, std::ptrdiff_t y) const {
+    return x >= 0 && y >= 0 && x < static_cast<std::ptrdiff_t>(width_) &&
+           y < static_cast<std::ptrdiff_t>(height_);
+  }
+
+  const std::vector<Real>& pixels() const { return pixels_; }
+
+  /// Adds zero-mean Gaussian noise and clamps back to [0, 1].
+  void add_noise(core::Rng& rng, Real stddev);
+
+  /// Writes binary PGM (P5, 8-bit).
+  void save_pgm(const std::string& path) const;
+
+  /// Reads P5 or P2 PGM; throws std::runtime_error on malformed input.
+  static Image load_pgm(const std::string& path);
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Real> pixels_;
+};
+
+/// Integer pixel coordinate.
+struct Pixel {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Pixel&, const Pixel&) = default;
+  friend auto operator<=>(const Pixel&, const Pixel&) = default;
+};
+
+/// A generated scene: the image plus the ground-truth corner locations of the
+/// shapes drawn into it.
+struct Scene {
+  Image image;
+  std::vector<Pixel> true_corners;
+};
+
+/// Scene with `n_rects` random axis-aligned bright rectangles on a dark
+/// background (non-overlapping, margin kept from the border). Every rectangle
+/// contributes its 4 corners to the ground truth.
+Scene make_rectangle_scene(core::Rng& rng, std::size_t width,
+                           std::size_t height, std::size_t n_rects,
+                           Real contrast = 0.6, Real noise_stddev = 0.0);
+
+/// Scene with random filled convex polygons (triangles to hexagons); their
+/// vertices are the ground-truth corners.
+Scene make_polygon_scene(core::Rng& rng, std::size_t width, std::size_t height,
+                         std::size_t n_polygons, Real contrast = 0.6,
+                         Real noise_stddev = 0.0);
+
+/// Checkerboard of `cell` x `cell` squares; interior lattice crossings are
+/// the ground truth.
+Scene make_checkerboard_scene(std::size_t width, std::size_t height,
+                              std::size_t cell, Real low = 0.2,
+                              Real high = 0.8);
+
+/// Fraction of ground-truth corners that have a detection within
+/// `radius` pixels (recall), and fraction of detections within `radius` of
+/// some ground-truth corner (precision).
+struct MatchScore {
+  Real precision = 0.0;
+  Real recall = 0.0;
+  std::size_t detections = 0;
+  std::size_t ground_truth = 0;
+  Real f1() const {
+    const Real d = precision + recall;
+    return d > 0.0 ? 2.0 * precision * recall / d : 0.0;
+  }
+};
+
+MatchScore score_detections(const std::vector<Pixel>& detections,
+                            const std::vector<Pixel>& ground_truth,
+                            Real radius = 3.0);
+
+}  // namespace rebooting::vision

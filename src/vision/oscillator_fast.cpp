@@ -1,0 +1,111 @@
+#include "vision/oscillator_fast.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rebooting::vision {
+
+OscillatorFastDetector::OscillatorFastDetector(
+    const oscillator::OscillatorComparator& comparator,
+    OscillatorFastOptions opts)
+    : comparator_(comparator),
+      opts_(opts),
+      measure_threshold_(comparator.threshold_for_input_delta(opts.threshold)),
+      measure_threshold_2t_(
+          comparator.threshold_for_input_delta(2.0 * opts.threshold)) {}
+
+Real OscillatorFastDetector::corner_score(const Image& img, int x, int y,
+                                          OscillatorFastStats* stats) const {
+  const Real center = img.at_clamped(x, y);
+  const auto& ring = bresenham_ring();
+
+  // Step 1: 16 parallel center-vs-ring distance measurements.
+  std::array<Real, 16> measure{};
+  std::array<Real, 16> value{};
+  std::array<bool, 16> differs{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    value[i] = img.at_clamped(x + ring[i].x, y + ring[i].y);
+    measure[i] = comparator_.distance(center, value[i]);
+    differs[i] = measure[i] > measure_threshold_;
+  }
+  if (stats) stats->step1_comparisons += 16;
+
+  if (!has_contiguous_arc(differs, opts_.arc_length)) return 0.0;
+  if (stats) ++stats->candidates_after_step1;
+
+  bool accepted = !opts_.false_positive_suppression;
+  if (opts_.false_positive_suppression) {
+    // Step 2: within the marked set, adjacent ring pixels must be mutually
+    // similar; a pair differing by more than 2t exposes a mixed
+    // brighter/darker arc (false positive).
+    bool mixed = false;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const std::size_t j = (i + 1) % 16;
+      if (!differs[i] || !differs[j]) continue;
+      if (stats) ++stats->step2_comparisons;
+      if (comparator_.distance(value[i], value[j]) > measure_threshold_2t_) {
+        mixed = true;
+        break;
+      }
+    }
+    if (mixed) {
+      if (stats) ++stats->rejected_by_step2;
+      return 0.0;
+    }
+    accepted = true;
+  }
+  if (!accepted) return 0.0;
+
+  Real score = 0.0;
+  for (std::size_t i = 0; i < 16; ++i)
+    if (differs[i]) score += measure[i];
+  return score;
+}
+
+bool OscillatorFastDetector::is_corner(const Image& img, int x, int y,
+                                       OscillatorFastStats* stats) const {
+  return corner_score(img, x, y, stats) > 0.0;
+}
+
+std::vector<FastDetection> OscillatorFastDetector::detect(
+    const Image& img, OscillatorFastStats* stats) const {
+  const int w = static_cast<int>(img.width());
+  const int h = static_cast<int>(img.height());
+  const int border = opts_.skip_border ? 3 : 0;
+
+  std::vector<Real> score(img.width() * img.height(), 0.0);
+  for (int y = border; y < h - border; ++y)
+    for (int x = border; x < w - border; ++x)
+      score[static_cast<std::size_t>(y) * img.width() +
+            static_cast<std::size_t>(x)] = corner_score(img, x, y, stats);
+
+  std::vector<FastDetection> out;
+  for (int y = border; y < h - border; ++y) {
+    for (int x = border; x < w - border; ++x) {
+      const Real s = score[static_cast<std::size_t>(y) * img.width() +
+                           static_cast<std::size_t>(x)];
+      if (s <= 0.0) continue;
+      if (opts_.non_max_suppression) {
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const int nx = x + dx;
+            const int ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            const Real ns = score[static_cast<std::size_t>(ny) * img.width() +
+                                  static_cast<std::size_t>(nx)];
+            if (ns > s || (ns == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+              is_max = false;
+              break;
+            }
+          }
+        if (!is_max) continue;
+      }
+      out.push_back({{x, y}, s});
+    }
+  }
+  return out;
+}
+
+}  // namespace rebooting::vision

@@ -1,0 +1,73 @@
+// FAST corner detection executed on the coupled-oscillator comparison
+// primitive — the Fig. 6 data flow.
+//
+// Step 1 feeds the pixel under test and each of its 16 ring pixels, as gate
+// voltages, to an oscillator-pair distance unit; the thresholded measures
+// mark ring pixels that differ from the center by more than t. A candidate
+// needs N contiguous marked pixels. Because the analog distance is
+// directionless (|a-b|, "the direction of the difference ... is not known"),
+// a mixed brighter/darker arc could slip through; step 2 therefore compares
+// adjacent marked ring pixels with each other and rejects the candidate if
+// any adjacent pair differs by more than 2t (the paper's false-positive
+// rule).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "oscillator/comparator.h"
+#include "vision/fast.h"
+#include "vision/image.h"
+
+namespace rebooting::vision {
+
+struct OscillatorFastOptions {
+  Real threshold = 0.12;       ///< intensity threshold t (image units)
+  std::size_t arc_length = 9;  ///< N contiguous differing pixels
+  /// The Fig. 6 second processing step. Disable for the ablation bench.
+  bool false_positive_suppression = true;
+  bool non_max_suppression = true;
+  bool skip_border = true;
+};
+
+/// Operation counts accumulated over one frame; the energy accounting of the
+/// Sec. III-B comparison multiplies these by the per-comparison energy.
+struct OscillatorFastStats {
+  std::size_t step1_comparisons = 0;
+  std::size_t step2_comparisons = 0;
+  std::size_t candidates_after_step1 = 0;
+  std::size_t rejected_by_step2 = 0;
+
+  std::size_t total_comparisons() const {
+    return step1_comparisons + step2_comparisons;
+  }
+};
+
+class OscillatorFastDetector {
+ public:
+  /// Borrows the calibrated comparator; the caller keeps it alive (one
+  /// calibration is shared by every frame and by the power model).
+  OscillatorFastDetector(const oscillator::OscillatorComparator& comparator,
+                         OscillatorFastOptions opts);
+
+  /// Classifies one pixel (exposed for tests). Updates `stats` if non-null.
+  bool is_corner(const Image& img, int x, int y,
+                 OscillatorFastStats* stats = nullptr) const;
+
+  std::vector<FastDetection> detect(const Image& img,
+                                    OscillatorFastStats* stats = nullptr) const;
+
+  const OscillatorFastOptions& options() const { return opts_; }
+
+ private:
+  /// Score = summed distance measure over marked ring pixels (for NMS).
+  Real corner_score(const Image& img, int x, int y,
+                    OscillatorFastStats* stats) const;
+
+  const oscillator::OscillatorComparator& comparator_;
+  OscillatorFastOptions opts_;
+  Real measure_threshold_;        ///< comparator measure equivalent of t
+  Real measure_threshold_2t_;     ///< comparator measure equivalent of 2t
+};
+
+}  // namespace rebooting::vision

@@ -1,0 +1,79 @@
+#include "vision/power.h"
+
+namespace rebooting::vision {
+
+core::GateInventory cmos_comparison_lane() {
+  core::GateInventory lane;
+  // 8-bit subtract (ripple FA chain), conditional negate for |.| (XOR lane +
+  // increment), 8-bit magnitude comparator, threshold select, and a pipeline
+  // register stage on operands and result.
+  lane.full_adders = 16;  // subtract + abs increment
+  lane.xor2 = 8;          // abs conditional inversion
+  lane.nand2 = 24;        // magnitude comparator tree
+  lane.inverters = 10;
+  lane.mux2 = 8;          // brighter/darker select
+  lane.flipflops = 24;    // 2x8b operand + 8b result staging
+  return lane;
+}
+
+core::GateInventory cmos_fast_block() {
+  core::GateInventory block = 16 * cmos_comparison_lane();
+  // Ring and center operand registers (17 pixels x 8 bit), the 16-bit
+  // contiguous-arc detector (doubled-ring shifter + run counter), threshold
+  // broadcast and FSM control.
+  core::GateInventory support;
+  support.flipflops = 17 * 8 + 32;
+  support.full_adders = 8;
+  support.nand2 = 160;
+  support.inverters = 48;
+  support.mux2 = 16;
+  block += support;
+  return block;
+}
+
+FastBlockPowerReport compare_fast_block_power(
+    const oscillator::OscillatorComparator& comparator,
+    const CmosBlockConfig& cmos) {
+  FastBlockPowerReport report;
+
+  report.oscillator_block_watts = 16.0 * comparator.unit_power_watts();
+  report.oscillator_energy_per_cmp = comparator.energy_per_comparison();
+
+  const auto block = cmos_fast_block();
+  const auto power = core::estimate_block_power(cmos.tech, block,
+                                                cmos.clock_hz, cmos.activity);
+  report.cmos_dynamic_watts = power.dynamic_watts;
+  report.cmos_leakage_watts = power.leakage_watts;
+  report.cmos_block_watts = power.total();
+  // 16 lanes each retire one comparison per cycle.
+  report.cmos_energy_per_cmp =
+      power.total() / (16.0 * cmos.clock_hz / cmos.cycles_per_cmp);
+
+  report.power_ratio = report.oscillator_block_watts > 0.0
+                           ? report.cmos_block_watts /
+                                 report.oscillator_block_watts
+                           : 0.0;
+  return report;
+}
+
+FrameEnergyReport frame_energy(
+    const oscillator::OscillatorComparator& comparator,
+    const OscillatorFastStats& stats, const CmosBlockConfig& cmos) {
+  FrameEnergyReport report;
+  const auto cmp_count = static_cast<core::Real>(stats.total_comparisons());
+
+  // Oscillator block: 16 units run in parallel, so one analog evaluation
+  // retires up to 16 comparisons in one comparison window.
+  const core::Real evaluations = cmp_count / 16.0;
+  report.oscillator_seconds = evaluations * comparator.comparison_seconds();
+  report.oscillator_joules =
+      16.0 * comparator.unit_power_watts() * report.oscillator_seconds;
+
+  const auto power_report = compare_fast_block_power(comparator, cmos);
+  report.cmos_seconds =
+      cmp_count * cmos.cycles_per_cmp / (16.0 * cmos.clock_hz);
+  report.cmos_joules = power_report.cmos_block_watts * report.cmos_seconds;
+  return report;
+}
+
+}  // namespace rebooting::vision

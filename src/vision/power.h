@@ -1,0 +1,64 @@
+// Power/energy comparison of the Sec. III-B corner-detection block:
+// the 16-unit coupled-oscillator comparison block (paper: 0.936 mW including
+// the XOR readout) versus the corresponding CMOS datapath at 32 nm
+// (paper: 3 mW). The CMOS number is rebuilt bottom-up from a gate inventory.
+#pragma once
+
+#include <cstddef>
+
+#include "core/energy.h"
+#include "oscillator/comparator.h"
+#include "vision/oscillator_fast.h"
+
+namespace rebooting::vision {
+
+/// One CMOS comparison lane: 8-bit subtract, absolute value, magnitude
+/// compare against the threshold, and pipeline registers.
+core::GateInventory cmos_comparison_lane();
+
+/// The full 16-lane CMOS block: lanes plus ring/center operand registers,
+/// the contiguous-arc detector, threshold distribution and control.
+core::GateInventory cmos_fast_block();
+
+struct FastBlockPowerReport {
+  core::Real oscillator_block_watts = 0.0;  ///< 16 pair units + XOR readouts
+  core::Real cmos_block_watts = 0.0;
+  core::Real cmos_dynamic_watts = 0.0;
+  core::Real cmos_leakage_watts = 0.0;
+  core::Real power_ratio = 0.0;  ///< cmos / oscillator
+
+  /// Per-comparison energies [J].
+  core::Real oscillator_energy_per_cmp = 0.0;
+  core::Real cmos_energy_per_cmp = 0.0;
+};
+
+struct CmosBlockConfig {
+  core::CmosTechnology tech = core::CmosTechnology::node_32nm();
+  core::Real clock_hz = 1.0e9;
+  core::Real activity = 0.35;      ///< switching activity of the datapath
+  core::Real cycles_per_cmp = 1.0; ///< pipelined: one comparison per cycle
+};
+
+/// Computes both sides of the comparison. The oscillator block is 16
+/// comparison units (one per ring pixel), each a calibrated pair plus
+/// readout.
+FastBlockPowerReport compare_fast_block_power(
+    const oscillator::OscillatorComparator& comparator,
+    const CmosBlockConfig& cmos = {});
+
+/// Energy to process one frame on each block, given the measured operation
+/// counts of a detector run. The CMOS side executes the same number of
+/// comparisons serially through its 16 pipelined lanes; the oscillator side
+/// runs 16 comparisons in parallel per analog evaluation.
+struct FrameEnergyReport {
+  core::Real oscillator_joules = 0.0;
+  core::Real cmos_joules = 0.0;
+  core::Real oscillator_seconds = 0.0;
+  core::Real cmos_seconds = 0.0;
+};
+
+FrameEnergyReport frame_energy(const oscillator::OscillatorComparator& comparator,
+                               const OscillatorFastStats& stats,
+                               const CmosBlockConfig& cmos = {});
+
+}  // namespace rebooting::vision

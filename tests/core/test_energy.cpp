@@ -1,0 +1,97 @@
+#include "core/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::core {
+namespace {
+
+TEST(Technology, SwitchingEnergyFormula) {
+  const auto tech = CmosTechnology::node_32nm();
+  // (1 + wire) * C * Vdd^2 = 1.6 * 1fF * 0.81 = 1.296 fJ.
+  EXPECT_NEAR(tech.switching_energy(), 1.296e-15, 1e-18);
+}
+
+TEST(Technology, NodesOrderedBySwitchingEnergy) {
+  EXPECT_GT(CmosTechnology::node_45nm().switching_energy(),
+            CmosTechnology::node_32nm().switching_energy());
+  EXPECT_GT(CmosTechnology::node_32nm().switching_energy(),
+            CmosTechnology::node_22nm().switching_energy());
+}
+
+TEST(GateInventory, Nand2Equivalents) {
+  GateInventory g;
+  g.inverters = 2;   // 1.0
+  g.nand2 = 3;       // 3.0
+  g.xor2 = 1;        // 3.0
+  g.full_adders = 2; // 12.0
+  g.flipflops = 1;   // 8.0
+  g.mux2 = 1;        // 3.0
+  EXPECT_DOUBLE_EQ(g.nand2_equivalents(), 30.0);
+}
+
+TEST(GateInventory, AdditionAndScaling) {
+  GateInventory a;
+  a.nand2 = 2;
+  a.xor2 = 1;
+  GateInventory b;
+  b.nand2 = 3;
+  b.flipflops = 2;
+  const GateInventory sum = a + b;
+  EXPECT_EQ(sum.nand2, 5u);
+  EXPECT_EQ(sum.xor2, 1u);
+  EXPECT_EQ(sum.flipflops, 2u);
+  const GateInventory scaled = 4 * a;
+  EXPECT_EQ(scaled.nand2, 8u);
+  EXPECT_EQ(scaled.xor2, 4u);
+}
+
+TEST(BlockPower, DynamicScalesLinearlyWithFrequencyAndActivity) {
+  const auto tech = CmosTechnology::node_32nm();
+  GateInventory g;
+  g.nand2 = 100;
+  const auto p1 = estimate_block_power(tech, g, 1e9, 0.2);
+  const auto p2 = estimate_block_power(tech, g, 2e9, 0.2);
+  const auto p3 = estimate_block_power(tech, g, 1e9, 0.4);
+  EXPECT_NEAR(p2.dynamic_watts, 2.0 * p1.dynamic_watts, 1e-12);
+  EXPECT_NEAR(p3.dynamic_watts, 2.0 * p1.dynamic_watts, 1e-12);
+  EXPECT_DOUBLE_EQ(p1.leakage_watts, p2.leakage_watts);
+}
+
+TEST(BlockPower, LeakageIndependentOfFrequency) {
+  const auto tech = CmosTechnology::node_32nm();
+  GateInventory g;
+  g.nand2 = 40;
+  const auto p = estimate_block_power(tech, g, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.dynamic_watts, 0.0);
+  EXPECT_NEAR(p.leakage_watts, 40.0 * tech.leakage_per_gate, 1e-15);
+}
+
+TEST(BlockPower, RejectsBadActivity) {
+  const auto tech = CmosTechnology::node_32nm();
+  GateInventory g;
+  g.nand2 = 1;
+  EXPECT_THROW(estimate_block_power(tech, g, 1e9, 1.5), std::invalid_argument);
+  EXPECT_THROW(estimate_block_power(tech, g, -1.0, 0.5), std::invalid_argument);
+}
+
+TEST(BlockEnergy, MatchesPowerTimesTime) {
+  const auto tech = CmosTechnology::node_32nm();
+  GateInventory g;
+  g.nand2 = 500;
+  const Real freq = 1e9;
+  const Real activity = 0.3;
+  const Real ops = 1e6;
+  const Real energy = block_energy_for_ops(tech, g, freq, activity, ops, 1.0);
+  const auto p = estimate_block_power(tech, g, freq, activity);
+  EXPECT_NEAR(energy, p.total() * (ops / freq), 1e-12);
+}
+
+TEST(BlockEnergy, RejectsZeroFrequency) {
+  const auto tech = CmosTechnology::node_32nm();
+  GateInventory g;
+  EXPECT_THROW(block_energy_for_ops(tech, g, 0.0, 0.1, 10.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::core

@@ -1,0 +1,185 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace rebooting::core {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<Real> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<Real> one{3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(stderr_mean(one), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<Real>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<Real>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<Real> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.125), 15.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  const std::vector<Real> xs{1.0};
+  EXPECT_THROW(percentile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<Real> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(FitLine, ExactLineRecovered) {
+  std::vector<Real> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 2.0);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineApproximated) {
+  Rng rng(5);
+  std::vector<Real> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(2.0 * i * 0.1 + 1.0 + rng.normal(0.0, 0.05));
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<Real> x1{1.0};
+  const std::vector<Real> constant{2.0, 2.0, 2.0};
+  const std::vector<Real> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(x1, x1), std::invalid_argument);
+  EXPECT_THROW(fit_line(constant, ys), std::invalid_argument);
+}
+
+class PowerLawFitTest : public ::testing::TestWithParam<Real> {};
+
+TEST_P(PowerLawFitTest, RecoversExponent) {
+  const Real k = GetParam();
+  std::vector<Real> xs, ys;
+  for (int i = 1; i <= 30; ++i) {
+    const Real x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(2.5 * std::pow(x, k));
+  }
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, k, 1e-9);
+  EXPECT_NEAR(fit.amplitude, 2.5, 1e-9);
+  EXPECT_EQ(fit.points_used, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawFitTest,
+                         ::testing::Values(0.5, 1.0, 1.6, 2.0, 3.4));
+
+TEST(PowerLawFit, SkipsNonPositivePoints) {
+  const std::vector<Real> xs{-1.0, 0.0, 1.0, 2.0, 4.0};
+  const std::vector<Real> ys{5.0, 5.0, 1.0, 2.0, 4.0};
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_EQ(fit.points_used, 3u);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+class ExponentialFitTest : public ::testing::TestWithParam<Real> {};
+
+TEST_P(ExponentialFitTest, RecoversRate) {
+  const Real b = GetParam();
+  std::vector<Real> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.7 * std::exp(b * i));
+  }
+  const ExponentialFit fit = fit_exponential(xs, ys);
+  EXPECT_NEAR(fit.rate, b, 1e-9);
+  EXPECT_NEAR(fit.amplitude, 0.7, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialFitTest,
+                         ::testing::Values(-0.3, 0.1, 0.5));
+
+TEST(Correlation, PerfectAndNone) {
+  const std::vector<Real> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<Real> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<Real> down{8.0, 6.0, 4.0, 2.0};
+  const std::vector<Real> flat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(9);
+  RunningStats rs;
+  std::vector<Real> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const Real x = rng.normal(2.0, 3.0);
+    rs.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_EQ(rs.count(), 5000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(RunningStats, SmallCounts) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.4);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::core

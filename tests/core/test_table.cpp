@@ -1,0 +1,69 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rebooting::core {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), std::int64_t{7}});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, RealPrecisionRespected) {
+  Table t({"x"}, 2);
+  t.add_row({Real{3.14159}});
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"text", "n"});
+  t.add_row({std::string("hello, world"), std::int64_t{1}});
+  t.add_row({std::string("quote\"inside"), std::int64_t{2}});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\n1,2\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 5");
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rebooting::core

@@ -1,0 +1,113 @@
+#include "memcomputing/cnf.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::memcomputing {
+namespace {
+
+TEST(Cnf, AddAndEvaluateClauses) {
+  Cnf cnf(3);
+  cnf.add_clause({1, -2});
+  cnf.add_clause({2, 3});
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+
+  Assignment a(4, false);
+  a[1] = true;  // satisfies clause 1
+  a[3] = true;  // satisfies clause 2
+  EXPECT_TRUE(cnf.satisfied(a));
+  a[1] = false;
+  a[2] = true;  // now clause 1 unsatisfied (x1 false, x2 true)
+  EXPECT_FALSE(cnf.satisfied(a));
+  EXPECT_EQ(cnf.count_unsatisfied(a), 1u);
+}
+
+TEST(Cnf, WeightedUnsatisfiedSum) {
+  Cnf cnf(2);
+  cnf.add_clause({1}, 2.5);
+  cnf.add_clause({2}, 1.5);
+  Assignment a(3, false);
+  EXPECT_DOUBLE_EQ(cnf.unsatisfied_weight(a), 4.0);
+  a[1] = true;
+  EXPECT_DOUBLE_EQ(cnf.unsatisfied_weight(a), 1.5);
+}
+
+TEST(Cnf, RejectsBadClauses) {
+  Cnf cnf(2);
+  EXPECT_THROW(cnf.add_clause({0}), std::invalid_argument);
+  EXPECT_THROW(cnf.add_clause({3}), std::invalid_argument);
+  EXPECT_THROW(cnf.add_clause(Clause{}), std::invalid_argument);
+}
+
+TEST(Cnf, ClauseRatio) {
+  Cnf cnf(10);
+  for (int i = 0; i < 42; ++i) cnf.add_clause({1, 2});
+  EXPECT_DOUBLE_EQ(cnf.clause_ratio(), 4.2);
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf(4);
+  cnf.add_clause({1, -2, 3});
+  cnf.add_clause({-4, 2});
+  const std::string text = cnf.to_dimacs();
+  const Cnf parsed = Cnf::from_dimacs_string(text);
+  EXPECT_EQ(parsed.num_variables(), 4u);
+  ASSERT_EQ(parsed.num_clauses(), 2u);
+  EXPECT_EQ(parsed.clauses()[0].literals, (std::vector<Literal>{1, -2, 3}));
+  EXPECT_EQ(parsed.clauses()[1].literals, (std::vector<Literal>{-4, 2}));
+}
+
+TEST(Dimacs, ParsesCommentsAndWhitespace) {
+  const std::string text =
+      "c a comment line\np cnf 2 1\nc another\n 1 -2 0\n";
+  const Cnf cnf = Cnf::from_dimacs_string(text);
+  EXPECT_EQ(cnf.num_variables(), 2u);
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(Cnf::from_dimacs_string("1 2 0\n"), std::runtime_error);
+  EXPECT_THROW(Cnf::from_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
+  EXPECT_THROW(Cnf::from_dimacs_string("p cnf 2 5\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(Cnf::from_dimacs_string(""), std::runtime_error);
+}
+
+TEST(RandomKsat, ShapeOfGeneratedFormula) {
+  core::Rng rng(1);
+  const Cnf cnf = random_ksat(rng, 20, 85, 3);
+  EXPECT_EQ(cnf.num_variables(), 20u);
+  EXPECT_EQ(cnf.num_clauses(), 85u);
+  for (const Clause& c : cnf.clauses()) {
+    EXPECT_EQ(c.literals.size(), 3u);
+    // Distinct variables within a clause.
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = i + 1; j < 3; ++j)
+        EXPECT_NE(std::abs(c.literals[i]), std::abs(c.literals[j]));
+  }
+}
+
+TEST(RandomKsat, RejectsBadK) {
+  core::Rng rng(1);
+  EXPECT_THROW(random_ksat(rng, 3, 5, 4), std::invalid_argument);
+  EXPECT_THROW(random_ksat(rng, 3, 5, 0), std::invalid_argument);
+}
+
+TEST(PlantedKsat, PlantAlwaysSatisfies) {
+  core::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto inst = planted_ksat(rng, 25, 106, 3);
+    EXPECT_TRUE(inst.cnf.satisfied(inst.plant));
+  }
+}
+
+TEST(RandomAssignment, SizeAndVariety) {
+  core::Rng rng(9);
+  const Assignment a = random_assignment(rng, 64);
+  EXPECT_EQ(a.size(), 65u);
+  int ones = 0;
+  for (std::size_t v = 1; v <= 64; ++v) ones += a[v] ? 1 : 0;
+  EXPECT_GT(ones, 10);
+  EXPECT_LT(ones, 54);
+}
+
+}  // namespace
+}  // namespace rebooting::memcomputing

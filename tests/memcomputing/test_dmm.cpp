@@ -1,0 +1,187 @@
+#include "memcomputing/dmm.h"
+
+#include <gtest/gtest.h>
+
+#include "memcomputing/sat.h"
+
+namespace rebooting::memcomputing {
+namespace {
+
+TEST(Dmm, SolvesTinyFormula) {
+  Cnf cnf(3);
+  cnf.add_clause({1, 2});
+  cnf.add_clause({-1, 3});
+  cnf.add_clause({-2, -3});
+  core::Rng rng(1);
+  const DmmResult r = DmmSolver(cnf, {}).solve(rng);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_TRUE(cnf.satisfied(r.assignment));
+  EXPECT_EQ(r.best_unsatisfied, 0u);
+}
+
+TEST(Dmm, SolvesPlantedThreeSat) {
+  core::Rng rng(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto inst = planted_ksat(rng, 60, 255, 3);
+    const DmmResult r = DmmSolver(inst.cnf, {}).solve(rng);
+    ASSERT_TRUE(r.satisfied) << "trial " << trial;
+    EXPECT_TRUE(inst.cnf.satisfied(r.assignment));
+  }
+}
+
+TEST(Dmm, PointDissipativeVoltagesBounded) {
+  // The defining property of valid DMM dynamics (Sec. IV): trajectories stay
+  // bounded — voltages never leave [-1, 1].
+  core::Rng rng(5);
+  const auto inst = planted_ksat(rng, 40, 170, 3);
+  DmmOptions opts;
+  opts.max_steps = 20000;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  EXPECT_LE(r.max_abs_voltage, 1.0 + 1e-12);
+}
+
+TEST(Dmm, SolutionIsFixedPoint) {
+  // Starting AT a solution, the dynamics stay there (equilibria == solutions).
+  Cnf cnf(2);
+  cnf.add_clause({1, 2});
+  cnf.add_clause({-1, 2});
+  core::Rng rng(7);
+  // x2 = true satisfies everything; v = (+-, +1).
+  const DmmResult r =
+      DmmSolver(cnf, {}).solve_from({0.5, 1.0}, rng);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.steps, 0u);  // recognized immediately
+}
+
+TEST(Dmm, EnergyTraceRecordedAndDecreasing) {
+  core::Rng rng(9);
+  const auto inst = planted_ksat(rng, 40, 170, 3);
+  DmmOptions opts;
+  opts.energy_stride = 10;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  ASSERT_GT(r.energy_trace.size(), 2u);
+  // Clause energy at the end well below the start (global descent trend).
+  EXPECT_LT(r.energy_trace.back(), r.energy_trace.front());
+}
+
+TEST(Dmm, AvalancheTrackingRecordsFlips) {
+  core::Rng rng(11);
+  const auto inst = planted_ksat(rng, 40, 170, 3);
+  DmmOptions opts;
+  opts.track_avalanches = true;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_FALSE(r.avalanche_sizes.empty());
+  std::size_t total_flips = 0;
+  for (const std::size_t s : r.avalanche_sizes) {
+    EXPECT_GE(s, 1u);
+    total_flips += s;
+  }
+  EXPECT_GT(total_flips, 0u);
+}
+
+TEST(Dmm, NoiseToleratedAtModerateAmplitude) {
+  // The paper's robustness claim (ref [59]): moderate dynamical noise does
+  // not destroy the solution search.
+  core::Rng rng(13);
+  const auto inst = planted_ksat(rng, 40, 170, 3);
+  DmmOptions opts;
+  opts.params.noise_stddev = 0.05;
+  opts.max_steps = 500000;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  EXPECT_TRUE(r.satisfied);
+}
+
+TEST(Dmm, StepLimitReportedWhenUnsolvable) {
+  Cnf cnf(1);
+  cnf.add_clause({1});
+  cnf.add_clause({-1});
+  core::Rng rng(15);
+  DmmOptions opts;
+  opts.max_steps = 2000;
+  const DmmResult r = DmmSolver(cnf, opts).solve(rng);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_TRUE(r.hit_limit);
+  EXPECT_EQ(r.best_unsatisfied, 1u);
+}
+
+TEST(Dmm, MaxSatModeMinimizesWeight) {
+  // Two soft constraints conflict; the heavier one should win.
+  Cnf cnf(1);
+  cnf.add_clause({1}, 5.0);
+  cnf.add_clause({-1}, 1.0);
+  core::Rng rng(17);
+  DmmOptions opts;
+  opts.maxsat_mode = true;
+  opts.max_steps = 5000;
+  const DmmResult r = DmmSolver(cnf, opts).solve(rng);
+  EXPECT_TRUE(r.assignment[1]);  // satisfy the weight-5 clause
+  EXPECT_DOUBLE_EQ(r.best_unsatisfied_weight, 1.0);
+}
+
+TEST(Dmm, AblationRigidityOffStillSolvesEasyInstances) {
+  core::Rng rng(19);
+  const auto inst = planted_ksat(rng, 20, 60, 3);
+  DmmOptions opts;
+  opts.params.rigidity = false;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  EXPECT_TRUE(r.satisfied);
+}
+
+TEST(Dmm, AblationLongTermMemoryOffStillSolvesEasyInstances) {
+  core::Rng rng(21);
+  const auto inst = planted_ksat(rng, 20, 60, 3);
+  DmmOptions opts;
+  opts.params.long_term_memory = false;
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  EXPECT_TRUE(r.satisfied);
+}
+
+TEST(Dmm, AgreesWithDpllVerdictOnSatInstances) {
+  core::Rng rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Cnf cnf = random_ksat(rng, 20, 80, 3);
+    const SatResult complete = dpll(cnf);
+    if (!complete.satisfied) continue;  // DMM cannot certify UNSAT
+    DmmOptions opts;
+    opts.max_steps = 300000;
+    const DmmResult r = DmmSolver(cnf, opts).solve(rng);
+    EXPECT_TRUE(r.satisfied);
+  }
+}
+
+class DmmRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DmmRatioSweep, SolvesPlantedInstancesAcrossClauseRatios) {
+  const double ratio = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(ratio * 1000));
+  const std::size_t n = 50;
+  const auto m = static_cast<std::size_t>(ratio * static_cast<double>(n));
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto inst = planted_ksat(rng, n, m, 3);
+    DmmOptions opts;
+    opts.max_steps = 400'000;
+    const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+    ASSERT_TRUE(r.satisfied) << "ratio " << ratio << " trial " << trial;
+    EXPECT_TRUE(inst.cnf.satisfied(r.assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClauseRatios, DmmRatioSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 4.25, 5.0, 6.0));
+
+TEST(Dmm, EmptyFormulaRejected) {
+  Cnf cnf(3);
+  EXPECT_THROW(DmmSolver(cnf, {}), std::invalid_argument);
+}
+
+TEST(Dmm, BadInitialStateRejected) {
+  Cnf cnf(2);
+  cnf.add_clause({1, 2});
+  core::Rng rng(1);
+  EXPECT_THROW(DmmSolver(cnf, {}).solve_from({0.1}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::memcomputing

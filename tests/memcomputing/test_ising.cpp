@@ -1,0 +1,134 @@
+#include "memcomputing/ising.h"
+
+#include <gtest/gtest.h>
+
+#include "memcomputing/dmm.h"
+
+namespace rebooting::memcomputing {
+namespace {
+
+TEST(IsingModel, EnergyOfKnownConfigurations) {
+  IsingModel m(3);
+  m.add_bond(0, 1, 1.0);   // ferro
+  m.add_bond(1, 2, -1.0);  // antiferro
+  // H = -J01 s0 s1 - J12 s1 s2.
+  EXPECT_DOUBLE_EQ(m.energy({1, 1, 1}), -1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 1, -1}), -1.0 - 1.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, -1, 1}), 1.0 - 1.0);
+}
+
+TEST(IsingModel, FlipDeltaMatchesEnergyDifference) {
+  core::Rng rng(1);
+  IsingModel m(6);
+  for (int b = 0; b < 10; ++b) {
+    const auto i = rng.uniform_index(6);
+    auto j = rng.uniform_index(6);
+    if (i == j) continue;
+    m.add_bond(i, j, rng.uniform(-2.0, 2.0));
+  }
+  SpinConfig s(6);
+  for (auto& sp : s) sp = rng.bernoulli(0.5) ? 1 : -1;
+  for (std::size_t k = 0; k < 6; ++k) {
+    const Real before = m.energy(s);
+    const Real delta = m.flip_delta(s, k);
+    SpinConfig flipped = s;
+    flipped[k] = static_cast<std::int8_t>(-flipped[k]);
+    EXPECT_NEAR(m.energy(flipped) - before, delta, 1e-12);
+  }
+}
+
+TEST(IsingModel, RejectsBadBonds) {
+  IsingModel m(3);
+  EXPECT_THROW(m.add_bond(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add_bond(0, 5, 1.0), std::invalid_argument);
+}
+
+TEST(FrustratedLoops, PlantedGroundStateHasKnownEnergy) {
+  core::Rng rng(5);
+  const auto inst = make_frustrated_loops(rng, 6, 8);
+  EXPECT_DOUBLE_EQ(inst.model.energy(inst.planted), inst.ground_energy);
+  EXPECT_LT(inst.ground_energy, 0.0);
+}
+
+TEST(FrustratedLoops, NoSingleFlipImprovesGroundState) {
+  // All-up must be a local (indeed global) minimum.
+  core::Rng rng(7);
+  const auto inst = make_frustrated_loops(rng, 6, 10);
+  for (std::size_t k = 0; k < inst.model.num_spins(); ++k)
+    EXPECT_GE(inst.model.flip_delta(inst.planted, k), -1e-12);
+}
+
+TEST(FrustratedLoops, AnnealingReachesPlantedEnergy) {
+  core::Rng rng(9);
+  const auto inst = make_frustrated_loops(rng, 5, 6);
+  AnnealOptions opts;
+  opts.sweeps = 4000;
+  opts.restarts = 3;
+  const AnnealResult r = simulated_annealing(inst.model, rng, opts);
+  EXPECT_NEAR(r.best_energy, inst.ground_energy, 1e-12);
+  EXPECT_DOUBLE_EQ(inst.model.energy(r.best), r.best_energy);
+}
+
+TEST(Annealing, RejectsBadOptions) {
+  IsingModel m(2);
+  m.add_bond(0, 1, 1.0);
+  core::Rng rng(1);
+  AnnealOptions opts;
+  opts.sweeps = 0;
+  EXPECT_THROW(simulated_annealing(m, rng, opts), std::invalid_argument);
+}
+
+TEST(IsingToCnf, UnsatWeightTracksViolatedBonds) {
+  IsingModel m(3);
+  m.add_bond(0, 1, 2.0);
+  m.add_bond(1, 2, -1.5);
+  const Cnf cnf = ising_to_cnf(m);
+  EXPECT_EQ(cnf.num_clauses(), 4u);  // 2 clauses per bond
+  // s = (+1, +1, +1): ferro bond satisfied, AF bond violated (weight 1.5).
+  Assignment a(4, true);
+  EXPECT_DOUBLE_EQ(cnf.unsatisfied_weight(a), 1.5);
+  // Energy identity: E = -sum|J| + 2 * unsat_weight.
+  EXPECT_NEAR(cnf_assignment_energy(m, a), -(2.0 + 1.5) + 2.0 * 1.5, 1e-12);
+}
+
+TEST(IsingToCnf, EnergyIdentityHoldsForAllConfigs) {
+  core::Rng rng(11);
+  IsingModel m(4);
+  m.add_bond(0, 1, 1.0);
+  m.add_bond(1, 2, -2.0);
+  m.add_bond(2, 3, 0.5);
+  m.add_bond(0, 3, -1.0);
+  const Cnf cnf = ising_to_cnf(m);
+  Real total_abs = 4.5;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    Assignment a(5, false);
+    for (std::size_t i = 0; i < 4; ++i) a[i + 1] = (mask >> i) & 1u;
+    const Real via_cnf = -total_abs + 2.0 * cnf.unsatisfied_weight(a);
+    EXPECT_NEAR(cnf_assignment_energy(m, a), via_cnf, 1e-12);
+  }
+}
+
+TEST(IsingToCnf, DmmFindsGroundStateOfSmallInstance) {
+  core::Rng rng(13);
+  const auto inst = make_frustrated_loops(rng, 4, 4);
+  const Cnf cnf = ising_to_cnf(inst.model);
+  DmmOptions opts;
+  opts.maxsat_mode = true;
+  opts.max_steps = 30000;
+  const DmmResult r = DmmSolver(cnf, opts).solve(rng);
+  EXPECT_NEAR(cnf_assignment_energy(inst.model, r.assignment),
+              inst.ground_energy, 1e-9);
+}
+
+TEST(AssignmentToSpins, MapsBothPolarities) {
+  Assignment a(4, false);
+  a[1] = true;
+  a[3] = true;
+  const SpinConfig s = assignment_to_spins(a, 3);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], -1);
+  EXPECT_EQ(s[2], 1);
+}
+
+}  // namespace
+}  // namespace rebooting::memcomputing

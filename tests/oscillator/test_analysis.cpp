@@ -1,0 +1,179 @@
+#include "oscillator/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace rebooting::oscillator {
+namespace {
+
+/// Builds a trace of two synthetic square waves with the given frequencies,
+/// phases (radians), and duty cycles.
+Trace synthetic_pair(Real f1, Real f2, Real phase2, Real duty = 0.5,
+                     Real duration = 1e-3, Real dt = 1e-7) {
+  Trace tr;
+  tr.dt = dt;
+  tr.node_voltage.assign(2, {});
+  const auto n = static_cast<std::size_t>(duration / dt);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) * dt;
+    tr.time.push_back(t);
+    const Real p1 = std::fmod(f1 * t, 1.0);
+    // phase_difference measures how much channel b LAGS a, so shift b late.
+    const Real p2 = std::fmod(f2 * t - phase2 / core::kTwoPi + 10.0, 1.0);
+    tr.node_voltage[0].push_back(p1 < duty ? 1.0 : 0.0);
+    tr.node_voltage[1].push_back(p2 < duty ? 1.0 : 0.0);
+    tr.supply_current.push_back(0.0);
+  }
+  return tr;
+}
+
+TEST(EdgeTimes, CountsAndInterpolates) {
+  const Trace tr = synthetic_pair(10e3, 10e3, 0.0);
+  const auto edges =
+      rising_edge_times(tr.node_voltage[0], tr.time.front(), tr.dt);
+  ASSERT_GT(edges.size(), 5u);
+  // Edge spacing equals the period.
+  const Real period = edges[1] - edges[0];
+  EXPECT_NEAR(period, 1.0 / 10e3, tr.dt * 2);
+}
+
+TEST(EdgeTimes, FlatChannelHasNoEdges) {
+  std::vector<Real> flat(100, 0.7);
+  EXPECT_TRUE(rising_edge_times(flat, 0.0, 1e-6).empty());
+}
+
+TEST(Frequency, RecoversKnownFrequency) {
+  const Trace tr = synthetic_pair(25e3, 25e3, 0.0);
+  EXPECT_NEAR(trace_frequency(tr, 0), 25e3, 100.0);
+}
+
+TEST(Frequency, ZeroForNonOscillating) {
+  Trace tr;
+  tr.dt = 1e-6;
+  tr.node_voltage.assign(1, std::vector<Real>(100, 0.3));
+  tr.time.assign(100, 0.0);
+  EXPECT_DOUBLE_EQ(trace_frequency(tr, 0), 0.0);
+}
+
+TEST(Locking, EqualFrequenciesLocked) {
+  const Trace tr = synthetic_pair(20e3, 20e3, 1.0);
+  EXPECT_TRUE(is_locked(tr, 0, 1));
+}
+
+TEST(Locking, DifferentFrequenciesNotLocked) {
+  const Trace tr = synthetic_pair(20e3, 23e3, 0.0);
+  EXPECT_FALSE(is_locked(tr, 0, 1));
+}
+
+class PhaseDifferenceTest : public ::testing::TestWithParam<Real> {};
+
+TEST_P(PhaseDifferenceTest, RecoversSetPhase) {
+  const Real phase = GetParam();
+  const Trace tr = synthetic_pair(20e3, 20e3, phase);
+  const Real measured = phase_difference(tr, 0, 1);
+  // Circular distance to the expected value.
+  Real diff = std::abs(measured - phase);
+  diff = std::min(diff, core::kTwoPi - diff);
+  EXPECT_LT(diff, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, PhaseDifferenceTest,
+                         ::testing::Values(0.5, core::kPi / 2.0, core::kPi,
+                                           4.0, 5.5));
+
+TEST(XorMeasure, InPhaseGivesFullMeasure) {
+  const Trace tr = synthetic_pair(20e3, 20e3, 0.0);
+  EXPECT_NEAR(xor_average(tr, 0, 1), 0.0, 0.02);
+  EXPECT_NEAR(xor_distance_measure(tr, 0, 1), 1.0, 0.02);
+}
+
+TEST(XorMeasure, AntiPhaseGivesZeroMeasure) {
+  // Perfect anti-phase 50% duty square waves disagree everywhere.
+  const Trace tr = synthetic_pair(20e3, 20e3, core::kPi);
+  EXPECT_NEAR(xor_average(tr, 0, 1), 1.0, 0.02);
+  EXPECT_NEAR(xor_distance_measure(tr, 0, 1), 0.0, 0.02);
+}
+
+TEST(XorMeasure, QuarterPhaseIsIntermediate) {
+  const Trace tr = synthetic_pair(20e3, 20e3, core::kPi / 2.0);
+  EXPECT_NEAR(xor_distance_measure(tr, 0, 1), 0.5, 0.05);
+}
+
+TEST(XorMeasure, MeasureGrowsWithPhaseDeviationFromPi) {
+  // The distance measure is monotone in |phase - pi| — the property the
+  // comparator relies on.
+  Real prev = -1.0;
+  for (const Real dev : {0.0, 0.4, 0.8, 1.2, 1.6}) {
+    const Trace tr = synthetic_pair(20e3, 20e3, core::kPi + dev);
+    const Real m = xor_distance_measure(tr, 0, 1);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(WindowedMeasure, FewerCyclesIsNoisierButBounded) {
+  const Trace tr = synthetic_pair(20e3, 20e3, core::kPi + 0.7);
+  const Real full = xor_distance_measure(tr, 0, 1);
+  const Real windowed = xor_distance_measure_windowed(tr, 0, 1, 4);
+  EXPECT_GE(windowed, 0.0);
+  EXPECT_LE(windowed, 1.0);
+  EXPECT_NEAR(windowed, full, 0.25);
+}
+
+TEST(LkFit, RecoversSyntheticExponent) {
+  std::vector<Real> deltas, measures;
+  for (Real d = -0.3; d <= 0.3001; d += 0.02) {
+    deltas.push_back(d);
+    measures.push_back(0.1 + 2.0 * std::pow(std::abs(d), 2.0));
+  }
+  const LkFit fit = fit_lk_exponent(deltas, measures);
+  EXPECT_NEAR(fit.k, 2.0, 0.1);
+  EXPECT_NEAR(fit.delta0, 0.0, 1e-9);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LkFit, RejectsFlatCurve) {
+  const std::vector<Real> deltas{-0.2, -0.1, 0.0, 0.1, 0.2};
+  const std::vector<Real> flat{0.3, 0.3, 0.3, 0.3, 0.3};
+  EXPECT_THROW(fit_lk_exponent(deltas, flat), std::invalid_argument);
+}
+
+class WidthEstimatorTest : public ::testing::TestWithParam<Real> {};
+
+TEST_P(WidthEstimatorTest, RecoversExponent) {
+  const Real k = GetParam();
+  std::vector<Real> deltas, measures;
+  for (Real d = -0.4; d <= 0.4001; d += 0.01) {
+    deltas.push_back(d);
+    measures.push_back(0.15 + 1.5 * std::pow(std::abs(d), k));
+  }
+  EXPECT_NEAR(estimate_lk_by_widths(deltas, measures), k, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, WidthEstimatorTest,
+                         ::testing::Values(1.0, 1.6, 2.0, 3.4));
+
+TEST(WidthEstimator, RobustToFloorNoise) {
+  core::Rng rng(3);
+  std::vector<Real> deltas, measures;
+  for (Real d = -0.4; d <= 0.4001; d += 0.01) {
+    deltas.push_back(d);
+    measures.push_back(0.15 + 1.5 * std::pow(std::abs(d), 2.0) +
+                       rng.uniform(0.0, 0.01));
+  }
+  EXPECT_NEAR(estimate_lk_by_widths(deltas, measures), 2.0, 0.4);
+}
+
+TEST(WidthEstimator, RejectsBadLevels) {
+  const std::vector<Real> deltas{-0.1, 0.0, 0.1, 0.2, 0.3};
+  const std::vector<Real> ms{0.5, 0.1, 0.5, 0.6, 0.7};
+  EXPECT_THROW(estimate_lk_by_widths(deltas, ms, 0.9, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

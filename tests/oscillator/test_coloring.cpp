@@ -1,0 +1,93 @@
+#include "oscillator/coloring.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::oscillator {
+namespace {
+
+ColoringOptions fast_options(std::size_t colors) {
+  ColoringOptions o;
+  o.colors = colors;
+  o.restarts = 2;
+  o.sim.duration = 120e-6;
+  o.sim.dt = 1e-9;
+  o.sim.sample_stride = 4;
+  return o;
+}
+
+TEST(Graph, Factories) {
+  const Graph c5 = Graph::cycle(5);
+  EXPECT_EQ(c5.num_vertices, 5u);
+  EXPECT_EQ(c5.edges.size(), 5u);
+  const Graph k4 = Graph::complete(4);
+  EXPECT_EQ(k4.edges.size(), 6u);
+  EXPECT_THROW(Graph::cycle(2), std::invalid_argument);
+}
+
+TEST(Graph, ConflictCounting) {
+  const Graph c4 = Graph::cycle(4);
+  EXPECT_EQ(c4.conflicts({0, 1, 0, 1}), 0u);
+  EXPECT_EQ(c4.conflicts({0, 0, 0, 0}), 4u);
+  EXPECT_EQ(c4.conflicts({0, 0, 1, 1}), 2u);
+  EXPECT_THROW(c4.conflicts({0, 1}), std::invalid_argument);
+}
+
+class BipartiteColoring : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BipartiteColoring, EvenCyclesColorPerfectlyWithTwoColors) {
+  // Anti-phase locking IS 2-coloring: even cycles resolve exactly.
+  const Graph g = Graph::cycle(GetParam());
+  const ColoringResult r = color_graph(g, fast_options(2));
+  EXPECT_EQ(r.conflicts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenCycles, BipartiteColoring,
+                         ::testing::Values(4u, 6u, 8u));
+
+TEST(Coloring, FrustratedGraphsGetLowConflictApproximations) {
+  // The two-state relaxation dynamics lock at phase 0/pi only, so odd
+  // structures cannot settle at 2*pi/3 spacings; the heuristic still leaves
+  // at most ~1 conflict per frustrated odd cycle (documented limitation).
+  const ColoringResult c5 = color_graph(Graph::cycle(5), fast_options(3));
+  EXPECT_LE(c5.conflicts, 1u);
+  const ColoringResult k3 = color_graph(Graph::complete(3), fast_options(3));
+  EXPECT_LE(k3.conflicts, 1u);
+}
+
+TEST(Coloring, ResultShapeConsistent) {
+  const Graph g = Graph::cycle(6);
+  const ColoringResult r = color_graph(g, fast_options(2));
+  EXPECT_EQ(r.coloring.size(), 6u);
+  EXPECT_EQ(r.phases.size(), 6u);
+  for (const std::size_t c : r.coloring) EXPECT_LT(c, 2u);
+  EXPECT_EQ(g.conflicts(r.coloring), r.conflicts);
+}
+
+TEST(Coloring, InputValidation) {
+  EXPECT_THROW(color_graph(Graph{1, {}}, fast_options(2)),
+               std::invalid_argument);
+  EXPECT_THROW(color_graph(Graph::cycle(4), fast_options(1)),
+               std::invalid_argument);
+}
+
+TEST(GreedyBaseline, ProperColoringsOnStandardGraphs) {
+  for (const Graph& g : {Graph::cycle(4), Graph::cycle(5), Graph::complete(5)}) {
+    const auto coloring = greedy_coloring(g);
+    EXPECT_EQ(g.conflicts(coloring), 0u);
+  }
+  // Greedy uses exactly n colors on K_n.
+  const auto kc = greedy_coloring(Graph::complete(4));
+  std::size_t used = 0;
+  for (const std::size_t c : kc) used = std::max(used, c + 1);
+  EXPECT_EQ(used, 4u);
+}
+
+TEST(GreedyBaseline, TwoColorsOnEvenCycle) {
+  const auto coloring = greedy_coloring(Graph::cycle(8));
+  std::size_t used = 0;
+  for (const std::size_t c : coloring) used = std::max(used, c + 1);
+  EXPECT_EQ(used, 2u);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

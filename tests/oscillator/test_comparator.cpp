@@ -1,0 +1,113 @@
+#include "oscillator/comparator.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::oscillator {
+namespace {
+
+/// One shared calibrated comparator for the whole suite: calibration runs
+/// dozens of pair simulations, so building it per-test would dominate the
+/// suite's runtime.
+const OscillatorComparator& shared_comparator() {
+  static const OscillatorComparator* cmp = [] {
+    ComparatorConfig cfg;
+    cfg.calibration_points = 8;
+    cfg.sim.duration = 60e-6;
+    cfg.sim.dt = 1e-9;
+    cfg.sim.sample_stride = 4;
+    return new OscillatorComparator(cfg);
+  }();
+  return *cmp;
+}
+
+TEST(Comparator, EqualInputsGiveMinimalDistance) {
+  const auto& cmp = shared_comparator();
+  const Real d_eq = cmp.distance(0.5, 0.5);
+  const Real d_far = cmp.distance(0.1, 0.9);
+  EXPECT_LT(d_eq, d_far);
+}
+
+TEST(Comparator, DistanceIsSymmetric) {
+  const auto& cmp = shared_comparator();
+  for (const Real a : {0.2, 0.5, 0.8}) {
+    for (const Real b : {0.1, 0.6}) {
+      EXPECT_NEAR(cmp.distance(a, b), cmp.distance(b, a), 1e-9);
+    }
+  }
+}
+
+TEST(Comparator, DistanceIsMonotoneInInputGap) {
+  const auto& cmp = shared_comparator();
+  Real prev = -1.0;
+  for (const Real gap : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const Real d = cmp.distance(0.5 - gap / 2.0, 0.5 + gap / 2.0);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+}
+
+TEST(Comparator, InputsClampedOutsideUnitRange) {
+  const auto& cmp = shared_comparator();
+  EXPECT_NEAR(cmp.distance(-2.0, 3.0), cmp.distance(0.0, 1.0), 1e-9);
+}
+
+TEST(Comparator, CalibrationExtractsElectricalFigures) {
+  const auto& cal = shared_comparator().calibration();
+  EXPECT_GT(cal.oscillation_hz, 1e6);
+  // Pair power: tens of microwatts (the Sec. III-B budget).
+  EXPECT_GT(cal.pair_power_watts, 10e-6);
+  EXPECT_LT(cal.pair_power_watts, 200e-6);
+  EXPECT_EQ(cal.delta_vgs.size(), cal.measure.size());
+}
+
+TEST(Comparator, UnitPowerIncludesReadout) {
+  const auto& cmp = shared_comparator();
+  EXPECT_GT(cmp.unit_power_watts(), cmp.calibration().pair_power_watts);
+}
+
+TEST(Comparator, ComparisonTimeMatchesReadoutCycles) {
+  const auto& cmp = shared_comparator();
+  const Real expected = static_cast<Real>(cmp.config().readout_cycles) /
+                        cmp.calibration().oscillation_hz;
+  EXPECT_NEAR(cmp.comparison_seconds(), expected, 1e-12);
+  EXPECT_NEAR(cmp.energy_per_comparison(),
+              cmp.unit_power_watts() * cmp.comparison_seconds(), 1e-18);
+}
+
+TEST(Comparator, ThresholdForInputDeltaIsMonotone) {
+  const auto& cmp = shared_comparator();
+  const Real t1 = cmp.threshold_for_input_delta(0.1);
+  const Real t2 = cmp.threshold_for_input_delta(0.3);
+  EXPECT_LE(t1, t2);
+}
+
+TEST(Comparator, SimulatedDistanceAgreesWithCalibratedCurve) {
+  const auto& cmp = shared_comparator();
+  // The interpolated LUT should track a fresh full simulation to within the
+  // measurement noise of the XOR readout.
+  const Real lut = cmp.distance(0.3, 0.7);
+  const Real sim = cmp.distance_simulated(0.3, 0.7);
+  EXPECT_NEAR(lut, sim, 0.15);
+}
+
+TEST(Comparator, RejectsBadConfig) {
+  ComparatorConfig cfg;
+  cfg.calibration_points = 2;  // too few
+  EXPECT_THROW(OscillatorComparator{cfg}, std::invalid_argument);
+  cfg = ComparatorConfig{};
+  cfg.vgs_half_span = 0.0;
+  EXPECT_THROW(OscillatorComparator{cfg}, std::invalid_argument);
+}
+
+TEST(Accelerator, ExposesStackAndComparator) {
+  ComparatorConfig cfg;
+  cfg.calibration_points = 4;
+  cfg.sim.duration = 30e-6;
+  const OscillatorAccelerator accel(cfg);
+  EXPECT_EQ(accel.kind(), core::AcceleratorKind::kOscillator);
+  EXPECT_GE(accel.stack_layers().size(), 4u);
+  EXPECT_GT(accel.comparator().calibration().oscillation_hz, 0.0);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

@@ -1,0 +1,116 @@
+#include "oscillator/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::oscillator {
+namespace {
+
+const OscillatorComparator& shared_comparator() {
+  static const OscillatorComparator* cmp = [] {
+    ComparatorConfig cfg;
+    cfg.calibration_points = 6;
+    cfg.sim.duration = 60e-6;
+    cfg.sim.dt = 1e-9;
+    cfg.sim.sample_stride = 4;
+    return new OscillatorComparator(cfg);
+  }();
+  return *cmp;
+}
+
+TEST(Matcher, NearestTemplateWins) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template({0.1, 0.1, 0.1});
+  matcher.add_template({0.5, 0.5, 0.5});
+  matcher.add_template({0.9, 0.9, 0.9});
+  EXPECT_EQ(matcher.best_match({0.12, 0.08, 0.1}), 0u);
+  EXPECT_EQ(matcher.best_match({0.52, 0.49, 0.5}), 1u);
+  EXPECT_EQ(matcher.best_match({0.88, 0.92, 0.9}), 2u);
+}
+
+TEST(Matcher, RankIsSortedAscending) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template({0.2, 0.2});
+  matcher.add_template({0.8, 0.8});
+  matcher.add_template({0.5, 0.5});
+  const auto ranks = matcher.rank({0.21, 0.2});
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0].template_index, 0u);
+  for (std::size_t i = 1; i < ranks.size(); ++i)
+    EXPECT_GE(ranks[i].aggregate_distance, ranks[i - 1].aggregate_distance);
+}
+
+TEST(Matcher, StatsAccountForComparisons) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template({0.2, 0.3, 0.4, 0.5});
+  matcher.add_template({0.6, 0.7, 0.8, 0.9});
+  MatcherStats stats;
+  matcher.rank({0.5, 0.5, 0.5, 0.5}, &stats);
+  EXPECT_EQ(stats.comparisons, 8u);  // 2 templates x 4 components
+  EXPECT_GT(stats.energy_joules, 0.0);
+  // Latency: one comparison window per template (components in parallel).
+  EXPECT_NEAR(stats.latency_seconds,
+              2.0 * shared_comparator().comparison_seconds(), 1e-12);
+}
+
+TEST(Matcher, DimensionMismatchRejected) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template({0.1, 0.2});
+  EXPECT_THROW(matcher.add_template({0.1}), std::invalid_argument);
+  EXPECT_THROW(matcher.rank({0.1, 0.2, 0.3}), std::invalid_argument);
+  EXPECT_THROW(matcher.add_template({}), std::invalid_argument);
+}
+
+TEST(Matcher, EmptyStoreRejected) {
+  TemplateMatcher matcher(shared_comparator());
+  EXPECT_THROW(matcher.rank({0.5}), std::invalid_argument);
+}
+
+TEST(Matcher, ClusteringSeparatesGroups) {
+  TemplateMatcher matcher(shared_comparator());
+  // Two well-separated groups of three.
+  matcher.add_template({0.1, 0.1});
+  matcher.add_template({0.15, 0.1});
+  matcher.add_template({0.1, 0.15});
+  matcher.add_template({0.85, 0.9});
+  matcher.add_template({0.9, 0.9});
+  matcher.add_template({0.9, 0.85});
+  const auto assignment = matcher.cluster(2);
+  ASSERT_EQ(assignment.size(), 6u);
+  EXPECT_EQ(assignment[0], assignment[1]);
+  EXPECT_EQ(assignment[1], assignment[2]);
+  EXPECT_EQ(assignment[3], assignment[4]);
+  EXPECT_EQ(assignment[4], assignment[5]);
+  EXPECT_NE(assignment[0], assignment[3]);
+}
+
+TEST(Matcher, ClusterArgumentValidation) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template({0.5});
+  EXPECT_THROW(matcher.cluster(0), std::invalid_argument);
+  EXPECT_THROW(matcher.cluster(2), std::invalid_argument);
+}
+
+TEST(TextFeature, EncodingProperties) {
+  const Feature f = text_to_feature("AB", 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_GT(f[1], f[0]);             // 'B' > 'A'
+  EXPECT_DOUBLE_EQ(f[2], 0.0);       // padding
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+  for (const core::Real v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_THROW(text_to_feature("x", 0), std::invalid_argument);
+}
+
+TEST(TextFeature, SimilarStringsMatchBetter) {
+  TemplateMatcher matcher(shared_comparator());
+  matcher.add_template(text_to_feature("hello", 8));
+  matcher.add_template(text_to_feature("world", 8));
+  matcher.add_template(text_to_feature("zzzzz", 8));
+  EXPECT_EQ(matcher.best_match(text_to_feature("hallo", 8)), 0u);
+  EXPECT_EQ(matcher.best_match(text_to_feature("worlt", 8)), 1u);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

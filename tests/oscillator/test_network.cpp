@@ -1,0 +1,152 @@
+#include "oscillator/network.h"
+
+#include <gtest/gtest.h>
+
+#include "oscillator/analysis.h"
+
+namespace rebooting::oscillator {
+namespace {
+
+SimulationOptions fast_sim() {
+  SimulationOptions so;
+  so.duration = 30e-6;
+  so.dt = 1e-9;
+  so.sample_stride = 4;
+  return so;
+}
+
+TEST(SingleOscillator, ProducesRelaxationOscillation) {
+  RelaxationOscillator osc{OscillatorParams{}};
+  const Trace tr = osc.simulate(1.0, fast_sim());
+  const Real f = trace_frequency(tr, 0);
+  EXPECT_GT(f, 1e6);   // MHz-scale per the VO2 literature
+  EXPECT_LT(f, 50e6);
+}
+
+TEST(SingleOscillator, FrequencyIncreasesWithVgsInLinearRegion) {
+  RelaxationOscillator osc{OscillatorParams{}};
+  const Real f_lo = trace_frequency(osc.simulate(0.9, fast_sim()), 0);
+  const Real f_hi = trace_frequency(osc.simulate(1.05, fast_sim()), 0);
+  EXPECT_GT(f_hi, f_lo);
+}
+
+TEST(SingleOscillator, SwingStaysWithinSupply) {
+  RelaxationOscillator osc{OscillatorParams{}};
+  const Trace tr = osc.simulate(1.0, fast_sim());
+  for (const Real v : tr.node_voltage[0]) {
+    EXPECT_GE(v, -1e-6);
+    EXPECT_LE(v, osc.params().vdd + 1e-6);
+  }
+}
+
+TEST(SingleOscillator, NoOscillationOutsideLoadLineWindow) {
+  OscillatorParams p;
+  RelaxationOscillator osc{p};
+  // Far above the window the metallic divider no longer releases.
+  ASSERT_FALSE(p.sustains_oscillation(2.0));
+  const Trace tr = osc.simulate(2.0, fast_sim());
+  EXPECT_DOUBLE_EQ(trace_frequency(tr, 0), 0.0);
+}
+
+TEST(Network, PowerIsPositiveAndPerOscillatorScale) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 1);
+  net.set_gate_voltage(0, 1.0);
+  const Trace tr = net.simulate(fast_sim());
+  const Real p = net.average_power(tr, 0.3);
+  // Tens of microwatts per oscillator (the Sec. III-B power scale).
+  EXPECT_GT(p, 5e-6);
+  EXPECT_LT(p, 200e-6);
+}
+
+TEST(Network, MatchedPairLocksAntiPhase) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.set_gate_voltage(0, 1.0);
+  net.set_gate_voltage(1, 1.0);
+  net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+  SimulationOptions so = fast_sim();
+  so.duration = 80e-6;
+  const Trace tr = net.simulate(so);
+  EXPECT_TRUE(is_locked(tr, 0, 1));
+  const Real phase = phase_difference(tr, 0, 1);
+  EXPECT_NEAR(phase, core::kPi, 0.5);
+}
+
+TEST(Network, DetunedPairStaysLockedInsideRange) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.set_gate_voltage(0, 0.97);
+  net.set_gate_voltage(1, 1.03);
+  net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+  SimulationOptions so = fast_sim();
+  so.duration = 80e-6;
+  const Trace tr = net.simulate(so);
+  EXPECT_TRUE(is_locked(tr, 0, 1));
+}
+
+TEST(Network, UncoupledDetunedPairRunsAtDifferentFrequencies) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.set_gate_voltage(0, 0.9);
+  net.set_gate_voltage(1, 1.05);
+  SimulationOptions so = fast_sim();
+  so.duration = 80e-6;
+  const Trace tr = net.simulate(so);
+  EXPECT_FALSE(is_locked(tr, 0, 1, 1e-3));
+}
+
+TEST(Network, ParallelTopologyAlsoSimulates) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.add_coupling({.a = 0, .b = 1, .r = 400e3, .c = 1e-12,
+                    .topology = CouplingTopology::kParallelRC});
+  const Trace tr = net.simulate(fast_sim());
+  EXPECT_GT(trace_frequency(tr, 0), 1e6);
+}
+
+TEST(Network, ThreeOscillatorChain) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 3);
+  net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+  net.add_coupling({.a = 1, .b = 2, .r = 15e3, .c = 1e-12});
+  SimulationOptions so = fast_sim();
+  so.duration = 60e-6;
+  const Trace tr = net.simulate(so);
+  // The chain locks to a common frequency.
+  EXPECT_TRUE(is_locked(tr, 0, 1, 1e-2));
+  EXPECT_TRUE(is_locked(tr, 1, 2, 1e-2));
+}
+
+TEST(Network, TraceShapeMatchesOptions) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  SimulationOptions so = fast_sim();
+  const Trace tr = net.simulate(so);
+  EXPECT_EQ(tr.oscillators(), 2u);
+  EXPECT_EQ(tr.samples(), tr.time.size());
+  EXPECT_EQ(tr.supply_current.size(), tr.time.size());
+  EXPECT_NEAR(tr.dt, so.dt * static_cast<Real>(so.sample_stride), 1e-15);
+}
+
+TEST(Network, InvalidCouplingRejected) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  EXPECT_THROW(net.add_coupling({.a = 0, .b = 0, .r = 1e3, .c = 1e-12}),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_coupling({.a = 0, .b = 5, .r = 1e3, .c = 1e-12}),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_coupling({.a = 0, .b = 1, .r = -1.0, .c = 1e-12}),
+               std::invalid_argument);
+  // Series topology requires a real capacitor.
+  EXPECT_THROW(net.add_coupling({.a = 0, .b = 1, .r = 1e3, .c = 0.0,
+                                 .topology = CouplingTopology::kSeriesRC}),
+               std::invalid_argument);
+}
+
+TEST(Network, ZeroOscillatorsRejected) {
+  EXPECT_THROW(CoupledOscillatorNetwork(OscillatorParams{}, 0),
+               std::invalid_argument);
+}
+
+TEST(Network, BadSimulationOptionsRejected) {
+  CoupledOscillatorNetwork net(OscillatorParams{}, 1);
+  SimulationOptions so = fast_sim();
+  so.dt = 0.0;
+  EXPECT_THROW(net.simulate(so), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

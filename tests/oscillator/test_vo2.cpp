@@ -1,0 +1,90 @@
+#include "oscillator/vo2.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::oscillator {
+namespace {
+
+TEST(Vo2Device, HysteresisSwitchingRules) {
+  Vo2Device dev;  // defaults: v_imt 1.4, v_mit 0.6
+  // Insulating stays insulating below the IMT threshold.
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kInsulating, 1.0), Vo2Phase::kInsulating);
+  // Crossing the IMT threshold switches to metallic.
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kInsulating, 1.5), Vo2Phase::kMetallic);
+  // Metallic stays metallic in the hysteresis window...
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kMetallic, 1.0), Vo2Phase::kMetallic);
+  // ...and releases below the MIT threshold.
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kMetallic, 0.5), Vo2Phase::kInsulating);
+}
+
+TEST(Vo2Device, HysteresisWindowIsSticky) {
+  // Inside (v_mit, v_imt) both phases are stable — that is the memory.
+  Vo2Device dev;
+  const Real v_mid = 0.5 * (dev.v_mit + dev.v_imt);
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kInsulating, v_mid), Vo2Phase::kInsulating);
+  EXPECT_EQ(dev.next_phase(Vo2Phase::kMetallic, v_mid), Vo2Phase::kMetallic);
+}
+
+TEST(Vo2Device, ResistanceByPhase) {
+  Vo2Device dev;
+  EXPECT_DOUBLE_EQ(dev.resistance(Vo2Phase::kInsulating), dev.r_insulating);
+  EXPECT_DOUBLE_EQ(dev.resistance(Vo2Phase::kMetallic), dev.r_metallic);
+  EXPECT_GT(dev.resistance(Vo2Phase::kInsulating),
+            dev.resistance(Vo2Phase::kMetallic));
+}
+
+TEST(Vo2Device, ValidationRejectsBadWindows) {
+  Vo2Device dev;
+  dev.v_mit = 2.0;  // above v_imt
+  EXPECT_THROW(dev.validate(), std::invalid_argument);
+  dev = Vo2Device{};
+  dev.r_metallic = dev.r_insulating + 1.0;
+  EXPECT_THROW(dev.validate(), std::invalid_argument);
+}
+
+TEST(SeriesTransistor, ConductanceAboveThresholdIsLinear) {
+  SeriesTransistor tr;
+  const Real g1 = tr.conductance(tr.vth + 0.2);
+  const Real g2 = tr.conductance(tr.vth + 0.4);
+  EXPECT_NEAR(g2 - tr.g_leak, 2.0 * (g1 - tr.g_leak), 1e-12);
+}
+
+TEST(SeriesTransistor, SubthresholdFloorsAtLeakage) {
+  SeriesTransistor tr;
+  EXPECT_DOUBLE_EQ(tr.conductance(tr.vth - 0.1), tr.g_leak);
+  EXPECT_DOUBLE_EQ(tr.conductance(0.0), tr.g_leak);
+}
+
+TEST(SeriesTransistor, ResistanceIsReciprocal) {
+  SeriesTransistor tr;
+  const Real vgs = tr.vth + 0.5;
+  EXPECT_NEAR(tr.resistance(vgs) * tr.conductance(vgs), 1.0, 1e-12);
+}
+
+TEST(OscillatorParams, DefaultSustainsOscillationMidRange) {
+  OscillatorParams p;
+  p.validate();
+  EXPECT_TRUE(p.sustains_oscillation(1.0));
+}
+
+TEST(OscillatorParams, LoadLineFailsForExtremeGateVoltages) {
+  OscillatorParams p;
+  // A very strong transistor pulls the metallic divider above the MIT
+  // threshold: no oscillation (the Sec. III-A load-line condition).
+  EXPECT_FALSE(p.sustains_oscillation(6.0));
+}
+
+TEST(OscillatorParams, ValidateRejectsLowSupply) {
+  OscillatorParams p;
+  p.vdd = p.vo2.v_imt;  // cannot ever trip the IMT
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(OscillatorParams, ValidateRejectsZeroCapacitance) {
+  OscillatorParams p;
+  p.c_node = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::oscillator

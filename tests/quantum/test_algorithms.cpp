@@ -1,0 +1,184 @@
+#include "quantum/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(Qft, InverseUndoesForward) {
+  Circuit prep(4);
+  prep.h(0).cx(0, 2).t(1);
+  Circuit round_trip = prep;
+  round_trip.append(qft_circuit(4)).append(inverse_qft_circuit(4));
+  EXPECT_NEAR(simulate(prep).fidelity(simulate(round_trip)), 1.0, 1e-9);
+}
+
+TEST(Qft, MapsBasisStateToUniformMagnitudes) {
+  Circuit c(3);
+  c.x(0);
+  c.append(qft_circuit(3));
+  const StateVector s = simulate(c);
+  for (std::uint64_t b = 0; b < 8; ++b)
+    EXPECT_NEAR(std::norm(s.amplitude(b)), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Qft, PeriodicStateProducesPeaks) {
+  // Uniform superposition of states 0 and 4 (period 4 in an 8-dim space):
+  // the QFT concentrates on multiples of 2.
+  StateVector s(3);
+  s.apply_1q(gate_matrix(GateKind::kH), 2);  // |0> + |4>
+  const Circuit qft = qft_circuit(3);
+  for (const Operation& op : qft.operations()) apply_operation(s, op);
+  const auto p = s.probabilities();
+  EXPECT_NEAR(p[0] + p[2] + p[4] + p[6], 1.0, 1e-9);
+}
+
+TEST(Grover, OptimalIterationFormula) {
+  EXPECT_EQ(grover_optimal_iterations(8, 1), 12u);  // pi/4*sqrt(256) ~ 12.5
+  EXPECT_EQ(grover_optimal_iterations(4, 1), 3u);
+  EXPECT_GE(grover_optimal_iterations(2, 4), 1u);
+}
+
+class GroverSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroverSizes, FindsSingleMarkedState) {
+  const std::size_t n = GetParam();
+  core::Rng rng(n);
+  const std::uint64_t target = (1ull << n) - 2;
+  const GroverResult r =
+      grover_search(n, [target](std::uint64_t s) { return s == target; }, rng);
+  EXPECT_GT(r.success_probability, 0.8);
+  EXPECT_EQ(r.found, target);
+  EXPECT_TRUE(r.is_marked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GroverSizes, ::testing::Values(4u, 6u, 8u, 10u));
+
+TEST(Grover, MultipleMarkedStates) {
+  core::Rng rng(5);
+  const auto marked = [](std::uint64_t s) { return s % 16 == 3; };
+  const GroverResult r = grover_search(8, marked, rng);
+  EXPECT_GT(r.success_probability, 0.8);
+  EXPECT_TRUE(marked(r.found));
+}
+
+TEST(Grover, OverRotationLowersSuccess) {
+  core::Rng rng(7);
+  const auto marked = [](std::uint64_t s) { return s == 5; };
+  const GroverResult good = grover_search(6, marked, rng);
+  const GroverResult over =
+      grover_search(6, marked, rng, 2 * good.iterations);
+  EXPECT_LT(over.success_probability, good.success_probability);
+}
+
+class ShorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShorTest, FactorsSemiprime) {
+  const std::uint64_t n = GetParam();
+  core::Rng rng(n * 7 + 1);
+  const ShorResult r = shor_factor(n, rng, 30);
+  ASSERT_TRUE(r.success) << "n=" << n;
+  EXPECT_EQ(r.factor1 * r.factor2, n);
+  EXPECT_GT(r.factor1, 1u);
+  EXPECT_GT(r.factor2, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Semiprimes, ShorTest,
+                         ::testing::Values(15ull, 21ull, 33ull, 35ull));
+
+TEST(Shor, EvenAndPerfectPowerShortcuts) {
+  core::Rng rng(1);
+  const ShorResult even = shor_factor(14, rng);
+  EXPECT_TRUE(even.success);
+  EXPECT_EQ(even.factor1, 2u);
+  const ShorResult power = shor_factor(27, rng);
+  EXPECT_TRUE(power.success);
+  EXPECT_EQ(power.factor1 * power.factor2, 27u);
+  EXPECT_FALSE(power.used_quantum);
+}
+
+TEST(Shor, RejectsTinyInput) {
+  core::Rng rng(1);
+  EXPECT_THROW(shor_factor(3, rng), std::invalid_argument);
+}
+
+class BvTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BvTest, RecoversSecretInOneQuery) {
+  core::Rng rng(2);
+  EXPECT_EQ(bernstein_vazirani(GetParam(), 6, rng), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, BvTest,
+                         ::testing::Values(0ull, 1ull, 0b101010ull, 0b111111ull));
+
+TEST(DeutschJozsa, DistinguishesConstantFromBalanced) {
+  core::Rng rng(3);
+  EXPECT_TRUE(deutsch_jozsa_is_balanced(5, true, rng));
+  EXPECT_FALSE(deutsch_jozsa_is_balanced(5, false, rng));
+}
+
+TEST(Dna, StringRoundTrip) {
+  const DnaSequence seq = dna_from_string("ACGTACGT");
+  EXPECT_EQ(seq.size(), 8u);
+  EXPECT_EQ(dna_to_string(seq), "ACGTACGT");
+  EXPECT_THROW(dna_from_string("ACGX"), std::invalid_argument);
+}
+
+TEST(Dna, ClassicalMatchFindsAllOccurrences) {
+  const DnaSequence text = dna_from_string("ACGACGACG");
+  const DnaSequence pat = dna_from_string("ACG");
+  std::size_t cmp = 0;
+  const auto matches = dna_match_classical(text, pat, &cmp);
+  EXPECT_EQ(matches, (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_GT(cmp, 0u);
+}
+
+TEST(Dna, GroverFindsPlantedPattern) {
+  core::Rng rng(9);
+  DnaSequence text = random_dna(rng, 60);
+  // Plant a distinctive pattern at offset 23.
+  const DnaSequence pat = dna_from_string("ACGTACGTT");
+  for (std::size_t j = 0; j < pat.size(); ++j) text[23 + j] = pat[j];
+  // Ensure no accidental second match confuses the check.
+  const auto classical = dna_match_classical(text, pat);
+  ASSERT_FALSE(classical.empty());
+  const DnaMatchResult r = dna_match_grover(text, pat, rng);
+  ASSERT_TRUE(r.position.has_value());
+  // Whatever Grover returned must be a real match.
+  bool is_real = false;
+  for (const std::size_t m : classical)
+    if (m == *r.position) is_real = true;
+  EXPECT_TRUE(is_real);
+  EXPECT_GT(r.success_probability, 0.5);
+}
+
+TEST(Dna, GroverOracleCallsScaleAsSqrt) {
+  core::Rng rng(11);
+  // 61-offset text (6 index qubits) vs 253-offset text (8 index qubits):
+  // oracle calls should grow ~2x, not ~4x.
+  DnaSequence pat = dna_from_string("ACGTACGT");
+  DnaSequence small = random_dna(rng, 68);
+  DnaSequence large = random_dna(rng, 260);
+  for (std::size_t j = 0; j < pat.size(); ++j) {
+    small[10 + j] = pat[j];
+    large[100 + j] = pat[j];
+  }
+  const auto rs = dna_match_grover(small, pat, rng);
+  const auto rl = dna_match_grover(large, pat, rng);
+  EXPECT_NEAR(static_cast<double>(rl.oracle_calls) /
+                  static_cast<double>(rs.oracle_calls),
+              2.0, 0.7);
+}
+
+TEST(Dna, EmptyPatternHandled) {
+  core::Rng rng(13);
+  const DnaSequence text = random_dna(rng, 20);
+  const DnaMatchResult r = dna_match_grover(text, {}, rng);
+  EXPECT_FALSE(r.position.has_value());
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

@@ -1,0 +1,146 @@
+#include "quantum/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(Circuit, BuilderAddsOperations) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.5).measure(1);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.operations()[1].kind, GateKind::kCx);
+  EXPECT_EQ(c.operations()[2].angle, 0.5);
+}
+
+TEST(Circuit, RejectsBadOperations) {
+  Circuit c(2);
+  EXPECT_THROW(c.add(GateKind::kCx, {0}), std::invalid_argument);
+  EXPECT_THROW(c.add(GateKind::kH, {5}), std::invalid_argument);
+  EXPECT_THROW(c.add(GateKind::kCx, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(Circuit(0), std::invalid_argument);
+}
+
+TEST(Circuit, AppendRequiresMatchingWidth) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.x(1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  Circuit wrong(3);
+  EXPECT_THROW(a.append(wrong), std::invalid_argument);
+}
+
+TEST(Circuit, DepthAccountsForParallelism) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);  // all parallel: depth 1
+  EXPECT_EQ(c.depth(), 1u);
+  c.cx(0, 1);        // depth 2
+  c.cx(1, 2);        // depth 3
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, MultiQubitGateCount) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cz(1, 2).swap(0, 2).t(1).ccx(0, 1, 2);
+  EXPECT_EQ(c.multi_qubit_gates(), 4u);
+}
+
+TEST(Simulate, BellPairCorrelations) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(0b00)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(0b11)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(0b01)), 0.0, 1e-12);
+}
+
+TEST(Simulate, GhzState) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(0b000)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(0b111)), 0.5, 1e-12);
+}
+
+TEST(Simulate, ToffoliTruthTable) {
+  for (unsigned in = 0; in < 8; ++in) {
+    Circuit c(3);
+    for (std::size_t q = 0; q < 3; ++q)
+      if (in & (1u << q)) c.x(q);
+    c.ccx(0, 1, 2);
+    const StateVector s = simulate(c);
+    const unsigned expected =
+        ((in & 0b11) == 0b11) ? (in ^ 0b100) : in;
+    EXPECT_NEAR(std::norm(s.amplitude(expected)), 1.0, 1e-12) << "in=" << in;
+  }
+}
+
+TEST(Simulate, SwapGate) {
+  Circuit c(2);
+  c.x(0).swap(0, 1);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(0b10)), 1.0, 1e-12);
+}
+
+class SelfInverseGates : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(SelfInverseGates, TwiceIsIdentity) {
+  Circuit c(1);
+  c.add(GetParam(), {0});
+  c.add(GetParam(), {0});
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(0)), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, SelfInverseGates,
+                         ::testing::Values(GateKind::kX, GateKind::kY,
+                                           GateKind::kZ, GateKind::kH));
+
+TEST(GateMatrix, SAndSdgCompose) {
+  Circuit c(1);
+  c.h(0).s(0).sdg(0).h(0);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(GateMatrix, TFourthPowerIsZ) {
+  // T^4 = Z: H T T T T H |0> = H Z H |0> = |1>.
+  Circuit c(1);
+  c.h(0).t(0).t(0).t(0).t(0).h(0);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(std::norm(s.amplitude(1)), 1.0, 1e-12);
+}
+
+TEST(GateMatrix, RotationAngleAddition) {
+  Circuit split(1);
+  split.ry(0, 0.3).ry(0, 0.9);
+  Circuit direct(1);
+  direct.ry(0, 1.2);
+  EXPECT_NEAR(simulate(split).fidelity(simulate(direct)), 1.0, 1e-12);
+}
+
+TEST(GateMatrix, ThrowsForMultiQubitKinds) {
+  EXPECT_THROW(gate_matrix(GateKind::kCx), std::invalid_argument);
+  EXPECT_THROW(gate_matrix(GateKind::kMeasure), std::invalid_argument);
+}
+
+TEST(ApplyOperation, MeasureRejected) {
+  StateVector s(1);
+  EXPECT_THROW(apply_operation(s, {GateKind::kMeasure, {0}, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Operation, ToStringFormats) {
+  const Operation op{GateKind::kRx, {2}, 1.5};
+  const std::string s = op.to_string();
+  EXPECT_NE(s.find("rx"), std::string::npos);
+  EXPECT_NE(s.find("q2"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

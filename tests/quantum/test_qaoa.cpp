@@ -1,0 +1,79 @@
+#include "quantum/qaoa.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(IsingEnergy, MatchesDefinition) {
+  const std::vector<IsingBondView> bonds = {{0, 1, 1.0}, {1, 2, -2.0}};
+  EXPECT_DOUBLE_EQ(ising_energy(bonds, {1, 1, 1}), -1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(ising_energy(bonds, {1, 1, -1}), -1.0 - 2.0);
+}
+
+TEST(Qaoa, FerromagneticPairReachesGroundState) {
+  core::Rng rng(1);
+  const std::vector<IsingBondView> bonds = {{0, 1, 1.0}};
+  const QaoaResult r = qaoa_ising(2, bonds, rng);
+  EXPECT_DOUBLE_EQ(r.best_energy, -1.0);
+  EXPECT_EQ(r.best_spins[0], r.best_spins[1]);  // aligned
+}
+
+TEST(Qaoa, AntiferromagneticTriangleIsFrustrated) {
+  // Ground energy of the AF triangle is -1 (one bond always violated).
+  core::Rng rng(3);
+  const std::vector<IsingBondView> bonds = {
+      {0, 1, -1.0}, {1, 2, -1.0}, {0, 2, -1.0}};
+  const QaoaResult r = qaoa_ising(3, bonds, rng);
+  EXPECT_DOUBLE_EQ(r.best_energy, -1.0);
+}
+
+TEST(Qaoa, RingGroundState) {
+  // Ferromagnetic 6-ring: ground energy -6.
+  core::Rng rng(5);
+  std::vector<IsingBondView> bonds;
+  for (std::size_t i = 0; i < 6; ++i) bonds.push_back({i, (i + 1) % 6, 1.0});
+  QaoaOptions opts;
+  opts.layers = 2;
+  const QaoaResult r = qaoa_ising(6, bonds, rng, opts);
+  EXPECT_DOUBLE_EQ(r.best_energy, -6.0);
+  EXPECT_DOUBLE_EQ(ising_energy(bonds, r.best_spins), r.best_energy);
+}
+
+TEST(Qaoa, ExpectationImprovesWithDepth) {
+  core::Rng rng(7);
+  std::vector<IsingBondView> bonds;
+  for (std::size_t i = 0; i < 5; ++i) bonds.push_back({i, (i + 1) % 5, 1.0});
+  bonds.push_back({0, 2, -1.0});
+  QaoaOptions p1;
+  p1.layers = 1;
+  QaoaOptions p3;
+  p3.layers = 3;
+  const QaoaResult r1 = qaoa_ising(5, bonds, rng, p1);
+  const QaoaResult r3 = qaoa_ising(5, bonds, rng, p3);
+  EXPECT_LE(r3.expected_energy, r1.expected_energy + 1e-9);
+}
+
+TEST(Qaoa, ExpectedEnergyBoundsSampledBest) {
+  core::Rng rng(9);
+  std::vector<IsingBondView> bonds = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, -1.0}};
+  const QaoaResult r = qaoa_ising(4, bonds, rng);
+  // The sampled minimum cannot exceed the mean.
+  EXPECT_LE(r.best_energy, r.expected_energy + 1e-9);
+  EXPECT_EQ(r.gammas.size(), 2u);  // default layers
+  EXPECT_GT(r.circuit_evaluations, 0u);
+}
+
+TEST(Qaoa, InputValidation) {
+  core::Rng rng(1);
+  EXPECT_THROW(qaoa_ising(0, {}, rng), std::invalid_argument);
+  EXPECT_THROW(qaoa_ising(21, {}, rng), std::invalid_argument);
+  EXPECT_THROW(qaoa_ising(2, {{0, 0, 1.0}}, rng), std::invalid_argument);
+  EXPECT_THROW(qaoa_ising(2, {{0, 5, 1.0}}, rng), std::invalid_argument);
+  QaoaOptions bad;
+  bad.layers = 0;
+  EXPECT_THROW(qaoa_ising(2, {{0, 1, 1.0}}, rng, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

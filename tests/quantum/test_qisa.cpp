@@ -1,0 +1,82 @@
+#include "quantum/qisa.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(Qisa, AssemblesBasicProgram) {
+  const Circuit c = assemble(
+      "qubits 3\n"
+      "h q0\n"
+      "cz q0 q1\n"
+      "rx q2 1.5707963\n"
+      "measure q1\n");
+  EXPECT_EQ(c.num_qubits(), 3u);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.operations()[0].kind, GateKind::kH);
+  EXPECT_EQ(c.operations()[1].kind, GateKind::kCz);
+  EXPECT_NEAR(c.operations()[2].angle, 1.5707963, 1e-12);
+  EXPECT_EQ(c.operations()[3].kind, GateKind::kMeasure);
+}
+
+TEST(Qisa, CommentsAndBlankLinesIgnored) {
+  const Circuit c = assemble(
+      "# full-line comment\n"
+      "qubits 2\n"
+      "\n"
+      "x q0  # trailing comment\n");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Qisa, RoundTripPreservesProgram) {
+  Circuit c(4);
+  c.h(0).cx(0, 1).rz(2, 0.123456789012345).ccx(0, 1, 3).swap(2, 3).measure(0);
+  const Circuit back = assemble(disassemble(c));
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.operations()[i].kind, c.operations()[i].kind);
+    EXPECT_EQ(back.operations()[i].qubits, c.operations()[i].qubits);
+    EXPECT_DOUBLE_EQ(back.operations()[i].angle, c.operations()[i].angle);
+  }
+}
+
+TEST(Qisa, ErrorsCarryLineNumbers) {
+  try {
+    assemble("qubits 2\nbogus q0\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Qisa, RejectsMalformedPrograms) {
+  EXPECT_THROW(assemble("h q0\n"), std::runtime_error);          // no header
+  EXPECT_THROW(assemble("qubits 0\n"), std::runtime_error);      // zero qubits
+  EXPECT_THROW(assemble("qubits 2\nqubits 3\n"), std::runtime_error);
+  EXPECT_THROW(assemble("qubits 2\ncx q0\n"), std::runtime_error);  // operand
+  EXPECT_THROW(assemble("qubits 2\nrx q0\n"), std::runtime_error);  // angle
+  EXPECT_THROW(assemble("qubits 2\nh q0 q1\n"), std::runtime_error);
+  EXPECT_THROW(assemble("qubits 2\nh x0\n"), std::runtime_error);
+  EXPECT_THROW(assemble("qubits 1\nh q7\n"), std::invalid_argument);
+}
+
+TEST(Qisa, InstructionCyclesOrdering) {
+  // Measurement slowest, two-qubit gates slower than single-qubit ones.
+  EXPECT_GT(instruction_cycles(GateKind::kMeasure),
+            instruction_cycles(GateKind::kCz));
+  EXPECT_GT(instruction_cycles(GateKind::kCz),
+            instruction_cycles(GateKind::kRx));
+  EXPECT_GT(instruction_cycles(GateKind::kCcx),
+            instruction_cycles(GateKind::kCz));
+}
+
+TEST(Qisa, AssembledProgramSimulates) {
+  const Circuit bell = assemble("qubits 2\nh q0\ncx q0 q1\n");
+  const StateVector s = simulate(bell);
+  EXPECT_NEAR(std::norm(s.amplitude(0b00)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(0b11)), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

@@ -1,0 +1,103 @@
+#include "quantum/runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(Runtime, BellPairOnAllToAll) {
+  core::Rng rng(1);
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  QuantumAccelerator acc({.topology = Topology::all_to_all(2)});
+  const ExecutionResult r = acc.run(bell, 4000, rng);
+  EXPECT_EQ(r.shots, 4000u);
+  EXPECT_NEAR(r.frequency(0b00), 0.5, 0.05);
+  EXPECT_NEAR(r.frequency(0b11), 0.5, 0.05);
+  EXPECT_NEAR(r.frequency(0b01) + r.frequency(0b10), 0.0, 1e-12);
+}
+
+TEST(Runtime, RoutingPermutationUndoneInCounts) {
+  core::Rng rng(3);
+  // Entangle distant qubits on a line; the result keys must still be the
+  // LOGICAL bit patterns 0b0000 / 0b1001.
+  Circuit bell(4);
+  bell.h(0).cx(0, 3);
+  QuantumAccelerator acc({.topology = Topology::line(4)});
+  const ExecutionResult r = acc.run(bell, 4000, rng);
+  EXPECT_GT(r.compile_report.swaps_inserted, 0u);
+  EXPECT_NEAR(r.frequency(0b0000) + r.frequency(0b1001), 1.0, 1e-12);
+}
+
+TEST(Runtime, ExplicitMeasurementsCollapse) {
+  core::Rng rng(5);
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure(0).measure(1);
+  QuantumAccelerator acc({.topology = Topology::all_to_all(2)});
+  const ExecutionResult r = acc.run(c, 2000, rng);
+  EXPECT_NEAR(r.frequency(0b00) + r.frequency(0b11), 1.0, 1e-12);
+}
+
+TEST(Runtime, DeviceTimeScalesWithShots) {
+  core::Rng rng(7);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  QuantumAccelerator acc({.topology = Topology::all_to_all(2)});
+  const auto r1 = acc.run(c, 100, rng);
+  const auto r2 = acc.run(c, 200, rng);
+  EXPECT_NEAR(r2.device_seconds, 2.0 * r1.device_seconds, 1e-12);
+}
+
+TEST(Runtime, DepolarizingNoiseDegradesBellFidelity) {
+  core::Rng rng(9);
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  QuantumDeviceConfig noisy;
+  noisy.topology = Topology::all_to_all(2);
+  noisy.noise.depolarizing_1q = 0.02;
+  noisy.noise.depolarizing_2q = 0.05;
+  QuantumAccelerator acc(noisy);
+  const ExecutionResult r = acc.run(bell, 3000, rng);
+  const core::Real good = r.frequency(0b00) + r.frequency(0b11);
+  EXPECT_LT(good, 0.995);  // errors visible
+  EXPECT_GT(good, 0.6);    // but not random
+}
+
+TEST(Runtime, ReadoutFlipsScrambleDeterministicOutcome) {
+  core::Rng rng(11);
+  Circuit c(1);
+  c.x(0);
+  QuantumDeviceConfig cfg;
+  cfg.topology = Topology::all_to_all(1);
+  cfg.noise.readout_flip = 0.1;
+  QuantumAccelerator acc(cfg);
+  const ExecutionResult r = acc.run(c, 5000, rng);
+  EXPECT_NEAR(r.frequency(0b0), 0.1, 0.02);
+}
+
+TEST(Runtime, ModeReturnsMostFrequent) {
+  core::Rng rng(13);
+  Circuit c(2);
+  c.x(1);
+  QuantumAccelerator acc({.topology = Topology::all_to_all(2)});
+  const ExecutionResult r = acc.run(c, 100, rng);
+  EXPECT_EQ(r.mode(), 0b10u);
+}
+
+TEST(Runtime, ZeroShotsRejected) {
+  core::Rng rng(1);
+  Circuit c(1);
+  c.h(0);
+  QuantumAccelerator acc({.topology = Topology::all_to_all(1)});
+  EXPECT_THROW(acc.run(c, 0, rng), std::invalid_argument);
+}
+
+TEST(Runtime, StackLayersDescribeFigTwo) {
+  QuantumAccelerator acc({.topology = Topology::all_to_all(2)});
+  const auto layers = acc.stack_layers();
+  EXPECT_EQ(layers.size(), 6u);  // the six layers of Fig. 2
+  EXPECT_EQ(acc.kind(), core::AcceleratorKind::kQuantum);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

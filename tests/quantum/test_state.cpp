@@ -1,0 +1,148 @@
+#include "quantum/state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/circuit.h"
+
+namespace rebooting::quantum {
+namespace {
+
+TEST(StateVector, InitializesToGroundState) {
+  StateVector s(3);
+  EXPECT_EQ(s.dimension(), 8u);
+  EXPECT_NEAR(std::abs(s.amplitude(0)), 1.0, 1e-15);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, QubitCountLimits) {
+  EXPECT_THROW(StateVector(0), std::invalid_argument);
+  EXPECT_THROW(StateVector(27), std::invalid_argument);
+}
+
+TEST(StateVector, HadamardCreatesEqualSuperposition) {
+  StateVector s(1);
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  EXPECT_NEAR(std::norm(s.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(1)), 0.5, 1e-12);
+}
+
+TEST(StateVector, PauliXFlipsBasisState) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateKind::kX), 1);
+  EXPECT_NEAR(std::norm(s.amplitude(0b10)), 1.0, 1e-12);
+}
+
+class UnitarityTest : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(UnitarityTest, NormPreservedByGate) {
+  StateVector s(3);
+  // Scramble a bit first.
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  s.apply_1q(gate_matrix(GateKind::kH), 2);
+  s.apply_1q(gate_matrix(GetParam(), 0.7), 1);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, UnitarityTest,
+                         ::testing::Values(GateKind::kX, GateKind::kY,
+                                           GateKind::kZ, GateKind::kH,
+                                           GateKind::kS, GateKind::kT,
+                                           GateKind::kRx, GateKind::kRy,
+                                           GateKind::kRz, GateKind::kPhase));
+
+TEST(StateVector, ControlledGateActsOnlyWhenControlSet) {
+  StateVector s(2);
+  const std::size_t controls[] = {0};
+  // Control |0>: nothing happens.
+  s.apply_controlled(gate_matrix(GateKind::kX), controls, 1);
+  EXPECT_NEAR(std::norm(s.amplitude(0b00)), 1.0, 1e-12);
+  // Set the control, now the target flips.
+  s.apply_1q(gate_matrix(GateKind::kX), 0);
+  s.apply_controlled(gate_matrix(GateKind::kX), controls, 1);
+  EXPECT_NEAR(std::norm(s.amplitude(0b11)), 1.0, 1e-12);
+}
+
+TEST(StateVector, MultiControlledRequiresAllControls) {
+  StateVector s(3);
+  s.apply_1q(gate_matrix(GateKind::kX), 0);  // only one of two controls set
+  const std::size_t controls[] = {0, 1};
+  s.apply_controlled(gate_matrix(GateKind::kX), controls, 2);
+  EXPECT_NEAR(std::norm(s.amplitude(0b001)), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapQubitsPermutesAmplitudes) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateKind::kX), 0);  // |01> (qubit0 = 1)
+  s.swap_qubits(0, 1);
+  EXPECT_NEAR(std::norm(s.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(StateVector, DiagonalAppliesPhases) {
+  StateVector s(1);
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  s.apply_diagonal([](std::uint64_t b) { return b == 1 ? -1.0 : 1.0; });
+  // H then Z-phase then H == X up to global phase.
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  EXPECT_NEAR(std::norm(s.amplitude(1)), 1.0, 1e-12);
+}
+
+TEST(StateVector, PermutationMovesAmplitudes) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  s.apply_permutation([](std::uint64_t b) { return b ^ 0b10u; });
+  EXPECT_NEAR(std::norm(s.amplitude(0b10)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(s.amplitude(0b11)), 0.5, 1e-12);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, ProbabilityOne) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateKind::kRy, 2.0 * std::acos(std::sqrt(0.25))), 0);
+  EXPECT_NEAR(s.probability_one(0), 0.75, 1e-9);
+  EXPECT_NEAR(s.probability_one(1), 0.0, 1e-12);
+}
+
+TEST(StateVector, SampleFollowsDistribution) {
+  core::Rng rng(1);
+  StateVector s(1);
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  int ones = 0;
+  const int shots = 20000;
+  for (int i = 0; i < shots; ++i)
+    if (s.sample(rng) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.02);
+}
+
+TEST(StateVector, MeasureCollapsesState) {
+  core::Rng rng(3);
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateKind::kH), 0);
+  const std::size_t controls[] = {0};
+  s.apply_controlled(gate_matrix(GateKind::kX), controls, 1);  // Bell pair
+  const bool outcome = s.measure_qubit(0, rng);
+  // After measuring qubit 0, qubit 1 is perfectly correlated.
+  EXPECT_NEAR(s.probability_one(1), outcome ? 1.0 : 0.0, 1e-12);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, FidelityOfIdenticalAndOrthogonalStates) {
+  StateVector a(1);
+  StateVector b(1);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+  b.apply_1q(gate_matrix(GateKind::kX), 0);
+  EXPECT_NEAR(a.fidelity(b), 0.0, 1e-12);
+}
+
+TEST(StateVector, BadTargetsThrow) {
+  StateVector s(2);
+  EXPECT_THROW(s.apply_1q(gate_matrix(GateKind::kX), 2), std::invalid_argument);
+  const std::size_t controls[] = {1};
+  EXPECT_THROW(s.apply_controlled(gate_matrix(GateKind::kX), controls, 1),
+               std::invalid_argument);
+  EXPECT_THROW(s.probability_one(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

@@ -1,0 +1,155 @@
+#include "vision/fast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "vision/image.h"
+
+namespace rebooting::vision {
+namespace {
+
+TEST(Ring, SixteenDistinctRadiusThreeOffsets) {
+  const auto& ring = bresenham_ring();
+  ASSERT_EQ(ring.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    // Euclidean radius ~3: the Bresenham circle uses x^2+y^2 in {8, 9, 10}.
+    const int r2 = ring[i].x * ring[i].x + ring[i].y * ring[i].y;
+    EXPECT_GE(r2, 8);
+    EXPECT_LE(r2, 10);
+    for (std::size_t j = i + 1; j < 16; ++j) EXPECT_NE(ring[i], ring[j]);
+  }
+}
+
+TEST(Ring, ConsecutiveOffsetsAreNeighbours) {
+  const auto& ring = bresenham_ring();
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Pixel& a = ring[i];
+    const Pixel& b = ring[(i + 1) % 16];
+    EXPECT_LE(std::abs(a.x - b.x), 1);
+    EXPECT_LE(std::abs(a.y - b.y), 1);
+  }
+}
+
+TEST(ContiguousArc, DetectsWrapAround) {
+  std::array<bool, 16> flags{};
+  // 12..15 and 0..4: a wrap-around run of 9.
+  for (const std::size_t i : {12u, 13u, 14u, 15u, 0u, 1u, 2u, 3u, 4u})
+    flags[i] = true;
+  EXPECT_TRUE(has_contiguous_arc(flags, 9));
+  EXPECT_FALSE(has_contiguous_arc(flags, 10));
+}
+
+TEST(ContiguousArc, BrokenRunRejected) {
+  std::array<bool, 16> flags{};
+  for (std::size_t i = 0; i < 9; ++i) flags[i] = true;
+  flags[4] = false;  // break the run
+  EXPECT_FALSE(has_contiguous_arc(flags, 9));
+  EXPECT_TRUE(has_contiguous_arc(flags, 4));
+}
+
+TEST(ContiguousArc, EdgeCases) {
+  std::array<bool, 16> all{};
+  all.fill(true);
+  EXPECT_TRUE(has_contiguous_arc(all, 16));
+  EXPECT_FALSE(has_contiguous_arc(all, 17));
+  std::array<bool, 16> none{};
+  EXPECT_FALSE(has_contiguous_arc(none, 1));
+  EXPECT_TRUE(has_contiguous_arc(none, 0));
+}
+
+/// A synthetic corner: bright quadrant on dark background.
+Image corner_image() {
+  Image img(32, 32, 0.2);
+  for (std::size_t y = 16; y < 32; ++y)
+    for (std::size_t x = 16; x < 32; ++x) img.at(x, y) = 0.8;
+  return img;
+}
+
+TEST(SegmentTest, DetectsCornerOfBrightQuadrant) {
+  const Image img = corner_image();
+  FastOptions opts;
+  EXPECT_TRUE(fast_segment_test(img, 16, 16, opts));
+}
+
+TEST(SegmentTest, RejectsFlatRegionAndEdgeMidpoint) {
+  const Image img = corner_image();
+  FastOptions opts;
+  EXPECT_FALSE(fast_segment_test(img, 8, 8, opts));    // flat dark
+  EXPECT_FALSE(fast_segment_test(img, 24, 24, opts));  // flat bright
+  // Middle of a straight edge: only ~8 contiguous differing pixels < 9.
+  EXPECT_FALSE(fast_segment_test(img, 16, 26, opts));
+}
+
+TEST(SegmentTest, ThresholdGatesDetection) {
+  const Image img = corner_image();
+  FastOptions opts;
+  opts.threshold = 0.9;  // larger than the contrast
+  EXPECT_FALSE(fast_segment_test(img, 16, 16, opts));
+}
+
+TEST(CornerScore, PositiveOnlyOnCorners) {
+  const Image img = corner_image();
+  FastOptions opts;
+  EXPECT_GT(fast_corner_score(img, 16, 16, opts), 0.0);
+  EXPECT_DOUBLE_EQ(fast_corner_score(img, 8, 8, opts), 0.0);
+}
+
+TEST(Detect, FindsAllRectangleCorners) {
+  core::Rng rng(11);
+  const Scene scene = make_rectangle_scene(rng, 96, 96, 3, 0.6);
+  const auto detections = fast_detect(scene.image, FastOptions{});
+  const MatchScore score =
+      score_detections([&] {
+        std::vector<Pixel> px;
+        for (const auto& d : detections) px.push_back(d.position);
+        return px;
+      }(), scene.true_corners);
+  EXPECT_GT(score.recall, 0.95);
+  EXPECT_GT(score.precision, 0.9);
+}
+
+TEST(Detect, NonMaxSuppressionReducesDetections) {
+  core::Rng rng(13);
+  const Scene scene = make_rectangle_scene(rng, 96, 96, 3, 0.6);
+  FastOptions with_nms;
+  FastOptions without_nms;
+  without_nms.non_max_suppression = false;
+  const auto d1 = fast_detect(scene.image, with_nms);
+  const auto d2 = fast_detect(scene.image, without_nms);
+  EXPECT_LE(d1.size(), d2.size());
+}
+
+TEST(Detect, CountsCompareOps) {
+  const Image img(32, 32, 0.5);
+  std::size_t ops = 0;
+  fast_detect(img, FastOptions{}, &ops);
+  // (32-6)^2 interior pixels x 16 ring comparisons.
+  EXPECT_EQ(ops, 26u * 26u * 16u);
+}
+
+TEST(Detect, NoCornersOnUniformImage) {
+  const Image img(48, 48, 0.5);
+  EXPECT_TRUE(fast_detect(img, FastOptions{}).empty());
+}
+
+class ArcLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArcLengthSweep, ShorterArcsDetectAtLeastAsMuch) {
+  // FAST-N monotonicity: any FAST-12 corner is also a FAST-9 corner.
+  core::Rng rng(17);
+  const Scene scene = make_polygon_scene(rng, 96, 96, 3);
+  FastOptions strict;
+  strict.arc_length = GetParam();
+  FastOptions loose;
+  loose.arc_length = GetParam() - 2;
+  strict.non_max_suppression = loose.non_max_suppression = false;
+  const auto ds = fast_detect(scene.image, strict);
+  const auto dl = fast_detect(scene.image, loose);
+  EXPECT_GE(dl.size(), ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ArcLengths, ArcLengthSweep,
+                         ::testing::Values(9u, 10u, 12u));
+
+}  // namespace
+}  // namespace rebooting::vision

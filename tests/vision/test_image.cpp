@@ -1,0 +1,134 @@
+#include "vision/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rebooting::vision {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 0.5);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_DOUBLE_EQ(img.at(2, 1), 0.5);
+  img.at(2, 1) = 0.9;
+  EXPECT_DOUBLE_EQ(img.at(2, 1), 0.9);
+}
+
+TEST(Image, ZeroDimensionThrows) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessAtBorders) {
+  Image img(3, 3);
+  img.at(0, 0) = 0.7;
+  img.at(2, 2) = 0.3;
+  EXPECT_DOUBLE_EQ(img.at_clamped(-5, -5), 0.7);
+  EXPECT_DOUBLE_EQ(img.at_clamped(10, 10), 0.3);
+}
+
+TEST(Image, InBounds) {
+  Image img(3, 2);
+  EXPECT_TRUE(img.in_bounds(0, 0));
+  EXPECT_TRUE(img.in_bounds(2, 1));
+  EXPECT_FALSE(img.in_bounds(3, 0));
+  EXPECT_FALSE(img.in_bounds(0, -1));
+}
+
+TEST(Image, NoiseStaysInRange) {
+  core::Rng rng(1);
+  Image img(16, 16, 0.5);
+  img.add_noise(rng, 0.5);
+  for (const Real p : img.pixels()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Image, PgmRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rebooting_test.pgm").string();
+  Image img(5, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 5; ++x)
+      img.at(x, y) = static_cast<Real>(x + y) / 8.0;
+  img.save_pgm(path);
+  const Image loaded = Image::load_pgm(path);
+  ASSERT_EQ(loaded.width(), 5u);
+  ASSERT_EQ(loaded.height(), 4u);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 5; ++x)
+      EXPECT_NEAR(loaded.at(x, y), img.at(x, y), 1.0 / 255.0);
+  std::remove(path.c_str());
+}
+
+TEST(Image, LoadRejectsMissingFile) {
+  EXPECT_THROW(Image::load_pgm("/nonexistent/file.pgm"), std::runtime_error);
+}
+
+TEST(RectangleScene, CornersMatchRectangles) {
+  core::Rng rng(5);
+  const Scene scene = make_rectangle_scene(rng, 128, 128, 4);
+  EXPECT_EQ(scene.true_corners.size() % 4, 0u);
+  EXPECT_GT(scene.true_corners.size(), 0u);
+  // Every corner pixel must be bright (it belongs to a rectangle).
+  for (const Pixel& c : scene.true_corners) {
+    EXPECT_GT(scene.image.at(static_cast<std::size_t>(c.x),
+                             static_cast<std::size_t>(c.y)),
+              0.5);
+  }
+}
+
+TEST(PolygonScene, ProducesCorners) {
+  core::Rng rng(7);
+  const Scene scene = make_polygon_scene(rng, 128, 128, 3);
+  EXPECT_GE(scene.true_corners.size(), 9u);  // >= 3 vertices per polygon
+}
+
+TEST(CheckerboardScene, LatticeCornersCounted) {
+  const Scene scene = make_checkerboard_scene(64, 64, 16);
+  // Interior lattice crossings: 3 x 3.
+  EXPECT_EQ(scene.true_corners.size(), 9u);
+  EXPECT_DOUBLE_EQ(scene.image.at(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(scene.image.at(16, 0), 0.8);
+}
+
+TEST(CheckerboardScene, ZeroCellThrows) {
+  EXPECT_THROW(make_checkerboard_scene(32, 32, 0), std::invalid_argument);
+}
+
+TEST(Score, PerfectDetection) {
+  const std::vector<Pixel> gt{{10, 10}, {20, 20}};
+  const MatchScore s = score_detections(gt, gt, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+}
+
+TEST(Score, NearMissWithinRadiusCounts) {
+  const std::vector<Pixel> gt{{10, 10}};
+  const std::vector<Pixel> det{{12, 11}};
+  EXPECT_DOUBLE_EQ(score_detections(det, gt, 3.0).recall, 1.0);
+  EXPECT_DOUBLE_EQ(score_detections(det, gt, 1.0).recall, 0.0);
+}
+
+TEST(Score, PrecisionPenalizesExtraDetections) {
+  const std::vector<Pixel> gt{{10, 10}};
+  const std::vector<Pixel> det{{10, 10}, {50, 50}};
+  const MatchScore s = score_detections(det, gt, 2.0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(Score, EmptyDetectionsZeroScores) {
+  const std::vector<Pixel> gt{{1, 1}};
+  const MatchScore s = score_detections({}, gt, 2.0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace rebooting::vision

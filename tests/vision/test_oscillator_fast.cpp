@@ -1,0 +1,109 @@
+#include "vision/oscillator_fast.h"
+
+#include <gtest/gtest.h>
+
+#include "vision/image.h"
+
+namespace rebooting::vision {
+namespace {
+
+using oscillator::ComparatorConfig;
+using oscillator::OscillatorComparator;
+
+const OscillatorComparator& shared_comparator() {
+  static const OscillatorComparator* cmp = [] {
+    ComparatorConfig cfg;
+    cfg.calibration_points = 8;
+    cfg.sim.duration = 60e-6;
+    cfg.sim.dt = 1e-9;
+    cfg.sim.sample_stride = 4;
+    return new OscillatorComparator(cfg);
+  }();
+  return *cmp;
+}
+
+Image corner_image() {
+  Image img(32, 32, 0.2);
+  for (std::size_t y = 16; y < 32; ++y)
+    for (std::size_t x = 16; x < 32; ++x) img.at(x, y) = 0.8;
+  return img;
+}
+
+TEST(OscillatorFast, DetectsCornerPixel) {
+  const OscillatorFastDetector det(shared_comparator(), {});
+  EXPECT_TRUE(det.is_corner(corner_image(), 16, 16));
+}
+
+TEST(OscillatorFast, RejectsFlatAndEdgePixels) {
+  const OscillatorFastDetector det(shared_comparator(), {});
+  const Image img = corner_image();
+  EXPECT_FALSE(det.is_corner(img, 8, 8));
+  EXPECT_FALSE(det.is_corner(img, 24, 24));
+  EXPECT_FALSE(det.is_corner(img, 16, 26));
+}
+
+TEST(OscillatorFast, AgreesWithSoftwareFastOnScenes) {
+  core::Rng rng(19);
+  const Scene scene = make_rectangle_scene(rng, 80, 80, 3, 0.6);
+  const auto sw = fast_detect(scene.image, FastOptions{});
+  const OscillatorFastDetector det(shared_comparator(), {});
+  const auto osc = det.detect(scene.image);
+  std::vector<Pixel> sw_px, osc_px;
+  for (const auto& d : sw) sw_px.push_back(d.position);
+  for (const auto& d : osc) osc_px.push_back(d.position);
+  const MatchScore agree = score_detections(osc_px, sw_px, 2.0);
+  EXPECT_GT(agree.recall, 0.8);
+  EXPECT_GT(agree.precision, 0.8);
+}
+
+TEST(OscillatorFast, StatsCountComparisons) {
+  const OscillatorFastDetector det(shared_comparator(), {});
+  OscillatorFastStats stats;
+  det.is_corner(corner_image(), 16, 16, &stats);
+  EXPECT_EQ(stats.step1_comparisons, 16u);
+  EXPECT_EQ(stats.candidates_after_step1, 1u);
+  EXPECT_GT(stats.step2_comparisons, 0u);  // suppression pass ran
+}
+
+TEST(OscillatorFast, MixedArcRejectedBySecondStep) {
+  // A pixel whose ring contains both much-brighter and much-darker runs that
+  // only together form >= 9 contiguous "differs" pixels: the directionless
+  // step-1 norm accepts it, the step-2 adjacency check must kill it.
+  Image img(16, 16, 0.5);
+  const auto& ring = bresenham_ring();
+  for (std::size_t i = 0; i < 16; ++i) {
+    const int x = 8 + ring[i].x;
+    const int y = 8 + ring[i].y;
+    // First 5 ring pixels bright, next 5 dark, rest neutral.
+    Real v = 0.5;
+    if (i < 5) v = 0.95;
+    else if (i < 10) v = 0.05;
+    img.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) = v;
+  }
+  OscillatorFastOptions with_fps;
+  OscillatorFastOptions without_fps;
+  without_fps.false_positive_suppression = false;
+  const OscillatorFastDetector strict(shared_comparator(), with_fps);
+  const OscillatorFastDetector loose(shared_comparator(), without_fps);
+  OscillatorFastStats stats;
+  EXPECT_FALSE(strict.is_corner(img, 8, 8, &stats));
+  EXPECT_EQ(stats.rejected_by_step2, 1u);
+  EXPECT_TRUE(loose.is_corner(img, 8, 8));
+  // Software FAST (direction-aware) agrees with the suppressed verdict.
+  EXPECT_FALSE(fast_segment_test(img, 8, 8, FastOptions{}));
+}
+
+TEST(OscillatorFast, SuppressionNeverIncreasesDetections) {
+  core::Rng rng(23);
+  const Scene scene = make_polygon_scene(rng, 64, 64, 3, 0.6, 0.02);
+  OscillatorFastOptions with_fps;
+  OscillatorFastOptions without_fps;
+  without_fps.false_positive_suppression = false;
+  const OscillatorFastDetector strict(shared_comparator(), with_fps);
+  const OscillatorFastDetector loose(shared_comparator(), without_fps);
+  EXPECT_LE(strict.detect(scene.image).size(),
+            loose.detect(scene.image).size());
+}
+
+}  // namespace
+}  // namespace rebooting::vision

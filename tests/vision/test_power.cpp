@@ -1,0 +1,85 @@
+#include "vision/power.h"
+
+#include <gtest/gtest.h>
+
+namespace rebooting::vision {
+namespace {
+
+using oscillator::ComparatorConfig;
+using oscillator::OscillatorComparator;
+
+const OscillatorComparator& shared_comparator() {
+  static const OscillatorComparator* cmp = [] {
+    ComparatorConfig cfg;
+    cfg.calibration_points = 6;
+    cfg.sim.duration = 60e-6;
+    cfg.sim.dt = 1e-9;
+    cfg.sim.sample_stride = 4;
+    return new OscillatorComparator(cfg);
+  }();
+  return *cmp;
+}
+
+TEST(CmosInventory, LaneAndBlockSizes) {
+  const auto lane = cmos_comparison_lane();
+  const auto block = cmos_fast_block();
+  EXPECT_GT(lane.nand2_equivalents(), 100.0);
+  // Block is 16 lanes plus support.
+  EXPECT_GT(block.nand2_equivalents(), 16.0 * lane.nand2_equivalents());
+}
+
+TEST(PowerComparison, OscillatorBlockNearPaperValue) {
+  const auto report = compare_fast_block_power(shared_comparator());
+  // Paper: 0.936 mW. Same order, within 2x (device constants are literature
+  // ranges, not fitted to the authors' film).
+  EXPECT_GT(report.oscillator_block_watts, 0.4e-3);
+  EXPECT_LT(report.oscillator_block_watts, 2.0e-3);
+}
+
+TEST(PowerComparison, CmosBlockNearPaperValue) {
+  const auto report = compare_fast_block_power(shared_comparator());
+  // Paper: 3 mW at 32 nm.
+  EXPECT_GT(report.cmos_block_watts, 1.0e-3);
+  EXPECT_LT(report.cmos_block_watts, 8.0e-3);
+}
+
+TEST(PowerComparison, OscillatorWinsAsInPaper) {
+  const auto report = compare_fast_block_power(shared_comparator());
+  EXPECT_GT(report.power_ratio, 1.5);  // paper: ~3.2x
+  EXPECT_DOUBLE_EQ(report.cmos_block_watts,
+                   report.cmos_dynamic_watts + report.cmos_leakage_watts);
+}
+
+TEST(PowerComparison, PerComparisonEnergiesPositive) {
+  const auto report = compare_fast_block_power(shared_comparator());
+  EXPECT_GT(report.oscillator_energy_per_cmp, 0.0);
+  EXPECT_GT(report.cmos_energy_per_cmp, 0.0);
+}
+
+TEST(FrameEnergy, ScalesWithComparisonCount) {
+  OscillatorFastStats small;
+  small.step1_comparisons = 16 * 100;
+  OscillatorFastStats large;
+  large.step1_comparisons = 16 * 1000;
+  const auto e_small = frame_energy(shared_comparator(), small);
+  const auto e_large = frame_energy(shared_comparator(), large);
+  EXPECT_NEAR(e_large.oscillator_joules / e_small.oscillator_joules, 10.0,
+              1e-6);
+  EXPECT_NEAR(e_large.cmos_joules / e_small.cmos_joules, 10.0, 1e-6);
+}
+
+TEST(FrameEnergy, CmosIsFasterButHungrier) {
+  OscillatorFastStats stats;
+  stats.step1_comparisons = 16 * 500;
+  const auto e = frame_energy(shared_comparator(), stats);
+  // The CMOS block at 1 GHz finishes the frame far sooner than the MHz-scale
+  // analog readout...
+  EXPECT_LT(e.cmos_seconds, e.oscillator_seconds);
+  // ...but the energy ordering depends on power x time; just check both are
+  // positive and finite here (the bench reports the actual numbers).
+  EXPECT_GT(e.cmos_joules, 0.0);
+  EXPECT_GT(e.oscillator_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace rebooting::vision
