@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cross_paradigm_ising"
+  "../bench/cross_paradigm_ising.pdb"
+  "CMakeFiles/cross_paradigm_ising.dir/cross_paradigm_ising.cpp.o"
+  "CMakeFiles/cross_paradigm_ising.dir/cross_paradigm_ising.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_paradigm_ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_quantum_stack"
+  "../bench/fig2_quantum_stack.pdb"
+  "CMakeFiles/fig2_quantum_stack.dir/fig2_quantum_stack.cpp.o"
+  "CMakeFiles/fig2_quantum_stack.dir/fig2_quantum_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_quantum_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

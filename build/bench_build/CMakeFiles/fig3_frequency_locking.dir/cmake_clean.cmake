@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_frequency_locking"
+  "../bench/fig3_frequency_locking.pdb"
+  "CMakeFiles/fig3_frequency_locking.dir/fig3_frequency_locking.cpp.o"
+  "CMakeFiles/fig3_frequency_locking.dir/fig3_frequency_locking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_frequency_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

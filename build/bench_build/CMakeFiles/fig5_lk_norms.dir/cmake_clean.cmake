@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_lk_norms"
+  "../bench/fig5_lk_norms.pdb"
+  "CMakeFiles/fig5_lk_norms.dir/fig5_lk_norms.cpp.o"
+  "CMakeFiles/fig5_lk_norms.dir/fig5_lk_norms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lk_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fast_pipeline"
+  "../bench/fig6_fast_pipeline.pdb"
+  "CMakeFiles/fig6_fast_pipeline.dir/fig6_fast_pipeline.cpp.o"
+  "CMakeFiles/fig6_fast_pipeline.dir/fig6_fast_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fast_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

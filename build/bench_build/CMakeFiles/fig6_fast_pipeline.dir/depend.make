@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fast_pipeline.
+# This may be replaced when dependencies are built.

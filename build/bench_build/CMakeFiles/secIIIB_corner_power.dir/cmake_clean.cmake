@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIIIB_corner_power"
+  "../bench/secIIIB_corner_power.pdb"
+  "CMakeFiles/secIIIB_corner_power.dir/secIIIB_corner_power.cpp.o"
+  "CMakeFiles/secIIIB_corner_power.dir/secIIIB_corner_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIIIB_corner_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secII_quantum_apps"
+  "../bench/secII_quantum_apps.pdb"
+  "CMakeFiles/secII_quantum_apps.dir/secII_quantum_apps.cpp.o"
+  "CMakeFiles/secII_quantum_apps.dir/secII_quantum_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secII_quantum_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIV_dmm_dynamics"
+  "../bench/secIV_dmm_dynamics.pdb"
+  "CMakeFiles/secIV_dmm_dynamics.dir/secIV_dmm_dynamics.cpp.o"
+  "CMakeFiles/secIV_dmm_dynamics.dir/secIV_dmm_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIV_dmm_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

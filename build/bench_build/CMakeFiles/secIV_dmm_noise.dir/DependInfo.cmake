@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/secIV_dmm_noise.cpp" "bench_build/CMakeFiles/secIV_dmm_noise.dir/secIV_dmm_noise.cpp.o" "gcc" "bench_build/CMakeFiles/secIV_dmm_noise.dir/secIV_dmm_noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscillator/CMakeFiles/rebooting_oscillator.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rebooting_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/rebooting_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIV_dmm_noise"
+  "../bench/secIV_dmm_noise.pdb"
+  "CMakeFiles/secIV_dmm_noise.dir/secIV_dmm_noise.cpp.o"
+  "CMakeFiles/secIV_dmm_noise.dir/secIV_dmm_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIV_dmm_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIV_dmm_vs_sat"
+  "../bench/secIV_dmm_vs_sat.pdb"
+  "CMakeFiles/secIV_dmm_vs_sat.dir/secIV_dmm_vs_sat.cpp.o"
+  "CMakeFiles/secIV_dmm_vs_sat.dir/secIV_dmm_vs_sat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIV_dmm_vs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

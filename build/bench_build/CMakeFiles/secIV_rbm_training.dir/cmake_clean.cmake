@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIV_rbm_training"
+  "../bench/secIV_rbm_training.pdb"
+  "CMakeFiles/secIV_rbm_training.dir/secIV_rbm_training.cpp.o"
+  "CMakeFiles/secIV_rbm_training.dir/secIV_rbm_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIV_rbm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secIV_spin_glass"
+  "../bench/secIV_spin_glass.pdb"
+  "CMakeFiles/secIV_spin_glass.dir/secIV_spin_glass.cpp.o"
+  "CMakeFiles/secIV_spin_glass.dir/secIV_spin_glass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIV_spin_glass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

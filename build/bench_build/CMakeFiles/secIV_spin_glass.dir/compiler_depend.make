@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secIV_spin_glass.
+# This may be replaced when dependencies are built.

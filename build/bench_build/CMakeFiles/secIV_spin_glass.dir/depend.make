@@ -1,0 +1,2 @@
+# Empty dependencies file for secIV_spin_glass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_detection.dir/corner_detection.cpp.o"
+  "CMakeFiles/corner_detection.dir/corner_detection.cpp.o.d"
+  "corner_detection"
+  "corner_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_number.dir/factor_number.cpp.o"
+  "CMakeFiles/factor_number.dir/factor_number.cpp.o.d"
+  "factor_number"
+  "factor_number.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_number.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_match.dir/pattern_match.cpp.o"
+  "CMakeFiles/pattern_match.dir/pattern_match.cpp.o.d"
+  "pattern_match"
+  "pattern_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_sat.dir/solve_sat.cpp.o"
+  "CMakeFiles/solve_sat.dir/solve_sat.cpp.o.d"
+  "solve_sat"
+  "solve_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

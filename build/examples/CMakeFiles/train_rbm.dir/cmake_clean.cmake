@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_rbm.dir/train_rbm.cpp.o"
+  "CMakeFiles/train_rbm.dir/train_rbm.cpp.o.d"
+  "train_rbm"
+  "train_rbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_rbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cpp" "src/core/CMakeFiles/rebooting_core.dir/accelerator.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/accelerator.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/rebooting_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/linalg.cpp" "src/core/CMakeFiles/rebooting_core.dir/linalg.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/linalg.cpp.o.d"
+  "/root/repo/src/core/ode.cpp" "src/core/CMakeFiles/rebooting_core.dir/ode.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/ode.cpp.o.d"
+  "/root/repo/src/core/random.cpp" "src/core/CMakeFiles/rebooting_core.dir/random.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/random.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/rebooting_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/rebooting_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/rebooting_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

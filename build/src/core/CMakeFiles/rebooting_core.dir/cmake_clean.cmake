@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebooting_core.dir/accelerator.cpp.o"
+  "CMakeFiles/rebooting_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/energy.cpp.o"
+  "CMakeFiles/rebooting_core.dir/energy.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/linalg.cpp.o"
+  "CMakeFiles/rebooting_core.dir/linalg.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/ode.cpp.o"
+  "CMakeFiles/rebooting_core.dir/ode.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/random.cpp.o"
+  "CMakeFiles/rebooting_core.dir/random.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/stats.cpp.o"
+  "CMakeFiles/rebooting_core.dir/stats.cpp.o.d"
+  "CMakeFiles/rebooting_core.dir/table.cpp.o"
+  "CMakeFiles/rebooting_core.dir/table.cpp.o.d"
+  "librebooting_core.a"
+  "librebooting_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebooting_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memcomputing/cnf.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/cnf.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/cnf.cpp.o.d"
+  "/root/repo/src/memcomputing/dmm.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/dmm.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/dmm.cpp.o.d"
+  "/root/repo/src/memcomputing/ising.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/ising.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/ising.cpp.o.d"
+  "/root/repo/src/memcomputing/rbm.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/rbm.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/rbm.cpp.o.d"
+  "/root/repo/src/memcomputing/sat.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/sat.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/sat.cpp.o.d"
+  "/root/repo/src/memcomputing/solg.cpp" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/solg.cpp.o" "gcc" "src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/solg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

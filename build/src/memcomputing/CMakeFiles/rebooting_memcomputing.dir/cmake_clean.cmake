@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebooting_memcomputing.dir/cnf.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/cnf.cpp.o.d"
+  "CMakeFiles/rebooting_memcomputing.dir/dmm.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/dmm.cpp.o.d"
+  "CMakeFiles/rebooting_memcomputing.dir/ising.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/ising.cpp.o.d"
+  "CMakeFiles/rebooting_memcomputing.dir/rbm.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/rbm.cpp.o.d"
+  "CMakeFiles/rebooting_memcomputing.dir/sat.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/sat.cpp.o.d"
+  "CMakeFiles/rebooting_memcomputing.dir/solg.cpp.o"
+  "CMakeFiles/rebooting_memcomputing.dir/solg.cpp.o.d"
+  "librebooting_memcomputing.a"
+  "librebooting_memcomputing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebooting_memcomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

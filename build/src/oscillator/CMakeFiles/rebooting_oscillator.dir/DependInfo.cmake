@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oscillator/analysis.cpp" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/analysis.cpp.o" "gcc" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/analysis.cpp.o.d"
+  "/root/repo/src/oscillator/coloring.cpp" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/coloring.cpp.o" "gcc" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/coloring.cpp.o.d"
+  "/root/repo/src/oscillator/comparator.cpp" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/comparator.cpp.o" "gcc" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/comparator.cpp.o.d"
+  "/root/repo/src/oscillator/matcher.cpp" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/matcher.cpp.o" "gcc" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/matcher.cpp.o.d"
+  "/root/repo/src/oscillator/network.cpp" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/network.cpp.o" "gcc" "src/oscillator/CMakeFiles/rebooting_oscillator.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebooting_oscillator.dir/analysis.cpp.o"
+  "CMakeFiles/rebooting_oscillator.dir/analysis.cpp.o.d"
+  "CMakeFiles/rebooting_oscillator.dir/coloring.cpp.o"
+  "CMakeFiles/rebooting_oscillator.dir/coloring.cpp.o.d"
+  "CMakeFiles/rebooting_oscillator.dir/comparator.cpp.o"
+  "CMakeFiles/rebooting_oscillator.dir/comparator.cpp.o.d"
+  "CMakeFiles/rebooting_oscillator.dir/matcher.cpp.o"
+  "CMakeFiles/rebooting_oscillator.dir/matcher.cpp.o.d"
+  "CMakeFiles/rebooting_oscillator.dir/network.cpp.o"
+  "CMakeFiles/rebooting_oscillator.dir/network.cpp.o.d"
+  "librebooting_oscillator.a"
+  "librebooting_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebooting_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/algorithms.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/algorithms.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/algorithms.cpp.o.d"
+  "/root/repo/src/quantum/circuit.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/circuit.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/circuit.cpp.o.d"
+  "/root/repo/src/quantum/compiler.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/compiler.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/compiler.cpp.o.d"
+  "/root/repo/src/quantum/qaoa.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/qaoa.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/qaoa.cpp.o.d"
+  "/root/repo/src/quantum/qisa.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/qisa.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/qisa.cpp.o.d"
+  "/root/repo/src/quantum/runtime.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/runtime.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/runtime.cpp.o.d"
+  "/root/repo/src/quantum/state.cpp" "src/quantum/CMakeFiles/rebooting_quantum.dir/state.cpp.o" "gcc" "src/quantum/CMakeFiles/rebooting_quantum.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebooting_quantum.dir/algorithms.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/algorithms.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/circuit.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/circuit.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/compiler.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/compiler.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/qaoa.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/qaoa.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/qisa.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/qisa.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/runtime.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/runtime.cpp.o.d"
+  "CMakeFiles/rebooting_quantum.dir/state.cpp.o"
+  "CMakeFiles/rebooting_quantum.dir/state.cpp.o.d"
+  "librebooting_quantum.a"
+  "librebooting_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebooting_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librebooting_quantum.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebooting_vision.dir/fast.cpp.o"
+  "CMakeFiles/rebooting_vision.dir/fast.cpp.o.d"
+  "CMakeFiles/rebooting_vision.dir/image.cpp.o"
+  "CMakeFiles/rebooting_vision.dir/image.cpp.o.d"
+  "CMakeFiles/rebooting_vision.dir/oscillator_fast.cpp.o"
+  "CMakeFiles/rebooting_vision.dir/oscillator_fast.cpp.o.d"
+  "CMakeFiles/rebooting_vision.dir/power.cpp.o"
+  "CMakeFiles/rebooting_vision.dir/power.cpp.o.d"
+  "librebooting_vision.a"
+  "librebooting_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebooting_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

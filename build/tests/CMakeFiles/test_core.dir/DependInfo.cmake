@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_accelerator.cpp" "tests/CMakeFiles/test_core.dir/core/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_accelerator.cpp.o.d"
+  "/root/repo/tests/core/test_energy.cpp" "tests/CMakeFiles/test_core.dir/core/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_energy.cpp.o.d"
+  "/root/repo/tests/core/test_linalg.cpp" "tests/CMakeFiles/test_core.dir/core/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_linalg.cpp.o.d"
+  "/root/repo/tests/core/test_ode.cpp" "tests/CMakeFiles/test_core.dir/core/test_ode.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ode.cpp.o.d"
+  "/root/repo/tests/core/test_random.cpp" "tests/CMakeFiles/test_core.dir/core/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_random.cpp.o.d"
+  "/root/repo/tests/core/test_stats.cpp" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "/root/repo/tests/core/test_table.cpp" "tests/CMakeFiles/test_core.dir/core/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscillator/CMakeFiles/rebooting_oscillator.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rebooting_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/rebooting_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

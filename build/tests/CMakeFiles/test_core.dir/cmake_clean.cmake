@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_accelerator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_linalg.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_linalg.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ode.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ode.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_random.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_random.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

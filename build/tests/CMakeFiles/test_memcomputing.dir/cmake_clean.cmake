@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_cnf.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_cnf.cpp.o.d"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_dmm.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_dmm.cpp.o.d"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_ising.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_ising.cpp.o.d"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_rbm.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_rbm.cpp.o.d"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_sat.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_sat.cpp.o.d"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_solg.cpp.o"
+  "CMakeFiles/test_memcomputing.dir/memcomputing/test_solg.cpp.o.d"
+  "test_memcomputing"
+  "test_memcomputing.pdb"
+  "test_memcomputing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memcomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscillator.dir/oscillator/test_analysis.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_analysis.cpp.o.d"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_coloring.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_coloring.cpp.o.d"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_comparator.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_comparator.cpp.o.d"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_matcher.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_matcher.cpp.o.d"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_network.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_network.cpp.o.d"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_vo2.cpp.o"
+  "CMakeFiles/test_oscillator.dir/oscillator/test_vo2.cpp.o.d"
+  "test_oscillator"
+  "test_oscillator.pdb"
+  "test_oscillator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quantum/test_algorithms.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_algorithms.cpp.o.d"
+  "/root/repo/tests/quantum/test_circuit.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_circuit.cpp.o.d"
+  "/root/repo/tests/quantum/test_compiler.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_compiler.cpp.o.d"
+  "/root/repo/tests/quantum/test_qaoa.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_qaoa.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_qaoa.cpp.o.d"
+  "/root/repo/tests/quantum/test_qisa.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_qisa.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_qisa.cpp.o.d"
+  "/root/repo/tests/quantum/test_runtime.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_runtime.cpp.o.d"
+  "/root/repo/tests/quantum/test_state.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_state.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebooting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscillator/CMakeFiles/rebooting_oscillator.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rebooting_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcomputing/CMakeFiles/rebooting_memcomputing.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/rebooting_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

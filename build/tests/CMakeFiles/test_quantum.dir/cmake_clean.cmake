@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum.dir/quantum/test_algorithms.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_algorithms.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_circuit.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_circuit.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_compiler.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_compiler.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_qaoa.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_qaoa.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_qisa.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_qisa.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_runtime.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_runtime.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_state.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_state.cpp.o.d"
+  "test_quantum"
+  "test_quantum.pdb"
+  "test_quantum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

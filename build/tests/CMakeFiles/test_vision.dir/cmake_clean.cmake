@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vision.dir/vision/test_fast.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_fast.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_image.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_image.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_oscillator_fast.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_oscillator_fast.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_power.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_power.cpp.o.d"
+  "test_vision"
+  "test_vision.pdb"
+  "test_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
