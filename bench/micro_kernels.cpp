@@ -8,6 +8,7 @@
 #include "memcomputing/sat.h"
 #include "oscillator/network.h"
 #include "quantum/circuit.h"
+#include "telemetry/telemetry.h"
 
 using namespace rebooting;
 
@@ -33,15 +34,18 @@ void BM_DmmStep(benchmark::State& state) {
   core::Rng rng(1);
   const auto inst = memcomputing::planted_ksat(
       rng, n, static_cast<std::size_t>(4.25 * static_cast<double>(n)), 3);
-  // Time a bounded solve; steps/op reported via items processed.
+  // Time a bounded solve; steps/op reported via items processed. The solver
+  // may terminate (solution found) before max_steps, so count actual steps.
+  std::int64_t total_steps = 0;
   for (auto _ : state) {
     memcomputing::DmmOptions opts;
     opts.max_steps = 200;
     core::Rng r(7);
     auto result = memcomputing::DmmSolver(inst.cnf, opts).solve(r);
+    total_steps += static_cast<std::int64_t>(result.steps);
     benchmark::DoNotOptimize(result.steps);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+  state.SetItemsProcessed(total_steps);
 }
 BENCHMARK(BM_DmmStep)->Arg(50)->Arg(200);
 
@@ -61,6 +65,35 @@ void BM_OscillatorNetworkStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_OscillatorNetworkStep)->Arg(2)->Arg(8)->Arg(16);
+
+// Overhead of the telemetry instrumentation in its default (disabled) state:
+// one relaxed atomic load + branch per TELEM_SPAN site. This is the number
+// that keeps spans allowed inside per-gate device code — compare against
+// BM_StateVectorHadamard / BM_OscillatorNetworkStep, which carry spans on
+// their hot paths.
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  telemetry::Telemetry::set_enabled(false);
+  int sink = 0;
+  for (auto _ : state) {
+    TELEM_SPAN("bench.noop");
+    benchmark::DoNotOptimize(++sink);
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+// Cost of a live span (two clock reads + locked tree update) — the price an
+// engine pays per instrumented call while a report is being collected.
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  telemetry::Telemetry::set_enabled(true);
+  int sink = 0;
+  for (auto _ : state) {
+    TELEM_SPAN("bench.noop");
+    benchmark::DoNotOptimize(++sink);
+  }
+  telemetry::Telemetry::set_enabled(false);
+  telemetry::Telemetry::instance().reset();
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
 
 void BM_WalkSatFlips(benchmark::State& state) {
   core::Rng rng(3);

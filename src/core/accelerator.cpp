@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace rebooting::core {
 
 std::string to_string(AcceleratorKind kind) {
@@ -36,13 +38,25 @@ JobResult HostSystem::submit(const Job& job) {
   auto& accel = *accelerators_.at(job.kind);
   if (!job.payload) throw std::invalid_argument("submit: job has no payload");
 
+  JobResult result;
   const auto start = std::chrono::steady_clock::now();
-  JobResult result = job.payload();
+  {
+    // Root span per job: engine spans opened inside the payload nest under it.
+    TELEM_SPAN("host." + to_string(job.kind));
+    result = job.payload();
+  }
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<Real>(end - start).count();
 
   accel.jobs_completed_ += 1;
   accel.busy_seconds_ += result.wall_seconds;
+  if (telemetry::Telemetry::enabled()) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add("host.jobs");
+    if (!result.ok) metrics.add("host.jobs_failed");
+    metrics.record("host.job_wall_seconds", result.wall_seconds);
+    for (const auto& [key, value] : result.metrics) metrics.add(key, value);
+  }
   log_.push_back(JobRecord{job.name, accel.name(), job.kind, result});
   return result;
 }
@@ -66,6 +80,10 @@ std::string HostSystem::describe() const {
     const auto layers = accel->stack_layers();
     for (std::size_t i = 0; i < layers.size(); ++i)
       os << "      L" << (layers.size() - i) << ": " << layers[i] << '\n';
+  }
+  if (telemetry::Telemetry::enabled()) {
+    os << "\nTelemetry rollup (per-layer cost of the jobs above):\n"
+       << telemetry::Telemetry::instance().report();
   }
   return os.str();
 }

@@ -1,0 +1,22 @@
+// Minimal JSON emission helpers shared by the table exporter and the
+// telemetry sink. This is writer-side only — the workbench never parses
+// JSON, it just emits machine-readable reports for external tooling.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+std::string json_quote(const std::string& s);
+
+/// Renders a Real as a JSON number: round-trippable precision, and NaN/Inf
+/// (not representable in JSON) rendered as null.
+std::string json_number(Real v);
+
+/// Renders a signed integer as a JSON number.
+std::string json_number(std::int64_t v);
+
+}  // namespace rebooting::core

@@ -1,6 +1,8 @@
 #include "core/table.h"
 
 #include <algorithm>
+
+#include "core/json.h"
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -75,6 +77,26 @@ std::string Table::to_csv() const {
       os << (j ? "," : "") << escape(format_cell(row[j]));
     os << '\n';
   }
+  return os.str();
+}
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << (i ? "," : "") << '{';
+    for (std::size_t j = 0; j < headers_.size(); ++j) {
+      os << (j ? "," : "") << json_quote(headers_[j]) << ':';
+      if (const auto* s = std::get_if<std::string>(&rows_[i][j]))
+        os << json_quote(*s);
+      else if (const auto* v = std::get_if<std::int64_t>(&rows_[i][j]))
+        os << json_number(*v);
+      else
+        os << json_number(std::get<Real>(rows_[i][j]));
+    }
+    os << '}';
+  }
+  os << ']';
   return os.str();
 }
 

@@ -31,6 +31,11 @@ class Table {
   /// Renders as CSV (RFC-ish: cells containing commas/quotes are quoted).
   std::string to_csv() const;
 
+  /// Renders as a JSON array of row objects keyed by header. Numeric cells
+  /// stay numbers (full precision, not the console `precision`), so bench
+  /// binaries can emit machine-readable rows for trajectory tracking.
+  std::string to_json() const;
+
   void print(std::ostream& os) const;
 
  private:

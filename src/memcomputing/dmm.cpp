@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace rebooting::memcomputing {
 
 DmmSolver::DmmSolver(const Cnf& cnf, DmmOptions options)
@@ -32,11 +34,20 @@ DmmResult DmmSolver::solve(core::Rng& rng) const {
 }
 
 DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
+  TELEM_SPAN("dmm.solve");
   const std::size_t n = cnf_.num_variables();
   const std::size_t m = clauses_.size();
   if (v.size() != n)
     throw std::invalid_argument("DmmSolver::solve_from: bad v0 size");
   const DmmParams& p = opts_.params;
+  // Hoisted enable check: the integration loop below runs up to max_steps
+  // (millions) iterations; per-step telemetry must cost nothing when off.
+  const bool telem = telemetry::Telemetry::enabled();
+  std::size_t dt_clamped_min = 0;
+  std::size_t dt_clamped_max = 0;
+  // Stride for the clause-energy trajectory histogram — full per-step
+  // recording would dominate the solve at registry-lock granularity.
+  constexpr std::size_t kEnergyTelemStride = 64;
 
   std::vector<Real> xs(m, 0.5);
   std::vector<Real> xl(m, 1.0);
@@ -50,8 +61,31 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
   result.best_unsatisfied = m;
   Real best_weight = -1.0;  // negative = nothing recorded yet
 
+  // Counter dump on every return path (solved early, solved mid-loop, or
+  // step-limit hit), while the dmm.solve span is still open.
+  struct TelemFlush {
+    const DmmResult& result;
+    const std::size_t& clamped_min;
+    const std::size_t& clamped_max;
+    std::size_t clauses;
+    ~TelemFlush() {
+      if (!telemetry::Telemetry::enabled()) return;
+      auto& metrics = telemetry::Telemetry::instance().metrics();
+      metrics.add("dmm.steps", static_cast<Real>(result.steps));
+      // One full clause sweep (all dv/dxs/dxl derivatives) per step.
+      metrics.add("dmm.rhs_evals", static_cast<Real>(result.steps));
+      metrics.add("dmm.clause_rhs_evals",
+                  static_cast<Real>(result.steps * clauses));
+      metrics.add("dmm.dt_clamped_min", static_cast<Real>(clamped_min));
+      metrics.add("dmm.dt_clamped_max", static_cast<Real>(clamped_max));
+      metrics.set("dmm.best_unsatisfied",
+                  static_cast<Real>(result.best_unsatisfied));
+    }
+  } telem_flush{result, dt_clamped_min, dt_clamped_max, m};
+
   Assignment a(n + 1, false);
   const auto evaluate_assignment = [&]() {
+    TELEM_SPAN("dmm.evaluate_assignment");
     for (std::size_t i = 0; i < n; ++i) a[i + 1] = v[i] > 0.0;
     const std::size_t unsat = cnf_.count_unsatisfied(a);
     result.best_unsatisfied = std::min(result.best_unsatisfied, unsat);
@@ -121,9 +155,12 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
     // Adaptive forward-Euler step from the largest voltage rate.
     Real max_rate = 0.0;
     for (const Real r : dv) max_rate = std::max(max_rate, std::abs(r));
-    const Real dt = (max_rate > 0.0)
-                        ? std::clamp(p.dv_cap / max_rate, p.dt_min, p.dt_max)
-                        : p.dt_max;
+    const Real dt_wanted = (max_rate > 0.0) ? p.dv_cap / max_rate : p.dt_max;
+    const Real dt = std::clamp(dt_wanted, p.dt_min, p.dt_max);
+    // The step-control analogue of acceptance/rejection in this scheme: a
+    // clamp at dt_min means the dv_cap error target was overridden.
+    dt_clamped_min += dt_wanted < p.dt_min;
+    dt_clamped_max += dt_wanted > p.dt_max;
     const Real noise_scale =
         p.noise_stddev > 0.0 ? p.noise_stddev * std::sqrt(dt) : 0.0;
 
@@ -150,6 +187,9 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
       result.avalanche_sizes.push_back(flips);
     if (opts_.energy_stride > 0 && step % opts_.energy_stride == 0)
       result.energy_trace.push_back(clause_energy);
+    if (telem && step % kEnergyTelemStride == 0)
+      telemetry::Telemetry::instance().metrics().record("dmm.clause_energy",
+                                                        clause_energy);
 
     // The digital readout only changes when some voltage crossed zero.
     if (flips > 0) {

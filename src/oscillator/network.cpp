@@ -6,6 +6,7 @@
 
 #include "core/linalg.h"
 #include "core/ode.h"
+#include "telemetry/telemetry.h"
 
 namespace rebooting::oscillator {
 
@@ -45,6 +46,7 @@ void CoupledOscillatorNetwork::add_coupling(CouplingBranch branch) {
 Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
   if (opts.dt <= 0.0 || opts.duration <= 0.0)
     throw std::invalid_argument("simulate: dt and duration must be > 0");
+  TELEM_SPAN("oscillator.simulate");
 
   const std::size_t n = size();
 
@@ -63,16 +65,19 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
   // the node capacitance matrix
   //   M_ii = c_node + sum of incident bridging Cc,  M_ij = -Cc(i,j)
   // and solve M * dV/dt = I(V) each evaluation with a one-time LU.
-  core::Matrix cap(n, n);
-  for (std::size_t i = 0; i < n; ++i) cap(i, i) = params_.c_node;
-  for (const auto& br : branches_) {
-    if (br.topology != CouplingTopology::kParallelRC) continue;
-    cap(br.a, br.a) += br.c;
-    cap(br.b, br.b) += br.c;
-    cap(br.a, br.b) -= br.c;
-    cap(br.b, br.a) -= br.c;
-  }
-  const core::LuFactorization cap_lu(cap);
+  const core::LuFactorization cap_lu = [&] {
+    TELEM_SPAN("oscillator.coupling_setup");
+    core::Matrix cap(n, n);
+    for (std::size_t i = 0; i < n; ++i) cap(i, i) = params_.c_node;
+    for (const auto& br : branches_) {
+      if (br.topology != CouplingTopology::kParallelRC) continue;
+      cap(br.a, br.a) += br.c;
+      cap(br.b, br.b) += br.c;
+      cap(br.a, br.b) -= br.c;
+      cap(br.b, br.a) -= br.c;
+    }
+    return core::LuFactorization(cap);
+  }();
 
   std::vector<Real> y(n + n_series, 0.0);
   // Start adjacent oscillators half a swing apart (plus a deterministic
@@ -145,15 +150,33 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
   std::vector<Real> scratch(5 * y.size());
   Real t = 0.0;
   record(t);
-  for (std::size_t step = 1; step <= total_steps; ++step) {
-    core::heun_step(rhs, t, opts.dt, y, scratch);
-    t += opts.dt;
-    // Hysteresis events: flip any device whose terminal voltage crossed its
-    // threshold during this step. dt is ~2000x smaller than the oscillation
-    // period, so boundary-flipping is well inside the integration error.
-    for (std::size_t i = 0; i < n; ++i)
-      phases[i] = params_.vo2.next_phase(phases[i], vdd - y[i]);
-    if (step % stride == 0) record(t);
+  std::size_t hysteresis_events = 0;
+  {
+    TELEM_SPAN("oscillator.integrate");
+    for (std::size_t step = 1; step <= total_steps; ++step) {
+      core::heun_step(rhs, t, opts.dt, y, scratch);
+      t += opts.dt;
+      // Hysteresis events: flip any device whose terminal voltage crossed its
+      // threshold during this step. dt is ~2000x smaller than the oscillation
+      // period, so boundary-flipping is well inside the integration error.
+      for (std::size_t i = 0; i < n; ++i) {
+        const Vo2Phase next = params_.vo2.next_phase(phases[i], vdd - y[i]);
+        hysteresis_events += next != phases[i];
+        phases[i] = next;
+      }
+      if (step % stride == 0) record(t);
+    }
+  }
+  if (telemetry::Telemetry::enabled()) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add("oscillator.steps", static_cast<Real>(total_steps));
+    // Heun evaluates the RHS (node + coupling currents) twice per step.
+    metrics.add("oscillator.rhs_evals", static_cast<Real>(2 * total_steps));
+    metrics.add("oscillator.coupling_branch_evals",
+                static_cast<Real>(2 * total_steps * branches_.size()));
+    metrics.add("oscillator.hysteresis_events",
+                static_cast<Real>(hysteresis_events));
+    metrics.add("oscillator.samples", static_cast<Real>(trace.samples()));
   }
   return trace;
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "quantum/qisa.h"
+#include "telemetry/telemetry.h"
 
 namespace rebooting::quantum {
 
@@ -317,26 +318,46 @@ Schedule schedule_asap(const Circuit& circuit) {
 
 CompiledProgram compile(const Circuit& circuit, const Topology& topology,
                         bool enable_optimizer) {
+  TELEM_SPAN("quantum.compile");
   CompiledProgram prog{Circuit(1), {}, {}, {}};
   prog.report.source_gates = circuit.size();
   prog.report.source_depth = circuit.depth();
 
-  const Circuit lowered = decompose_to_native(circuit);
+  const Circuit lowered = [&] {
+    TELEM_SPAN("quantum.compile.decompose");
+    return decompose_to_native(circuit);
+  }();
   prog.report.decomposed_gates = lowered.size();
 
-  RoutingResult routed = route(lowered, topology);
+  RoutingResult routed = [&] {
+    TELEM_SPAN("quantum.compile.route");
+    return route(lowered, topology);
+  }();
   prog.report.swaps_inserted = routed.swaps_inserted;
-  // Routing introduces SWAPs — lower them too.
-  const Circuit relowered = decompose_to_native(routed.circuit);
-  prog.report.routed_gates = relowered.size();
+  {
+    // Routing introduces SWAPs — lower them too.
+    TELEM_SPAN("quantum.compile.decompose");
+    prog.circuit = decompose_to_native(routed.circuit);
+  }
+  prog.report.routed_gates = prog.circuit.size();
+  prog.final_map = std::move(routed.final_map);
 
-  prog.circuit = enable_optimizer ? optimize(relowered) : relowered;
+  if (enable_optimizer) {
+    TELEM_SPAN("quantum.compile.optimize");
+    prog.circuit = optimize(prog.circuit);
+  }
   prog.report.optimized_gates = prog.circuit.size();
   prog.report.final_depth = prog.circuit.depth();
 
-  prog.schedule = schedule_asap(prog.circuit);
+  {
+    TELEM_SPAN("quantum.compile.schedule");
+    prog.schedule = schedule_asap(prog.circuit);
+  }
   prog.report.total_cycles = prog.schedule.total_cycles;
-  prog.final_map = std::move(routed.final_map);
+  TELEM_COUNT("quantum.compile.swaps_inserted",
+              static_cast<core::Real>(prog.report.swaps_inserted));
+  TELEM_COUNT("quantum.compile.gates_out",
+              static_cast<core::Real>(prog.report.optimized_gates));
   return prog;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace rebooting::quantum {
 
 std::uint64_t ExecutionResult::mode() const {
@@ -86,6 +88,8 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
                                         std::size_t shots,
                                         core::Rng& rng) const {
   if (shots == 0) throw std::invalid_argument("run: shots must be > 0");
+  TELEM_SPAN("quantum.run");
+  TELEM_COUNT("quantum.shots", static_cast<core::Real>(shots));
   const CompiledProgram prog =
       compile(circuit, config_.topology, config_.enable_optimizer);
 
@@ -100,6 +104,7 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
       prog.circuit.operations().begin(), prog.circuit.operations().end(),
       [](const Operation& op) { return op.kind == GateKind::kMeasure; });
 
+  TELEM_SPAN("quantum.execute");
   if (!config_.noise.enabled() && !has_measure_ops) {
     // Fast path: one simulation, sample the final distribution many times.
     StateVector state(prog.circuit.num_qubits());

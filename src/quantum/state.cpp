@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace rebooting::quantum {
 
 StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
@@ -13,6 +15,7 @@ StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
 }
 
 void StateVector::apply_1q(const Gate2x2& g, std::size_t target) {
+  TELEM_SPAN("quantum.apply_1q");
   if (target >= num_qubits_)
     throw std::invalid_argument("apply_1q: target out of range");
   const std::uint64_t bit = 1ull << target;
@@ -30,6 +33,7 @@ void StateVector::apply_1q(const Gate2x2& g, std::size_t target) {
 void StateVector::apply_controlled(const Gate2x2& g,
                                    std::span<const std::size_t> controls,
                                    std::size_t target) {
+  TELEM_SPAN("quantum.apply_controlled");
   if (target >= num_qubits_)
     throw std::invalid_argument("apply_controlled: target out of range");
   std::uint64_t cmask = 0;
@@ -90,6 +94,7 @@ std::uint64_t StateVector::sample(core::Rng& rng) const {
 }
 
 bool StateVector::measure_qubit(std::size_t qubit, core::Rng& rng) {
+  TELEM_SPAN("quantum.measure");
   const Real p1 = probability_one(qubit);
   const bool outcome = rng.uniform() < p1;
   const Real keep = outcome ? p1 : 1.0 - p1;

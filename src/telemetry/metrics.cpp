@@ -1,0 +1,113 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rebooting::telemetry {
+
+Real HistogramSnapshot::quantile(Real q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const Real target = q * static_cast<Real>(count);
+  Real cumulative = 0.0;
+  for (const auto& [bound, n] : buckets) {
+    cumulative += static_cast<Real>(n);
+    if (cumulative >= target) return std::clamp(bound, min, max);
+  }
+  return max;
+}
+
+std::size_t Histogram::bucket_index(Real v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN
+  const int e = static_cast<int>(std::ceil(std::log2(v)));
+  const int clamped = std::clamp(e, kMinExp, kMaxExp);
+  return static_cast<std::size_t>(clamped - kMinExp) + 1;
+}
+
+Real Histogram::bucket_bound(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i) - 1);
+}
+
+void Histogram::record(Real v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_index(v)];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (buckets_[i] > 0) s.buckets.emplace_back(bucket_bound(i), buckets_[i]);
+  return s;
+}
+
+void MetricsRegistry::add(const std::string& name, Real delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, Real value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::record(const std::string& name, Real value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name].record(value);
+}
+
+Real MetricsRegistry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::optional<Real> MetricsRegistry::gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second.snapshot();
+}
+
+std::map<std::string, Real> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, Real> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h.snapshot());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace rebooting::telemetry

@@ -1,0 +1,93 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace rebooting::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Innermost open span of this thread; nullptr means "at the tree root".
+thread_local SpanNode* t_current = nullptr;
+
+/// Env-driven setup, run during static initialization of any binary linking
+/// the telemetry object (every workbench binary does, through the
+/// instrumented HostSystem/engines). The atexit hook is what makes
+///   REBOOTING_TELEMETRY_JSON=out.json ./build/bench/fig6_fast_pipeline
+/// write its JSON with no code in the binary itself.
+struct EnvInit {
+  EnvInit() {
+    const char* json = std::getenv("REBOOTING_TELEMETRY_JSON");
+    const char* on = std::getenv("REBOOTING_TELEMETRY");
+    const bool json_set = json != nullptr && *json != '\0';
+    const bool on_set =
+        on != nullptr && *on != '\0' && std::strcmp(on, "0") != 0;
+    if (json_set || on_set) {
+      Telemetry::set_enabled(true);
+      std::atexit([] { Telemetry::instance().flush_env_sinks(); });
+    }
+  }
+};
+const EnvInit env_init;
+
+}  // namespace
+
+const SpanNode* SpanNode::find(std::string_view name) const {
+  for (const auto& child : children_)
+    if (child->name() == name) return child.get();
+  return nullptr;
+}
+
+SpanNode* SpanNode::find_or_add(std::string_view name) {
+  for (const auto& child : children_)
+    if (child->name() == name) return child.get();
+  children_.push_back(std::make_unique<SpanNode>(std::string(name)));
+  return children_.back().get();
+}
+
+Telemetry& Telemetry::instance() {
+  // Intentionally leaked: atexit flush hooks and spans in static destructors
+  // must never observe a destroyed instance.
+  static Telemetry* const inst = new Telemetry();
+  return *inst;
+}
+
+SpanNode* Telemetry::begin_span(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(span_mutex_);
+  SpanNode* parent = t_current != nullptr ? t_current : &root_;
+  SpanNode* node = parent->find_or_add(name);
+  t_current = node;
+  return node;
+}
+
+void Telemetry::end_span(SpanNode* node, SpanNode* parent,
+                         Real elapsed_seconds) {
+  const std::lock_guard<std::mutex> lock(span_mutex_);
+  SpanStats& s = node->stats_;
+  if (s.count == 0) {
+    s.min_seconds = s.max_seconds = elapsed_seconds;
+  } else {
+    s.min_seconds = std::min(s.min_seconds, elapsed_seconds);
+    s.max_seconds = std::max(s.max_seconds, elapsed_seconds);
+  }
+  ++s.count;
+  s.total_seconds += elapsed_seconds;
+  t_current = parent;
+}
+
+void Telemetry::reset() {
+  const std::lock_guard<std::mutex> lock(span_mutex_);
+  root_.children_.clear();
+  root_.stats_ = SpanStats{};
+  t_current = nullptr;
+  metrics_.reset();
+}
+
+SpanNode* Span::current() { return t_current; }
+
+}  // namespace rebooting::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "telemetry/telemetry.h"
+
 namespace rebooting::vision {
 
 OscillatorFastDetector::OscillatorFastDetector(
@@ -69,15 +71,42 @@ bool OscillatorFastDetector::is_corner(const Image& img, int x, int y,
 
 std::vector<FastDetection> OscillatorFastDetector::detect(
     const Image& img, OscillatorFastStats* stats) const {
+  TELEM_SPAN("vision.fast_detect");
   const int w = static_cast<int>(img.width());
   const int h = static_cast<int>(img.height());
   const int border = opts_.skip_border ? 3 : 0;
 
+  // Telemetry wants the comparison counters even when the caller passed no
+  // stats sink; a caller-provided sink may carry counts from earlier frames,
+  // so only this frame's delta is merged.
+  OscillatorFastStats local_stats;
+  const bool telem = telemetry::Telemetry::enabled();
+  if (telem && stats == nullptr) stats = &local_stats;
+  const OscillatorFastStats before =
+      stats != nullptr ? *stats : OscillatorFastStats{};
+
   std::vector<Real> score(img.width() * img.height(), 0.0);
-  for (int y = border; y < h - border; ++y)
-    for (int x = border; x < w - border; ++x)
-      score[static_cast<std::size_t>(y) * img.width() +
-            static_cast<std::size_t>(x)] = corner_score(img, x, y, stats);
+  {
+    TELEM_SPAN("vision.fast_score");
+    for (int y = border; y < h - border; ++y)
+      for (int x = border; x < w - border; ++x)
+        score[static_cast<std::size_t>(y) * img.width() +
+              static_cast<std::size_t>(x)] = corner_score(img, x, y, stats);
+  }
+  if (telem && stats != nullptr) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add("vision.pixels_scored",
+                static_cast<Real>((w - 2 * border) * (h - 2 * border)));
+    metrics.add("vision.step1_comparisons",
+                static_cast<Real>(stats->step1_comparisons -
+                                  before.step1_comparisons));
+    metrics.add("vision.step2_comparisons",
+                static_cast<Real>(stats->step2_comparisons -
+                                  before.step2_comparisons));
+    metrics.add("vision.rejected_by_step2",
+                static_cast<Real>(stats->rejected_by_step2 -
+                                  before.rejected_by_step2));
+  }
 
   std::vector<FastDetection> out;
   for (int y = border; y < h - border; ++y) {
