@@ -17,12 +17,20 @@ std::string to_string(AcceleratorKind kind) {
   return "unknown";
 }
 
+AcceleratorFactory CpuAccelerator::factory() {
+  return [] { return std::make_shared<CpuAccelerator>(); };
+}
+
 void HostSystem::register_accelerator(std::shared_ptr<Accelerator> accel) {
   if (!accel) throw std::invalid_argument("register_accelerator: null");
   const auto kind = accel->kind();
-  if (accelerators_.contains(kind))
-    throw std::invalid_argument("register_accelerator: duplicate kind " +
-                                to_string(kind));
+  const auto it = accelerators_.find(kind);
+  if (it != accelerators_.end())
+    throw std::invalid_argument(
+        "register_accelerator: duplicate kind '" + to_string(kind) +
+        "' — already registered by accelerator '" + it->second->name() +
+        "' (HostSystem holds one per kind; use sched::Scheduler pools for "
+        "replicas)");
   accelerators_.emplace(kind, std::move(accel));
 }
 
@@ -48,8 +56,7 @@ JobResult HostSystem::submit(const Job& job) {
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<Real>(end - start).count();
 
-  accel.jobs_completed_ += 1;
-  accel.busy_seconds_ += result.wall_seconds;
+  accel.record_completion(result.wall_seconds);
   if (telemetry::Telemetry::enabled()) {
     auto& metrics = telemetry::Telemetry::instance().metrics();
     metrics.add("host.jobs");

@@ -9,6 +9,7 @@
 // memcomputing) registers a concrete Accelerator.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
@@ -66,15 +67,51 @@ class Accelerator {
   /// to bottom (device), for reporting.
   virtual std::vector<std::string> stack_layers() const = 0;
 
-  /// Number of jobs this accelerator has completed via a HostSystem.
-  std::size_t jobs_completed() const { return jobs_completed_; }
+  /// Number of jobs this accelerator has completed via a dispatch layer.
+  std::size_t jobs_completed() const {
+    return jobs_completed_.load(std::memory_order_relaxed);
+  }
   /// Total busy time accumulated across completed jobs [s].
-  Real busy_seconds() const { return busy_seconds_; }
+  Real busy_seconds() const {
+    return busy_seconds_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds one completed job into the utilization counters. Called by the
+  /// dispatch layers (HostSystem::submit, sched::Scheduler workers); safe to
+  /// call from multiple threads concurrently.
+  void record_completion(Real busy_seconds) {
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    busy_seconds_.fetch_add(busy_seconds, std::memory_order_relaxed);
+  }
 
  private:
-  friend class HostSystem;
-  std::size_t jobs_completed_ = 0;
-  Real busy_seconds_ = 0.0;
+  std::atomic<std::size_t> jobs_completed_{0};
+  std::atomic<Real> busy_seconds_{0.0};
+};
+
+/// Constructs a fresh accelerator instance. The sched::Scheduler worker pools
+/// use this to replicate an accelerator N times per kind — lifting the
+/// HostSystem one-per-kind restriction — with each replica owned by exactly
+/// one worker thread. Each engine exposes a `static factory(...)` returning
+/// one of these bound to its config.
+using AcceleratorFactory = std::function<std::shared_ptr<Accelerator>()>;
+
+/// The host CPU itself as a schedulable resource, so classical jobs (baseline
+/// solvers, pre/post-processing) flow through the same dispatch paths as the
+/// post-von-Neumann accelerators instead of bypassing the job log.
+class CpuAccelerator final : public Accelerator {
+ public:
+  std::string name() const override { return "Classical CPU (host)"; }
+  AcceleratorKind kind() const override {
+    return AcceleratorKind::kClassicalCpu;
+  }
+  std::vector<std::string> stack_layers() const override {
+    return {"Application (host code)",
+            "Compiler / runtime (host toolchain)",
+            "von Neumann CPU"};
+  }
+
+  static AcceleratorFactory factory();
 };
 
 /// Record of one dispatched job, kept in the host log.
@@ -87,12 +124,16 @@ struct JobRecord {
 
 /// The host of Fig. 1: owns the accelerator registry, dispatches jobs to the
 /// matching resource, measures wall time, and keeps a job log with metrics.
-/// Single-threaded by design — the interesting concurrency in this workbench
-/// lives inside the simulated devices, not in the host scheduler.
+/// This is the synchronous, single-threaded dispatch path; the asynchronous
+/// multi-worker path is sched::Scheduler (src/scheduler/), which replicates
+/// accelerators via AcceleratorFactory and shares the same per-accelerator
+/// utilization counters.
 class HostSystem {
  public:
   /// Registers an accelerator. At most one accelerator per kind; a duplicate
-  /// kind throws std::invalid_argument.
+  /// kind throws std::invalid_argument naming the kind and the accelerator
+  /// already holding it. (Replication happens in sched::Scheduler pools, not
+  /// here.)
   void register_accelerator(std::shared_ptr<Accelerator> accel);
 
   bool has(AcceleratorKind kind) const;

@@ -21,6 +21,14 @@ class MemcomputingAccelerator final : public core::Accelerator {
             "ODE dynamics (Eqs. 1-2: voltages + memory variables)",
             "Point-attractor readout (digital solution)"};
   }
+
+  /// Factory for sched::Scheduler worker pools (the MemCPU-style deployment:
+  /// many independent DMM instances behind one front end).
+  static core::AcceleratorFactory factory() {
+    return []() -> std::shared_ptr<core::Accelerator> {
+      return std::make_shared<MemcomputingAccelerator>();
+    };
+  }
 };
 
 }  // namespace rebooting::memcomputing

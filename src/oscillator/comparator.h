@@ -114,6 +114,15 @@ class OscillatorAccelerator final : public core::Accelerator {
 
   const OscillatorComparator& comparator() const { return comparator_; }
 
+  /// Factory for sched::Scheduler worker pools. Note each replica runs its
+  /// own calibration sweep at construction, so pool setup scales with the
+  /// worker count; keep calibration_points small for large pools.
+  static core::AcceleratorFactory factory(ComparatorConfig config) {
+    return [config]() -> std::shared_ptr<core::Accelerator> {
+      return std::make_shared<OscillatorAccelerator>(config);
+    };
+  }
+
  private:
   OscillatorComparator comparator_;
 };

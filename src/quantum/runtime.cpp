@@ -29,6 +29,13 @@ core::Real ExecutionResult::frequency(std::uint64_t state) const {
 QuantumAccelerator::QuantumAccelerator(QuantumDeviceConfig config)
     : config_(std::move(config)) {}
 
+core::AcceleratorFactory QuantumAccelerator::factory(
+    QuantumDeviceConfig config) {
+  return [config = std::move(config)]() -> std::shared_ptr<core::Accelerator> {
+    return std::make_shared<QuantumAccelerator>(config);
+  };
+}
+
 namespace {
 
 /// Applies one uniformly random non-identity Pauli to `qubit`.

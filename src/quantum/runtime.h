@@ -68,6 +68,10 @@ class QuantumAccelerator final : public core::Accelerator {
 
   const QuantumDeviceConfig& config() const { return config_; }
 
+  /// Factory for sched::Scheduler worker pools: each invocation constructs an
+  /// independent device replica with this config.
+  static core::AcceleratorFactory factory(QuantumDeviceConfig config);
+
   /// Compiles and executes `shots` measurement shots of the circuit. When
   /// the circuit has no explicit measure operations every qubit is measured
   /// at the end. Noise (if configured) resamples a trajectory per shot;

@@ -1,0 +1,88 @@
+// Job-side vocabulary of the async scheduling runtime (src/scheduler/): the
+// per-job knobs a submitter controls — priority, deadline, cooperative
+// cancellation — and the queue entry that carries a job from submission to a
+// worker thread.
+//
+// The paper's Fig. 1 host treats accelerators as shared throughput resources;
+// once many clients contend for them, jobs need exactly these three controls:
+// which work jumps the line (priority), which work is worthless if late
+// (deadline), and which work the client no longer wants (cancellation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/accelerator.h"
+
+namespace rebooting::sched {
+
+using Clock = std::chrono::steady_clock;
+
+/// Copyable cooperative-cancellation handle. All copies share one flag: the
+/// submitter keeps a copy and calls cancel(); the scheduler checks it before
+/// execution (a cancelled job completes ok=false without running), and a
+/// payload may capture a copy to poll mid-execution for early exit.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-job scheduling controls, all optional.
+struct JobOptions {
+  /// Higher runs earlier; jobs of equal priority run in submission (FIFO)
+  /// order within their kind's queue.
+  int priority = 0;
+  /// A job still queued past its deadline is not executed: it completes with
+  /// ok=false and counts into the `sched.deadline_missed` metric.
+  std::optional<Clock::time_point> deadline;
+  /// Cooperative cancellation; see CancelToken.
+  std::optional<CancelToken> cancel;
+};
+
+/// Deadline helper: `opts.deadline = deadline_in(std::chrono::milliseconds(5))`.
+inline Clock::time_point deadline_in(Clock::duration d) {
+  return Clock::now() + d;
+}
+
+/// A payload that receives the worker's own accelerator replica, so typed
+/// engine APIs (quantum::QuantumAccelerator::run, ...) are reachable from a
+/// pool whose instances the scheduler constructed internally. Downcast to the
+/// concrete type of the pool's factory. Self-contained core::Job payloads are
+/// wrapped into this form, ignoring the argument.
+using DevicePayload = std::function<core::JobResult(core::Accelerator&)>;
+
+/// One queue entry: the job, its controls, the promise the submitter's
+/// future is attached to, and the bookkeeping the scheduler needs for
+/// ordering (seq) and wait-time accounting (enqueued_at).
+struct QueuedJob {
+  std::string name;
+  core::AcceleratorKind kind = core::AcceleratorKind::kClassicalCpu;
+  DevicePayload payload;
+  JobOptions opts;
+  std::promise<core::JobResult> promise;
+  std::uint64_t seq = 0;  ///< scheduler-global submission order, unique
+  Clock::time_point enqueued_at{};
+};
+
+/// What a full queue does with the next submission.
+enum class BackpressurePolicy {
+  kBlock,      ///< submit() blocks until the queue has room
+  kReject,     ///< the new job completes immediately with ok=false
+  kShedOldest  ///< the longest-waiting queued job is evicted (ok=false)
+};
+
+std::string to_string(BackpressurePolicy policy);
+
+}  // namespace rebooting::sched

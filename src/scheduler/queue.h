@@ -1,0 +1,83 @@
+// Bounded multi-producer/multi-consumer priority queue — the submission side
+// of the async scheduler. One instance backs each per-kind worker pool.
+//
+// Ordering: strict priority (higher first), FIFO by submission sequence
+// within a priority class. Capacity is enforced by one of three backpressure
+// policies (job.h): block the producer, reject the newcomer, or shed the
+// longest-waiting entry. The queue also tracks popped-but-unfinished work
+// (task_done / wait_idle, in the spirit of Python's queue.join) so drain()
+// can wait for true quiescence rather than just an empty queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "scheduler/job.h"
+
+namespace rebooting::sched {
+
+class BoundedJobQueue {
+ public:
+  enum class PushStatus { kAccepted, kRejected, kClosed };
+
+  BoundedJobQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  /// Enqueues `item` (consumed only on kAccepted). When the queue is full:
+  /// kBlock waits for room, kReject returns kRejected leaving `item` intact,
+  /// kShedOldest evicts the entry with the smallest seq into `*shed` and
+  /// accepts. Returns kClosed (item intact) once close() has been called.
+  PushStatus push(QueuedJob& item, std::optional<QueuedJob>* shed);
+
+  /// Blocks until an entry is available and returns the front of the
+  /// priority order, or nullopt once the queue is closed. A successful pop
+  /// marks one task in flight; the consumer must pair it with task_done().
+  std::optional<QueuedJob> pop();
+
+  /// Marks one popped task finished (see pop / wait_idle).
+  void task_done();
+
+  /// Blocks until the queue is empty AND every popped task has been
+  /// task_done()'d — i.e. the pool is quiescent. Returns immediately once
+  /// closed.
+  void wait_idle();
+
+  /// Closes the queue: blocked and future push() calls return kClosed,
+  /// pop() returns nullopt even while entries remain queued (they are
+  /// retrieved with flush()), and wait_idle() unblocks.
+  void close();
+
+  /// Removes and returns every still-queued entry in pop (priority) order.
+  /// Meant for the shutdown path, after close().
+  std::vector<QueuedJob> flush();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+
+ private:
+  /// Priority order: higher priority first, then FIFO by seq. seq values are
+  /// unique per scheduler, so this is a strict total order.
+  struct Order {
+    bool operator()(const QueuedJob& a, const QueuedJob& b) const {
+      if (a.opts.priority != b.opts.priority)
+        return a.opts.priority > b.opts.priority;
+      return a.seq < b.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::set<QueuedJob, Order> items_;
+  std::size_t capacity_;
+  BackpressurePolicy policy_;
+  std::size_t in_flight_ = 0;  ///< popped but not yet task_done()'d
+  bool closed_ = false;
+};
+
+}  // namespace rebooting::sched

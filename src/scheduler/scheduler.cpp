@@ -1,0 +1,278 @@
+#include "scheduler/scheduler.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace rebooting::sched {
+
+namespace {
+
+core::Real seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<core::Real>(b - a).count();
+}
+
+}  // namespace
+
+Scheduler::Pool::Pool(core::AcceleratorKind k, std::size_t capacity,
+                      BackpressurePolicy policy)
+    : kind(k),
+      queue(capacity, policy),
+      depth_gauge("sched.queue_depth." + core::to_string(k)),
+      jobs_counter("sched.jobs." + core::to_string(k)),
+      busy_counter("sched.busy_seconds." + core::to_string(k)) {}
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config) {}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::add_pool(core::AcceleratorKind kind, std::size_t workers,
+                         const core::AcceleratorFactory& factory) {
+  if (workers == 0)
+    throw std::invalid_argument("sched: pool needs at least one worker");
+  if (!factory) throw std::invalid_argument("sched: null accelerator factory");
+
+  auto pool = std::make_unique<Pool>(kind, config_.queue_capacity,
+                                     config_.backpressure);
+  pool->replicas.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto replica = factory();
+    if (!replica)
+      throw std::invalid_argument("sched: factory returned a null accelerator");
+    if (replica->kind() != kind)
+      throw std::invalid_argument(
+          "sched: factory built a '" + core::to_string(replica->kind()) +
+          "' accelerator for the '" + core::to_string(kind) + "' pool");
+    pool->replicas.push_back(std::move(replica));
+  }
+
+  // The map insert and the thread starts stay under one lock so shutdown()
+  // can never observe a pool with a half-built thread vector.
+  std::lock_guard lock(pools_mutex_);
+  if (!accepting())
+    throw std::runtime_error("sched: add_pool after shutdown");
+  auto [it, inserted] = pools_.emplace(kind, std::move(pool));
+  if (!inserted)
+    throw std::invalid_argument(
+        "sched: pool for kind '" + core::to_string(kind) +
+        "' already exists (" + std::to_string(it->second->replicas.size()) +
+        " worker(s)); size a pool via the `workers` argument instead of "
+        "adding it twice");
+  Pool& p = *it->second;
+  for (std::size_t i = 0; i < workers; ++i)
+    p.threads.emplace_back(&Scheduler::worker_loop, this, std::ref(p),
+                           std::ref(*p.replicas[i]));
+}
+
+Scheduler::Pool* Scheduler::find_pool(core::AcceleratorKind kind) const {
+  std::lock_guard lock(pools_mutex_);
+  const auto it = pools_.find(kind);
+  if (it == pools_.end())
+    throw std::out_of_range("sched: no worker pool for kind '" +
+                            core::to_string(kind) + "'");
+  return it->second.get();
+}
+
+std::future<core::JobResult> Scheduler::submit(core::Job job,
+                                               JobOptions opts) {
+  if (!job.payload)
+    throw std::invalid_argument("sched: job '" + job.name +
+                                "' has no payload");
+  DevicePayload payload = [p = std::move(job.payload)](core::Accelerator&) {
+    return p();
+  };
+  return submit(std::move(job.name), job.kind, std::move(payload),
+                std::move(opts));
+}
+
+std::future<core::JobResult> Scheduler::submit(std::string name,
+                                               core::AcceleratorKind kind,
+                                               DevicePayload payload,
+                                               JobOptions opts) {
+  if (!payload)
+    throw std::invalid_argument("sched: job '" + name + "' has no payload");
+  if (!accepting())
+    throw std::runtime_error("sched: submit('" + name + "') after shutdown");
+  Pool* pool = find_pool(kind);
+
+  QueuedJob item;
+  item.name = std::move(name);
+  item.kind = kind;
+  item.payload = std::move(payload);
+  item.opts = std::move(opts);
+  item.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  item.enqueued_at = Clock::now();
+  auto future = item.promise.get_future();
+
+  // push() may block (kBlock policy) — never under pools_mutex_.
+  std::optional<QueuedJob> shed;
+  const auto status = pool->queue.push(item, &shed);
+  if (shed)
+    complete_unrun(std::move(*shed), "shed by backpressure (queue full)",
+                   "sched.shed");
+  switch (status) {
+    case BoundedJobQueue::PushStatus::kAccepted:
+      telemetry::gauge(pool->depth_gauge,
+                       static_cast<core::Real>(pool->queue.size()));
+      break;
+    case BoundedJobQueue::PushStatus::kRejected:
+      complete_unrun(std::move(item), "rejected by backpressure (queue full)",
+                     "sched.rejected");
+      break;
+    case BoundedJobQueue::PushStatus::kClosed:
+      complete_unrun(std::move(item), "not accepted: scheduler shut down",
+                     "sched.flushed");
+      break;
+  }
+  return future;
+}
+
+std::vector<std::future<core::JobResult>> Scheduler::submit_batch(
+    std::vector<core::Job> jobs, JobOptions opts) {
+  std::vector<std::future<core::JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (auto& job : jobs) futures.push_back(submit(std::move(job), opts));
+  return futures;
+}
+
+void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica) {
+  while (auto popped = pool.queue.pop()) {
+    QueuedJob item = std::move(*popped);
+    const auto dequeued = Clock::now();
+    const core::Real wait = seconds_between(item.enqueued_at, dequeued);
+    if (telemetry::Telemetry::enabled()) {
+      auto& metrics = telemetry::Telemetry::instance().metrics();
+      metrics.record("sched.wait_seconds", wait);
+      metrics.set(pool.depth_gauge,
+                  static_cast<core::Real>(pool.queue.size()));
+    }
+
+    core::JobResult result;
+    bool threw = false;
+    if (item.opts.cancel && item.opts.cancel->cancelled()) {
+      result.summary = "sched: job '" + item.name +
+                       "' cancelled before execution";
+      telemetry::count("sched.cancelled");
+    } else if (item.opts.deadline && dequeued >= *item.opts.deadline) {
+      result.summary = "sched: job '" + item.name +
+                       "' missed its deadline after waiting " +
+                       std::to_string(wait) + " s";
+      telemetry::count("sched.deadline_missed");
+    } else {
+      const auto start = Clock::now();
+      try {
+        TELEM_SPAN("sched." + core::to_string(pool.kind));
+        result = item.payload(replica);
+      } catch (...) {
+        threw = true;
+        item.promise.set_exception(std::current_exception());
+        telemetry::count("sched.payload_exceptions");
+      }
+      const core::Real service = seconds_between(start, Clock::now());
+      result.wall_seconds = service;
+      replica.record_completion(service);
+      if (telemetry::Telemetry::enabled()) {
+        auto& metrics = telemetry::Telemetry::instance().metrics();
+        metrics.add("sched.jobs");
+        metrics.add(pool.jobs_counter);
+        metrics.add(pool.busy_counter, service);
+        metrics.record("sched.service_seconds", service);
+        if (!threw && !result.ok) metrics.add("sched.jobs_failed");
+        if (!threw)
+          for (const auto& [key, value] : result.metrics)
+            metrics.add(key, value);
+      }
+    }
+    if (!threw) {
+      telemetry::record("sched.latency_seconds",
+                        seconds_between(item.enqueued_at, Clock::now()));
+      item.promise.set_value(std::move(result));
+    }
+    pool.queue.task_done();
+  }
+}
+
+void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
+                               const char* metric) {
+  telemetry::count(metric);
+  core::JobResult result;
+  result.ok = false;
+  result.summary = "sched: job '" + item.name + "' " + why;
+  item.promise.set_value(std::move(result));
+}
+
+void Scheduler::drain() {
+  std::vector<Pool*> pools;
+  {
+    std::lock_guard lock(pools_mutex_);
+    pools.reserve(pools_.size());
+    for (auto& [kind, pool] : pools_) pools.push_back(pool.get());
+  }
+  for (Pool* pool : pools) pool->queue.wait_idle();
+}
+
+void Scheduler::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    std::lock_guard lock(pools_mutex_);
+    for (auto& [kind, pool] : pools_) pool->queue.close();
+    for (auto& [kind, pool] : pools_)
+      for (auto& thread : pool->threads)
+        if (thread.joinable()) thread.join();
+    // Workers are gone; whatever stayed queued is completed, not executed.
+    // flush() hands the leftovers back in queue (priority, then FIFO) order,
+    // so the ok=false completions are deterministic.
+    for (auto& [kind, pool] : pools_) {
+      for (auto& item : pool->queue.flush())
+        complete_unrun(std::move(item), "flushed at shutdown before execution",
+                       "sched.flushed");
+      telemetry::gauge(pool->depth_gauge, 0.0);
+    }
+  });
+}
+
+bool Scheduler::has_pool(core::AcceleratorKind kind) const {
+  std::lock_guard lock(pools_mutex_);
+  return pools_.contains(kind);
+}
+
+std::size_t Scheduler::queue_depth(core::AcceleratorKind kind) const {
+  return find_pool(kind)->queue.size();
+}
+
+PoolStats Scheduler::stats(core::AcceleratorKind kind) const {
+  const Pool* pool = find_pool(kind);
+  PoolStats s;
+  s.workers = pool->replicas.size();
+  s.queue_depth = pool->queue.size();
+  for (const auto& replica : pool->replicas) {
+    s.jobs_completed += replica->jobs_completed();
+    s.busy_seconds += replica->busy_seconds();
+  }
+  return s;
+}
+
+std::string Scheduler::describe() const {
+  std::ostringstream os;
+  std::lock_guard lock(pools_mutex_);
+  os << "Scheduler with " << pools_.size() << " worker pool(s), queues of "
+     << config_.queue_capacity << " (" << to_string(config_.backpressure)
+     << " backpressure):\n";
+  for (const auto& [kind, pool] : pools_) {
+    std::size_t jobs = 0;
+    core::Real busy = 0.0;
+    for (const auto& replica : pool->replicas) {
+      jobs += replica->jobs_completed();
+      busy += replica->busy_seconds();
+    }
+    os << "  [" << core::to_string(kind) << "] " << pool->replicas.size()
+       << " x " << pool->replicas.front()->name() << " — " << jobs
+       << " job(s), " << busy << " s busy, " << pool->queue.size()
+       << " queued\n";
+  }
+  return os.str();
+}
+
+}  // namespace rebooting::sched

@@ -1,0 +1,144 @@
+// The asynchronous heterogeneous job scheduler — the runtime that turns the
+// Fig. 1 picture into a concurrent system. Where core::HostSystem dispatches
+// one job at a time on the caller's thread, sched::Scheduler owns, per
+// AcceleratorKind, a pool of N worker threads, each with its *own* accelerator
+// replica built from a core::AcceleratorFactory (lifting the host's
+// one-per-kind restriction), all fed by one bounded MPMC priority queue.
+//
+//   submit()        -> std::future<core::JobResult>, with per-job priority,
+//                      deadline, and cooperative cancellation (job.h)
+//   submit_batch()  -> fan-out of a job vector, futures in submission order
+//   drain()         -> block until every accepted job has finished; the
+//                      scheduler keeps accepting new work afterwards
+//   shutdown()      -> stop accepting, let in-flight jobs finish, complete
+//                      still-queued jobs with ok=false in deterministic
+//                      (priority, then FIFO) order; idempotent, run by ~
+//
+// Telemetry (when enabled): queue-depth gauges `sched.queue_depth.<kind>`,
+// wait/service/latency histograms `sched.{wait,service,latency}_seconds`,
+// per-kind counters `sched.jobs.<kind>` and `sched.busy_seconds.<kind>`, and
+// outcome counters `sched.deadline_missed` / `sched.rejected` / `sched.shed`
+// / `sched.cancelled` / `sched.flushed` / `sched.payload_exceptions`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "scheduler/queue.h"
+
+namespace rebooting::sched {
+
+struct SchedulerConfig {
+  /// Capacity of each per-kind submission queue.
+  std::size_t queue_capacity = 1024;
+  /// What a full queue does with the next submission.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+/// Point-in-time utilization snapshot of one kind's pool, aggregated over its
+/// replicas.
+struct PoolStats {
+  std::size_t workers = 0;
+  std::size_t queue_depth = 0;
+  std::size_t jobs_completed = 0;
+  core::Real busy_seconds = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config = {});
+  /// Runs shutdown(); queued-but-unexecuted jobs complete with ok=false, so
+  /// no future obtained from this scheduler is ever abandoned.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates the worker pool for `kind`: invokes `factory` `workers` times
+  /// (each replica is owned by exactly one worker thread, so replicas never
+  /// need internal locking) and starts the threads. One pool per kind; a
+  /// duplicate kind throws std::invalid_argument. Thread-safe.
+  void add_pool(core::AcceleratorKind kind, std::size_t workers,
+                const core::AcceleratorFactory& factory);
+
+  /// Asynchronously submits a self-contained job (payload captures whatever
+  /// it runs on). Throws std::out_of_range when no pool of job.kind exists,
+  /// std::invalid_argument on a null payload, std::runtime_error after
+  /// shutdown(). Under kReject/kShedOldest backpressure the returned (or the
+  /// shed victim's) future completes with ok=false rather than throwing.
+  std::future<core::JobResult> submit(core::Job job, JobOptions opts = {});
+
+  /// Same, but the payload receives the worker's own accelerator replica —
+  /// the way to reach typed engine APIs on scheduler-constructed instances.
+  std::future<core::JobResult> submit(std::string name,
+                                      core::AcceleratorKind kind,
+                                      DevicePayload payload,
+                                      JobOptions opts = {});
+
+  /// Fan-out: submits every job, returns futures in submission order for the
+  /// caller's fan-in (wait on all, then combine).
+  std::vector<std::future<core::JobResult>> submit_batch(
+      std::vector<core::Job> jobs, JobOptions opts = {});
+
+  /// Blocks until every accepted job has completed (all queues empty, all
+  /// workers idle). The scheduler continues accepting work afterwards —
+  /// drain is a barrier, not an end-of-life.
+  void drain();
+
+  /// Stops accepting submissions, closes all queues, joins the workers
+  /// (in-flight jobs finish normally), then completes every still-queued job
+  /// with ok=false in queue (priority, then FIFO) order. Idempotent.
+  void shutdown();
+
+  /// False once shutdown() has begun.
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  bool has_pool(core::AcceleratorKind kind) const;
+  /// Queued (not yet running) jobs of `kind`; throws std::out_of_range when
+  /// no such pool exists.
+  std::size_t queue_depth(core::AcceleratorKind kind) const;
+  PoolStats stats(core::AcceleratorKind kind) const;
+
+  /// Multi-line report of the pools, their replicas, and utilization — the
+  /// concurrent counterpart of HostSystem::describe().
+  std::string describe() const;
+
+ private:
+  struct Pool {
+    core::AcceleratorKind kind;
+    BoundedJobQueue queue;
+    std::vector<std::shared_ptr<core::Accelerator>> replicas;
+    std::vector<std::thread> threads;
+    // Pre-built telemetry names, so the hot path does no string assembly
+    // beyond what the registry itself needs.
+    std::string depth_gauge, jobs_counter, busy_counter;
+
+    Pool(core::AcceleratorKind k, std::size_t capacity,
+         BackpressurePolicy policy);
+  };
+
+  Pool* find_pool(core::AcceleratorKind kind) const;
+  void worker_loop(Pool& pool, core::Accelerator& replica);
+  /// Completes a job that will never run (shed / flushed / closed race).
+  static void complete_unrun(QueuedJob&& item, const std::string& why,
+                             const char* metric);
+
+  SchedulerConfig config_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::once_flag shutdown_once_;
+
+  mutable std::mutex pools_mutex_;  ///< guards the map shape, not the pools
+  std::map<core::AcceleratorKind, std::unique_ptr<Pool>> pools_;
+};
+
+}  // namespace rebooting::sched

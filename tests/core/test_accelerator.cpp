@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace rebooting::core {
 namespace {
 
@@ -51,6 +54,21 @@ TEST(HostSystem, DuplicateKindRejected) {
   EXPECT_THROW(host.register_accelerator(std::make_shared<FakeAccelerator>(
                    AcceleratorKind::kMemcomputing)),
                std::invalid_argument);
+}
+
+TEST(HostSystem, DuplicateKindErrorNamesKindAndExistingAccelerator) {
+  HostSystem host;
+  host.register_accelerator(
+      std::make_shared<FakeAccelerator>(AcceleratorKind::kMemcomputing));
+  try {
+    host.register_accelerator(
+        std::make_shared<FakeAccelerator>(AcceleratorKind::kMemcomputing));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("memcomputing"), std::string::npos) << what;
+    EXPECT_NE(what.find("fake-memcomputing"), std::string::npos) << what;
+  }
 }
 
 TEST(HostSystem, MissingAcceleratorThrows) {
@@ -115,6 +133,33 @@ TEST(HostSystem, FailedJobRecordedNotThrown) {
   const JobResult res = host.submit(job);
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(host.log().back().result.summary, "device refused");
+}
+
+TEST(Accelerator, UtilizationCountersAreThreadSafe) {
+  FakeAccelerator accel(AcceleratorKind::kClassicalCpu);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&accel] {
+      for (int i = 0; i < kPerThread; ++i) accel.record_completion(0.001);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(accel.jobs_completed(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_NEAR(accel.busy_seconds(), kThreads * kPerThread * 0.001, 1e-9);
+}
+
+TEST(CpuAccelerator, FactoryBuildsIndependentInstances) {
+  const auto factory = CpuAccelerator::factory();
+  const auto a = factory();
+  const auto b = factory();
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->kind(), AcceleratorKind::kClassicalCpu);
+  a->record_completion(1.0);
+  EXPECT_EQ(a->jobs_completed(), 1u);
+  EXPECT_EQ(b->jobs_completed(), 0u);
 }
 
 TEST(KindNames, AllDistinct) {
