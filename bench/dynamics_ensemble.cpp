@@ -1,0 +1,198 @@
+// E9 — dynamics-kernel + ensemble-runner acceptance bench.
+//
+// Two claims are gated here, with a machine-readable BENCH_dynamics.json
+// report for CI:
+//
+//  1. Reproducibility (hard gate on any machine): a 64-restart DMM ensemble
+//     produces bit-identical per-restart trajectories and the same winner at
+//     1, 2, and hardware_concurrency threads.
+//  2. Throughput (gated only where the hardware can show it): the parallel
+//     ensemble beats the serial run by >= 3x on >= 8 cores, >= 1.8x on 4-7
+//     cores; below 4 cores the curve is reported but not gated.
+//
+// Plus an ungated static-vs-dynamic dispatch microbenchmark: the templated
+// kernel path must not be slower than the std::function path it replaced.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/json.h"
+#include "core/ode.h"
+#include "core/table.h"
+#include "memcomputing/dmm.h"
+#include "memcomputing/sat.h"
+
+using namespace rebooting;
+using namespace rebooting::memcomputing;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+core::Real seconds_since(Clock::time_point start) {
+  return std::chrono::duration<core::Real>(Clock::now() - start).count();
+}
+
+constexpr std::size_t kRestarts = 64;
+constexpr std::uint64_t kSeed = 20260805;
+
+DmmEnsembleResult run_sweep(const DmmSolver& solver, std::size_t threads) {
+  DmmEnsembleOptions opts;
+  opts.threads = threads;
+  // Full budget: every restart runs, so serial and parallel sweeps do the
+  // same amount of integration work and the timing ratio is a real speedup.
+  opts.stop_on_first_solution = false;
+  return solver.solve_ensemble(kRestarts, kSeed, opts);
+}
+
+bool sweeps_identical(const DmmEnsembleResult& a, const DmmEnsembleResult& b) {
+  if (a.best_index != b.best_index || a.any_satisfied != b.any_satisfied)
+    return false;
+  for (std::size_t i = 0; i < kRestarts; ++i) {
+    if (!a.ran[i] || !b.ran[i]) return false;
+    if (a.results[i].steps != b.results[i].steps ||
+        a.results[i].sim_time != b.results[i].sim_time ||
+        a.results[i].satisfied != b.results[i].satisfied ||
+        a.results[i].assignment != b.results[i].assignment)
+      return false;
+  }
+  return true;
+}
+
+/// Static-vs-dynamic dispatch on a pure stepping workload: the same decay
+/// system driven through the templated kernel and through the std::function
+/// adapter. Returns ns per RHS-state element.
+struct DecayKernel {
+  void rhs(core::Real, std::span<const core::Real> y,
+           std::span<core::Real> dydt) const {
+    for (std::size_t i = 0; i < y.size(); ++i) dydt[i] = -y[i];
+  }
+};
+
+std::pair<core::Real, core::Real> dispatch_microbench() {
+  constexpr std::size_t kDim = 64;
+  constexpr core::Real kT1 = 200.0;
+  constexpr core::Real kDt = 1e-3;
+
+  DecayKernel kernel;
+  core::Workspace ws;
+  std::vector<core::Real> y(kDim, 1.0);
+  auto start = Clock::now();
+  core::integrate_fixed(kernel, core::Scheme::kHeun, 0.0, kT1, kDt,
+                        std::span<core::Real>(y), ws);
+  const core::Real kernel_s = seconds_since(start);
+
+  const core::OdeRhs fn = [](core::Real, std::span<const core::Real> yy,
+                             std::span<core::Real> dydt) {
+    for (std::size_t i = 0; i < yy.size(); ++i) dydt[i] = -yy[i];
+  };
+  std::vector<core::Real> y2(kDim, 1.0);
+  start = Clock::now();
+  core::integrate_fixed(fn, core::Scheme::kHeun, 0.0, kT1, kDt, y2);
+  const core::Real fn_s = seconds_since(start);
+
+  const auto steps = static_cast<core::Real>(kT1 / kDt);
+  const core::Real scale = 1e9 / (steps * static_cast<core::Real>(kDim));
+  return {kernel_s * scale, fn_s * scale};
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout,
+                     "E9 — static-dispatch kernels & parallel trajectory "
+                     "ensembles (64-restart DMM sweep)");
+
+  const std::size_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  core::Rng gen(424242);
+  const auto inst = planted_ksat(gen, 70, 297, 3);
+  DmmOptions dopts;
+  dopts.max_steps = 60'000;
+  const DmmSolver solver(inst.cnf, dopts);
+
+  // Warm-up (first-touch allocation, page faults) outside the timings.
+  (void)run_sweep(solver, 1);
+
+  const auto t_serial = Clock::now();
+  const DmmEnsembleResult serial = run_sweep(solver, 1);
+  const core::Real serial_s = seconds_since(t_serial);
+
+  const auto t_par = Clock::now();
+  const DmmEnsembleResult parallel = run_sweep(solver, cores);
+  const core::Real parallel_s = seconds_since(t_par);
+
+  const DmmEnsembleResult two = run_sweep(solver, 2);
+
+  const bool reproducible =
+      sweeps_identical(serial, parallel) && sweeps_identical(serial, two);
+  const core::Real speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const auto [kernel_ns, fn_ns] = dispatch_microbench();
+
+  core::Table table({"metric", "value"}, 4);
+  table.add_row({std::string("hardware cores"),
+                 static_cast<std::int64_t>(cores)});
+  table.add_row({std::string("restarts"),
+                 static_cast<std::int64_t>(kRestarts)});
+  table.add_row({std::string("satisfied restarts winner idx"),
+                 static_cast<std::int64_t>(serial.best_index)});
+  table.add_row({std::string("serial wall [s]"), serial_s});
+  table.add_row({std::string("parallel wall [s]"), parallel_s});
+  table.add_row({std::string("speedup"), speedup});
+  table.add_row({std::string("bit-reproducible across 1/2/all threads"),
+                 std::string(reproducible ? "yes" : "NO")});
+  table.add_row({std::string("kernel stepping [ns/elem]"), kernel_ns});
+  table.add_row({std::string("std::function stepping [ns/elem]"), fn_ns});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Hardware-aware throughput gate.
+  core::Real required = 0.0;
+  if (cores >= 8)
+    required = 3.0;
+  else if (cores >= 4)
+    required = 1.8;
+  const bool speedup_ok = required == 0.0 || speedup >= required;
+  if (required == 0.0)
+    std::cout << "\nspeedup gate skipped: only " << cores
+              << " core(s) visible (need >= 4 to gate)\n";
+  else
+    std::cout << "\nspeedup gate: " << speedup << "x vs required "
+              << required << "x on " << cores << " cores -> "
+              << (speedup_ok ? "PASS" : "FAIL") << '\n';
+  std::cout << "reproducibility gate: "
+            << (reproducible ? "PASS" : "FAIL") << '\n';
+
+  {
+    std::ofstream json("BENCH_dynamics.json");
+    json << "{\n"
+         << "  \"bench\": " << core::json_quote("dynamics_ensemble") << ",\n"
+         << "  \"cores\": " << core::json_number(static_cast<std::int64_t>(cores))
+         << ",\n"
+         << "  \"restarts\": "
+         << core::json_number(static_cast<std::int64_t>(kRestarts)) << ",\n"
+         << "  \"serial_seconds\": " << core::json_number(serial_s) << ",\n"
+         << "  \"parallel_seconds\": " << core::json_number(parallel_s) << ",\n"
+         << "  \"speedup\": " << core::json_number(speedup) << ",\n"
+         << "  \"speedup_required\": " << core::json_number(required) << ",\n"
+         << "  \"speedup_gated\": " << (required > 0.0 ? "true" : "false")
+         << ",\n"
+         << "  \"reproducible\": " << (reproducible ? "true" : "false") << ",\n"
+         << "  \"winner_index\": "
+         << core::json_number(static_cast<std::int64_t>(serial.best_index))
+         << ",\n"
+         << "  \"kernel_ns_per_element\": " << core::json_number(kernel_ns)
+         << ",\n"
+         << "  \"function_ns_per_element\": " << core::json_number(fn_ns)
+         << "\n}\n";
+    std::cout << "wrote BENCH_dynamics.json\n";
+  }
+
+  if (!reproducible) return 1;
+  if (!speedup_ok) return 2;
+  return 0;
+}

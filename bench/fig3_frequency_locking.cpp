@@ -5,7 +5,9 @@
 // free-running detuning vs locked/unlocked state, common frequency and phase,
 // for three coupling strengths, and (c) the lock-range summary.
 #include <iostream>
+#include <vector>
 
+#include "core/ensemble.h"
 #include "core/table.h"
 #include "oscillator/analysis.h"
 #include "oscillator/network.h"
@@ -32,12 +34,12 @@ struct PairResult {
   core::Real phase = 0.0;
 };
 
-PairResult run_pair(core::Real delta_vgs, core::Real rc) {
+PairResult run_pair(core::Real delta_vgs, core::Real rc, core::Workspace& ws) {
   CoupledOscillatorNetwork net(OscillatorParams{}, 2);
   net.set_gate_voltage(0, kCenterVgs - 0.5 * delta_vgs);
   net.set_gate_voltage(1, kCenterVgs + 0.5 * delta_vgs);
   net.add_coupling({.a = 0, .b = 1, .r = rc, .c = 1e-12});
-  const Trace tr = net.simulate(sim_options());
+  const Trace tr = net.simulate(sim_options(), ws);
   PairResult r;
   r.locked = is_locked(tr, 0, 1);
   r.f0 = trace_frequency(tr, 0);
@@ -46,32 +48,68 @@ PairResult run_pair(core::Real delta_vgs, core::Real rc) {
   return r;
 }
 
+/// One (detuning, coupling) grid point of the Fig. 3 sweep.
+struct SweepPoint {
+  core::Real d = 0.0;
+  core::Real rc = 0.0;
+  PairResult result;
+};
+
 }  // namespace
 
 int main() {
   core::print_banner(std::cout, "E1 / Fig. 3 — VO2 oscillator frequency locking");
 
   {
+    // Free-running tuning curve: every Vgs point is an independent
+    // trajectory, so the grid runs as a parallel ensemble.
+    std::vector<core::Real> grid;
+    for (core::Real vgs = 0.85; vgs <= 1.351; vgs += 0.05)
+      grid.push_back(vgs);
+    std::vector<core::Real> freq(grid.size(), 0.0);
+    core::EnsembleOptions eopts;
+    eopts.telemetry_label = "fig3.tuning";
+    core::run_ensemble(grid.size(), eopts,
+                       [&](std::size_t i, core::Workspace& ws) {
+                         CoupledOscillatorNetwork net(OscillatorParams{}, 1);
+                         net.set_gate_voltage(0, grid[i]);
+                         const Trace tr = net.simulate(sim_options(), ws);
+                         freq[i] = trace_frequency(tr, 0);
+                         return true;
+                       });
     core::Table tuning({"Vgs [V]", "free-running f [MHz]"}, 3);
-    RelaxationOscillator osc{OscillatorParams{}};
-    for (core::Real vgs = 0.85; vgs <= 1.351; vgs += 0.05) {
-      const Trace tr = osc.simulate(vgs, sim_options());
-      tuning.add_row({vgs, trace_frequency(tr, 0) / 1e6});
-    }
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      tuning.add_row({grid[i], freq[i] / 1e6});
     std::cout << "\nFree-running tuning curve (the Vgs input encoding):\n";
     tuning.print(std::cout);
   }
+
+  // The full (coupling x detuning) grid is one flat ensemble; each point's
+  // slot is written independently, so the table below is identical at any
+  // thread count.
+  std::vector<SweepPoint> points;
+  for (const core::Real rc : {40e3, 15e3, 5e3})
+    for (core::Real d = 0.0; d <= 0.321; d += 0.04)
+      points.push_back({d, rc, {}});
+  core::EnsembleOptions eopts;
+  eopts.telemetry_label = "fig3.pairs";
+  core::run_ensemble(points.size(), eopts,
+                     [&](std::size_t i, core::Workspace& ws) {
+                       points[i].result = run_pair(points[i].d, points[i].rc, ws);
+                       return true;
+                     });
 
   for (const core::Real rc : {40e3, 15e3, 5e3}) {
     core::Table table({"dVgs [V]", "f_osc1 [MHz]", "f_osc2 [MHz]", "locked",
                        "phase [rad]"},
                       3);
     core::Real lock_edge = 0.0;
-    for (core::Real d = 0.0; d <= 0.321; d += 0.04) {
-      const PairResult r = run_pair(d, rc);
-      table.add_row({d, r.f0 / 1e6, r.f1 / 1e6,
-                     std::string(r.locked ? "yes" : "no"), r.phase});
-      if (r.locked) lock_edge = d;
+    for (const SweepPoint& p : points) {
+      if (p.rc != rc) continue;
+      table.add_row({p.d, p.result.f0 / 1e6, p.result.f1 / 1e6,
+                     std::string(p.result.locked ? "yes" : "no"),
+                     p.result.phase});
+      if (p.result.locked) lock_edge = p.d;
     }
     std::cout << "\nCoupled pair, Rc = " << rc / 1e3
               << " kOhm (series RC, Cc = 1 pF):\n";

@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "core/ensemble.h"
 #include "core/stats.h"
 #include "core/table.h"
 #include "memcomputing/dmm.h"
@@ -34,12 +35,16 @@ struct TrajectoryReport {
   std::size_t flips_total = 0;
 };
 
-TrajectoryReport run_instance(const Cnf& cnf, core::Rng& rng) {
+TrajectoryReport run_instance(const Cnf& cnf, core::Rng& rng,
+                              core::Workspace& ws) {
   DmmOptions opts;
   opts.max_steps = 400'000;
   opts.energy_stride = 20;
   opts.track_avalanches = true;
-  const DmmResult r = DmmSolver(cnf, opts).solve(rng);
+  const DmmSolver solver(cnf, opts);
+  std::vector<core::Real> v0(cnf.num_variables());
+  for (core::Real& v : v0) v = rng.uniform(-1.0, 1.0);
+  const DmmResult r = solver.solve_from(std::move(v0), rng, ws);
   TrajectoryReport rep;
   rep.solved = r.satisfied;
   rep.steps = r.steps;
@@ -64,13 +69,30 @@ int main() {
                      "(boundedness, descent, no periodic orbits)");
 
   core::Rng rng(5);
+  // Generate the instance set serially (shared rng), then run the six
+  // trajectories as a parallel ensemble with per-index stream seeds.
+  constexpr std::size_t kTrajectories = 6;
+  std::vector<PlantedInstance> instances;
+  instances.reserve(kTrajectories);
+  for (std::size_t i = 0; i < kTrajectories; ++i)
+    instances.push_back(planted_ksat(rng, 80, 340, 3));
+  std::vector<TrajectoryReport> reports(kTrajectories);
+  const std::uint64_t traj_seed = rng();
+  core::EnsembleOptions eopts;
+  eopts.telemetry_label = "secIV.dynamics";
+  core::run_ensemble(kTrajectories, eopts,
+                     [&](std::size_t i, core::Workspace& ws) {
+                       core::Rng trng = core::Rng::stream(traj_seed, i);
+                       reports[i] = run_instance(instances[i].cnf, trng, ws);
+                       return true;
+                     });
+
   core::Table table({"instance", "solved", "steps", "max |v|",
                      "clause energy start", "clause energy end",
                      "peak energy (2nd half)", "total sign flips"},
                     3);
-  for (int i = 0; i < 6; ++i) {
-    const auto inst = planted_ksat(rng, 80, 340, 3);
-    const TrajectoryReport rep = run_instance(inst.cnf, rng);
+  for (std::size_t i = 0; i < kTrajectories; ++i) {
+    const TrajectoryReport& rep = reports[i];
     table.add_row({static_cast<std::int64_t>(i),
                    std::string(rep.solved ? "yes" : "no"),
                    static_cast<std::int64_t>(rep.steps), rep.max_abs_v,

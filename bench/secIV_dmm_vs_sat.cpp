@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/ensemble.h"
 #include "core/stats.h"
 #include "core/table.h"
 #include "memcomputing/dmm.h"
@@ -40,16 +41,38 @@ Row run_size(std::size_t n, core::Rng& rng) {
   std::vector<core::Real> dmm_steps, ws_flips, gs_flips, dp_dec;
   int dmm_ok = 0, ws_ok = 0, gs_ok = 0, dp_ok = 0;
 
-  for (int i = 0; i < kInstances; ++i) {
-    const auto inst = planted_ksat(rng, n, m, 3);
+  // Instance generation stays serial (it advances the shared rng); the DMM
+  // trajectories then fan out as one ensemble, one stream-seeded solve per
+  // instance, while the classical solvers keep their serial loop below.
+  std::vector<PlantedInstance> instances;
+  instances.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i)
+    instances.push_back(planted_ksat(rng, n, m, 3));
 
-    DmmOptions dopts;
-    dopts.max_steps = 400'000;
-    const DmmResult dr = DmmSolver(inst.cnf, dopts).solve(rng);
+  std::vector<DmmResult> dmm_results(instances.size());
+  const std::uint64_t dmm_seed = rng();
+  core::EnsembleOptions eopts;
+  eopts.telemetry_label = "secIV.dmm";
+  core::run_ensemble(instances.size(), eopts,
+                     [&](std::size_t i, core::Workspace& ws) {
+                       DmmOptions dopts;
+                       dopts.max_steps = 400'000;
+                       const DmmSolver solver(instances[i].cnf, dopts);
+                       core::Rng trng = core::Rng::stream(dmm_seed, i);
+                       std::vector<core::Real> v0(n);
+                       for (core::Real& v : v0) v = trng.uniform(-1.0, 1.0);
+                       dmm_results[i] = solver.solve_from(std::move(v0), trng, ws);
+                       return true;
+                     });
+  for (const DmmResult& dr : dmm_results) {
     if (dr.satisfied) {
       ++dmm_ok;
       dmm_steps.push_back(static_cast<core::Real>(dr.steps));
     }
+  }
+
+  for (int i = 0; i < kInstances; ++i) {
+    const auto& inst = instances[static_cast<std::size_t>(i)];
 
     WalkSatOptions wopts;
     wopts.max_flips = 4'000'000;

@@ -1,0 +1,331 @@
+// Static-dispatch dynamics kernels: the integration hot path of both physics
+// engines, without std::function.
+//
+// The legacy ode.h API types every right-hand side as a std::function, which
+// costs an indirect call per RHS evaluation (2 per Heun step, 6 per RKF45
+// step) and blocks inlining of the step arithmetic into the RHS loop. The
+// ensemble workloads of Sec. III/IV (restart sweeps, noise seeds, coupling
+// ablations) evaluate the RHS billions of times, so here the kernel is a
+// *type*: any struct with an inlinable
+//
+//   void rhs(Real t, std::span<const Real> y, std::span<Real> dydt)
+//
+// member (const or not — stateful kernels such as the SOLG gate-memory sweep
+// mutate themselves) can be passed to the templated steppers and drivers
+// below, and the compiler fuses RHS and stepper into one loop nest. ode.h
+// remains as a thin adapter (FunctionKernel) so existing call sites keep
+// compiling unchanged.
+//
+// Scratch ownership moves to the caller: a Workspace is a grow-only arena of
+// Real/byte blocks that a trajectory body acquires from once per solve and
+// the ensemble runner (core/ensemble.h) hands each worker thread its own, so
+// repeated trajectories allocate nothing after the first.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rebooting::core {
+
+/// Requirements on a dynamics kernel: writes dy/dt(t, y) into dydt. Both
+/// spans have the system dimension; rhs must not resize or alias them.
+template <typename K>
+concept DynamicsKernel =
+    requires(K k, Real t, std::span<const Real> y, std::span<Real> dydt) {
+      { k.rhs(t, y, dydt) };
+    };
+
+/// Grow-only scratch arena owned by the caller of a solve. Each acquire()
+/// hands out one stable block (blocks never move once created), so nested
+/// holders cannot invalidate each other; a Scope rewinds the cursor on exit
+/// so the *next* trajectory reuses the same blocks without reallocating.
+class Workspace {
+ public:
+  /// RAII cursor checkpoint: blocks acquired inside the scope are recycled
+  /// (not freed) when it ends. Take one per trajectory/solve.
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws)
+        : ws_(&ws), real_mark_(ws.real_cursor_), byte_mark_(ws.byte_cursor_) {}
+    ~Scope() {
+      ws_->real_cursor_ = real_mark_;
+      ws_->byte_cursor_ = byte_mark_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Workspace* ws_;
+    std::size_t real_mark_;
+    std::size_t byte_mark_;
+  };
+
+  Scope scope() { return Scope(*this); }
+
+  /// Next Real block of at least n elements. Contents are unspecified (reused
+  /// blocks keep stale values); callers must initialize what they read.
+  std::span<Real> real(std::size_t n) {
+    if (real_cursor_ == real_blocks_.size()) real_blocks_.emplace_back();
+    std::vector<Real>& block = real_blocks_[real_cursor_++];
+    if (block.size() < n) block.resize(n);
+    return {block.data(), n};
+  }
+
+  /// Next byte block of at least n elements (flags, sign bits, ...).
+  std::span<unsigned char> bytes(std::size_t n) {
+    if (byte_cursor_ == byte_blocks_.size()) byte_blocks_.emplace_back();
+    std::vector<unsigned char>& block = byte_blocks_[byte_cursor_++];
+    if (block.size() < n) block.resize(n);
+    return {block.data(), n};
+  }
+
+  /// Rewinds both cursors (top-level reuse without a Scope). Must not be
+  /// called while blocks from this workspace are still in use.
+  void reset() {
+    real_cursor_ = 0;
+    byte_cursor_ = 0;
+  }
+
+ private:
+  // Blocks are separate vectors (not one slab) so growing one never moves
+  // another — acquired spans stay valid for the workspace's lifetime.
+  std::vector<std::vector<Real>> real_blocks_;
+  std::vector<std::vector<unsigned char>> byte_blocks_;
+  std::size_t real_cursor_ = 0;
+  std::size_t byte_cursor_ = 0;
+};
+
+/// Fixed-step integration schemes (shared with the legacy ode.h API).
+enum class Scheme { kEuler, kHeun, kRk4 };
+
+/// Tag type for "no observer": the drivers compile the observer branch out.
+struct NoObserver {};
+
+namespace detail {
+
+inline void check_scratch(std::span<Real> y, std::span<Real> scratch,
+                          std::size_t multiple) {
+  if (scratch.size() < multiple * y.size())
+    throw std::invalid_argument("ode step: scratch too small");
+}
+
+template <typename Observer>
+inline constexpr bool kHasObserver =
+    !std::is_same_v<std::remove_cvref_t<Observer>, NoObserver>;
+
+}  // namespace detail
+
+/// Stateless single steps (y updated in place). `scratch` must provide at
+/// least 1x / 3x / 5x y.size() reals respectively; callers that manage their
+/// own loops (the oscillator engine interleaves hysteresis events between
+/// steps) acquire it once from a Workspace outside the loop.
+template <DynamicsKernel Kernel>
+inline void euler_step(Kernel& f, Real t, Real dt, std::span<Real> y,
+                       std::span<Real> scratch) {
+  detail::check_scratch(y, scratch, 1);
+  const std::size_t n = y.size();
+  auto k1 = scratch.subspan(0, n);
+  f.rhs(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) y[i] += dt * k1[i];
+}
+
+template <DynamicsKernel Kernel>
+inline void heun_step(Kernel& f, Real t, Real dt, std::span<Real> y,
+                      std::span<Real> scratch) {
+  detail::check_scratch(y, scratch, 3);
+  const std::size_t n = y.size();
+  auto k1 = scratch.subspan(0, n);
+  auto k2 = scratch.subspan(n, n);
+  auto tmp = scratch.subspan(2 * n, n);
+  f.rhs(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k1[i];
+  f.rhs(t + dt, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) y[i] += 0.5 * dt * (k1[i] + k2[i]);
+}
+
+template <DynamicsKernel Kernel>
+inline void rk4_step(Kernel& f, Real t, Real dt, std::span<Real> y,
+                     std::span<Real> scratch) {
+  detail::check_scratch(y, scratch, 5);
+  const std::size_t n = y.size();
+  auto k1 = scratch.subspan(0, n);
+  auto k2 = scratch.subspan(n, n);
+  auto k3 = scratch.subspan(2 * n, n);
+  auto k4 = scratch.subspan(3 * n, n);
+  auto tmp = scratch.subspan(4 * n, n);
+  f.rhs(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+  f.rhs(t + 0.5 * dt, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+  f.rhs(t + 0.5 * dt, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+  f.rhs(t + dt, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+/// Fixed-step driver: integrates from t0 to t1 in steps of dt (final step
+/// shortened to land exactly on t1). Time is tracked as t0 + i*dt — an
+/// accumulating `t += dt` drifts by an ulp per step, which over the millions
+/// of steps of an oscillator run shifts every sample instant and the final
+/// time. Observer (bool(Real t, std::span<const Real> y)) is called after
+/// each step; returns the final time reached (== t1 unless stopped early).
+template <DynamicsKernel Kernel, typename Observer = NoObserver>
+Real integrate_fixed(Kernel& f, Scheme scheme, Real t0, Real t1, Real dt,
+                     std::span<Real> y, Workspace& ws,
+                     Observer&& observe = {}) {
+  if (!(dt > 0.0))
+    throw std::invalid_argument("integrate_fixed: dt must be > 0");
+  const auto ws_scope = ws.scope();
+  std::span<Real> scratch = ws.real(5 * y.size());
+  for (std::size_t i = 0;; ++i) {
+    const Real t = t0 + static_cast<Real>(i) * dt;
+    if (t >= t1) return t1;
+    const Real step = std::min(dt, t1 - t);
+    switch (scheme) {
+      case Scheme::kEuler:
+        euler_step(f, t, step, y, scratch);
+        break;
+      case Scheme::kHeun:
+        heun_step(f, t, step, y, scratch);
+        break;
+      case Scheme::kRk4:
+        rk4_step(f, t, step, y, scratch);
+        break;
+    }
+    const Real t_next = std::min(t0 + static_cast<Real>(i + 1) * dt, t1);
+    if constexpr (detail::kHasObserver<Observer>) {
+      if (!observe(t_next, std::span<const Real>(y))) return t_next;
+    }
+  }
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) controls (shared with ode.h).
+struct AdaptiveOptions {
+  Real abs_tol = 1e-8;
+  Real rel_tol = 1e-6;
+  Real initial_dt = 1e-3;
+  Real min_dt = 1e-12;
+  Real max_dt = 1.0;
+  /// Step-count guard: integration aborts (returning the time reached) after
+  /// this many accepted steps, so a stiff runaway cannot hang a benchmark.
+  std::size_t max_steps = 50'000'000;
+};
+
+struct AdaptiveResult {
+  Real t_final = 0.0;
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  bool stopped_by_observer = false;
+  bool hit_step_limit = false;
+};
+
+/// Adaptive RKF45 driver with PI-free classic step control (factor clamped to
+/// [0.2, 5]). All stage storage comes from the workspace.
+template <DynamicsKernel Kernel, typename Observer = NoObserver>
+AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
+                                  std::span<Real> y,
+                                  const AdaptiveOptions& opts, Workspace& ws,
+                                  Observer&& observe = {}) {
+  // Classic RKF45 (Fehlberg) tableau.
+  static constexpr Real a21 = 1.0 / 4.0;
+  static constexpr Real a31 = 3.0 / 32.0, a32 = 9.0 / 32.0;
+  static constexpr Real a41 = 1932.0 / 2197.0, a42 = -7200.0 / 2197.0,
+                        a43 = 7296.0 / 2197.0;
+  static constexpr Real a51 = 439.0 / 216.0, a52 = -8.0, a53 = 3680.0 / 513.0,
+                        a54 = -845.0 / 4104.0;
+  static constexpr Real a61 = -8.0 / 27.0, a62 = 2.0, a63 = -3544.0 / 2565.0,
+                        a64 = 1859.0 / 4104.0, a65 = -11.0 / 40.0;
+  static constexpr Real b41 = 25.0 / 216.0, b43 = 1408.0 / 2565.0,
+                        b44 = 2197.0 / 4104.0, b45 = -1.0 / 5.0;
+  static constexpr Real b51 = 16.0 / 135.0, b53 = 6656.0 / 12825.0,
+                        b54 = 28561.0 / 56430.0, b55 = -9.0 / 50.0,
+                        b56 = 2.0 / 55.0;
+  static constexpr Real c2 = 1.0 / 4.0, c3 = 3.0 / 8.0, c4 = 12.0 / 13.0,
+                        c6 = 1.0 / 2.0;
+
+  const std::size_t n = y.size();
+  const auto ws_scope = ws.scope();
+  std::span<Real> stages = ws.real(8 * n);
+  auto k1 = stages.subspan(0, n), k2 = stages.subspan(n, n),
+       k3 = stages.subspan(2 * n, n), k4 = stages.subspan(3 * n, n),
+       k5 = stages.subspan(4 * n, n), k6 = stages.subspan(5 * n, n),
+       tmp = stages.subspan(6 * n, n), y5 = stages.subspan(7 * n, n);
+
+  AdaptiveResult res;
+  Real t = t0;
+  Real dt = std::clamp(opts.initial_dt, opts.min_dt, opts.max_dt);
+
+  while (t < t1) {
+    if (res.accepted_steps >= opts.max_steps) {
+      res.hit_step_limit = true;
+      break;
+    }
+    dt = std::min(dt, t1 - t);
+
+    f.rhs(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * a21 * k1[i];
+    f.rhs(t + c2 * dt, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + dt * (a31 * k1[i] + a32 * k2[i]);
+    f.rhs(t + c3 * dt, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + dt * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+    f.rhs(t + c4 * dt, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] =
+          y[i] + dt * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+    f.rhs(t + dt, tmp, k5);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + dt * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] +
+                            a64 * k4[i] + a65 * k5[i]);
+    f.rhs(t + c6 * dt, tmp, k6);
+
+    // 4th- and 5th-order solutions; the difference estimates the local error.
+    Real err_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real y4 =
+          y[i] + dt * (b41 * k1[i] + b43 * k3[i] + b44 * k4[i] + b45 * k5[i]);
+      y5[i] = y[i] + dt * (b51 * k1[i] + b53 * k3[i] + b54 * k4[i] +
+                           b55 * k5[i] + b56 * k6[i]);
+      const Real scale = opts.abs_tol +
+                         opts.rel_tol * std::max(std::abs(y[i]), std::abs(y5[i]));
+      const Real e = (y5[i] - y4) / scale;
+      err_norm += e * e;
+    }
+    err_norm = std::sqrt(err_norm / static_cast<Real>(n));
+
+    if (err_norm <= 1.0 || dt <= opts.min_dt) {
+      // Accept (forcibly when already at the minimum step).
+      t += dt;
+      std::copy(y5.begin(), y5.end(), y.begin());
+      ++res.accepted_steps;
+      if constexpr (detail::kHasObserver<Observer>) {
+        if (!observe(t, std::span<const Real>(y))) {
+          res.stopped_by_observer = true;
+          break;
+        }
+      }
+    } else {
+      ++res.rejected_steps;
+    }
+
+    const Real factor =
+        (err_norm > 0.0) ? std::clamp(0.9 * std::pow(err_norm, -0.2), 0.2, 5.0)
+                         : 5.0;
+    dt = std::clamp(dt * factor, opts.min_dt, opts.max_dt);
+  }
+
+  res.t_final = t;
+  return res;
+}
+
+}  // namespace rebooting::core

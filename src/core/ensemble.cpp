@@ -1,0 +1,115 @@
+#include "core/ensemble.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace rebooting::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Real seconds_since(Clock::time_point start) {
+  return std::chrono::duration<Real>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
+                           const EnsembleBody& body) {
+  TELEM_SPAN("ensemble.run");
+  EnsembleStats stats;
+  if (count == 0) return stats;
+
+  std::size_t threads = opts.threads != 0
+                            ? opts.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, count);
+  stats.threads_used = threads;
+
+  const bool telem = telemetry::Telemetry::enabled();
+  const auto start = Clock::now();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    // One arena per worker for the whole run: trajectory bodies carve their
+    // state from it under a Scope, so iteration k reuses iteration k-1's
+    // blocks instead of allocating.
+    Workspace ws;
+    // stop is checked BEFORE claiming, never after: once fetch_add hands out
+    // an index it always executes. Claims are monotone, so a stop triggered
+    // by index w implies every i < w was claimed earlier and runs to
+    // completion — the determinism guarantee in the header depends on this
+    // ordering.
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      const auto traj_start = Clock::now();
+      bool keep_going = true;
+      try {
+        keep_going = body(i, ws);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+      if (telem)
+        telemetry::Telemetry::instance().metrics().record(
+            opts.telemetry_label + ".trajectory_seconds",
+            seconds_since(traj_start));
+      if (!keep_going) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  stats.trajectories = completed.load(std::memory_order_relaxed);
+  stats.stopped_early =
+      stop.load(std::memory_order_relaxed) && stats.trajectories < count;
+  stats.wall_seconds = seconds_since(start);
+  stats.trajectories_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<Real>(stats.trajectories) / stats.wall_seconds
+          : 0.0;
+
+  if (telem) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add(opts.telemetry_label + ".trajectories",
+                static_cast<Real>(stats.trajectories));
+    metrics.set(opts.telemetry_label + ".threads",
+                static_cast<Real>(stats.threads_used));
+    metrics.set(opts.telemetry_label + ".trajectories_per_second",
+                stats.trajectories_per_second);
+    if (stats.stopped_early) metrics.add(opts.telemetry_label + ".early_stop");
+  }
+  return stats;
+}
+
+}  // namespace rebooting::core

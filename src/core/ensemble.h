@@ -1,0 +1,61 @@
+// Parallel trajectory ensembles: fan N independent dynamics trajectories
+// (DMM restarts, oscillator noise/coupling sweeps) across a thread pool.
+//
+// The paper's quantitative claims (Fig. 3/5 locking windows, Sec. IV DMM
+// scaling) are all ensemble statistics, and practical memcomputing/oscillator
+// studies are throughput-bound on exactly this many-trajectory workload. The
+// runner's contract is built for reproducibility:
+//
+//  - Indices are claimed from an atomic counter in strictly increasing order,
+//    so trajectory i only ever runs after 0..i-1 have been *claimed*.
+//  - The body must derive all randomness from its index (Rng::stream(seed, i))
+//    and write results only into its own slot — then every trajectory's
+//    output is bit-identical regardless of thread count or scheduling.
+//  - Early stop (body returns false) only prevents *unclaimed* indices from
+//    starting; in-flight trajectories finish. Combined with in-order
+//    claiming, the lowest "winning" index is deterministic across thread
+//    counts: a winner at index s implies 0..s-1 were claimed before s and run
+//    to completion, so no lower winner can be missed.
+//
+// Each worker owns one Workspace for the lifetime of the run, so trajectory
+// bodies built on core/dynamics.h allocate nothing after their first
+// iteration on that worker.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/dynamics.h"
+#include "core/types.h"
+
+namespace rebooting::core {
+
+struct EnsembleOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Capped at the
+  /// trajectory count; 1 runs inline on the calling thread.
+  std::size_t threads = 0;
+  /// Metric prefix: <label>.trajectories, <label>.trajectory_seconds (the
+  /// per-trajectory step/wall histogram), <label>.early_stop.
+  std::string telemetry_label = "ensemble";
+};
+
+struct EnsembleStats {
+  std::size_t trajectories = 0;  ///< bodies that actually ran
+  std::size_t threads_used = 0;
+  bool stopped_early = false;
+  Real wall_seconds = 0.0;
+  Real trajectories_per_second = 0.0;
+};
+
+/// Trajectory body: run trajectory `index` using the worker-owned workspace.
+/// Return false to request an early stop of all unclaimed trajectories.
+using EnsembleBody = std::function<bool(std::size_t index, Workspace& ws)>;
+
+/// Runs `count` trajectories across the pool and blocks until every claimed
+/// trajectory finished. Exceptions thrown by the body stop the ensemble and
+/// the first one is rethrown here.
+EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
+                           const EnsembleBody& body);
+
+}  // namespace rebooting::core

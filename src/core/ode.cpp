@@ -1,176 +1,58 @@
 #include "core/ode.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
 namespace rebooting::core {
 
 namespace {
 
-void check_dims(std::span<Real> y, std::span<Real> scratch,
-                std::size_t multiple) {
-  if (scratch.size() < multiple * y.size())
-    throw std::invalid_argument("ode step: scratch too small");
+/// One lazily grown arena per thread: the legacy entry points stay
+/// allocation-free after their first call without threading a Workspace
+/// through every signature. Reentrancy (an observer that integrates) is safe
+/// because the drivers carve blocks under a Workspace::Scope.
+Workspace& legacy_workspace() {
+  thread_local Workspace ws;
+  return ws;
 }
 
 }  // namespace
 
 void euler_step(const OdeRhs& f, Real t, Real dt, std::span<Real> y,
                 std::span<Real> scratch) {
-  check_dims(y, scratch, 1);
-  const std::size_t n = y.size();
-  auto k1 = scratch.subspan(0, n);
-  f(t, y, k1);
-  for (std::size_t i = 0; i < n; ++i) y[i] += dt * k1[i];
+  FunctionKernel k{f};
+  euler_step(k, t, dt, y, scratch);
 }
 
 void heun_step(const OdeRhs& f, Real t, Real dt, std::span<Real> y,
                std::span<Real> scratch) {
-  check_dims(y, scratch, 3);
-  const std::size_t n = y.size();
-  auto k1 = scratch.subspan(0, n);
-  auto k2 = scratch.subspan(n, n);
-  auto tmp = scratch.subspan(2 * n, n);
-  f(t, y, k1);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k1[i];
-  f(t + dt, tmp, k2);
-  for (std::size_t i = 0; i < n; ++i) y[i] += 0.5 * dt * (k1[i] + k2[i]);
+  FunctionKernel k{f};
+  heun_step(k, t, dt, y, scratch);
 }
 
 void rk4_step(const OdeRhs& f, Real t, Real dt, std::span<Real> y,
               std::span<Real> scratch) {
-  check_dims(y, scratch, 5);
-  const std::size_t n = y.size();
-  auto k1 = scratch.subspan(0, n);
-  auto k2 = scratch.subspan(n, n);
-  auto k3 = scratch.subspan(2 * n, n);
-  auto k4 = scratch.subspan(3 * n, n);
-  auto tmp = scratch.subspan(4 * n, n);
-  f(t, y, k1);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
-  f(t + 0.5 * dt, tmp, k2);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
-  f(t + 0.5 * dt, tmp, k3);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
-  f(t + dt, tmp, k4);
-  for (std::size_t i = 0; i < n; ++i)
-    y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  FunctionKernel k{f};
+  rk4_step(k, t, dt, y, scratch);
 }
 
 Real integrate_fixed(const OdeRhs& f, Scheme scheme, Real t0, Real t1, Real dt,
                      std::vector<Real>& y, const OdeObserver& observe) {
-  if (!(dt > 0.0)) throw std::invalid_argument("integrate_fixed: dt must be > 0");
-  std::vector<Real> scratch(5 * y.size());
-  Real t = t0;
-  while (t < t1) {
-    const Real step = std::min(dt, t1 - t);
-    switch (scheme) {
-      case Scheme::kEuler:
-        euler_step(f, t, step, y, scratch);
-        break;
-      case Scheme::kHeun:
-        heun_step(f, t, step, y, scratch);
-        break;
-      case Scheme::kRk4:
-        rk4_step(f, t, step, y, scratch);
-        break;
-    }
-    t += step;
-    if (observe && !observe(t, y)) return t;
-  }
-  return t;
+  FunctionKernel k{f};
+  if (observe)
+    return integrate_fixed(k, scheme, t0, t1, dt, std::span<Real>(y),
+                           legacy_workspace(), observe);
+  return integrate_fixed(k, scheme, t0, t1, dt, std::span<Real>(y),
+                         legacy_workspace());
 }
 
 AdaptiveResult integrate_adaptive(const OdeRhs& f, Real t0, Real t1,
                                   std::vector<Real>& y,
                                   const AdaptiveOptions& opts,
                                   const OdeObserver& observe) {
-  // Classic RKF45 (Fehlberg) tableau.
-  static constexpr Real a21 = 1.0 / 4.0;
-  static constexpr Real a31 = 3.0 / 32.0, a32 = 9.0 / 32.0;
-  static constexpr Real a41 = 1932.0 / 2197.0, a42 = -7200.0 / 2197.0,
-                        a43 = 7296.0 / 2197.0;
-  static constexpr Real a51 = 439.0 / 216.0, a52 = -8.0, a53 = 3680.0 / 513.0,
-                        a54 = -845.0 / 4104.0;
-  static constexpr Real a61 = -8.0 / 27.0, a62 = 2.0, a63 = -3544.0 / 2565.0,
-                        a64 = 1859.0 / 4104.0, a65 = -11.0 / 40.0;
-  static constexpr Real b41 = 25.0 / 216.0, b43 = 1408.0 / 2565.0,
-                        b44 = 2197.0 / 4104.0, b45 = -1.0 / 5.0;
-  static constexpr Real b51 = 16.0 / 135.0, b53 = 6656.0 / 12825.0,
-                        b54 = 28561.0 / 56430.0, b55 = -9.0 / 50.0,
-                        b56 = 2.0 / 55.0;
-  static constexpr Real c2 = 1.0 / 4.0, c3 = 3.0 / 8.0, c4 = 12.0 / 13.0,
-                        c6 = 1.0 / 2.0;
-
-  const std::size_t n = y.size();
-  std::vector<Real> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), tmp(n), y5(n);
-
-  AdaptiveResult res;
-  Real t = t0;
-  Real dt = std::clamp(opts.initial_dt, opts.min_dt, opts.max_dt);
-
-  while (t < t1) {
-    if (res.accepted_steps >= opts.max_steps) {
-      res.hit_step_limit = true;
-      break;
-    }
-    dt = std::min(dt, t1 - t);
-
-    f(t, y, k1);
-    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * a21 * k1[i];
-    f(t + c2 * dt, tmp, k2);
-    for (std::size_t i = 0; i < n; ++i)
-      tmp[i] = y[i] + dt * (a31 * k1[i] + a32 * k2[i]);
-    f(t + c3 * dt, tmp, k3);
-    for (std::size_t i = 0; i < n; ++i)
-      tmp[i] = y[i] + dt * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
-    f(t + c4 * dt, tmp, k4);
-    for (std::size_t i = 0; i < n; ++i)
-      tmp[i] =
-          y[i] + dt * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
-    f(t + dt, tmp, k5);
-    for (std::size_t i = 0; i < n; ++i)
-      tmp[i] = y[i] + dt * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] +
-                            a64 * k4[i] + a65 * k5[i]);
-    f(t + c6 * dt, tmp, k6);
-
-    // 4th- and 5th-order solutions; the difference estimates the local error.
-    Real err_norm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Real y4 =
-          y[i] + dt * (b41 * k1[i] + b43 * k3[i] + b44 * k4[i] + b45 * k5[i]);
-      y5[i] = y[i] + dt * (b51 * k1[i] + b53 * k3[i] + b54 * k4[i] +
-                           b55 * k5[i] + b56 * k6[i]);
-      const Real scale =
-          opts.abs_tol + opts.rel_tol * std::max(std::abs(y[i]), std::abs(y5[i]));
-      const Real e = (y5[i] - y4) / scale;
-      err_norm += e * e;
-    }
-    err_norm = std::sqrt(err_norm / static_cast<Real>(n));
-
-    if (err_norm <= 1.0 || dt <= opts.min_dt) {
-      // Accept (forcibly when already at the minimum step).
-      t += dt;
-      y.assign(y5.begin(), y5.end());
-      ++res.accepted_steps;
-      if (observe && !observe(t, y)) {
-        res.stopped_by_observer = true;
-        break;
-      }
-    } else {
-      ++res.rejected_steps;
-    }
-
-    const Real factor =
-        (err_norm > 0.0)
-            ? std::clamp(0.9 * std::pow(err_norm, -0.2), 0.2, 5.0)
-            : 5.0;
-    dt = std::clamp(dt * factor, opts.min_dt, opts.max_dt);
-  }
-
-  res.t_final = t;
-  return res;
+  FunctionKernel k{f};
+  if (observe)
+    return integrate_adaptive(k, t0, t1, std::span<Real>(y), opts,
+                              legacy_workspace(), observe);
+  return integrate_adaptive(k, t0, t1, std::span<Real>(y), opts,
+                            legacy_workspace());
 }
 
 }  // namespace rebooting::core

@@ -1,15 +1,24 @@
-// Initial-value ODE integrators for the physics engines.
+// Initial-value ODE integrators for the physics engines — std::function
+// convenience layer.
 //
 // Both the VO2 oscillator network (Sec. III) and the digital memcomputing
 // machine (Sec. IV, Eqs. 1-2) are systems of nonlinear ODEs. The oscillator
 // waveforms need dense, fixed-step output for the XOR readout; the DMM wants
 // an adaptive step to sprint through slow phases, so both flavours live here.
+//
+// This header is the *dynamic-dispatch* API: the RHS is a std::function, so
+// it composes with lambdas and captures freely but pays an indirect call per
+// evaluation. The integration hot path lives in core/dynamics.h as templated
+// steppers over kernel types; everything here forwards there through the
+// FunctionKernel adapter, so the two paths share one implementation (and the
+// t0 + i*dt drift-free time tracking).
 #pragma once
 
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "core/dynamics.h"
 #include "core/types.h"
 
 namespace rebooting::core {
@@ -24,8 +33,13 @@ using OdeRhs =
 /// satisfying assignment").
 using OdeObserver = std::function<bool(Real t, std::span<const Real> y)>;
 
-/// Fixed-step integration schemes.
-enum class Scheme { kEuler, kHeun, kRk4 };
+/// Adapts a std::function RHS to the DynamicsKernel concept of dynamics.h.
+struct FunctionKernel {
+  const OdeRhs& f;
+  void rhs(Real t, std::span<const Real> y, std::span<Real> dydt) const {
+    f(t, y, dydt);
+  }
+};
 
 /// Stateless single steps (y is updated in place). `scratch` must provide at
 /// least 4*y.size() reals of workspace; these are exposed for callers that
@@ -39,33 +53,15 @@ void rk4_step(const OdeRhs& f, Real t, Real dt, std::span<Real> y,
               std::span<Real> scratch);
 
 /// Fixed-step driver: integrates from t0 to t1 in steps of dt (final step
-/// shortened to land on t1). Observer is called after each step; returns the
-/// final time reached (== t1 unless the observer stopped early).
+/// shortened to land exactly on t1). Observer is called after each step;
+/// returns the final time reached (== t1 unless the observer stopped early).
+/// Scratch comes from a lazily grown thread-local workspace: repeated calls
+/// allocate nothing after the first.
 Real integrate_fixed(const OdeRhs& f, Scheme scheme, Real t0, Real t1, Real dt,
                      std::vector<Real>& y, const OdeObserver& observe = {});
 
-/// Adaptive Runge–Kutta–Fehlberg 4(5) controls.
-struct AdaptiveOptions {
-  Real abs_tol = 1e-8;
-  Real rel_tol = 1e-6;
-  Real initial_dt = 1e-3;
-  Real min_dt = 1e-12;
-  Real max_dt = 1.0;
-  /// Step-count guard: integration aborts (returning the time reached) after
-  /// this many accepted steps, so a stiff runaway cannot hang a benchmark.
-  std::size_t max_steps = 50'000'000;
-};
-
-struct AdaptiveResult {
-  Real t_final = 0.0;
-  std::size_t accepted_steps = 0;
-  std::size_t rejected_steps = 0;
-  bool stopped_by_observer = false;
-  bool hit_step_limit = false;
-};
-
 /// Adaptive RKF45 driver with PI-free classic step control (factor clamped to
-/// [0.2, 5]).
+/// [0.2, 5]). Scratch handling as in integrate_fixed.
 AdaptiveResult integrate_adaptive(const OdeRhs& f, Real t0, Real t1,
                                   std::vector<Real>& y,
                                   const AdaptiveOptions& opts,

@@ -94,6 +94,16 @@ bool Rng::bernoulli(Real p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng((*this)()); }
 
+Rng Rng::stream(std::uint64_t base_seed, std::uint64_t stream_index) {
+  // Mix seed and counter through separate splitmix64 chains before combining:
+  // adjacent counters (0, 1, 2, ...) land in unrelated regions of the seed
+  // space, so per-trajectory streams never share low-entropy structure.
+  std::uint64_t a = base_seed;
+  std::uint64_t b = stream_index ^ 0xD2B74407B1CE6E93ull;
+  const std::uint64_t mixed = splitmix64(a) ^ rotl(splitmix64(b), 31);
+  return Rng(mixed);
+}
+
 std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
                                                     std::size_t k) {
   if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");

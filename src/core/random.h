@@ -66,8 +66,19 @@ class Rng {
   }
 
   /// Returns a generator whose stream is independent of this one (created by
-  /// drawing a fresh seed), for per-trial reproducibility in sweeps.
+  /// drawing a fresh seed), for per-trial reproducibility in sweeps. Note
+  /// this advances *this; for parallel ensembles prefer stream(), which is
+  /// counter-based and free of shared state.
   Rng split();
+
+  /// Counter-based stream split: a generator fully determined by
+  /// (base_seed, stream_index). Ensemble trajectory i draws from
+  /// stream(seed, i) and gets the same sequence no matter which worker thread
+  /// runs it, in what order, or how many threads exist. Streams are
+  /// decorrelated by two independent splitmix64 chains (the same finalizer
+  /// the seeding path uses), so stream(s, 0), stream(s, 1), ... are as
+  /// independent as freshly seeded generators.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t stream_index);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -27,17 +27,90 @@ DmmSolver::DmmSolver(const Cnf& cnf, DmmOptions options)
   }
 }
 
+// Static-dispatch dynamics kernel over the packed state y = [v | xs | xl]
+// (n voltages, then m fast memories, then m slow memories). rhs() is the one
+// clause sweep of Eqs. 1-2: it fills dydt with (dv, dxs, dxl) and leaves the
+// summed clause unsatisfaction in clause_energy for the energy traces. The
+// solve loop calls it directly (no std::function), so the compiler inlines
+// the sweep into the stepping loop.
+struct DmmSolver::Kernel {
+  const DmmSolver& solver;
+  Real clause_energy = 0.0;
+
+  void rhs(Real /*t*/, std::span<const Real> y, std::span<Real> dydt) {
+    const std::size_t n = solver.cnf_.num_variables();
+    const std::size_t m = solver.clauses_.size();
+    const DmmParams& p = solver.opts_.params;
+    const auto v = y.first(n);
+    const auto xs = y.subspan(n, m);
+    const auto xl = y.subspan(n + m, m);
+    const auto dv = dydt.first(n);
+    const auto dxs = dydt.subspan(n, m);
+    const auto dxl = dydt.subspan(n + m, m);
+
+    std::fill(dv.begin(), dv.end(), 0.0);
+    clause_energy = 0.0;
+    for (std::size_t cm = 0; cm < m; ++cm) {
+      const ClauseData& c = solver.clauses_[cm];
+      const std::size_t k = c.vars.size();
+
+      // Smallest and second-smallest (1 - q v) over the clause's literals.
+      Real min1 = 2.0, min2 = 2.0;
+      std::size_t arg1 = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const Real s = 1.0 - c.q[i] * v[c.vars[i]];
+        if (s < min1) {
+          min2 = min1;
+          min1 = s;
+          arg1 = i;
+        } else if (s < min2) {
+          min2 = s;
+        }
+      }
+      const Real cmeas = 0.5 * min1;  // C_m in [0, 1]
+      clause_energy += cmeas;
+
+      const Real gate_g = xl[cm] * xs[cm];
+      const Real gate_r = (1.0 + p.zeta * xl[cm]) * (1.0 - xs[cm]);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t var = c.vars[i];
+        // Gradient-like term: push literal i toward satisfaction, scaled by
+        // how far the *other* literals are from satisfying the clause.
+        const Real min_excl = (i == arg1) ? min2 : min1;
+        const Real g_term = 0.5 * c.q[i] * min_excl;
+        Real r_term = 0.0;
+        if (p.rigidity && i == arg1) {
+          // Rigidity holds the critical literal at its target.
+          r_term = 0.5 * (c.q[i] - v[var]);
+        }
+        dv[var] += c.weight * (gate_g * g_term + gate_r * r_term);
+      }
+
+      dxs[cm] = p.beta * (xs[cm] + p.epsilon) * (cmeas - p.gamma);
+      dxl[cm] = p.long_term_memory ? p.alpha * (cmeas - p.delta) : 0.0;
+    }
+  }
+};
+
 DmmResult DmmSolver::solve(core::Rng& rng) const {
   std::vector<Real> v0(cnf_.num_variables());
   for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
   return solve_from(std::move(v0), rng);
 }
 
-DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
+DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng) const {
+  // One lazily grown arena per thread keeps the legacy signature
+  // allocation-free after its first call.
+  thread_local core::Workspace ws;
+  return solve_from(std::move(v0), rng, ws);
+}
+
+DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
+                                core::Workspace& ws) const {
   TELEM_SPAN("dmm.solve");
   const std::size_t n = cnf_.num_variables();
   const std::size_t m = clauses_.size();
-  if (v.size() != n)
+  if (v0.size() != n)
     throw std::invalid_argument("DmmSolver::solve_from: bad v0 size");
   const DmmParams& p = opts_.params;
   // Hoisted enable check: the integration loop below runs up to max_steps
@@ -49,13 +122,27 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
   // recording would dominate the solve at registry-lock granularity.
   constexpr std::size_t kEnergyTelemStride = 64;
 
-  std::vector<Real> xs(m, 0.5);
-  std::vector<Real> xl(m, 1.0);
-  std::vector<Real> dv(n);
-  std::vector<Real> dxs(m);
-  std::vector<Real> dxl(m);
-  std::vector<bool> sign_bit(n);
-  for (std::size_t i = 0; i < n; ++i) sign_bit[i] = v[i] > 0.0;
+  // All integration state comes from the workspace: packed state y, its
+  // derivative, and the digital sign bits. The Scope recycles the blocks for
+  // the next trajectory on this thread.
+  const auto ws_scope = ws.scope();
+  const std::span<Real> y = ws.real(n + 2 * m);
+  const std::span<Real> dydt = ws.real(n + 2 * m);
+  const std::span<unsigned char> sign_bit = ws.bytes(n);
+
+  const auto v = y.first(n);
+  const auto xs = y.subspan(n, m);
+  const auto xl = y.subspan(n + m, m);
+  const auto dv = dydt.first(n);
+  const auto dxs = dydt.subspan(n, m);
+  const auto dxl = dydt.subspan(n + m, m);
+
+  std::copy(v0.begin(), v0.end(), v.begin());
+  std::fill(xs.begin(), xs.end(), 0.5);
+  std::fill(xl.begin(), xl.end(), 1.0);
+  for (std::size_t i = 0; i < n; ++i) sign_bit[i] = v[i] > 0.0 ? 1 : 0;
+
+  Kernel kernel{*this};
 
   DmmResult result;
   result.best_unsatisfied = m;
@@ -109,48 +196,7 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
   const Real xl_ceiling = p.xl_max * static_cast<Real>(m);
 
   for (std::size_t step = 0; step < opts_.max_steps; ++step) {
-    std::fill(dv.begin(), dv.end(), 0.0);
-
-    Real clause_energy = 0.0;
-    for (std::size_t cm = 0; cm < m; ++cm) {
-      const ClauseData& c = clauses_[cm];
-      const std::size_t k = c.vars.size();
-
-      // Smallest and second-smallest (1 - q v) over the clause's literals.
-      Real min1 = 2.0, min2 = 2.0;
-      std::size_t arg1 = 0;
-      for (std::size_t i = 0; i < k; ++i) {
-        const Real s = 1.0 - c.q[i] * v[c.vars[i]];
-        if (s < min1) {
-          min2 = min1;
-          min1 = s;
-          arg1 = i;
-        } else if (s < min2) {
-          min2 = s;
-        }
-      }
-      const Real cmeas = 0.5 * min1;  // C_m in [0, 1]
-      clause_energy += cmeas;
-
-      const Real gate_g = xl[cm] * xs[cm];
-      const Real gate_r = (1.0 + p.zeta * xl[cm]) * (1.0 - xs[cm]);
-      for (std::size_t i = 0; i < k; ++i) {
-        const std::size_t var = c.vars[i];
-        // Gradient-like term: push literal i toward satisfaction, scaled by
-        // how far the *other* literals are from satisfying the clause.
-        const Real min_excl = (i == arg1) ? min2 : min1;
-        const Real g_term = 0.5 * c.q[i] * min_excl;
-        Real r_term = 0.0;
-        if (p.rigidity && i == arg1) {
-          // Rigidity holds the critical literal at its target.
-          r_term = 0.5 * (c.q[i] - v[var]);
-        }
-        dv[var] += c.weight * (gate_g * g_term + gate_r * r_term);
-      }
-
-      dxs[cm] = p.beta * (xs[cm] + p.epsilon) * (cmeas - p.gamma);
-      dxl[cm] = p.long_term_memory ? p.alpha * (cmeas - p.delta) : 0.0;
-    }
+    kernel.rhs(result.sim_time, y, dydt);
 
     // Adaptive forward-Euler step from the largest voltage rate.
     Real max_rate = 0.0;
@@ -170,7 +216,7 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
       if (noise_scale > 0.0) nv += noise_scale * rng.normal();
       v[i] = std::clamp(nv, -1.0, 1.0);
       result.max_abs_voltage = std::max(result.max_abs_voltage, std::abs(v[i]));
-      const bool s = v[i] > 0.0;
+      const unsigned char s = v[i] > 0.0 ? 1 : 0;
       if (s != sign_bit[i]) {
         sign_bit[i] = s;
         ++flips;
@@ -186,10 +232,10 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
     if (opts_.track_avalanches && flips > 0)
       result.avalanche_sizes.push_back(flips);
     if (opts_.energy_stride > 0 && step % opts_.energy_stride == 0)
-      result.energy_trace.push_back(clause_energy);
+      result.energy_trace.push_back(kernel.clause_energy);
     if (telem && step % kEnergyTelemStride == 0)
       telemetry::Telemetry::instance().metrics().record("dmm.clause_energy",
-                                                        clause_energy);
+                                                        kernel.clause_energy);
 
     // The digital readout only changes when some voltage crossed zero.
     if (flips > 0) {
@@ -209,6 +255,65 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v, core::Rng& rng) const {
       opts_.maxsat_mode ? std::max(best_weight, 0.0)
                         : static_cast<Real>(result.best_unsatisfied);
   return result;
+}
+
+DmmEnsembleResult DmmSolver::solve_ensemble(
+    std::size_t restarts, std::uint64_t base_seed,
+    const DmmEnsembleOptions& opts) const {
+  TELEM_SPAN("dmm.solve_ensemble");
+  if (restarts == 0)
+    throw std::invalid_argument("solve_ensemble: need >= 1 restart");
+
+  DmmEnsembleResult er;
+  er.results.resize(restarts);
+  er.ran.assign(restarts, 0);
+
+  core::EnsembleOptions ropts;
+  ropts.threads = opts.threads;
+  ropts.telemetry_label = "dmm.ensemble";
+  const bool stop_early = opts.stop_on_first_solution && !opts_.maxsat_mode;
+
+  const core::EnsembleStats stats = core::run_ensemble(
+      restarts, ropts, [&](std::size_t i, core::Workspace& ws) {
+        // All randomness of restart i comes from its counter-based stream:
+        // bit-identical at any thread count.
+        core::Rng rng = core::Rng::stream(base_seed, i);
+        std::vector<Real> v0(cnf_.num_variables());
+        for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
+        er.results[i] = solve_from(std::move(v0), rng, ws);
+        er.ran[i] = 1;  // each trajectory touches only its own slots
+        return !(stop_early && er.results[i].satisfied);
+      });
+
+  // Winner: scan ascending, so the choice only depends on slots that are
+  // guaranteed to have run (everything up to the first satisfying index).
+  bool have_best = false;
+  Real best_key = 0.0;
+  for (std::size_t i = 0; i < restarts; ++i) {
+    if (!er.ran[i]) continue;
+    const DmmResult& r = er.results[i];
+    if (r.satisfied) {
+      er.best = r;
+      er.best_index = i;
+      er.any_satisfied = true;
+      break;
+    }
+    const Real key = opts_.maxsat_mode
+                         ? r.best_unsatisfied_weight
+                         : static_cast<Real>(r.best_unsatisfied);
+    if (!have_best || key < best_key) {
+      have_best = true;
+      best_key = key;
+      er.best = r;
+      er.best_index = i;
+    }
+  }
+
+  er.trajectories = stats.trajectories;
+  er.threads_used = stats.threads_used;
+  er.wall_seconds = stats.wall_seconds;
+  er.trajectories_per_second = stats.trajectories_per_second;
+  return er;
 }
 
 }  // namespace rebooting::memcomputing

@@ -19,8 +19,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/dynamics.h"
+#include "core/ensemble.h"
 #include "core/random.h"
 #include "memcomputing/cnf.h"
 
@@ -83,6 +86,33 @@ struct DmmResult {
   Real max_abs_voltage = 0.0;
 };
 
+/// Controls for the parallel multi-restart driver (solve_ensemble).
+struct DmmEnsembleOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = inline serial.
+  std::size_t threads = 0;
+  /// Stop launching new restarts once one satisfies (ignored in MaxSAT mode,
+  /// which always runs the full budget looking for better weights).
+  bool stop_on_first_solution = true;
+};
+
+struct DmmEnsembleResult {
+  /// Deterministic winner: the lowest-index satisfying restart, or (when
+  /// none satisfies) the lowest-index restart achieving the best
+  /// unsatisfied count/weight. Bit-identical across thread counts.
+  DmmResult best;
+  std::size_t best_index = 0;
+  bool any_satisfied = false;
+  /// Per-restart results; results[i] is valid iff ran[i] != 0. With early
+  /// stop, every index <= best_index is guaranteed to have run.
+  std::vector<DmmResult> results;
+  std::vector<std::uint8_t> ran;
+  /// Throughput accounting (timing-dependent, informational only).
+  std::size_t trajectories = 0;
+  std::size_t threads_used = 0;
+  Real wall_seconds = 0.0;
+  Real trajectories_per_second = 0.0;
+};
+
 class DmmSolver {
  public:
   DmmSolver(const Cnf& cnf, DmmOptions options);
@@ -94,12 +124,28 @@ class DmmSolver {
   /// [-1,1]); exposed for the dynamics study and tests.
   DmmResult solve_from(std::vector<Real> v0, core::Rng& rng) const;
 
+  /// As above, but all integration state (voltages, memories, derivatives,
+  /// sign bits) is carved from the caller-owned workspace — zero scratch
+  /// allocation per solve once the workspace has warmed up. The ensemble
+  /// runner hands each worker thread its own workspace.
+  DmmResult solve_from(std::vector<Real> v0, core::Rng& rng,
+                       core::Workspace& ws) const;
+
+  /// Runs `restarts` independent trajectories across a thread pool, each
+  /// seeded from core::Rng::stream(base_seed, restart_index) so every
+  /// trajectory — and the selected winner — is reproducible regardless of
+  /// thread count or scheduling.
+  DmmEnsembleResult solve_ensemble(std::size_t restarts,
+                                   std::uint64_t base_seed,
+                                   const DmmEnsembleOptions& opts = {}) const;
+
  private:
   struct ClauseData {
     std::vector<std::size_t> vars;  ///< 0-based variable indices
     std::vector<Real> q;            ///< +1 / -1 literal signs
     Real weight = 1.0;
   };
+  struct Kernel;  // static-dispatch RHS over packed state [v | xs | xl]
 
   const Cnf& cnf_;
   DmmOptions opts_;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "core/dynamics.h"
+#include "core/ensemble.h"
 #include "memcomputing/dmm.h"
 
 namespace rebooting::memcomputing {
@@ -55,6 +58,63 @@ std::vector<std::vector<Real>> satisfying_rows(GateType type) {
                       gate_truth(type, a, b) ? 1.0 : -1.0});
   return rows;
 }
+
+// Stateful native-relaxation kernel: one rhs() call is one softmin gate
+// sweep over the net voltages. The sweep's side effects — the per-gate
+// memory updates and the accumulated mismatch — live in the kernel itself
+// (the dynamics update x_g mid-sweep, so they are not part of the ODE state).
+struct NativeKernel {
+  const std::vector<SolgGate>& gates;
+  const std::vector<std::vector<std::vector<Real>>>& rows_of;
+  const SolgOptions& opts;
+  std::span<Real> xg;
+  Real total_mismatch = 0.0;
+
+  void rhs(Real /*t*/, std::span<const Real> v, std::span<Real> dv) {
+    std::array<Real, 3> term{};
+    std::array<Real, 3> attract{};
+    std::fill(dv.begin(), dv.end(), 0.0);
+    total_mismatch = 0.0;
+
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      const SolgGate& gate = gates[g];
+      const std::size_t arity = gate.terminals.size();
+      for (std::size_t t = 0; t < arity; ++t) term[t] = v[gate.terminals[t]];
+
+      // Softmin attraction toward the satisfying rows.
+      Real wsum = 0.0;
+      Real best_dist = 1e30;
+      std::fill(attract.begin(), attract.begin() + arity, 0.0);
+      for (const auto& row : rows_of[g]) {
+        Real d2 = 0.0;
+        for (std::size_t t = 0; t < arity; ++t) {
+          const Real diff = term[t] - row[t];
+          d2 += diff * diff;
+        }
+        best_dist = std::min(best_dist, d2);
+        const Real w = std::exp(-d2 / opts.softmin_tau);
+        wsum += w;
+        for (std::size_t t = 0; t < arity; ++t)
+          attract[t] += w * (row[t] - term[t]);
+      }
+      // Mismatch in [0, ~1]: distance to the nearest satisfying row.
+      const Real mismatch = std::sqrt(best_dist) / 2.0;
+      total_mismatch += mismatch;
+
+      if (wsum > 0.0) {
+        const Real scale = xg[g] / wsum;
+        for (std::size_t t = 0; t < arity; ++t)
+          dv[gate.terminals[t]] += scale * attract[t];
+      }
+      // Gate memory: grows while inconsistent (feedback of the active
+      // elements), relaxes once the gate self-organized.
+      xg[g] = std::clamp(
+          xg[g] + opts.memory_rate * (mismatch - opts.memory_threshold) *
+                      opts.dt_max / 16.0,
+          1.0, opts.memory_max);
+    }
+  }
+};
 
 }  // namespace
 
@@ -163,121 +223,123 @@ SolgResult SolgCircuit::solve_dmm(core::Rng& rng,
   dopts.max_steps = opts.max_steps;
   const DmmSolver solver(cnf, dopts);
 
+  const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
+  DmmEnsembleOptions eopts;
+  eopts.threads = opts.threads;
+  const DmmEnsembleResult er = solver.solve_ensemble(restarts, rng(), eopts);
+
   SolgResult result;
-  for (std::size_t attempt = 0;
-       attempt < std::max<std::size_t>(1, opts.restarts); ++attempt) {
-    result.restarts_used = attempt;
-    const DmmResult dr = solver.solve(rng);
-    result.steps += dr.steps;
-    if (dr.satisfied) {
-      result.values.assign(pinned_.size(), false);
-      for (std::size_t net = 0; net < pinned_.size(); ++net)
-        result.values[net] = dr.assignment[net + 1];
-      result.consistent = check(result.values);
-      result.residual = 0.0;
-      return result;
-    }
-  }
+  result.restarts_used = er.best_index;
+  // Step accounting mirrors the old serial restart loop: everything up to and
+  // including the winning restart (all of which are guaranteed to have run);
+  // without a winner every restart ran.
+  const std::size_t last = er.any_satisfied ? er.best_index : restarts - 1;
+  for (std::size_t i = 0; i <= last; ++i)
+    if (er.ran[i]) result.steps += er.results[i].steps;
   result.values.assign(pinned_.size(), false);
+  if (er.any_satisfied) {
+    for (std::size_t net = 0; net < pinned_.size(); ++net)
+      result.values[net] = er.best.assignment[net + 1];
+    result.consistent = check(result.values);
+    result.residual = 0.0;
+  }
   return result;
 }
 
 SolgResult SolgCircuit::solve_native(core::Rng& rng,
                                      const SolgOptions& opts) const {
   const std::size_t nets = pinned_.size();
-  SolgResult result;
 
   // Precompute each gate's satisfying rows once per type.
   std::vector<std::vector<std::vector<Real>>> rows_of(gates_.size());
   for (std::size_t g = 0; g < gates_.size(); ++g)
     rows_of[g] = satisfying_rows(gates_[g].type);
 
-  std::vector<Real> v(nets), dv(nets), xg(gates_.size());
-  std::vector<Real> term(3), attract(3);
+  struct Attempt {
+    bool consistent = false;
+    std::size_t steps = 0;
+    std::vector<bool> values;
+    Real residual = 0.0;
+  };
+  const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
+  std::vector<Attempt> attempts(restarts);
+  std::vector<std::uint8_t> ran(restarts, 0);
+  const std::uint64_t base_seed = rng();
 
-  for (std::size_t attempt = 0;
-       attempt < std::max<std::size_t>(1, opts.restarts); ++attempt) {
-    result.restarts_used = attempt;
-    for (std::size_t i = 0; i < nets; ++i)
-      v[i] = pinned_[i] >= 0 ? (pinned_[i] ? 1.0 : -1.0)
-                             : rng.uniform(-0.8, 0.8);
-    std::fill(xg.begin(), xg.end(), 1.0);
+  core::EnsembleOptions ropts;
+  ropts.threads = opts.threads;
+  ropts.telemetry_label = "solg.native";
+  core::run_ensemble(
+      restarts, ropts, [&](std::size_t index, core::Workspace& ws) {
+        core::Rng r = core::Rng::stream(base_seed, index);
+        Attempt& out = attempts[index];  // each restart owns its slot
+        const auto ws_scope = ws.scope();
+        const std::span<Real> v = ws.real(nets);
+        const std::span<Real> dv = ws.real(nets);
+        const std::span<Real> xg = ws.real(gates_.size());
+        for (std::size_t i = 0; i < nets; ++i)
+          v[i] = pinned_[i] >= 0 ? (pinned_[i] ? 1.0 : -1.0)
+                                 : r.uniform(-0.8, 0.8);
+        std::fill(xg.begin(), xg.end(), 1.0);
+        NativeKernel kernel{gates_, rows_of, opts, xg};
 
-    for (std::size_t step = 0; step < opts.max_steps; ++step) {
-      std::fill(dv.begin(), dv.end(), 0.0);
-      Real total_mismatch = 0.0;
+        for (std::size_t step = 0; step < opts.max_steps; ++step) {
+          kernel.rhs(0.0, v, dv);
 
-      for (std::size_t g = 0; g < gates_.size(); ++g) {
-        const SolgGate& gate = gates_[g];
-        const std::size_t arity = gate.terminals.size();
-        for (std::size_t t = 0; t < arity; ++t)
-          term[t] = v[gate.terminals[t]];
-
-        // Softmin attraction toward the satisfying rows.
-        Real wsum = 0.0;
-        Real best_dist = 1e30;
-        std::fill(attract.begin(), attract.begin() + arity, 0.0);
-        for (const auto& row : rows_of[g]) {
-          Real d2 = 0.0;
-          for (std::size_t t = 0; t < arity; ++t) {
-            const Real diff = term[t] - row[t];
-            d2 += diff * diff;
+          Real max_rate = 0.0;
+          for (std::size_t i = 0; i < nets; ++i) {
+            if (pinned_[i] >= 0) dv[i] = 0.0;
+            max_rate = std::max(max_rate, std::abs(dv[i]));
           }
-          best_dist = std::min(best_dist, d2);
-          const Real w = std::exp(-d2 / opts.softmin_tau);
-          wsum += w;
-          for (std::size_t t = 0; t < arity; ++t)
-            attract[t] += w * (row[t] - term[t]);
-        }
-        // Mismatch in [0, ~1]: distance to the nearest satisfying row.
-        const Real mismatch = std::sqrt(best_dist) / 2.0;
-        total_mismatch += mismatch;
+          const Real dt = max_rate > 0.0
+                              ? std::clamp(opts.dv_cap / max_rate, opts.dt_min,
+                                           opts.dt_max)
+                              : opts.dt_max;
+          const Real noise = opts.noise_stddev * std::sqrt(dt);
+          for (std::size_t i = 0; i < nets; ++i) {
+            if (pinned_[i] >= 0) continue;
+            v[i] =
+                std::clamp(v[i] + dt * dv[i] + noise * r.normal(), -1.0, 1.0);
+          }
 
-        if (wsum > 0.0) {
-          const Real scale = xg[g] / wsum;
-          for (std::size_t t = 0; t < arity; ++t)
-            dv[gate.terminals[t]] += scale * attract[t];
+          ++out.steps;
+          if (step % 16 == 0) {
+            std::vector<bool> digit(nets);
+            for (std::size_t i = 0; i < nets; ++i) digit[i] = v[i] > 0.0;
+            if (check(digit)) {
+              out.consistent = true;
+              out.values = std::move(digit);
+              out.residual = kernel.total_mismatch /
+                             static_cast<Real>(gates_.size());
+              ran[index] = 1;
+              return false;  // consistent: stop launching further restarts
+            }
+          }
         }
-        // Gate memory: grows while inconsistent (feedback of the active
-        // elements), relaxes once the gate self-organized.
-        xg[g] = std::clamp(
-            xg[g] + opts.memory_rate * (mismatch - opts.memory_threshold) *
-                        opts.dt_max / 16.0,
-            1.0, opts.memory_max);
-      }
 
-      Real max_rate = 0.0;
-      for (std::size_t i = 0; i < nets; ++i) {
-        if (pinned_[i] >= 0) dv[i] = 0.0;
-        max_rate = std::max(max_rate, std::abs(dv[i]));
-      }
-      const Real dt =
-          max_rate > 0.0
-              ? std::clamp(opts.dv_cap / max_rate, opts.dt_min, opts.dt_max)
-              : opts.dt_max;
-      const Real noise = opts.noise_stddev * std::sqrt(dt);
-      for (std::size_t i = 0; i < nets; ++i) {
-        if (pinned_[i] >= 0) continue;
-        v[i] = std::clamp(v[i] + dt * dv[i] + noise * rng.normal(), -1.0, 1.0);
-      }
+        out.values.assign(nets, false);
+        for (std::size_t i = 0; i < nets; ++i) out.values[i] = v[i] > 0.0;
+        out.consistent = check(out.values);
+        ran[index] = 1;
+        return !out.consistent;
+      });
 
-      ++result.steps;
-      if (step % 16 == 0) {
-        std::vector<bool> digit(nets);
-        for (std::size_t i = 0; i < nets; ++i) digit[i] = v[i] > 0.0;
-        if (check(digit)) {
-          result.consistent = true;
-          result.values = std::move(digit);
-          result.residual = total_mismatch / static_cast<Real>(gates_.size());
-          return result;
-        }
-      }
+  // Winner: the lowest-index consistent restart (everything below it is
+  // guaranteed to have run); with no winner, the last restart (all ran).
+  std::size_t winner = restarts - 1;
+  for (std::size_t i = 0; i < restarts; ++i) {
+    if (ran[i] && attempts[i].consistent) {
+      winner = i;
+      break;
     }
   }
-
-  result.values.assign(nets, false);
-  for (std::size_t i = 0; i < nets; ++i) result.values[i] = v[i] > 0.0;
-  result.consistent = check(result.values);
+  SolgResult result;
+  result.restarts_used = winner;
+  for (std::size_t i = 0; i <= winner; ++i)
+    if (ran[i]) result.steps += attempts[i].steps;
+  result.consistent = attempts[winner].consistent;
+  result.values = std::move(attempts[winner].values);
+  result.residual = attempts[winner].residual;
   return result;
 }
 

@@ -68,6 +68,10 @@ struct SolgOptions {
   Real noise_stddev = 0.02;   ///< small exploration noise (native)
   std::size_t max_steps = 400'000;
   std::size_t restarts = 8;   ///< independent trajectories before giving up
+  /// Worker threads for the restart ensemble (0 = hardware concurrency,
+  /// 1 = inline serial). Restarts are seeded by counter-based streams, so
+  /// the selected solution is identical at any thread count.
+  std::size_t threads = 0;
 };
 
 struct SolgResult {
@@ -107,7 +111,10 @@ class SolgCircuit {
 
   /// Relaxes the circuit from random initial voltages (restarting up to
   /// opts.restarts times) until every gate is digitally consistent, using
-  /// the engine selected in the options.
+  /// the engine selected in the options. Restarts run as a parallel ensemble
+  /// over opts.threads workers: one base seed is drawn from `rng` and restart
+  /// i uses core::Rng::stream(base, i), so the returned solution (the
+  /// lowest-index consistent restart) does not depend on the thread count.
   SolgResult solve(core::Rng& rng, const SolgOptions& opts = {}) const;
 
  private:

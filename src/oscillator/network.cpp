@@ -4,11 +4,56 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/dynamics.h"
 #include "core/linalg.h"
-#include "core/ode.h"
 #include "telemetry/telemetry.h"
 
 namespace rebooting::oscillator {
+
+namespace {
+
+// Static-dispatch RHS of the node-charge equations. The state is
+// [node voltages | series-branch capacitor voltages]; the VO2 phases are
+// *not* part of the continuous state — the simulate loop owns them and flips
+// them between steps, so within one step the kernel sees frozen resistances.
+struct NetworkKernel {
+  std::size_t n;
+  Real vdd;
+  const OscillatorParams& params;
+  const std::vector<CouplingBranch>& branches;
+  const std::vector<std::size_t>& series_state;
+  const std::vector<Real>& g_tr;
+  const std::vector<Vo2Phase>& phases;
+  const core::LuFactorization& cap_lu;
+
+  void rhs(Real /*t*/, std::span<const Real> s, std::span<Real> ds) const {
+    // Currents into each node: VO2 charging minus MOSFET discharge...
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real g_dev = 1.0 / params.vo2.resistance(phases[i]);
+      ds[i] = (vdd - s[i]) * g_dev - s[i] * g_tr[i];
+    }
+    // ...plus the coupling branch currents.
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+      const auto& br = branches[b];
+      if (br.topology == CouplingTopology::kSeriesRC) {
+        const std::size_t vc = series_state[b];
+        const Real i_branch = (s[br.a] - s[br.b] - s[vc]) / br.r;
+        ds[br.a] -= i_branch;
+        ds[br.b] += i_branch;
+        ds[vc] = i_branch / br.c;
+      } else {
+        const Real i_r = (s[br.a] - s[br.b]) / br.r;
+        ds[br.a] -= i_r;
+        ds[br.b] += i_r;
+      }
+    }
+    // Capacitance-matrix solve turns node currents into voltage rates; the
+    // series-branch capacitor rates are already final.
+    cap_lu.solve_in_place(ds.subspan(0, n));
+  }
+};
+
+}  // namespace
 
 bool OscillatorParams::sustains_oscillation(Real vgs) const {
   const Real rs = transistor.resistance(vgs);
@@ -44,6 +89,14 @@ void CoupledOscillatorNetwork::add_coupling(CouplingBranch branch) {
 }
 
 Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
+  // One lazily grown arena per thread keeps the legacy signature
+  // allocation-free after its first call.
+  thread_local core::Workspace ws;
+  return simulate(opts, ws);
+}
+
+Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
+                                         core::Workspace& ws) const {
   if (opts.dt <= 0.0 || opts.duration <= 0.0)
     throw std::invalid_argument("simulate: dt and duration must be > 0");
   TELEM_SPAN("oscillator.simulate");
@@ -79,7 +132,13 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
     return core::LuFactorization(cap);
   }();
 
-  std::vector<Real> y(n + n_series, 0.0);
+  // State and stepper scratch come from the workspace (Heun needs 3x the
+  // state size). Reused blocks keep stale values, so zero-fill before the
+  // initial conditions.
+  const auto ws_scope = ws.scope();
+  const std::span<Real> y = ws.real(n + n_series);
+  const std::span<Real> scratch = ws.real(3 * y.size());
+  std::fill(y.begin(), y.end(), 0.0);
   // Start adjacent oscillators half a swing apart (plus a deterministic
   // stagger): the in-phase synchronous orbit of a matched pair is only
   // weakly unstable, and physical arrays settle into the anti-phase locked
@@ -98,32 +157,8 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
 
   const Real vdd = params_.vdd;
 
-  const core::OdeRhs rhs = [&](Real /*t*/, std::span<const Real> s,
-                               std::span<Real> ds) {
-    // Currents into each node: VO2 charging minus MOSFET discharge...
-    for (std::size_t i = 0; i < n; ++i) {
-      const Real g_dev = 1.0 / params_.vo2.resistance(phases[i]);
-      ds[i] = (vdd - s[i]) * g_dev - s[i] * g_tr[i];
-    }
-    // ...plus the coupling branch currents.
-    for (std::size_t b = 0; b < branches_.size(); ++b) {
-      const auto& br = branches_[b];
-      if (br.topology == CouplingTopology::kSeriesRC) {
-        const std::size_t vc = series_state[b];
-        const Real i_branch = (s[br.a] - s[br.b] - s[vc]) / br.r;
-        ds[br.a] -= i_branch;
-        ds[br.b] += i_branch;
-        ds[vc] = i_branch / br.c;
-      } else {
-        const Real i_r = (s[br.a] - s[br.b]) / br.r;
-        ds[br.a] -= i_r;
-        ds[br.b] += i_r;
-      }
-    }
-    // Capacitance-matrix solve turns node currents into voltage rates; the
-    // series-branch capacitor rates are already final.
-    cap_lu.solve_in_place(ds.subspan(0, n));
-  };
+  const NetworkKernel kernel{n,    vdd,          params_, branches_,
+                             series_state, g_tr, phases,  cap_lu};
 
   const auto total_steps =
       static_cast<std::size_t>(std::ceil(opts.duration / opts.dt));
@@ -147,15 +182,16 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
     trace.supply_current.push_back(idd);
   };
 
-  std::vector<Real> scratch(5 * y.size());
-  Real t = 0.0;
-  record(t);
+  record(0.0);
   std::size_t hysteresis_events = 0;
   {
     TELEM_SPAN("oscillator.integrate");
     for (std::size_t step = 1; step <= total_steps; ++step) {
-      core::heun_step(rhs, t, opts.dt, y, scratch);
-      t += opts.dt;
+      // Drift-free clock: t = step * dt, not an accumulating t += dt (which
+      // gains an ulp per step and shifts every sample instant of a
+      // million-step run).
+      const Real t_prev = static_cast<Real>(step - 1) * opts.dt;
+      core::heun_step(kernel, t_prev, opts.dt, y, scratch);
       // Hysteresis events: flip any device whose terminal voltage crossed its
       // threshold during this step. dt is ~2000x smaller than the oscillation
       // period, so boundary-flipping is well inside the integration error.
@@ -164,7 +200,7 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
         hysteresis_events += next != phases[i];
         phases[i] = next;
       }
-      if (step % stride == 0) record(t);
+      if (step % stride == 0) record(static_cast<Real>(step) * opts.dt);
     }
   }
   if (telemetry::Telemetry::enabled()) {

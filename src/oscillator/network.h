@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/dynamics.h"
 #include "core/types.h"
 #include "oscillator/vo2.h"
 
@@ -87,6 +88,11 @@ class CoupledOscillatorNetwork {
   /// insulating, staggered tiny initial offsets so ties break
   /// deterministically) and returns the sampled trace.
   Trace simulate(const SimulationOptions& opts) const;
+
+  /// As above with caller-owned scratch: state and stepper storage come from
+  /// the workspace, so ensemble sweeps (coupling scans, Vgs grids) reuse one
+  /// arena per worker thread instead of allocating per run.
+  Trace simulate(const SimulationOptions& opts, core::Workspace& ws) const;
 
   /// Average power drawn from the supply over the post-settle window of a
   /// trace [W]: vdd * mean(Idd).

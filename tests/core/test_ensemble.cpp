@@ -1,0 +1,139 @@
+#include "core/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/random.h"
+
+namespace rebooting::core {
+namespace {
+
+TEST(Ensemble, RunsEveryTrajectoryExactlyOnce) {
+  constexpr std::size_t kCount = 100;
+  std::vector<std::atomic<int>> runs(kCount);
+  EnsembleOptions opts;
+  opts.threads = 4;
+  const EnsembleStats stats =
+      run_ensemble(kCount, opts, [&](std::size_t i, Workspace&) {
+        runs[i].fetch_add(1);
+        return true;
+      });
+  EXPECT_EQ(stats.trajectories, kCount);
+  EXPECT_FALSE(stats.stopped_early);
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(Ensemble, ZeroTrajectoriesIsANoop) {
+  const EnsembleStats stats =
+      run_ensemble(0, {}, [](std::size_t, Workspace&) { return true; });
+  EXPECT_EQ(stats.trajectories, 0u);
+  EXPECT_EQ(stats.threads_used, 0u);
+}
+
+TEST(Ensemble, ThreadCountCappedAtTrajectoryCount) {
+  EnsembleOptions opts;
+  opts.threads = 16;
+  const EnsembleStats stats =
+      run_ensemble(3, opts, [](std::size_t, Workspace&) { return true; });
+  EXPECT_EQ(stats.threads_used, 3u);
+}
+
+TEST(Ensemble, ResultsAreBitIdenticalAcrossThreadCounts) {
+  // The reproducibility contract: index-derived randomness + per-slot writes
+  // give the same outputs at any thread count.
+  constexpr std::size_t kCount = 64;
+  constexpr std::uint64_t kSeed = 2026;
+  const auto sweep = [&](std::size_t threads) {
+    std::vector<Real> out(kCount);
+    EnsembleOptions opts;
+    opts.threads = threads;
+    run_ensemble(kCount, opts, [&](std::size_t i, Workspace& ws) {
+      Rng rng = Rng::stream(kSeed, i);
+      const auto scope = ws.scope();
+      const auto scratch = ws.real(16);
+      for (Real& x : scratch) x = rng.normal();
+      Real acc = 0.0;
+      for (const Real x : scratch) acc += x * x;
+      out[i] = acc;
+      return true;
+    });
+    return out;
+  };
+  const std::vector<Real> serial = sweep(1);
+  const std::vector<Real> four = sweep(4);
+  const std::vector<Real> eight = sweep(8);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(serial[i], four[i]) << "i=" << i;
+    EXPECT_EQ(serial[i], eight[i]) << "i=" << i;
+  }
+}
+
+TEST(Ensemble, EarlyStopNeverSkipsIndicesBelowTheWinner) {
+  // Indices are claimed in order and stop is checked before claiming, so a
+  // win at index w guarantees 0..w all ran — the deterministic-winner
+  // invariant. Everything after w may or may not have been claimed.
+  constexpr std::size_t kCount = 200;
+  constexpr std::size_t kWinner = 37;
+  std::vector<std::atomic<int>> runs(kCount);
+  EnsembleOptions opts;
+  opts.threads = 8;
+  const EnsembleStats stats =
+      run_ensemble(kCount, opts, [&](std::size_t i, Workspace&) {
+        runs[i].fetch_add(1);
+        return i != kWinner;
+      });
+  EXPECT_TRUE(stats.stopped_early);
+  EXPECT_LT(stats.trajectories, kCount);
+  for (std::size_t i = 0; i <= kWinner; ++i)
+    EXPECT_EQ(runs[i].load(), 1) << "i=" << i;
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_LE(runs[i].load(), 1) << "i=" << i;
+}
+
+TEST(Ensemble, WorkspacesAreIsolatedPerWorkerAndReusable) {
+  // Each body stamps its whole block with its index and re-checks it after a
+  // second acquisition round: cross-thread sharing or block movement would
+  // corrupt the pattern. Run enough trajectories that workers iterate.
+  constexpr std::size_t kCount = 256;
+  std::atomic<int> corrupt{0};
+  EnsembleOptions opts;
+  opts.threads = 8;
+  run_ensemble(kCount, opts, [&](std::size_t i, Workspace& ws) {
+    const auto scope = ws.scope();
+    const auto a = ws.real(128);
+    const auto b = ws.real(64);
+    const Real stamp = static_cast<Real>(i);
+    for (Real& x : a) x = stamp;
+    for (Real& x : b) x = -stamp;
+    for (const Real x : a)
+      if (x != stamp) corrupt.fetch_add(1);
+    for (const Real x : b)
+      if (x != -stamp) corrupt.fetch_add(1);
+    return true;
+  });
+  EXPECT_EQ(corrupt.load(), 0);
+}
+
+TEST(Ensemble, BodyExceptionIsRethrown) {
+  EnsembleOptions opts;
+  opts.threads = 4;
+  EXPECT_THROW(run_ensemble(50, opts,
+                            [](std::size_t i, Workspace&) {
+                              if (i == 13)
+                                throw std::runtime_error("trajectory failed");
+                              return true;
+                            }),
+               std::runtime_error);
+}
+
+TEST(RngStream, SameInputsSameStream) {
+  Rng a = Rng::stream(99, 5);
+  Rng b = Rng::stream(99, 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace rebooting::core

@@ -170,6 +170,138 @@ TEST_P(DmmRatioSweep, SolvesPlantedInstancesAcrossClauseRatios) {
 INSTANTIATE_TEST_SUITE_P(ClauseRatios, DmmRatioSweep,
                          ::testing::Values(2.0, 3.0, 4.0, 4.25, 5.0, 6.0));
 
+// Golden-trajectory regression tests: the fingerprints below were captured
+// from the pre-kernel std::function implementation. The static-dispatch
+// kernel must reproduce the seed trajectories bit-for-bit — any drift here
+// means the refactor changed the arithmetic, not just the dispatch.
+TEST(DmmGolden, TinyFormulaTrajectoryUnchanged) {
+  Cnf cnf(3);
+  cnf.add_clause({1, 2});
+  cnf.add_clause({-1, 3});
+  cnf.add_clause({-2, -3});
+  core::Rng rng(42);
+  const DmmResult r = DmmSolver(cnf, {}).solve(rng);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_EQ(r.steps, 4u);
+  EXPECT_EQ(r.sim_time, 0.93332303461574861);
+  EXPECT_EQ(r.best_unsatisfied, 0u);
+  ASSERT_EQ(r.assignment.size(), 4u);
+  EXPECT_FALSE(r.assignment[1]);
+  EXPECT_TRUE(r.assignment[2]);
+  EXPECT_FALSE(r.assignment[3]);
+}
+
+TEST(DmmGolden, PlantedInstanceTrajectoryUnchanged) {
+  core::Rng gen(1234);
+  const auto inst = planted_ksat(gen, 30, 126, 3);
+  DmmOptions opts;
+  opts.energy_stride = 8;
+  opts.max_steps = 200000;
+  core::Rng rng(99);
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_EQ(r.steps, 255u);
+  EXPECT_EQ(r.sim_time, 11.197302839143459);
+  EXPECT_EQ(r.max_abs_voltage, 1.0);
+  ASSERT_EQ(r.energy_trace.size(), 32u);
+  EXPECT_EQ(r.energy_trace[0], 33.890063716783047);
+  EXPECT_EQ(r.energy_trace[1], 25.983609457064752);
+  EXPECT_EQ(r.energy_trace.back(), 3.1076325184000861);
+}
+
+TEST(DmmGolden, NoisyTrajectoryUnchanged) {
+  core::Rng gen(7);
+  const auto inst = planted_ksat(gen, 20, 80, 3);
+  DmmOptions opts;
+  opts.params.noise_stddev = 0.05;
+  opts.max_steps = 5000;
+  core::Rng rng(5);
+  const DmmResult r = DmmSolver(inst.cnf, opts).solve(rng);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_EQ(r.steps, 15u);
+  EXPECT_EQ(r.sim_time, 0.67140313066683166);
+}
+
+TEST(DmmEnsemble, WinnerIdenticalAcrossThreadCounts) {
+  core::Rng gen(77);
+  const auto inst = planted_ksat(gen, 30, 126, 3);
+  DmmOptions opts;
+  opts.max_steps = 100000;
+  const DmmSolver solver(inst.cnf, opts);
+
+  const auto run = [&](std::size_t threads) {
+    DmmEnsembleOptions eopts;
+    eopts.threads = threads;
+    return solver.solve_ensemble(16, 2026, eopts);
+  };
+  const DmmEnsembleResult serial = run(1);
+  const DmmEnsembleResult four = run(4);
+  const DmmEnsembleResult eight = run(8);
+
+  ASSERT_TRUE(serial.any_satisfied);
+  for (const DmmEnsembleResult* er : {&four, &eight}) {
+    EXPECT_EQ(er->any_satisfied, serial.any_satisfied);
+    EXPECT_EQ(er->best_index, serial.best_index);
+    EXPECT_EQ(er->best.steps, serial.best.steps);
+    EXPECT_EQ(er->best.sim_time, serial.best.sim_time);
+    EXPECT_EQ(er->best.assignment, serial.best.assignment);
+  }
+  // Early stop guarantees everything up to the winner ran, bit-identically.
+  for (std::size_t i = 0; i <= serial.best_index; ++i) {
+    ASSERT_TRUE(serial.ran[i] && four.ran[i] && eight.ran[i]) << "i=" << i;
+    EXPECT_EQ(four.results[i].steps, serial.results[i].steps) << "i=" << i;
+    EXPECT_EQ(eight.results[i].sim_time, serial.results[i].sim_time)
+        << "i=" << i;
+  }
+}
+
+TEST(DmmEnsemble, EnsembleTrajectoryMatchesDirectStreamSolve) {
+  // Restart i of an ensemble must be exactly solve() with Rng::stream(seed, i)
+  // — the parallel driver adds scheduling, never different dynamics.
+  core::Rng gen(31);
+  const auto inst = planted_ksat(gen, 20, 80, 3);
+  DmmOptions opts;
+  opts.max_steps = 50000;
+  const DmmSolver solver(inst.cnf, opts);
+
+  DmmEnsembleOptions eopts;
+  eopts.threads = 2;
+  eopts.stop_on_first_solution = false;  // run all restarts
+  const DmmEnsembleResult er = solver.solve_ensemble(6, 12345, eopts);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(er.ran[i]);
+    core::Rng rng = core::Rng::stream(12345, i);
+    const DmmResult direct = solver.solve(rng);
+    EXPECT_EQ(er.results[i].steps, direct.steps) << "i=" << i;
+    EXPECT_EQ(er.results[i].sim_time, direct.sim_time) << "i=" << i;
+    EXPECT_EQ(er.results[i].satisfied, direct.satisfied) << "i=" << i;
+    EXPECT_EQ(er.results[i].assignment, direct.assignment) << "i=" << i;
+  }
+}
+
+TEST(DmmEnsemble, ReportsBestRestartWhenNoneSatisfies) {
+  Cnf cnf(1);
+  cnf.add_clause({1});
+  cnf.add_clause({-1});
+  DmmOptions opts;
+  opts.max_steps = 500;
+  const DmmSolver solver(cnf, opts);
+  DmmEnsembleOptions eopts;
+  eopts.threads = 4;
+  const DmmEnsembleResult er = solver.solve_ensemble(8, 9, eopts);
+  EXPECT_FALSE(er.any_satisfied);
+  EXPECT_FALSE(er.best.satisfied);
+  EXPECT_EQ(er.best.best_unsatisfied, 1u);
+  // Unsatisfiable: no early stop, so every restart ran.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(er.ran[i]) << "i=" << i;
+}
+
+TEST(DmmEnsemble, RejectsZeroRestarts) {
+  Cnf cnf(1);
+  cnf.add_clause({1});
+  EXPECT_THROW(DmmSolver(cnf, {}).solve_ensemble(0, 1), std::invalid_argument);
+}
+
 TEST(Dmm, EmptyFormulaRejected) {
   Cnf cnf(3);
   EXPECT_THROW(DmmSolver(cnf, {}), std::invalid_argument);

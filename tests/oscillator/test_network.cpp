@@ -122,6 +122,81 @@ TEST(Network, TraceShapeMatchesOptions) {
   EXPECT_NEAR(tr.dt, so.dt * static_cast<Real>(so.sample_stride), 1e-15);
 }
 
+// Golden-trajectory regression tests: fingerprints captured from the
+// pre-kernel std::function implementation. The static-dispatch kernel (and
+// the drift-free time grid — the node dynamics are autonomous, so only the
+// reported sample times could differ, not the voltages) must reproduce the
+// seed waveforms bit-for-bit.
+class NetworkGolden : public ::testing::Test {
+ protected:
+  static Trace run(CouplingTopology topology) {
+    CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+    net.set_gate_voltage(0, 0.95);
+    net.set_gate_voltage(1, 1.05);
+    net.add_coupling(
+        {.a = 0, .b = 1, .r = 15e3, .c = 1e-12, .topology = topology});
+    SimulationOptions so;
+    so.duration = 5e-6;
+    so.dt = 1e-9;
+    so.sample_stride = 4;
+    return net.simulate(so);
+  }
+  static Real sum(const std::vector<Real>& v) {
+    Real s = 0.0;
+    for (const Real x : v) s += x;
+    return s;
+  }
+};
+
+TEST_F(NetworkGolden, SeriesRcWaveformUnchanged) {
+  const Trace tr = run(CouplingTopology::kSeriesRC);
+  ASSERT_EQ(tr.samples(), 1251u);
+  EXPECT_EQ(sum(tr.node_voltage[0]), 1909.7953089683781);
+  EXPECT_EQ(sum(tr.node_voltage[1]), 1885.5753216547409);
+  EXPECT_EQ(tr.node_voltage[0].back(), 1.6109489971678781);
+  EXPECT_EQ(tr.node_voltage[1].back(), 1.2608751183922264);
+  EXPECT_EQ(tr.supply_current.back(), 5.0872423209652297e-05);
+}
+
+TEST_F(NetworkGolden, ParallelRcWaveformUnchanged) {
+  const Trace tr = run(CouplingTopology::kParallelRC);
+  ASSERT_EQ(tr.samples(), 1251u);
+  EXPECT_EQ(sum(tr.node_voltage[0]), 2059.7777230630181);
+  EXPECT_EQ(sum(tr.node_voltage[1]), 2261.0429121805828);
+  EXPECT_EQ(tr.node_voltage[0].back(), 1.6716691681581812);
+  EXPECT_EQ(tr.node_voltage[1].back(), 1.8351911865518171);
+  EXPECT_EQ(tr.supply_current.back(), 2.7810486114165285e-05);
+}
+
+TEST_F(NetworkGolden, SampleTimesSitExactlyOnTheGrid) {
+  // The drift-free clock: sample k records t = (k * stride) * dt exactly.
+  const Trace tr = run(CouplingTopology::kSeriesRC);
+  for (std::size_t k = 0; k < tr.samples(); ++k)
+    EXPECT_EQ(tr.time[k], static_cast<Real>(4 * k) * 1e-9) << "k=" << k;
+}
+
+TEST_F(NetworkGolden, CallerWorkspaceReproducesThreadLocalPath) {
+  const Trace a = run(CouplingTopology::kSeriesRC);
+  CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+  net.set_gate_voltage(0, 0.95);
+  net.set_gate_voltage(1, 1.05);
+  net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+  SimulationOptions so;
+  so.duration = 5e-6;
+  so.dt = 1e-9;
+  so.sample_stride = 4;
+  core::Workspace ws;
+  // Two runs from the same (reused) workspace: stale blocks must not leak
+  // into the second trajectory.
+  const Trace b = net.simulate(so, ws);
+  const Trace c = net.simulate(so, ws);
+  ASSERT_EQ(b.samples(), a.samples());
+  for (std::size_t k = 0; k < a.samples(); ++k) {
+    EXPECT_EQ(b.node_voltage[0][k], a.node_voltage[0][k]) << "k=" << k;
+    EXPECT_EQ(c.node_voltage[1][k], a.node_voltage[1][k]) << "k=" << k;
+  }
+}
+
 TEST(Network, InvalidCouplingRejected) {
   CoupledOscillatorNetwork net(OscillatorParams{}, 2);
   EXPECT_THROW(net.add_coupling({.a = 0, .b = 0, .r = 1e3, .c = 1e-12}),
