@@ -24,6 +24,7 @@ Real seconds_since(Clock::time_point start) {
 EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
                            const EnsembleBody& body) {
   TELEM_SPAN("ensemble.run");
+  TELEM_TRACE_SCOPE("ensemble.run");
   EnsembleStats stats;
   if (count == 0) return stats;
 
@@ -58,6 +59,9 @@ EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
       const auto traj_start = Clock::now();
       bool keep_going = true;
       try {
+        // One claim/run slice per trajectory, tagged with its index, so the
+        // exported timeline shows which worker ran which replica when.
+        TELEM_TRACE_SCOPE_ID("ensemble.trajectory", i);
         keep_going = body(i, ws);
       } catch (...) {
         {
@@ -67,13 +71,16 @@ EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
         stop.store(true, std::memory_order_relaxed);
         break;
       }
-      completed.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      TELEM_TRACE_COUNTER("ensemble.completed", done);
       if (telem)
         telemetry::Telemetry::instance().metrics().record(
             opts.telemetry_label + ".trajectory_seconds",
             seconds_since(traj_start));
       if (!keep_going) {
         stop.store(true, std::memory_order_relaxed);
+        TELEM_TRACE_INSTANT("ensemble.early_stop");
         break;
       }
     }

@@ -1,9 +1,14 @@
-// Minimal JSON emission helpers shared by the table exporter and the
-// telemetry sink. This is writer-side only — the workbench never parses
-// JSON, it just emits machine-readable reports for external tooling.
+// Minimal JSON helpers shared by the table exporter, the telemetry sink, and
+// the trace exporter: writer-side quoting/number rendering plus a small
+// reader (json_parse) so tests and tools can load the emitted documents back
+// without an external dependency.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/types.h"
 
@@ -18,5 +23,52 @@ std::string json_number(Real v);
 
 /// Renders a signed integer as a JSON number.
 std::string json_number(std::int64_t v);
+
+/// One parsed JSON value. Numbers are held as Real (the workbench emits
+/// nothing that needs 64-bit integer exactness beyond 2^53); object members
+/// keep document order in a vector of pairs (std::vector is the one
+/// container guaranteed to support the incomplete element type this
+/// recursion needs). Accessors throw std::runtime_error on type mismatch so
+/// test failures point at the offending path instead of reading garbage.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool boolean() const;
+  Real number() const;
+  const std::string& string() const;
+  const std::vector<JsonValue>& array() const;
+  const Members& object() const;
+
+  /// Object member access; throws std::out_of_range on a missing key.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(Real v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(Members o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  Real number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  Members object_;
+};
+
+/// Strict RFC 8259 parse of a complete document (one value plus surrounding
+/// whitespace). Returns nullopt on any syntax error — including trailing
+/// garbage — so "parses" is a meaningful assertion in tests.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace rebooting::core

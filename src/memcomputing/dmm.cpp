@@ -108,6 +108,7 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng) const {
 DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
                                 core::Workspace& ws) const {
   TELEM_SPAN("dmm.solve");
+  TELEM_TRACE_SCOPE("dmm.solve");
   const std::size_t n = cnf_.num_variables();
   const std::size_t m = clauses_.size();
   if (v0.size() != n)
@@ -233,9 +234,14 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
       result.avalanche_sizes.push_back(flips);
     if (opts_.energy_stride > 0 && step % opts_.energy_stride == 0)
       result.energy_trace.push_back(kernel.clause_energy);
-    if (telem && step % kEnergyTelemStride == 0)
-      telemetry::Telemetry::instance().metrics().record("dmm.clause_energy",
-                                                        kernel.clause_energy);
+    if (step % kEnergyTelemStride == 0) {
+      if (telem)
+        telemetry::Telemetry::instance().metrics().record(
+            "dmm.clause_energy", kernel.clause_energy);
+      // Same decimation keeps the timeline's energy track bounded: one
+      // sample per 64 integration steps, not one per step.
+      TELEM_TRACE_COUNTER("dmm.clause_energy", kernel.clause_energy);
+    }
 
     // The digital readout only changes when some voltage crossed zero.
     if (flips > 0) {
@@ -261,6 +267,7 @@ DmmEnsembleResult DmmSolver::solve_ensemble(
     std::size_t restarts, std::uint64_t base_seed,
     const DmmEnsembleOptions& opts) const {
   TELEM_SPAN("dmm.solve_ensemble");
+  TELEM_TRACE_SCOPE("dmm.solve_ensemble");
   if (restarts == 0)
     throw std::invalid_argument("solve_ensemble: need >= 1 restart");
 

@@ -100,6 +100,7 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
   if (opts.dt <= 0.0 || opts.duration <= 0.0)
     throw std::invalid_argument("simulate: dt and duration must be > 0");
   TELEM_SPAN("oscillator.simulate");
+  TELEM_TRACE_SCOPE("oscillator.simulate");
 
   const std::size_t n = size();
 
@@ -180,12 +181,16 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
       idd += (vdd - y[i]) / params_.vo2.resistance(phases[i]);
     }
     trace.supply_current.push_back(idd);
+    // Piggyback on the existing sample decimation (`stride` steps per
+    // sample), so the counter track stays bounded like the Trace itself.
+    TELEM_TRACE_COUNTER("oscillator.supply_current", idd);
   };
 
   record(0.0);
   std::size_t hysteresis_events = 0;
   {
     TELEM_SPAN("oscillator.integrate");
+    TELEM_TRACE_SCOPE("oscillator.integrate");
     for (std::size_t step = 1; step <= total_steps; ++step) {
       // Drift-free clock: t = step * dt, not an accumulating t += dt (which
       // gains an ulp per step and shifts every sample instant of a

@@ -319,6 +319,7 @@ Schedule schedule_asap(const Circuit& circuit) {
 CompiledProgram compile(const Circuit& circuit, const Topology& topology,
                         bool enable_optimizer) {
   TELEM_SPAN("quantum.compile");
+  TELEM_TRACE_SCOPE("quantum.compile");
   CompiledProgram prog{Circuit(1), {}, {}, {}};
   prog.report.source_gates = circuit.size();
   prog.report.source_depth = circuit.depth();

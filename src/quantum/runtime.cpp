@@ -96,6 +96,7 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
                                         core::Rng& rng) const {
   if (shots == 0) throw std::invalid_argument("run: shots must be > 0");
   TELEM_SPAN("quantum.run");
+  TELEM_TRACE_SCOPE("quantum.run");
   TELEM_COUNT("quantum.shots", static_cast<core::Real>(shots));
   const CompiledProgram prog =
       compile(circuit, config_.topology, config_.enable_optimizer);
@@ -112,6 +113,7 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
       [](const Operation& op) { return op.kind == GateKind::kMeasure; });
 
   TELEM_SPAN("quantum.execute");
+  TELEM_TRACE_SCOPE("quantum.execute");
   if (!config_.noise.enabled() && !has_measure_ops) {
     // Fast path: one simulation, sample the final distribution many times.
     StateVector state(prog.circuit.num_qubits());

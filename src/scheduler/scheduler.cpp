@@ -63,7 +63,7 @@ void Scheduler::add_pool(core::AcceleratorKind kind, std::size_t workers,
   Pool& p = *it->second;
   for (std::size_t i = 0; i < workers; ++i)
     p.threads.emplace_back(&Scheduler::worker_loop, this, std::ref(p),
-                           std::ref(*p.replicas[i]));
+                           std::ref(*p.replicas[i]), i);
 }
 
 Scheduler::Pool* Scheduler::find_pool(core::AcceleratorKind kind) const {
@@ -106,6 +106,12 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
   item.enqueued_at = Clock::now();
   auto future = item.promise.get_future();
 
+  // The submit slice brackets the (possibly blocking) push, and the flow
+  // arrow it contains starts the per-job submit -> dequeue -> complete chain.
+  const std::uint64_t seq = item.seq;
+  telemetry::TraceScope submit_scope(
+      telemetry::trace_enabled() ? "sched.submit" : nullptr, "sched", seq);
+
   // push() may block (kBlock policy) — never under pools_mutex_.
   std::optional<QueuedJob> shed;
   const auto status = pool->queue.push(item, &shed);
@@ -114,6 +120,7 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
                    "sched.shed");
   switch (status) {
     case BoundedJobQueue::PushStatus::kAccepted:
+      TELEM_TRACE_FLOW_BEGIN("job", seq);
       telemetry::gauge(pool->depth_gauge,
                        static_cast<core::Real>(pool->queue.size()));
       break;
@@ -137,17 +144,29 @@ std::vector<std::future<core::JobResult>> Scheduler::submit_batch(
   return futures;
 }
 
-void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica) {
+void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
+                            std::size_t replica_index) {
+  // Tags every slice this worker ever emits with its kind + replica: the
+  // exported timeline shows one named track per replica per pool.
+  telemetry::TraceRecorder::instance().set_thread_name(
+      core::to_string(pool.kind) + " worker " + std::to_string(replica_index));
   while (auto popped = pool.queue.pop()) {
     QueuedJob item = std::move(*popped);
     const auto dequeued = Clock::now();
     const core::Real wait = seconds_between(item.enqueued_at, dequeued);
-    if (telemetry::Telemetry::enabled()) {
-      auto& metrics = telemetry::Telemetry::instance().metrics();
-      metrics.record("sched.wait_seconds", wait);
-      metrics.set(pool.depth_gauge,
-                  static_cast<core::Real>(pool.queue.size()));
-    }
+    telemetry::record("sched.wait_seconds", wait);
+    telemetry::gauge(pool.depth_gauge,
+                     static_cast<core::Real>(pool.queue.size()));
+
+    // One slice per job, named after the job, covering everything that
+    // happens to it on this worker (execution or the cancel/deadline
+    // verdict). The flow step hooks the arrow from the submit slice here.
+    telemetry::TraceScope job_scope(
+        telemetry::trace_enabled()
+            ? telemetry::TraceRecorder::instance().intern(item.name)
+            : nullptr,
+        "sched", item.seq);
+    TELEM_TRACE_FLOW_STEP("job", item.seq);
 
     core::JobResult result;
     bool threw = false;
@@ -155,11 +174,13 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica) {
       result.summary = "sched: job '" + item.name +
                        "' cancelled before execution";
       telemetry::count("sched.cancelled");
+      TELEM_TRACE_INSTANT("sched.cancelled");
     } else if (item.opts.deadline && dequeued >= *item.opts.deadline) {
       result.summary = "sched: job '" + item.name +
                        "' missed its deadline after waiting " +
                        std::to_string(wait) + " s";
       telemetry::count("sched.deadline_missed");
+      TELEM_TRACE_INSTANT("sched.deadline_expired");
     } else {
       const auto start = Clock::now();
       try {
@@ -185,6 +206,7 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica) {
             metrics.add(key, value);
       }
     }
+    TELEM_TRACE_FLOW_END("job", item.seq);
     if (!threw) {
       telemetry::record("sched.latency_seconds",
                         seconds_between(item.enqueued_at, Clock::now()));
@@ -197,6 +219,7 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica) {
 void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
                                const char* metric) {
   telemetry::count(metric);
+  TELEM_TRACE_INSTANT(metric);  // metric names are literals: safe to record
   core::JobResult result;
   result.ok = false;
   result.summary = "sched: job '" + item.name + "' " + why;

@@ -19,6 +19,13 @@
 // per-kind counters `sched.jobs.<kind>` and `sched.busy_seconds.<kind>`, and
 // outcome counters `sched.deadline_missed` / `sched.rejected` / `sched.shed`
 // / `sched.cancelled` / `sched.flushed` / `sched.payload_exceptions`.
+//
+// Tracing (REBOOTING_TRACE, see telemetry/trace.h): every worker thread is
+// named "<kind> worker <replica>", each executed job is a begin/end slice
+// named after the job on its worker's track, the submit->dequeue->complete
+// hand-off is a flow-arrow chain keyed by the job's submission seq, queue
+// depth appears as a counter track per kind, and deadline-expiry /
+// cancellation show up as instant markers.
 #pragma once
 
 #include <atomic>
@@ -127,7 +134,8 @@ class Scheduler {
   };
 
   Pool* find_pool(core::AcceleratorKind kind) const;
-  void worker_loop(Pool& pool, core::Accelerator& replica);
+  void worker_loop(Pool& pool, core::Accelerator& replica,
+                   std::size_t replica_index);
   /// Completes a job that will never run (shed / flushed / closed race).
   static void complete_unrun(QueuedJob&& item, const std::string& why,
                              const char* metric);

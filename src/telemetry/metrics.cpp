@@ -8,6 +8,13 @@ namespace rebooting::telemetry {
 Real HistogramSnapshot::quantile(Real q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // q = 0 is the smallest observation by definition — returning the first
+  // bucket's upper bound would overstate it by up to a full bucket width.
+  if (q == 0.0) return min;
+  // With every observation in one bucket the log2 resolution is gone, but
+  // the observed range isn't: interpolate [min, max] directly, which is
+  // exact whenever all recorded values are equal (min == max).
+  if (buckets.size() == 1) return min + q * (max - min);
   const Real target = q * static_cast<Real>(count);
   Real cumulative = 0.0;
   for (const auto& [bound, n] : buckets) {

@@ -40,6 +40,9 @@ struct HistogramSnapshot {
   /// Bucket-resolution quantile estimate for q in [0, 1]: the upper bound of
   /// the first bucket whose cumulative count reaches q * count, clamped to
   /// the observed [min, max] so estimates never leave the data range.
+  /// Edges are exact where the data allows: q = 0 returns `min`, and a
+  /// single-bucket histogram interpolates [min, max] (exact when all
+  /// recorded values are equal).
   Real quantile(Real q) const;
 };
 

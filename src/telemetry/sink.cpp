@@ -69,7 +69,9 @@ void histogram_json(const HistogramSnapshot& h, std::ostringstream& os) {
      << core::json_quote("max") << ':' << core::json_number(h.max) << ','
      << core::json_quote("mean") << ':' << core::json_number(h.mean()) << ','
      << core::json_quote("p50") << ':' << core::json_number(h.quantile(0.5))
-     << ',' << core::json_quote("p99") << ':'
+     << ',' << core::json_quote("p90") << ':'
+     << core::json_number(h.quantile(0.9)) << ','
+     << core::json_quote("p99") << ':'
      << core::json_number(h.quantile(0.99)) << ','
      << core::json_quote("buckets") << ":[";
   bool first = true;
@@ -121,10 +123,11 @@ std::string Telemetry::report() const {
   const auto histograms = metrics_.histograms();
   if (!histograms.empty()) {
     core::Table table(
-        {"histogram", "count", "mean", "p50", "p99", "min", "max"}, 4);
+        {"histogram", "count", "mean", "p50", "p90", "p99", "min", "max"}, 4);
     for (const auto& [name, h] : histograms)
       table.add_row({name, static_cast<std::int64_t>(h.count), h.mean(),
-                     h.quantile(0.5), h.quantile(0.99), h.min, h.max});
+                     h.quantile(0.5), h.quantile(0.9), h.quantile(0.99),
+                     h.min, h.max});
     os << "Histograms:\n" << table.to_string();
   }
 

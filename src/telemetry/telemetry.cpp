@@ -19,17 +19,27 @@ thread_local SpanNode* t_current = nullptr;
 /// the telemetry object (every workbench binary does, through the
 /// instrumented HostSystem/engines). The atexit hook is what makes
 ///   REBOOTING_TELEMETRY_JSON=out.json ./build/bench/fig6_fast_pipeline
-/// write its JSON with no code in the binary itself.
+/// write its JSON with no code in the binary itself, and
+///   REBOOTING_TRACE=out.trace.json ./build/examples/quickstart
+/// capture a Chrome trace-event timeline the same way.
 struct EnvInit {
   EnvInit() {
     const char* json = std::getenv("REBOOTING_TELEMETRY_JSON");
     const char* on = std::getenv("REBOOTING_TELEMETRY");
+    const char* trace = std::getenv("REBOOTING_TRACE");
     const bool json_set = json != nullptr && *json != '\0';
     const bool on_set =
         on != nullptr && *on != '\0' && std::strcmp(on, "0") != 0;
-    if (json_set || on_set) {
+    const bool trace_set = trace != nullptr && *trace != '\0';
+    if (trace_set) TraceRecorder::set_enabled(true);
+    if (json_set || on_set || trace_set) {
+      // Tracing implies telemetry: the counter tracks sample the registry's
+      // gauges, and the per-job scheduler metrics annotate the timeline.
       Telemetry::set_enabled(true);
-      std::atexit([] { Telemetry::instance().flush_env_sinks(); });
+      std::atexit([] {
+        TraceRecorder::instance().flush_env_sink();
+        Telemetry::instance().flush_env_sinks();
+      });
     }
   }
 };

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rebooting::telemetry {
 
@@ -162,6 +163,9 @@ inline void count(const std::string& name, Real delta = 1.0) {
 }
 inline void gauge(const std::string& name, Real value) {
   if (Telemetry::enabled()) Telemetry::instance().metrics().set(name, value);
+  // Gauges double as trace counter tracks (queue depth, ensemble progress):
+  // every set becomes one sample on the gauge's timeline when tracing is on.
+  if (trace_enabled()) trace_counter_named(name, value);
 }
 inline void record(const std::string& name, Real value) {
   if (Telemetry::enabled()) Telemetry::instance().metrics().record(name, value);

@@ -1,0 +1,84 @@
+// JSON reader tests: round-trips of the writer helpers, strictness (trailing
+// garbage, bad escapes, deep nesting), and the accessor error contract the
+// telemetry/trace exporter tests lean on.
+#include "core/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace rebooting::core {
+namespace {
+
+TEST(JsonParse, ScalarsAndLiterals) {
+  EXPECT_TRUE(json_parse("null")->is_null());
+  EXPECT_TRUE(json_parse("true")->boolean());
+  EXPECT_FALSE(json_parse("false")->boolean());
+  EXPECT_DOUBLE_EQ(json_parse("0")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2")->number(), -1250.0);
+  EXPECT_EQ(json_parse("\"hi\"")->string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")")->string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(json_parse(R"("Aé")")->string(), "A\xc3\xa9");
+  // Unpaired surrogates are rejected rather than silently mangled.
+  EXPECT_FALSE(json_parse(R"("\ud800")").has_value());
+  EXPECT_FALSE(json_parse(R"("bad \q escape")").has_value());
+}
+
+TEST(JsonParse, ArraysAndObjectsKeepOrder) {
+  const auto v = json_parse(R"({"b": [1, 2, 3], "a": {"x": true}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object().size(), 2u);
+  EXPECT_EQ(v->object()[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(v->object()[1].first, "a");
+  const auto& arr = v->at("b").array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[2].number(), 3.0);
+  EXPECT_TRUE(v->at("a").at("x").boolean());
+  EXPECT_TRUE(v->contains("a"));
+  EXPECT_FALSE(v->contains("c"));
+}
+
+TEST(JsonParse, StrictnessRejectsMalformedDocuments) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{\"a\": 1,}").has_value());  // trailing comma
+  EXPECT_FALSE(json_parse("[1, 2] garbage").has_value());
+  EXPECT_FALSE(json_parse("[1, 2").has_value());
+  EXPECT_FALSE(json_parse("01").has_value());  // leading zero
+  EXPECT_FALSE(json_parse("+1").has_value());
+  EXPECT_FALSE(json_parse("{'a': 1}").has_value());  // single quotes
+
+  // The depth cap turns a pathological document into nullopt, not a crash.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json_parse(deep).has_value());
+}
+
+TEST(JsonParse, AccessorsThrowOnTypeMismatch) {
+  const auto v = json_parse("{\"n\": 1}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_THROW(v->array(), std::runtime_error);
+  EXPECT_THROW(v->at("n").string(), std::runtime_error);
+  EXPECT_THROW(v->at("missing"), std::out_of_range);
+}
+
+TEST(JsonParse, RoundTripsWriterHelpers) {
+  // The writer renders NaN/Inf as null (JSON has no such numbers); the
+  // reader must accept the result of every writer path.
+  EXPECT_DOUBLE_EQ(json_parse(json_number(Real{0.1}))->number(), 0.1);
+  EXPECT_DOUBLE_EQ(json_parse(json_number(std::int64_t{-42}))->number(),
+                   -42.0);
+  EXPECT_TRUE(
+      json_parse(json_number(std::numeric_limits<Real>::quiet_NaN()))
+          ->is_null());
+  const std::string tricky = "line\nbreak \"quote\" \x01 end";
+  EXPECT_EQ(json_parse(json_quote(tricky))->string(), tricky);
+}
+
+}  // namespace
+}  // namespace rebooting::core

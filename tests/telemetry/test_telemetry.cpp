@@ -182,6 +182,37 @@ TEST_F(TelemetryTest, HistogramStatsAndBuckets) {
   EXPECT_LE(p50, p99);
 }
 
+TEST_F(TelemetryTest, QuantileZeroReturnsExactMin) {
+  auto& metrics = Telemetry::instance().metrics();
+  // Values span several buckets so q = 0 cannot be satisfied by bucket
+  // bounds alone — it must return the recorded minimum exactly.
+  for (const double v : {0.003, 0.07, 1.5, 900.0}) metrics.record("lat", v);
+  const HistogramSnapshot h = metrics.histogram("lat");
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 900.0);
+}
+
+TEST_F(TelemetryTest, QuantileSingleBucketInterpolatesExactly) {
+  auto& metrics = Telemetry::instance().metrics();
+  // 1.1 and 1.9 share the (1, 2] log2 bucket: a bound-based estimate would
+  // answer 2.0 (the bound, clamped to max -> 1.9) for every q. The
+  // single-bucket path interpolates [min, max] instead.
+  metrics.record("lat", 1.1);
+  metrics.record("lat", 1.9);
+  const HistogramSnapshot h = metrics.histogram("lat");
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.1);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.9);
+
+  // Degenerate single-value histogram: every quantile is that value.
+  metrics.record("point", 2.0);
+  const HistogramSnapshot p = metrics.histogram("point");
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.99), 2.0);
+}
+
 TEST_F(TelemetryTest, HistogramBucketIndexEdges) {
   EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
   EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
@@ -206,6 +237,10 @@ TEST_F(TelemetryTest, JsonExportRoundTrip) {
   EXPECT_NE(json.find("\"engine.ops\":12"), std::string::npos);
   EXPECT_NE(json.find("\"engine.level\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Quantile columns: p50/p90/p99 all present per histogram.
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 
   // File round-trip: write_json produces the same document on disk.
   const std::string path =
@@ -232,6 +267,7 @@ TEST_F(TelemetryTest, ReportRendersSpansAndMetrics) {
   EXPECT_NE(report.find("  beta"), std::string::npos);  // indented child
   EXPECT_NE(report.find("alpha.ops"), std::string::npos);
   EXPECT_NE(report.find("Histograms"), std::string::npos);
+  EXPECT_NE(report.find("p90"), std::string::npos);  // quantile column
 }
 
 TEST_F(TelemetryTest, ResetClearsEverything) {

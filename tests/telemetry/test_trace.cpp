@@ -1,0 +1,300 @@
+// Trace recorder test suite: ring-buffer wraparound with dropped-event
+// accounting, multi-thread emission (this file is part of the CI TSan job's
+// test_telemetry binary), Chrome trace-event export validated by parsing the
+// document back with core::json_parse, and the scheduler's flow-arrow chain
+// (submit -> dequeue -> complete per job seq) with matched begin/end pairs.
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/json.h"
+#include "scheduler/scheduler.h"
+#include "telemetry/telemetry.h"
+
+namespace rebooting::telemetry {
+namespace {
+
+using core::JsonValue;
+
+/// Every test starts from a clean, enabled recorder and leaves the
+/// process-wide instance disabled, empty, and at default capacity for
+/// whatever suite runs next in this binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::set_enabled(false);
+    TraceRecorder::instance().reset();
+    TraceRecorder::instance().set_ring_capacity(
+        TraceRecorder::kDefaultRingCapacity);
+    TraceRecorder::set_enabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::set_enabled(false);
+    TraceRecorder::instance().reset();
+    TraceRecorder::instance().set_ring_capacity(
+        TraceRecorder::kDefaultRingCapacity);
+    Telemetry::set_enabled(false);
+    Telemetry::instance().reset();
+  }
+};
+
+/// Parses the recorder's export (quiescent: call after joining all emitting
+/// threads) and returns the traceEvents array.
+std::vector<JsonValue> exported_events() {
+  const auto doc = core::json_parse(TraceRecorder::instance().to_json());
+  EXPECT_TRUE(doc.has_value());
+  if (!doc) return {};
+  return doc->at("traceEvents").array();
+}
+
+TEST_F(TraceTest, DisabledPathEmitsNothing) {
+  TraceRecorder::set_enabled(false);
+  TELEM_TRACE_INSTANT("ghost");
+  TELEM_TRACE_COUNTER("ghost.counter", 1.0);
+  { TELEM_TRACE_SCOPE("ghost.scope"); }
+  for (const ThreadTimeline& tl : TraceRecorder::instance().snapshot())
+    EXPECT_EQ(tl.written, 0u);
+  EXPECT_EQ(TraceRecorder::instance().dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, ScopeEmitsMatchedBeginEndPair) {
+  { TELEM_TRACE_SCOPE("unit.scope"); }
+  const auto timelines = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(timelines.size(), 1u);
+  const auto& events = timelines[0].events;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kBegin);
+  EXPECT_EQ(events[1].type, TraceEventType::kEnd);
+  EXPECT_STREQ(events[0].name, "unit.scope");
+  EXPECT_STREQ(events[1].name, "unit.scope");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST_F(TraceTest, RingWrapsOverwritingOldestAndCountsDrops) {
+  // Re-register this thread's ring at the small capacity: capacity applies
+  // at registration, and reset() (in SetUp) invalidated the old ring.
+  TraceRecorder::instance().reset();
+  TraceRecorder::instance().set_ring_capacity(16);
+
+  constexpr std::uint64_t kEmitted = 40;
+  for (std::uint64_t i = 0; i < kEmitted; ++i)
+    TraceRecorder::instance().emit(TraceEventType::kCounter, "wrap.counter",
+                                   nullptr, kNoTraceId,
+                                   static_cast<double>(i));
+
+  const auto timelines = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(timelines.size(), 1u);
+  const ThreadTimeline& tl = timelines[0];
+  EXPECT_EQ(tl.written, kEmitted);
+  EXPECT_EQ(tl.dropped, kEmitted - 16);
+  ASSERT_EQ(tl.events.size(), 16u);
+  // Survivors are the newest 16, oldest first.
+  for (std::size_t k = 0; k < tl.events.size(); ++k)
+    EXPECT_EQ(tl.events[k].value, static_cast<double>(kEmitted - 16 + k));
+  EXPECT_EQ(TraceRecorder::instance().dropped_events(), kEmitted - 16);
+}
+
+TEST_F(TraceTest, DroppedEventsSurfaceInExportAndMetrics) {
+  Telemetry::instance().reset();
+  Telemetry::set_enabled(true);
+  TraceRecorder::instance().reset();
+  TraceRecorder::instance().set_ring_capacity(8);
+  for (int i = 0; i < 20; ++i) TELEM_TRACE_INSTANT("drop.me");
+
+  const auto doc = core::json_parse(TraceRecorder::instance().to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("otherData").at("dropped_events").number(), 12.0);
+
+  const auto counters = Telemetry::instance().metrics().counters();
+  const auto it = counters.find("trace.dropped_events");
+  ASSERT_NE(it, counters.end());
+  EXPECT_EQ(it->second, 12.0);
+}
+
+TEST_F(TraceTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRecorder::instance().set_ring_capacity(1000);
+  EXPECT_EQ(TraceRecorder::instance().ring_capacity(), 1024u);
+  TraceRecorder::instance().set_ring_capacity(1);
+  EXPECT_EQ(TraceRecorder::instance().ring_capacity(), 8u);
+}
+
+TEST_F(TraceTest, InternReturnsStablePointerAndDeduplicates) {
+  const std::string dynamic = std::string("job-") + std::to_string(7);
+  const char* a = TraceRecorder::instance().intern(dynamic);
+  const char* b = TraceRecorder::instance().intern("job-7");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "job-7");
+}
+
+TEST_F(TraceTest, MultiThreadWritesStayPerThreadAndComplete) {
+  // Four emitters, one ring each; join-then-read is the quiescence contract
+  // the release/acquire cursor publishes across. Run under TSan in CI.
+  constexpr int kThreads = 4;
+  constexpr int kScopesPerThread = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([t] {
+      TraceRecorder::instance().set_thread_name("emitter " +
+                                                std::to_string(t));
+      for (int i = 0; i < kScopesPerThread; ++i) {
+        TELEM_TRACE_SCOPE("mt.scope");
+        TELEM_TRACE_COUNTER("mt.progress", i);
+      }
+    });
+  for (std::thread& th : pool) th.join();
+
+  const auto timelines = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(timelines.size(), static_cast<std::size_t>(kThreads));
+  for (const ThreadTimeline& tl : timelines) {
+    EXPECT_EQ(tl.written, static_cast<std::uint64_t>(3 * kScopesPerThread));
+    EXPECT_EQ(tl.dropped, 0u);
+    EXPECT_TRUE(tl.thread_name.rfind("emitter ", 0) == 0) << tl.thread_name;
+    std::int64_t prev = 0;
+    int open = 0;
+    for (const TraceEvent& ev : tl.events) {
+      EXPECT_GE(ev.ts_ns, prev);
+      prev = ev.ts_ns;
+      if (ev.type == TraceEventType::kBegin) ++open;
+      if (ev.type == TraceEventType::kEnd) --open;
+      EXPECT_GE(open, 0);
+    }
+    EXPECT_EQ(open, 0);
+  }
+}
+
+TEST_F(TraceTest, ExportIsValidChromeTraceJson) {
+  TraceRecorder::instance().set_thread_name("export test");
+  {
+    TELEM_TRACE_SCOPE("export.scope");
+    TELEM_TRACE_INSTANT("export.instant");
+    TELEM_TRACE_COUNTER("export.counter", 42.5);
+  }
+
+  const auto events = exported_events();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_process_name = false, saw_thread_name = false;
+  bool saw_begin = false, saw_end = false, saw_instant = false,
+       saw_counter = false;
+  for (const JsonValue& ev : events) {
+    const std::string& ph = ev.at("ph").string();
+    if (ph == "M") {
+      if (ev.at("name").string() == "process_name") saw_process_name = true;
+      if (ev.at("name").string() == "thread_name" &&
+          ev.at("args").at("name").string() == "export test")
+        saw_thread_name = true;
+      continue;
+    }
+    // Every non-metadata event carries the required timing/placement fields.
+    EXPECT_TRUE(ev.contains("ts"));
+    EXPECT_TRUE(ev.contains("pid"));
+    EXPECT_TRUE(ev.contains("tid"));
+    if (ph == "B" && ev.at("name").string() == "export.scope")
+      saw_begin = true;
+    if (ph == "E") saw_end = true;
+    if (ph == "i" && ev.at("name").string() == "export.instant") {
+      saw_instant = true;
+      EXPECT_EQ(ev.at("s").string(), "t");
+    }
+    if (ph == "C" && ev.at("name").string() == "export.counter") {
+      saw_counter = true;
+      EXPECT_EQ(ev.at("args").at("value").number(), 42.5);
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TraceTest, SchedulerJobsExportFlowChainsAndMatchedSlices) {
+  Telemetry::instance().reset();
+  Telemetry::set_enabled(true);
+  constexpr int kJobs = 5;
+  {
+    sched::Scheduler scheduler;
+    scheduler.add_pool(core::AcceleratorKind::kClassicalCpu, 2,
+                       core::CpuAccelerator::factory());
+    std::vector<std::future<core::JobResult>> futures;
+    for (int j = 0; j < kJobs; ++j)
+      futures.push_back(scheduler.submit(
+          core::Job{"flow-job-" + std::to_string(j),
+                    core::AcceleratorKind::kClassicalCpu, [] {
+                      core::JobResult r;
+                      r.ok = true;
+                      return r;
+                    }}));
+    for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+    scheduler.shutdown();  // joins the workers: exporter sees quiescence
+  }
+
+  const auto events = exported_events();
+  ASSERT_FALSE(events.empty());
+
+  // Flow chain per job seq: exactly one s (submit), one t (dequeue), one f
+  // (completion), and the f carries the binding-point marker Perfetto needs.
+  std::map<std::string, std::array<int, 3>> flows;  // id -> {s, t, f}
+  std::map<std::string, int> open_slices;           // "tid/name" -> depth
+  bool saw_worker_thread = false, saw_depth_counter = false;
+  for (const JsonValue& ev : events) {
+    const std::string& ph = ev.at("ph").string();
+    if (ph == "M") {
+      if (ev.at("name").string() == "thread_name" &&
+          ev.at("args").at("name").string().rfind("classical-cpu worker", 0) ==
+              0)
+        saw_worker_thread = true;
+      continue;
+    }
+    if (ph == "C" &&
+        ev.at("name").string() == "sched.queue_depth.classical-cpu")
+      saw_depth_counter = true;
+    if (ph == "s") ++flows[ev.at("id").string()][0];
+    if (ph == "t") ++flows[ev.at("id").string()][1];
+    if (ph == "f") {
+      ++flows[ev.at("id").string()][2];
+      EXPECT_EQ(ev.at("bp").string(), "e");
+    }
+    const std::string key =
+        core::json_number(ev.at("tid").number()) + "/" +
+        (ev.contains("name") ? ev.at("name").string() : "");
+    if (ph == "B") ++open_slices[key];
+    if (ph == "E") --open_slices[key];
+  }
+
+  EXPECT_TRUE(saw_worker_thread);
+  EXPECT_TRUE(saw_depth_counter);
+  EXPECT_EQ(flows.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& [id, counts] : flows) {
+    EXPECT_EQ(counts[0], 1) << "flow s for job seq " << id;
+    EXPECT_EQ(counts[1], 1) << "flow t for job seq " << id;
+    EXPECT_EQ(counts[2], 1) << "flow f for job seq " << id;
+  }
+  // Every B has its E: no slice left open on any thread.
+  for (const auto& [key, depth] : open_slices)
+    EXPECT_EQ(depth, 0) << "unbalanced slice " << key;
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndReregistersThreads) {
+  TELEM_TRACE_INSTANT("before.reset");
+  ASSERT_EQ(TraceRecorder::instance().snapshot().size(), 1u);
+  TraceRecorder::instance().reset();
+  EXPECT_TRUE(TraceRecorder::instance().snapshot().empty());
+  TELEM_TRACE_INSTANT("after.reset");
+  const auto timelines = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(timelines.size(), 1u);
+  ASSERT_EQ(timelines[0].events.size(), 1u);
+  EXPECT_STREQ(timelines[0].events[0].name, "after.reset");
+}
+
+}  // namespace
+}  // namespace rebooting::telemetry
