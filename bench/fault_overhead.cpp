@@ -1,0 +1,157 @@
+// Fault-injector overhead bench — gates the cost discipline documented in
+// core/faults.h with a machine-readable BENCH_faults.json.
+//
+// Two claims are gated:
+//
+//   1. A disabled injector (null plan, or a plan that does not cover the
+//      wrapped kind) costs < 2 ns per on_attempt() call — one pointer load
+//      and a branch — so production pools can keep the decorator compiled in
+//      and flip it on purely via REBOOTING_FAULTS.
+//   2. An enabled injector costs < 250 ns per verdict (one relaxed atomic
+//      increment + a counter-based Rng::stream split + three uniforms) — a
+//      chaos run measures the *scheduler's* resilience, not the injector's
+//      own drag.
+//
+// Methodology: identical to bench/trace_overhead.cpp — kPasses passes of
+// kCallsPerPass real on_attempt() calls, minimum pass reported, empty-loop
+// baseline with the same volatile sink subtracted, asm memory clobber after
+// each call so the disabled-path branch cannot be hoisted.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+
+#include "core/accelerator.h"
+#include "core/faults.h"
+#include "core/json.h"
+#include "core/table.h"
+
+using namespace rebooting;
+using core::Real;
+
+namespace {
+
+constexpr std::size_t kCallsPerPass = 200000;
+constexpr std::size_t kPasses = 25;
+constexpr Real kDisabledGateNs = 2.0;
+constexpr Real kEnabledGateNs = 250.0;
+
+using Clock = std::chrono::steady_clock;
+
+inline void clobber() { asm volatile("" ::: "memory"); }
+
+template <typename Body>
+Real min_pass_ns(const Body& body) {
+  Real best = std::numeric_limits<Real>::infinity();
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < kCallsPerPass; ++i) {
+      body(i);
+      clobber();
+    }
+    const Real ns =
+        std::chrono::duration<Real, std::nano>(Clock::now() - start).count();
+    best = std::min(best, ns / static_cast<Real>(kCallsPerPass));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout,
+                     "Fault injector overhead — disabled / enabled path cost");
+  std::cout << "\n"
+            << kCallsPerPass << " calls/pass, " << kPasses
+            << " passes, min-pass reported; gates: disabled < "
+            << kDisabledGateNs << " ns, enabled < " << kEnabledGateNs
+            << " ns\n\n";
+
+  // The three decorators under test share one inner accelerator type; the
+  // sink keeps the verdicts observable.
+  core::FaultyAccelerator null_plan(std::make_shared<core::CpuAccelerator>(),
+                                    nullptr);
+  core::FaultPlan other_kind_plan;
+  other_kind_plan.kinds[core::AcceleratorKind::kQuantum]
+      .transient_probability = 0.5;
+  core::FaultyAccelerator non_covering(
+      std::make_shared<core::CpuAccelerator>(),
+      std::make_shared<const core::FaultPlan>(other_kind_plan));
+  core::FaultPlan cpu_plan;
+  cpu_plan.seed = 42;
+  cpu_plan.kinds[core::AcceleratorKind::kClassicalCpu]
+      .transient_probability = 0.2;
+  cpu_plan.kinds[core::AcceleratorKind::kClassicalCpu]
+      .corruption_probability = 0.05;
+  core::FaultyAccelerator enabled(
+      std::make_shared<core::CpuAccelerator>(),
+      std::make_shared<const core::FaultPlan>(cpu_plan));
+
+  volatile int sink = 0;
+
+  const Real baseline_ns = min_pass_ns([&](std::size_t) { sink = sink + 1; });
+
+  const Real null_plan_ns = min_pass_ns([&](std::size_t i) {
+    sink = static_cast<int>(null_plan.on_attempt(i, 1).kind);
+  }) - baseline_ns;
+  const Real non_covering_ns = min_pass_ns([&](std::size_t i) {
+    sink = static_cast<int>(non_covering.on_attempt(i, 1).kind);
+  }) - baseline_ns;
+  const Real enabled_ns = min_pass_ns([&](std::size_t i) {
+    sink = static_cast<int>(enabled.on_attempt(i, 1).kind);
+  }) - baseline_ns;
+
+  const Real disabled_worst = std::max(null_plan_ns, non_covering_ns);
+  const bool disabled_ok = disabled_worst < kDisabledGateNs;
+  const bool enabled_ok = enabled_ns < kEnabledGateNs;
+
+  core::Table table({"path", "ns/call", "gate [ns]", "verdict"}, 3);
+  table.add_row({std::string("disabled (null plan)"), null_plan_ns,
+                 kDisabledGateNs,
+                 std::string(null_plan_ns < kDisabledGateNs ? "PASS"
+                                                            : "FAIL")});
+  table.add_row({std::string("disabled (non-covering plan)"), non_covering_ns,
+                 kDisabledGateNs,
+                 std::string(non_covering_ns < kDisabledGateNs ? "PASS"
+                                                               : "FAIL")});
+  table.add_row({std::string("enabled verdict"), enabled_ns, kEnabledGateNs,
+                 std::string(enabled_ns < kEnabledGateNs ? "PASS" : "FAIL")});
+  table.print(std::cout);
+  std::cout << "\nloop baseline: " << baseline_ns << " ns; "
+            << enabled.calls() << " verdicts drawn on the enabled path\n"
+            << "disabled gate: " << (disabled_ok ? "PASS" : "FAIL")
+            << ", enabled gate: " << (enabled_ok ? "PASS" : "FAIL") << '\n';
+
+  {
+    std::ofstream json("BENCH_faults.json");
+    json << "{\n"
+         << "  \"bench\": " << core::json_quote("fault_overhead") << ",\n"
+         << "  \"calls_per_pass\": "
+         << core::json_number(static_cast<std::int64_t>(kCallsPerPass))
+         << ",\n"
+         << "  \"passes\": "
+         << core::json_number(static_cast<std::int64_t>(kPasses)) << ",\n"
+         << "  \"baseline_ns\": " << core::json_number(baseline_ns) << ",\n"
+         << "  \"disabled_null_plan_ns\": " << core::json_number(null_plan_ns)
+         << ",\n"
+         << "  \"disabled_non_covering_ns\": "
+         << core::json_number(non_covering_ns) << ",\n"
+         << "  \"enabled_verdict_ns\": " << core::json_number(enabled_ns)
+         << ",\n"
+         << "  \"disabled_gate_ns\": " << core::json_number(kDisabledGateNs)
+         << ",\n"
+         << "  \"enabled_gate_ns\": " << core::json_number(kEnabledGateNs)
+         << ",\n"
+         << "  \"disabled_gate_pass\": " << (disabled_ok ? "true" : "false")
+         << ",\n"
+         << "  \"enabled_gate_pass\": " << (enabled_ok ? "true" : "false")
+         << "\n}\n";
+    std::cout << "wrote BENCH_faults.json\n";
+  }
+
+  if (!disabled_ok) return 1;
+  if (!enabled_ok) return 2;
+  return 0;
+}

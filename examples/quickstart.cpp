@@ -5,6 +5,14 @@
 // memcomputing work instead of waiting on them one at a time, so the
 // end-to-end wall time approaches the slowest job rather than the sum.
 //
+// Every job carries a RetryPolicy, so the example also demonstrates the
+// resilience layer (DESIGN.md §10): run it with a fault plan, e.g.
+//   REBOOTING_FAULTS=fault_plan.json ./build/examples/quickstart
+// and all three jobs still complete — via retries (and, for the
+// device-agnostic memcomputing job, failover to the classical-cpu pool) —
+// with their attempt counts and fault logs printed per row. Exits nonzero if
+// any paradigm job ultimately fails.
+//
 // Build & run:  ./build/examples/quickstart
 #include <chrono>
 #include <iostream>
@@ -22,7 +30,10 @@ using namespace rebooting;
 
 int main() {
   // --- One worker pool per paradigm of the paper --------------------------
+  // (plus a classical-cpu pool: the failover target for jobs that opt in).
   sched::Scheduler scheduler;
+  scheduler.add_pool(core::AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
   scheduler.add_pool(core::AcceleratorKind::kQuantum, 1,
                      quantum::QuantumAccelerator::factory(
                          {.topology = quantum::Topology::line(4)}));
@@ -33,6 +44,17 @@ int main() {
                      oscillator::OscillatorAccelerator::factory(osc_cfg));
   scheduler.add_pool(core::AcceleratorKind::kMemcomputing, 1,
                      memcomputing::MemcomputingAccelerator::factory());
+
+  // Retry hard enough to ride out a 20% transient-fault plan. The quantum
+  // and oscillator payloads downcast to their device APIs, so they must stay
+  // on their own pool; the memcomputing payload ignores its accelerator and
+  // may fail over to the CPU pool.
+  sched::JobOptions device_bound;
+  device_bound.retry.max_attempts = 6;
+  device_bound.retry.initial_backoff = std::chrono::milliseconds(1);
+  sched::JobOptions portable = device_bound;
+  portable.retry.max_attempts = 4;
+  portable.retry.cpu_fallback = true;
 
   const auto start = std::chrono::steady_clock::now();
 
@@ -50,7 +72,8 @@ int main() {
         jr.summary = "P(00)=" + std::to_string(res.frequency(0b0000)) +
                      " P(11)=" + std::to_string(res.frequency(0b1001));
         return jr;
-      });
+      },
+      device_bound);
 
   // --- Oscillator job: an analog distance comparison ----------------------
   auto oscillator_f = scheduler.submit(
@@ -65,7 +88,8 @@ int main() {
                      "  unit power=" +
                      std::to_string(cmp.unit_power_watts() * 1e6) + " uW";
         return jr;
-      });
+      },
+      device_bound);
 
   // --- Memcomputing job: solve a 3-SAT instance with DMM dynamics ---------
   auto memcomputing_f = scheduler.submit(
@@ -79,7 +103,8 @@ int main() {
         jr.summary = "solved n=60 m=255 in " + std::to_string(r.steps) +
                      " integration steps";
         return jr;
-      });
+      },
+      portable);
 
   // --- Fan-in: wait for all three, then compare overlap vs serial ---------
   struct Row {
@@ -99,16 +124,22 @@ int main() {
   for (const auto& row : rows) sum_of_parts += row.result.wall_seconds;
 
   std::cout << scheduler.describe() << "\nJob results:\n";
-  for (const auto& row : rows)
+  bool all_ok = true;
+  for (const auto& row : rows) {
+    all_ok = all_ok && row.result.ok;
     std::cout << "  [" << row.kind << "] "
               << (row.result.ok ? "ok" : "FAILED") << " in "
-              << row.result.wall_seconds << " s — " << row.result.summary
-              << '\n';
+              << row.result.wall_seconds << " s, " << row.result.attempts
+              << " attempt(s)" << (row.result.degraded ? " (degraded)" : "")
+              << " — " << row.result.summary << '\n';
+    for (const auto& line : row.result.fault_log)
+      std::cout << "      fault: " << line << '\n';
+  }
   std::cout << "\nEnd-to-end wall time:  " << end_to_end << " s\n"
             << "Sum of job times:      " << sum_of_parts << " s\n"
             << "Overlap speedup:       " << sum_of_parts / end_to_end
             << "x (the three paradigms ran concurrently; exceeding 1x "
                "needs spare host cores, since these devices are simulated "
                "on the CPU)\n";
-  return 0;
+  return all_ok ? 0 : 1;
 }

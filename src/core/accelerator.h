@@ -41,6 +41,14 @@ struct JobResult {
   std::string summary;  ///< one-line human-readable outcome
   Metrics metrics;
   Real wall_seconds = 0.0;  ///< host-measured end-to-end latency
+  // --- resilience bookkeeping (filled by the sched::Scheduler execution
+  // layer; a synchronous HostSystem::submit leaves the defaults) -----------
+  std::size_t attempts = 0;  ///< execution attempts consumed (0 = never ran)
+  bool degraded = false;  ///< ok, but only via retries or failover
+  /// One line per fault the job survived (or died of): injected faults,
+  /// payload failures, breaker refusals, failover hops. Empty on a clean
+  /// first-attempt success.
+  std::vector<std::string> fault_log;
 };
 
 /// A unit of offloadable work. The payload closure runs on (and typically

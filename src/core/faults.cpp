@@ -1,0 +1,219 @@
+#include "core/faults.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.h"
+
+namespace rebooting::core {
+
+namespace {
+
+/// Inverse of core::to_string(AcceleratorKind), for plan parsing.
+std::optional<AcceleratorKind> kind_from_string(const std::string& name) {
+  for (const auto kind :
+       {AcceleratorKind::kClassicalCpu, AcceleratorKind::kQuantum,
+        AcceleratorKind::kOscillator, AcceleratorKind::kMemcomputing})
+    if (to_string(kind) == name) return kind;
+  return std::nullopt;
+}
+
+Real probability_field(const JsonValue& v, const std::string& key) {
+  const Real p = v.number();
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("FaultPlan: '" + key +
+                                "' must be a probability in [0, 1]");
+  return p;
+}
+
+FaultSpec parse_spec(const JsonValue& obj, const std::string& kind_name) {
+  FaultSpec spec;
+  for (const auto& [key, value] : obj.object()) {
+    if (key == "transient_probability") {
+      spec.transient_probability = probability_field(value, key);
+    } else if (key == "permanent_after") {
+      const Real n = value.number();
+      if (n < 0.0)
+        throw std::invalid_argument("FaultPlan: 'permanent_after' must be >= 0");
+      spec.permanent_after = static_cast<std::size_t>(n);
+    } else if (key == "latency_spike_probability") {
+      spec.latency_spike_probability = probability_field(value, key);
+    } else if (key == "latency_spike_seconds") {
+      const Real s = value.number();
+      if (s < 0.0)
+        throw std::invalid_argument(
+            "FaultPlan: 'latency_spike_seconds' must be >= 0");
+      spec.latency_spike_seconds = s;
+    } else if (key == "corruption_probability") {
+      spec.corruption_probability = probability_field(value, key);
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown field '" + key +
+                                  "' in spec for kind '" + kind_name + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kPermanent: return "permanent";
+    case FaultKind::kLatencySpike: return "latency-spike";
+    case FaultKind::kCorruption: return "corruption";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::enabled() const {
+  for (const auto& [kind, spec] : kinds)
+    if (spec.enabled()) return true;
+  return false;
+}
+
+const FaultSpec* FaultPlan::spec_for(AcceleratorKind kind) const {
+  const auto it = kinds.find(kind);
+  return it == kinds.end() ? nullptr : &it->second;
+}
+
+std::uint64_t FaultPlan::stream_index(AcceleratorKind kind, std::uint64_t seq,
+                                      std::uint64_t attempt) {
+  // Pack (seq, attempt, kind) into one counter: 3 bits of kind, 7 of
+  // attempt, the rest seq. Collisions need seq >= 2^54 or attempt >= 128;
+  // Rng::stream's dual-splitmix finalizer decorrelates neighbours anyway.
+  return (seq << 10) | ((attempt & 0x7Full) << 3) |
+         (static_cast<std::uint64_t>(kind) & 0x7ull);
+}
+
+FaultOutcome FaultPlan::decide(AcceleratorKind kind, std::uint64_t seq,
+                               std::uint64_t attempt) const {
+  const FaultSpec* spec = spec_for(kind);
+  if (!spec || !spec->enabled()) return {};
+  Rng rng = Rng::stream(seed, stream_index(kind, seq, attempt));
+  // Fixed draw order, one uniform per fault class, so the verdict for a
+  // given (seed, kind, seq, attempt) never depends on which probabilities
+  // are zero.
+  const Real u_transient = rng.uniform();
+  const Real u_spike = rng.uniform();
+  const Real u_corrupt = rng.uniform();
+  if (u_transient < spec->transient_probability)
+    return {FaultKind::kTransient, 0.0, "injected transient device failure"};
+  if (u_spike < spec->latency_spike_probability)
+    return {FaultKind::kLatencySpike, spec->latency_spike_seconds,
+            "injected latency spike (" +
+                std::to_string(spec->latency_spike_seconds) + " s)"};
+  if (u_corrupt < spec->corruption_probability)
+    return {FaultKind::kCorruption, 0.0,
+            "injected result corruption; result discarded"};
+  return {};
+}
+
+FaultPlan FaultPlan::parse(const std::string& json_text) {
+  const auto doc = json_parse(json_text);
+  if (!doc || !doc->is_object())
+    throw std::invalid_argument("FaultPlan: not a JSON object");
+  try {
+    return parse_object(*doc);
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& e) {
+    // JsonValue accessor type mismatches (runtime_error) become the
+    // documented invalid_argument.
+    throw std::invalid_argument(std::string("FaultPlan: ") + e.what());
+  }
+}
+
+FaultPlan FaultPlan::parse_object(const JsonValue& doc) {
+  FaultPlan plan;
+  for (const auto& [key, value] : doc.object()) {
+    if (key == "seed") {
+      const Real s = value.number();
+      if (s < 0.0)
+        throw std::invalid_argument("FaultPlan: 'seed' must be >= 0");
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else if (key == "kinds") {
+      for (const auto& [kind_name, spec_value] : value.object()) {
+        const auto kind = kind_from_string(kind_name);
+        if (!kind)
+          throw std::invalid_argument("FaultPlan: unknown accelerator kind '" +
+                                      kind_name + "'");
+        if (!plan.kinds.emplace(*kind, parse_spec(spec_value, kind_name))
+                 .second)
+          throw std::invalid_argument("FaultPlan: duplicate kind '" +
+                                      kind_name + "'");
+      }
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown field '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("FaultPlan: cannot read fault plan file '" +
+                             path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+std::shared_ptr<const FaultPlan> FaultPlan::from_env() {
+  static const std::shared_ptr<const FaultPlan> cached = [] {
+    const char* path = std::getenv("REBOOTING_FAULTS");
+    if (!path || !*path) return std::shared_ptr<const FaultPlan>();
+    return std::shared_ptr<const FaultPlan>(
+        std::make_shared<const FaultPlan>(load(path)));
+  }();
+  return cached;
+}
+
+FaultyAccelerator::FaultyAccelerator(std::shared_ptr<Accelerator> inner,
+                                     std::shared_ptr<const FaultPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  if (!inner_)
+    throw std::invalid_argument("FaultyAccelerator: null inner accelerator");
+  kind_ = inner_->kind();
+  if (plan_) {
+    const FaultSpec* spec = plan_->spec_for(kind_);
+    if (spec && spec->enabled()) spec_ = spec;
+  }
+}
+
+std::string FaultyAccelerator::name() const {
+  return spec_ ? "faulty(" + inner_->name() + ")" : inner_->name();
+}
+
+std::vector<std::string> FaultyAccelerator::stack_layers() const {
+  auto layers = inner_->stack_layers();
+  if (spec_)
+    layers.insert(layers.begin(), "Fault-injection harness (deterministic)");
+  return layers;
+}
+
+FaultOutcome FaultyAccelerator::on_attempt_armed(std::uint64_t seq,
+                                                 std::uint64_t attempt) {
+  const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (spec_->permanent_after > 0 && call > spec_->permanent_after)
+    return {FaultKind::kPermanent, 0.0,
+            "injected permanent device failure (replica worn out after " +
+                std::to_string(spec_->permanent_after) + " calls)"};
+  return plan_->decide(kind_, seq, attempt);
+}
+
+AcceleratorFactory FaultyAccelerator::wrap(
+    AcceleratorFactory inner, std::shared_ptr<const FaultPlan> plan) {
+  if (!inner)
+    throw std::invalid_argument("FaultyAccelerator::wrap: null factory");
+  return [inner = std::move(inner),
+          plan = std::move(plan)]() -> std::shared_ptr<Accelerator> {
+    return std::make_shared<FaultyAccelerator>(inner(), plan);
+  };
+}
+
+}  // namespace rebooting::core

@@ -1,0 +1,166 @@
+// Deterministic fault injection for the heterogeneous runtime.
+//
+// The paper's post-CMOS substrates are inherently noisy: Sec. III's VO2
+// oscillators drift with device variation and Sec. IV's memcomputing
+// dynamics are explicitly stochastic. A production host (ROADMAP north star)
+// must therefore assume accelerator calls *fail* — transiently, permanently,
+// slowly, or wrongly — and the only way to test that resilience honestly is
+// to inject those failures on demand, reproducibly.
+//
+// Design:
+//
+//   FaultSpec          per-AcceleratorKind fault rates (transient failure,
+//                      permanent wear-out after N calls, latency spikes,
+//                      result corruption)
+//   FaultPlan          a seed plus one FaultSpec per kind. The verdict for
+//                      one execution attempt is drawn from
+//                      core::Rng::stream(seed, f(kind, job_seq, attempt)) —
+//                      counter-based, so the SAME (job, attempt) reaches the
+//                      SAME verdict on any replica, any thread count, any
+//                      run. Loadable from JSON (core::json_parse) and from
+//                      the REBOOTING_FAULTS=<plan.json> environment variable.
+//   FaultyAccelerator  a decorator wrapping any core::Accelerator. It is
+//                      factory-composable (wrap()), so scheduler worker-pool
+//                      replicas each get their own decorator instance with an
+//                      independent wear counter while sharing the plan's
+//                      counter-keyed verdict stream.
+//
+// Cost discipline (mirrors telemetry): with no plan — or a plan with no
+// enabled spec for the wrapped kind — on_attempt() is a pointer load and a
+// branch, gated below 2 ns/call by bench/fault_overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/accelerator.h"
+#include "core/random.h"
+#include "core/types.h"
+
+namespace rebooting::core {
+
+class JsonValue;
+
+/// What the injector did to one execution attempt.
+enum class FaultKind {
+  kNone,          ///< the attempt proceeds untouched
+  kTransient,     ///< the attempt fails without running (device glitch)
+  kPermanent,     ///< this replica is worn out; every call fails from now on
+  kLatencySpike,  ///< the attempt runs, but only after an injected stall
+  kCorruption,    ///< the attempt runs, but its result must be discarded
+};
+
+std::string to_string(FaultKind kind);
+
+/// Fault rates for one accelerator kind. All probabilities are per execution
+/// attempt, in [0, 1].
+struct FaultSpec {
+  Real transient_probability = 0.0;
+  /// After this many calls a replica fails permanently (0 = never). Wear is
+  /// per decorator instance: each worker-pool replica ages independently.
+  std::size_t permanent_after = 0;
+  Real latency_spike_probability = 0.0;
+  Real latency_spike_seconds = 0.0;
+  Real corruption_probability = 0.0;
+
+  bool enabled() const {
+    return transient_probability > 0.0 || permanent_after > 0 ||
+           latency_spike_probability > 0.0 || corruption_probability > 0.0;
+  }
+};
+
+/// The verdict for one attempt, plus what to tell the fault log.
+struct FaultOutcome {
+  FaultKind kind = FaultKind::kNone;
+  Real latency_seconds = 0.0;  ///< stall to inject for kLatencySpike
+  std::string description;     ///< one fault-log line; empty for kNone
+};
+
+/// A seeded, per-kind fault schedule. Copyable value type; the scheduler
+/// shares one immutable plan across all replicas via shared_ptr<const>.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::map<AcceleratorKind, FaultSpec> kinds;
+
+  bool enabled() const;
+  /// The spec for `kind`, or nullptr when the plan does not cover it.
+  const FaultSpec* spec_for(AcceleratorKind kind) const;
+
+  /// The stochastic verdict for execution attempt `attempt` (1-based) of the
+  /// job with scheduler submission sequence `seq` on an accelerator of
+  /// `kind`. Keyed only by (seed, kind, seq, attempt): every replica, thread
+  /// count, and run reaches the same verdict. Permanent wear-out is NOT
+  /// decided here — it is per-replica state owned by FaultyAccelerator.
+  FaultOutcome decide(AcceleratorKind kind, std::uint64_t seq,
+                      std::uint64_t attempt) const;
+
+  /// Strict parse of the JSON schema documented in README ("Fault injection
+  /// & resilience"); throws std::invalid_argument naming the offending key.
+  static FaultPlan parse(const std::string& json_text);
+  /// parse() of the file's contents; throws std::runtime_error when the file
+  /// cannot be read.
+  static FaultPlan load(const std::string& path);
+  /// The plan named by REBOOTING_FAULTS=<plan.json>, loaded once per process
+  /// and cached; nullptr when the variable is unset or empty. Throws (once,
+  /// then rethrows the cached error as best effort: fail fast in CI) when
+  /// the file is unreadable or invalid.
+  static std::shared_ptr<const FaultPlan> from_env();
+
+ private:
+  static FaultPlan parse_object(const JsonValue& doc);
+  static std::uint64_t stream_index(AcceleratorKind kind, std::uint64_t seq,
+                                    std::uint64_t attempt);
+};
+
+/// Decorator injecting the plan's faults in front of any accelerator. The
+/// scheduler detects it on its worker replicas, consults on_attempt() around
+/// each payload execution, and hands the payload the *inner* accelerator so
+/// typed downcasts (quantum::QuantumAccelerator&, ...) still work.
+class FaultyAccelerator final : public Accelerator {
+ public:
+  /// `plan` may be null: a null (or non-covering) plan makes the decorator a
+  /// pure passthrough whose on_attempt() is a load + branch.
+  FaultyAccelerator(std::shared_ptr<Accelerator> inner,
+                    std::shared_ptr<const FaultPlan> plan);
+
+  std::string name() const override;
+  AcceleratorKind kind() const override { return kind_; }
+  std::vector<std::string> stack_layers() const override;
+
+  Accelerator& inner() { return *inner_; }
+  const Accelerator& inner() const { return *inner_; }
+  const FaultPlan* plan() const { return plan_.get(); }
+
+  /// Calls that have reached this replica's injector (enabled specs only).
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+  /// The verdict for one execution attempt. Ages the replica's wear counter,
+  /// reports kPermanent once `permanent_after` is exceeded, and otherwise
+  /// defers to FaultPlan::decide. Thread-safe. The disabled check is inline
+  /// so a passthrough decorator costs one load + branch (the bench gate).
+  FaultOutcome on_attempt(std::uint64_t seq, std::uint64_t attempt) {
+    if (!spec_) return {};
+    return on_attempt_armed(seq, attempt);
+  }
+
+  /// Wraps a factory so every replica it builds carries its own decorator
+  /// (independent wear counters) sharing one immutable plan.
+  static AcceleratorFactory wrap(AcceleratorFactory inner,
+                                 std::shared_ptr<const FaultPlan> plan);
+
+ private:
+  FaultOutcome on_attempt_armed(std::uint64_t seq, std::uint64_t attempt);
+
+  std::shared_ptr<Accelerator> inner_;
+  std::shared_ptr<const FaultPlan> plan_;
+  AcceleratorKind kind_;
+  const FaultSpec* spec_ = nullptr;  ///< cached; null = injector disabled
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+}  // namespace rebooting::core

@@ -1,0 +1,81 @@
+#include "scheduler/breaker.h"
+
+namespace rebooting::sched {
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow() {
+  if (config_.failure_threshold == 0) return true;
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (Clock::now() - opened_at_ < config_.cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (config_.failure_threshold == 0) return;
+  std::lock_guard lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+  }
+}
+
+bool CircuitBreaker::record_failure() {
+  std::lock_guard lock(mutex_);
+  ++consecutive_failures_;
+  ++total_failures_;
+  if (config_.failure_threshold == 0) return false;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to a full cooldown.
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    probe_in_flight_ = false;
+    ++times_opened_;
+    return true;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    ++times_opened_;
+    return true;
+  }
+  return false;
+}
+
+ReplicaHealth CircuitBreaker::snapshot() const {
+  std::lock_guard lock(mutex_);
+  ReplicaHealth h;
+  h.state = state_;
+  // An open breaker whose cooldown has elapsed reports half-open: that is
+  // what the next allow() will see, and tests poll this to time probes.
+  if (state_ == BreakerState::kOpen &&
+      Clock::now() - opened_at_ >= config_.cooldown)
+    h.state = BreakerState::kHalfOpen;
+  h.consecutive_failures = consecutive_failures_;
+  h.total_failures = total_failures_;
+  h.times_opened = times_opened_;
+  return h;
+}
+
+}  // namespace rebooting::sched

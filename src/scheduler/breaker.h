@@ -1,0 +1,85 @@
+// Per-worker circuit breaker — the replica-health half of the scheduler's
+// resilience layer (DESIGN.md §10).
+//
+// Every worker thread owns one breaker guarding its accelerator replica.
+// Consecutive attempt failures past a threshold OPEN the breaker: the worker
+// stops executing on that replica (attempts are refused fast, or failed over
+// to the CPU fallback pool) for a cooldown period. After the cooldown the
+// breaker goes HALF-OPEN and admits exactly one probe attempt: a success
+// CLOSES it, a failure re-OPENS it for another cooldown.
+//
+//        failure x threshold            cooldown elapsed
+//   CLOSED ----------------> OPEN ----------------------> HALF-OPEN
+//     ^                       ^                            |      |
+//     |                       +---------- probe failed ----+      |
+//     +------------------------------- probe succeeded -----------+
+//
+// A threshold of 0 disables the breaker entirely (allow() is always true),
+// which is the default — resilience features are strictly opt-in.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace rebooting::sched {
+
+struct BreakerConfig {
+  /// Consecutive failures on one replica that open its breaker; 0 disables.
+  std::size_t failure_threshold = 0;
+  /// How long an open breaker refuses attempts before the half-open probe.
+  std::chrono::steady_clock::duration cooldown = std::chrono::milliseconds(50);
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string to_string(BreakerState state);
+
+/// Point-in-time health snapshot of one worker replica (Scheduler::health).
+struct ReplicaHealth {
+  std::size_t replica = 0;
+  BreakerState state = BreakerState::kClosed;
+  std::size_t consecutive_failures = 0;
+  std::size_t total_failures = 0;
+  std::size_t times_opened = 0;
+};
+
+/// The state machine above. Mutex-guarded: the owning worker drives it, but
+/// Scheduler::health() snapshots it from other threads.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  /// True when an execution attempt may proceed: the breaker is disabled or
+  /// closed, or the cooldown has elapsed and this call claims the half-open
+  /// probe slot. False while open (or while another probe is in flight).
+  bool allow();
+
+  /// Records an execution success: resets the consecutive-failure run and
+  /// closes a half-open breaker.
+  void record_success();
+
+  /// Records an execution failure. Returns true when this failure OPENED the
+  /// breaker (closed->open on reaching the threshold, or a failed half-open
+  /// probe re-opening), so the caller can emit `sched.breaker_open` exactly
+  /// once per transition.
+  bool record_failure();
+
+  /// Health snapshot; `replica` is filled by the caller.
+  ReplicaHealth snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  Clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t total_failures_ = 0;
+  std::size_t times_opened_ = 0;
+};
+
+}  // namespace rebooting::sched

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/accelerator.h"
 
@@ -39,16 +40,47 @@ class CancelToken {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
+/// How hard the scheduler fights for a job before giving up — the per-job
+/// half of the resilience layer (DESIGN.md §10). The defaults make a job
+/// behave exactly as before the layer existed: one attempt, no backoff, no
+/// failover.
+struct RetryPolicy {
+  /// Total execution attempts across all replicas and pools (>= 1; 0 is
+  /// normalized to 1). An attempt refused by an open circuit breaker counts.
+  std::size_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  ///   min(initial_backoff * backoff_multiplier^(k-1), max_backoff)
+  /// stretched by a deterministic jitter drawn from
+  /// Rng::stream(SchedulerConfig::jitter_seed, f(seq, k)).
+  Clock::duration initial_backoff = std::chrono::milliseconds(1);
+  core::Real backoff_multiplier = 2.0;
+  Clock::duration max_backoff = std::chrono::milliseconds(100);
+  /// Symmetric jitter fraction in [0, 1]: the backoff is scaled by a factor
+  /// in [1 - jitter, 1 + jitter]. 0 = no jitter.
+  core::Real jitter = 0.0;
+  /// Total time the job may spend sleeping between attempts; once a backoff
+  /// would exceed it, the job fails instead of retrying further.
+  Clock::duration retry_budget = Clock::duration::max();
+  /// Permit failover to the classical-cpu pool. Only safe for payloads that
+  /// ignore their accelerator argument (self-contained core::Job closures);
+  /// payloads that downcast to a typed engine API must leave this false.
+  bool cpu_fallback = false;
+};
+
 /// Per-job scheduling controls, all optional.
 struct JobOptions {
   /// Higher runs earlier; jobs of equal priority run in submission (FIFO)
   /// order within their kind's queue.
   int priority = 0;
   /// A job still queued past its deadline is not executed: it completes with
-  /// ok=false and counts into the `sched.deadline_missed` metric.
+  /// ok=false and counts into the `sched.deadline_missed` metric. The retry
+  /// layer also honors it between attempts: a backoff that would cross the
+  /// deadline is not slept through.
   std::optional<Clock::time_point> deadline;
   /// Cooperative cancellation; see CancelToken.
   std::optional<CancelToken> cancel;
+  /// Retries, backoff, and failover; default = single attempt.
+  RetryPolicy retry;
 };
 
 /// Deadline helper: `opts.deadline = deadline_in(std::chrono::milliseconds(5))`.
@@ -74,6 +106,10 @@ struct QueuedJob {
   std::promise<core::JobResult> promise;
   std::uint64_t seq = 0;  ///< scheduler-global submission order, unique
   Clock::time_point enqueued_at{};
+  // --- resilience bookkeeping carried across a failover hop ---------------
+  std::uint64_t attempts_done = 0;  ///< attempts consumed before this queuing
+  std::vector<std::string> fault_log;
+  bool failed_over = false;  ///< already re-homed once; never hops again
 };
 
 /// What a full queue does with the next submission.

@@ -1,9 +1,11 @@
 #include "scheduler/scheduler.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "core/random.h"
 #include "telemetry/telemetry.h"
 
 namespace rebooting::sched {
@@ -12,6 +14,10 @@ namespace {
 
 core::Real seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<core::Real>(b - a).count();
+}
+
+std::string attempt_prefix(std::uint64_t attempt) {
+  return "attempt " + std::to_string(attempt) + ": ";
 }
 
 }  // namespace
@@ -34,11 +40,23 @@ void Scheduler::add_pool(core::AcceleratorKind kind, std::size_t workers,
     throw std::invalid_argument("sched: pool needs at least one worker");
   if (!factory) throw std::invalid_argument("sched: null accelerator factory");
 
+  // REBOOTING_FAULTS wiring: kinds covered by the environment plan get their
+  // replicas built behind deterministic fault injectors.
+  core::AcceleratorFactory build = factory;
+  if (config_.env_faults) {
+    if (const auto plan = core::FaultPlan::from_env()) {
+      const core::FaultSpec* spec = plan->spec_for(kind);
+      if (spec && spec->enabled())
+        build = core::FaultyAccelerator::wrap(build, plan);
+    }
+  }
+
   auto pool = std::make_unique<Pool>(kind, config_.queue_capacity,
                                      config_.backpressure);
   pool->replicas.reserve(workers);
+  pool->workers.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    auto replica = factory();
+    auto replica = build();
     if (!replica)
       throw std::invalid_argument("sched: factory returned a null accelerator");
     if (replica->kind() != kind)
@@ -46,6 +64,7 @@ void Scheduler::add_pool(core::AcceleratorKind kind, std::size_t workers,
           "sched: factory built a '" + core::to_string(replica->kind()) +
           "' accelerator for the '" + core::to_string(kind) + "' pool");
     pool->replicas.push_back(std::move(replica));
+    pool->workers.push_back(std::make_unique<Worker>(config_.breaker));
   }
 
   // The map insert and the thread starts stay under one lock so shutdown()
@@ -63,7 +82,8 @@ void Scheduler::add_pool(core::AcceleratorKind kind, std::size_t workers,
   Pool& p = *it->second;
   for (std::size_t i = 0; i < workers; ++i)
     p.threads.emplace_back(&Scheduler::worker_loop, this, std::ref(p),
-                           std::ref(*p.replicas[i]), i);
+                           std::ref(*p.replicas[i]), std::ref(*p.workers[i]),
+                           i);
 }
 
 Scheduler::Pool* Scheduler::find_pool(core::AcceleratorKind kind) const {
@@ -105,6 +125,7 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
   item.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   item.enqueued_at = Clock::now();
   auto future = item.promise.get_future();
+  track_accept();
 
   // The submit slice brackets the (possibly blocking) push, and the flow
   // arrow it contains starts the per-job submit -> dequeue -> complete chain.
@@ -145,11 +166,15 @@ std::vector<std::future<core::JobResult>> Scheduler::submit_batch(
 }
 
 void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
-                            std::size_t replica_index) {
+                            Worker& state, std::size_t replica_index) {
   // Tags every slice this worker ever emits with its kind + replica: the
   // exported timeline shows one named track per replica per pool.
   telemetry::TraceRecorder::instance().set_thread_name(
       core::to_string(pool.kind) + " worker " + std::to_string(replica_index));
+  // The fault injector, when this replica carries one. Payloads receive the
+  // *inner* accelerator so typed downcasts still work.
+  auto* faulty = dynamic_cast<core::FaultyAccelerator*>(&replica);
+  core::Accelerator& target = faulty ? faulty->inner() : replica;
   while (auto popped = pool.queue.pop()) {
     QueuedJob item = std::move(*popped);
     const auto dequeued = Clock::now();
@@ -169,51 +194,294 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
     TELEM_TRACE_FLOW_STEP("job", item.seq);
 
     core::JobResult result;
-    bool threw = false;
+    Verdict verdict = Verdict::kCompleted;
     if (item.opts.cancel && item.opts.cancel->cancelled()) {
       result.summary = "sched: job '" + item.name +
                        "' cancelled before execution";
+      result.attempts = item.attempts_done;
+      result.fault_log = std::move(item.fault_log);
       telemetry::count("sched.cancelled");
       TELEM_TRACE_INSTANT("sched.cancelled");
     } else if (item.opts.deadline && dequeued >= *item.opts.deadline) {
       result.summary = "sched: job '" + item.name +
                        "' missed its deadline after waiting " +
                        std::to_string(wait) + " s";
+      result.attempts = item.attempts_done;
+      result.fault_log = std::move(item.fault_log);
       telemetry::count("sched.deadline_missed");
       TELEM_TRACE_INSTANT("sched.deadline_expired");
     } else {
-      const auto start = Clock::now();
-      try {
-        TELEM_SPAN("sched." + core::to_string(pool.kind));
-        result = item.payload(replica);
-      } catch (...) {
-        threw = true;
-        item.promise.set_exception(std::current_exception());
-        telemetry::count("sched.payload_exceptions");
-      }
-      const core::Real service = seconds_between(start, Clock::now());
-      result.wall_seconds = service;
-      replica.record_completion(service);
-      if (telemetry::Telemetry::enabled()) {
-        auto& metrics = telemetry::Telemetry::instance().metrics();
-        metrics.add("sched.jobs");
-        metrics.add(pool.jobs_counter);
-        metrics.add(pool.busy_counter, service);
-        metrics.record("sched.service_seconds", service);
-        if (!threw && !result.ok) metrics.add("sched.jobs_failed");
-        if (!threw)
-          for (const auto& [key, value] : result.metrics)
-            metrics.add(key, value);
-      }
+      verdict = run_attempts(pool, replica, target, faulty, state, item,
+                             result);
     }
-    TELEM_TRACE_FLOW_END("job", item.seq);
-    if (!threw) {
+    if (verdict != Verdict::kFailedOver)
+      TELEM_TRACE_FLOW_END("job", item.seq);
+    if (verdict == Verdict::kCompleted) {
       telemetry::record("sched.latency_seconds",
                         seconds_between(item.enqueued_at, Clock::now()));
       item.promise.set_value(std::move(result));
+      track_complete();
+    } else if (verdict == Verdict::kThrew) {
+      track_complete();
     }
     pool.queue.task_done();
   }
+}
+
+Scheduler::Verdict Scheduler::run_attempts(Pool& pool,
+                                           core::Accelerator& replica,
+                                           core::Accelerator& target,
+                                           core::FaultyAccelerator* faulty,
+                                           Worker& state, QueuedJob& item,
+                                           core::JobResult& out) {
+  const RetryPolicy& retry = item.opts.retry;
+  std::size_t max_attempts = retry.max_attempts == 0 ? 1 : retry.max_attempts;
+  // A job failed over with its budget already spent still deserves the one
+  // attempt the hop promised it.
+  if (item.failed_over && item.attempts_done >= max_attempts)
+    max_attempts = item.attempts_done + 1;
+
+  std::uint64_t attempts = item.attempts_done;
+  std::vector<std::string> fault_log = std::move(item.fault_log);
+  core::Real total_service = 0.0;
+  Clock::duration backoff_spent{0};
+  // The most recent ok=false result the payload itself produced. When the
+  // job gives up, this is returned verbatim (annotated with the attempt
+  // bookkeeping) so a single-attempt job behaves exactly as it did before
+  // the resilience layer existed.
+  core::JobResult last_result;
+  bool have_last = false;
+
+  const auto fail_with = [&](std::string why) {
+    if (have_last) {
+      out = std::move(last_result);
+    } else {
+      out.ok = false;
+      out.summary = "sched: job '" + item.name + "' " + std::move(why);
+    }
+    out.attempts = attempts;
+    out.wall_seconds = total_service;
+    out.fault_log = std::move(fault_log);
+    if (telemetry::Telemetry::enabled()) {
+      auto& metrics = telemetry::Telemetry::instance().metrics();
+      metrics.add("sched.jobs");
+      metrics.add(pool.jobs_counter);
+      metrics.add("sched.jobs_failed");
+      for (const auto& [key, value] : out.metrics) metrics.add(key, value);
+    }
+  };
+
+  for (;;) {
+    // Health gate: an open breaker refuses the attempt on this replica.
+    if (!state.breaker.allow()) {
+      if (failover_eligible(retry, item, pool)) {
+        fault_log.push_back("breaker open on " + core::to_string(pool.kind) +
+                            " replica; failing over");
+        return failover(std::move(item), attempts, std::move(fault_log));
+      }
+      ++attempts;
+      fault_log.push_back(attempt_prefix(attempts) +
+                          "circuit breaker open, execution refused");
+    } else {
+      ++attempts;
+      telemetry::count("sched.attempts");
+      bool failed = false;
+      bool threw = false;
+      std::exception_ptr thrown;
+      core::FaultOutcome fault;
+      if (faulty) fault = faulty->on_attempt(item.seq, attempts);
+      if (fault.kind == core::FaultKind::kTransient ||
+          fault.kind == core::FaultKind::kPermanent) {
+        // The device "failed" before doing any work: the payload never runs.
+        failed = true;
+        fault_log.push_back(attempt_prefix(attempts) + fault.description);
+        telemetry::count("sched.faults_injected");
+        TELEM_TRACE_INSTANT("sched.fault_injected");
+      } else {
+        if (fault.kind == core::FaultKind::kLatencySpike) {
+          fault_log.push_back(attempt_prefix(attempts) + fault.description);
+          telemetry::count("sched.faults_injected");
+          TELEM_TRACE_INSTANT("sched.fault_injected");
+          std::this_thread::sleep_for(
+              std::chrono::duration<core::Real>(fault.latency_seconds));
+        }
+        const auto start = Clock::now();
+        core::JobResult attempt_result;
+        try {
+          TELEM_SPAN("sched." + core::to_string(pool.kind));
+          attempt_result = item.payload(target);
+        } catch (...) {
+          threw = true;
+          thrown = std::current_exception();
+          telemetry::count("sched.payload_exceptions");
+        }
+        const core::Real service = seconds_between(start, Clock::now());
+        total_service += service;
+        replica.record_completion(service);
+        if (telemetry::Telemetry::enabled()) {
+          auto& metrics = telemetry::Telemetry::instance().metrics();
+          metrics.add(pool.busy_counter, service);
+          metrics.record("sched.service_seconds", service);
+        }
+        if (threw) {
+          failed = true;
+          fault_log.push_back(attempt_prefix(attempts) + "payload threw");
+        } else if (fault.kind == core::FaultKind::kCorruption) {
+          failed = true;
+          fault_log.push_back(attempt_prefix(attempts) + fault.description);
+          telemetry::count("sched.faults_injected");
+          TELEM_TRACE_INSTANT("sched.fault_injected");
+        } else if (!attempt_result.ok) {
+          failed = true;
+          fault_log.push_back(attempt_prefix(attempts) + "payload failed: " +
+                              attempt_result.summary);
+          last_result = std::move(attempt_result);
+          have_last = true;
+        } else {
+          // Success.
+          state.breaker.record_success();
+          out = std::move(attempt_result);
+          out.attempts = attempts;
+          out.wall_seconds = total_service;
+          out.degraded = attempts > 1 || item.failed_over;
+          out.fault_log = std::move(fault_log);
+          if (telemetry::Telemetry::enabled()) {
+            auto& metrics = telemetry::Telemetry::instance().metrics();
+            metrics.add("sched.jobs");
+            metrics.add(pool.jobs_counter);
+            if (out.degraded) metrics.add("sched.degraded");
+            for (const auto& [key, value] : out.metrics)
+              metrics.add(key, value);
+          }
+          return Verdict::kCompleted;
+        }
+      }
+      if (failed && state.breaker.record_failure()) {
+        telemetry::count("sched.breaker_open");
+        TELEM_TRACE_INSTANT("sched.breaker_open");
+      }
+      if (threw && attempts >= max_attempts &&
+          !failover_eligible(retry, item, pool)) {
+        // Final attempt threw: propagate the exception, as a single-attempt
+        // job always did. It still counts as an executed job.
+        if (telemetry::Telemetry::enabled()) {
+          auto& metrics = telemetry::Telemetry::instance().metrics();
+          metrics.add("sched.jobs");
+          metrics.add(pool.jobs_counter);
+        }
+        item.promise.set_exception(thrown);
+        return Verdict::kThrew;
+      }
+    }
+
+    if (attempts >= max_attempts) {
+      if (failover_eligible(retry, item, pool)) {
+        fault_log.push_back("attempts exhausted on " +
+                            core::to_string(pool.kind) +
+                            "; failing over to classical-cpu");
+        return failover(std::move(item), attempts, std::move(fault_log));
+      }
+      fail_with("failed after " + std::to_string(attempts) + " attempt(s)");
+      return Verdict::kCompleted;
+    }
+
+    // Backoff before the next attempt, honoring deadline and retry budget.
+    const auto delay = backoff_delay(retry, attempts, item.seq);
+    if (backoff_spent + delay > retry.retry_budget) {
+      fault_log.push_back("retry budget exhausted after " +
+                          std::to_string(attempts) + " attempt(s)");
+      fail_with("failed after " + std::to_string(attempts) +
+                " attempt(s); retry budget exhausted");
+      return Verdict::kCompleted;
+    }
+    if (item.opts.deadline && Clock::now() + delay >= *item.opts.deadline) {
+      telemetry::count("sched.deadline_missed");
+      TELEM_TRACE_INSTANT("sched.deadline_expired");
+      fault_log.push_back("backoff would cross the deadline; giving up after " +
+                          std::to_string(attempts) + " attempt(s)");
+      fail_with("failed after " + std::to_string(attempts) +
+                " attempt(s); backoff would cross the deadline");
+      return Verdict::kCompleted;
+    }
+    telemetry::count("sched.retries");
+    TELEM_TRACE_INSTANT("sched.retry");
+    std::this_thread::sleep_for(delay);
+    backoff_spent += delay;
+    if (item.opts.cancel && item.opts.cancel->cancelled()) {
+      out.attempts = attempts;
+      out.fault_log = std::move(fault_log);
+      out.wall_seconds = total_service;
+      out.summary = "sched: job '" + item.name +
+                    "' cancelled between retry attempts";
+      telemetry::count("sched.cancelled");
+      TELEM_TRACE_INSTANT("sched.cancelled");
+      return Verdict::kCompleted;
+    }
+  }
+}
+
+bool Scheduler::failover_eligible(const RetryPolicy& retry,
+                                  const QueuedJob& item,
+                                  const Pool& pool) const {
+  return retry.cpu_fallback && !item.failed_over &&
+         pool.kind != core::AcceleratorKind::kClassicalCpu &&
+         has_pool(core::AcceleratorKind::kClassicalCpu);
+}
+
+Scheduler::Verdict Scheduler::failover(QueuedJob&& item,
+                                       std::uint64_t attempts,
+                                       std::vector<std::string>&& fault_log) {
+  Pool* cpu = find_pool(core::AcceleratorKind::kClassicalCpu);
+  item.kind = core::AcceleratorKind::kClassicalCpu;
+  item.failed_over = true;
+  item.attempts_done = attempts;
+  item.fault_log = std::move(fault_log);
+  item.enqueued_at = Clock::now();
+  telemetry::count("sched.failover");
+  TELEM_TRACE_INSTANT("sched.failover");
+  // The re-submit hop in the job's flow chain: submit -> dequeue ->
+  // failover -> dequeue (cpu) -> complete.
+  TELEM_TRACE_FLOW_STEP("job", item.seq);
+  std::optional<QueuedJob> shed;
+  const auto status = cpu->queue.push(item, &shed);
+  if (shed)
+    complete_unrun(std::move(*shed), "shed by backpressure (queue full)",
+                   "sched.shed");
+  switch (status) {
+    case BoundedJobQueue::PushStatus::kAccepted:
+      telemetry::gauge(cpu->depth_gauge,
+                       static_cast<core::Real>(cpu->queue.size()));
+      break;
+    case BoundedJobQueue::PushStatus::kRejected:
+      complete_unrun(std::move(item), "rejected by backpressure (queue full)",
+                     "sched.rejected");
+      break;
+    case BoundedJobQueue::PushStatus::kClosed:
+      complete_unrun(std::move(item), "not accepted: scheduler shut down",
+                     "sched.flushed");
+      break;
+  }
+  return Verdict::kFailedOver;
+}
+
+Clock::duration Scheduler::backoff_delay(const RetryPolicy& retry,
+                                         std::size_t attempt,
+                                         std::uint64_t seq) const {
+  core::Real seconds =
+      std::chrono::duration<core::Real>(retry.initial_backoff).count() *
+      std::pow(retry.backoff_multiplier, static_cast<core::Real>(attempt - 1));
+  seconds = std::min(
+      seconds, std::chrono::duration<core::Real>(retry.max_backoff).count());
+  if (retry.jitter > 0.0) {
+    // Counter-based, like the fault verdicts: the jitter of retry k of job
+    // seq is a pure function of (jitter_seed, seq, k).
+    core::Rng rng = core::Rng::stream(config_.jitter_seed,
+                                      (seq << 7) | (attempt & 0x7Full));
+    seconds *= 1.0 + retry.jitter * (2.0 * rng.uniform() - 1.0);
+  }
+  seconds = std::max(seconds, 0.0);
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<core::Real>(seconds));
 }
 
 void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
@@ -223,17 +491,28 @@ void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
   core::JobResult result;
   result.ok = false;
   result.summary = "sched: job '" + item.name + "' " + why;
+  result.attempts = item.attempts_done;
+  result.fault_log = std::move(item.fault_log);
   item.promise.set_value(std::move(result));
+  track_complete();
+}
+
+void Scheduler::track_accept() {
+  std::lock_guard lock(drain_mutex_);
+  ++outstanding_;
+}
+
+void Scheduler::track_complete() {
+  std::lock_guard lock(drain_mutex_);
+  if (--outstanding_ == 0) drain_cv_.notify_all();
 }
 
 void Scheduler::drain() {
-  std::vector<Pool*> pools;
-  {
-    std::lock_guard lock(pools_mutex_);
-    pools.reserve(pools_.size());
-    for (auto& [kind, pool] : pools_) pools.push_back(pool.get());
-  }
-  for (Pool* pool : pools) pool->queue.wait_idle();
+  // Counted at promise completion (track_accept/track_complete), so this is
+  // exact even while jobs hop between pools on failover — a queue-emptiness
+  // scan could observe "all idle" mid-hop.
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
 }
 
 void Scheduler::shutdown() {
@@ -275,6 +554,19 @@ PoolStats Scheduler::stats(core::AcceleratorKind kind) const {
     s.busy_seconds += replica->busy_seconds();
   }
   return s;
+}
+
+std::vector<ReplicaHealth> Scheduler::health(
+    core::AcceleratorKind kind) const {
+  const Pool* pool = find_pool(kind);
+  std::vector<ReplicaHealth> out;
+  out.reserve(pool->workers.size());
+  for (std::size_t i = 0; i < pool->workers.size(); ++i) {
+    ReplicaHealth h = pool->workers[i]->breaker.snapshot();
+    h.replica = i;
+    out.push_back(h);
+  }
+  return out;
 }
 
 std::string Scheduler::describe() const {

@@ -6,7 +6,8 @@
 // one-per-kind restriction), all fed by one bounded MPMC priority queue.
 //
 //   submit()        -> std::future<core::JobResult>, with per-job priority,
-//                      deadline, and cooperative cancellation (job.h)
+//                      deadline, cooperative cancellation, and RetryPolicy
+//                      (job.h)
 //   submit_batch()  -> fan-out of a job vector, futures in submission order
 //   drain()         -> block until every accepted job has finished; the
 //                      scheduler keeps accepting new work afterwards
@@ -14,11 +15,24 @@
 //                      still-queued jobs with ok=false in deterministic
 //                      (priority, then FIFO) order; idempotent, run by ~
 //
+// Resilient execution (DESIGN.md §10): each attempt may be vetoed by the
+// worker's deterministic fault injector (core::FaultyAccelerator — wired
+// automatically when REBOOTING_FAULTS=<plan.json> is set) or refused by the
+// worker's circuit breaker (breaker.h). Failed attempts retry with
+// exponential backoff and deterministic jitter under the job's RetryPolicy,
+// honoring its deadline and retry budget; jobs that opted into cpu_fallback
+// fail over once to the classical-cpu pool when their replica's breaker is
+// open or their attempts are exhausted. Results carry attempt counts, a
+// fault log, and a `degraded` flag instead of a silent ok=false.
+//
 // Telemetry (when enabled): queue-depth gauges `sched.queue_depth.<kind>`,
 // wait/service/latency histograms `sched.{wait,service,latency}_seconds`,
 // per-kind counters `sched.jobs.<kind>` and `sched.busy_seconds.<kind>`, and
 // outcome counters `sched.deadline_missed` / `sched.rejected` / `sched.shed`
-// / `sched.cancelled` / `sched.flushed` / `sched.payload_exceptions`.
+// / `sched.cancelled` / `sched.flushed` / `sched.payload_exceptions`, plus
+// the resilience counters `sched.attempts` / `sched.retries` /
+// `sched.faults_injected` / `sched.breaker_open` / `sched.failover` /
+// `sched.degraded`.
 //
 // Tracing (REBOOTING_TRACE, see telemetry/trace.h): every worker thread is
 // named "<kind> worker <replica>", each executed job is a begin/end slice
@@ -29,6 +43,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -38,6 +53,8 @@
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/faults.h"
+#include "scheduler/breaker.h"
 #include "scheduler/queue.h"
 
 namespace rebooting::sched {
@@ -47,6 +64,15 @@ struct SchedulerConfig {
   std::size_t queue_capacity = 1024;
   /// What a full queue does with the next submission.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Per-worker circuit breaker; the default threshold of 0 disables it.
+  BreakerConfig breaker;
+  /// Seed of the deterministic backoff jitter (RetryPolicy::jitter); retry
+  /// timing is reproducible given the same seed and submission order.
+  std::uint64_t jitter_seed = 0x5EEDBACCull;
+  /// Honor REBOOTING_FAULTS=<plan.json>: add_pool wraps factories of covered
+  /// kinds in core::FaultyAccelerator decorators. Off = this scheduler
+  /// ignores the environment plan (used by the overhead bench's control).
+  bool env_faults = true;
 };
 
 /// Point-in-time utilization snapshot of one kind's pool, aggregated over its
@@ -114,16 +140,26 @@ class Scheduler {
   /// no such pool exists.
   std::size_t queue_depth(core::AcceleratorKind kind) const;
   PoolStats stats(core::AcceleratorKind kind) const;
+  /// Per-replica health (breaker state, failure counts) of one pool, indexed
+  /// by replica; throws std::out_of_range when no such pool exists.
+  std::vector<ReplicaHealth> health(core::AcceleratorKind kind) const;
 
   /// Multi-line report of the pools, their replicas, and utilization — the
   /// concurrent counterpart of HostSystem::describe().
   std::string describe() const;
 
  private:
+  /// Per-worker-thread resilience state (one per replica).
+  struct Worker {
+    CircuitBreaker breaker;
+    explicit Worker(const BreakerConfig& config) : breaker(config) {}
+  };
+
   struct Pool {
     core::AcceleratorKind kind;
     BoundedJobQueue queue;
     std::vector<std::shared_ptr<core::Accelerator>> replicas;
+    std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;
     // Pre-built telemetry names, so the hot path does no string assembly
     // beyond what the registry itself needs.
@@ -133,17 +169,47 @@ class Scheduler {
          BackpressurePolicy policy);
   };
 
+  /// How one popped job left a worker.
+  enum class Verdict {
+    kCompleted,   ///< promise fulfilled with a JobResult
+    kThrew,       ///< promise holds the payload's exception
+    kFailedOver,  ///< job re-queued on (or completed by) the fallback pool
+  };
+
   Pool* find_pool(core::AcceleratorKind kind) const;
-  void worker_loop(Pool& pool, core::Accelerator& replica,
+  void worker_loop(Pool& pool, core::Accelerator& replica, Worker& state,
                    std::size_t replica_index);
+  /// The per-job retry/breaker/failover loop around payload execution.
+  Verdict run_attempts(Pool& pool, core::Accelerator& replica,
+                       core::Accelerator& target,
+                       core::FaultyAccelerator* faulty, Worker& state,
+                       QueuedJob& item, core::JobResult& out);
+  bool failover_eligible(const RetryPolicy& retry, const QueuedJob& item,
+                         const Pool& pool) const;
+  /// Re-homes a job onto the classical-cpu pool, carrying its attempt count
+  /// and fault log. The job's promise is either queued along with it or, if
+  /// the fallback queue refuses, completed here — never abandoned.
+  Verdict failover(QueuedJob&& item, std::uint64_t attempts,
+                   std::vector<std::string>&& fault_log);
+  Clock::duration backoff_delay(const RetryPolicy& retry, std::size_t attempt,
+                                std::uint64_t seq) const;
   /// Completes a job that will never run (shed / flushed / closed race).
-  static void complete_unrun(QueuedJob&& item, const std::string& why,
-                             const char* metric);
+  void complete_unrun(QueuedJob&& item, const std::string& why,
+                      const char* metric);
+  void track_accept();
+  void track_complete();
 
   SchedulerConfig config_;
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> next_seq_{0};
   std::once_flag shutdown_once_;
+
+  // drain() bookkeeping: accepted-but-uncompleted jobs. Counted at the
+  // promise, not the queue, so a failover hop between pools can never open
+  // a window where every queue looks idle while a job is mid-flight.
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::size_t outstanding_ = 0;
 
   mutable std::mutex pools_mutex_;  ///< guards the map shape, not the pools
   std::map<core::AcceleratorKind, std::unique_ptr<Pool>> pools_;

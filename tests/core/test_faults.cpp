@@ -1,0 +1,361 @@
+#include "core/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "memcomputing/dmm.h"
+#include "oscillator/network.h"
+#include "scheduler/scheduler.h"
+
+namespace rebooting::core {
+namespace {
+
+constexpr const char* kPlanJson = R"({
+  "seed": 1234,
+  "kinds": {
+    "quantum": {
+      "transient_probability": 0.2,
+      "latency_spike_probability": 0.05,
+      "latency_spike_seconds": 0.001,
+      "corruption_probability": 0.01
+    },
+    "oscillator": { "permanent_after": 100 }
+  }
+})";
+
+FaultPlan transient_plan(std::uint64_t seed, Real p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.kinds[AcceleratorKind::kClassicalCpu].transient_probability = p;
+  return plan;
+}
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(FaultPlanParse, RoundTripFromJson) {
+  const FaultPlan plan = FaultPlan::parse(kPlanJson);
+  EXPECT_EQ(plan.seed, 1234u);
+  ASSERT_EQ(plan.kinds.size(), 2u);
+  const FaultSpec* q = plan.spec_for(AcceleratorKind::kQuantum);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->transient_probability, 0.2);
+  EXPECT_EQ(q->latency_spike_probability, 0.05);
+  EXPECT_EQ(q->latency_spike_seconds, 0.001);
+  EXPECT_EQ(q->corruption_probability, 0.01);
+  EXPECT_EQ(q->permanent_after, 0u);
+  EXPECT_TRUE(q->enabled());
+  const FaultSpec* o = plan.spec_for(AcceleratorKind::kOscillator);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->permanent_after, 100u);
+  EXPECT_TRUE(o->enabled());
+  EXPECT_EQ(plan.spec_for(AcceleratorKind::kMemcomputing), nullptr);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlanParse, StrictSchemaRejectsMistakes) {
+  // Unknown top-level key.
+  EXPECT_THROW(FaultPlan::parse(R"({"sed": 1, "kinds": {}})"),
+               std::invalid_argument);
+  // Unknown accelerator kind.
+  EXPECT_THROW(FaultPlan::parse(R"({"kinds": {"gpu": {}}})"),
+               std::invalid_argument);
+  // Unknown spec key (typo'd probability).
+  EXPECT_THROW(
+      FaultPlan::parse(R"({"kinds": {"quantum": {"transient_prob": 0.5}}})"),
+      std::invalid_argument);
+  // Probability out of range.
+  EXPECT_THROW(
+      FaultPlan::parse(
+          R"({"kinds": {"quantum": {"transient_probability": 1.5}}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultPlan::parse(
+          R"({"kinds": {"quantum": {"transient_probability": -0.1}}})"),
+      std::invalid_argument);
+  // Not even JSON.
+  EXPECT_THROW(FaultPlan::parse("not json"), std::invalid_argument);
+}
+
+TEST(FaultPlanLoad, ReadsFileAndFailsLoudlyOnMissing) {
+  const std::string path = ::testing::TempDir() + "fault_plan_test.json";
+  { std::ofstream(path) << kPlanJson; }
+  const FaultPlan plan = FaultPlan::load(path);
+  EXPECT_EQ(plan.seed, 1234u);
+  EXPECT_NE(plan.spec_for(AcceleratorKind::kQuantum), nullptr);
+  std::remove(path.c_str());
+  EXPECT_THROW(FaultPlan::load(path), std::runtime_error);
+}
+
+TEST(FaultPlanEnv, UnsetVariableMeansNoPlan) {
+  // This binary never sets REBOOTING_FAULTS, and the loader caches per
+  // process: both calls must agree on "no plan".
+  EXPECT_EQ(FaultPlan::from_env(), nullptr);
+  EXPECT_EQ(FaultPlan::from_env(), nullptr);
+}
+
+// ---------------------------------------------------------- determinism ----
+
+TEST(FaultPlanDecide, IdenticalSeedsProduceIdenticalSequences) {
+  const FaultPlan a = transient_plan(77, 0.3);
+  const FaultPlan b = transient_plan(77, 0.3);
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    for (std::uint64_t attempt = 1; attempt <= 4; ++attempt) {
+      const FaultOutcome oa =
+          a.decide(AcceleratorKind::kClassicalCpu, seq, attempt);
+      const FaultOutcome ob =
+          b.decide(AcceleratorKind::kClassicalCpu, seq, attempt);
+      ASSERT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind))
+          << "seq=" << seq << " attempt=" << attempt;
+      ASSERT_EQ(oa.description, ob.description);
+    }
+  }
+}
+
+TEST(FaultPlanDecide, DifferentSeedsDiverge) {
+  const FaultPlan a = transient_plan(1, 0.3);
+  const FaultPlan b = transient_plan(2, 0.3);
+  std::size_t differing = 0;
+  for (std::uint64_t seq = 0; seq < 500; ++seq)
+    if (a.decide(AcceleratorKind::kClassicalCpu, seq, 1).kind !=
+        b.decide(AcceleratorKind::kClassicalCpu, seq, 1).kind)
+      ++differing;
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultPlanDecide, VerdictIsReplicaIndependent) {
+  // Two decorators over *different* inner instances share the plan's
+  // counter-keyed stream: the same (seq, attempt) reaches the same verdict on
+  // either replica — the property that makes chaos runs reproducible at any
+  // worker count.
+  auto plan = std::make_shared<const FaultPlan>(transient_plan(9, 0.4));
+  FaultyAccelerator r0(std::make_shared<CpuAccelerator>(), plan);
+  FaultyAccelerator r1(std::make_shared<CpuAccelerator>(), plan);
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    const FaultOutcome a = r0.on_attempt(seq, 1);
+    const FaultOutcome b = r1.on_attempt(seq, 1);
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind))
+        << "seq=" << seq;
+  }
+}
+
+// ----------------------------------------------------------- statistics ----
+
+// Observed fault counts over N independent attempts are Binomial(N, p);
+// |x - Np| <= 4 sqrt(Np(1-p)) holds with probability ~0.99994.
+void expect_binomial(std::size_t hits, std::size_t n, Real p,
+                     const char* what) {
+  const Real mean = static_cast<Real>(n) * p;
+  const Real bound = 4.0 * std::sqrt(mean * (1.0 - p));
+  EXPECT_LE(std::abs(static_cast<Real>(hits) - mean), bound)
+      << what << ": " << hits << " of " << n << " at p=" << p;
+}
+
+TEST(FaultPlanStats, TransientRateMatchesTheSpec) {
+  for (const Real p : {0.05, 0.2, 0.5}) {
+    const FaultPlan plan = transient_plan(321, p);
+    constexpr std::size_t kAttempts = 4000;
+    std::size_t transients = 0;
+    for (std::uint64_t seq = 0; seq < kAttempts; ++seq)
+      if (plan.decide(AcceleratorKind::kClassicalCpu, seq, 1).kind ==
+          FaultKind::kTransient)
+        ++transients;
+    expect_binomial(transients, kAttempts, p, "transient");
+  }
+}
+
+TEST(FaultPlanStats, SpikeAndCorruptionRatesMatchTheSpec) {
+  FaultPlan plan;
+  plan.seed = 555;
+  FaultSpec& spec = plan.kinds[AcceleratorKind::kQuantum];
+  spec.latency_spike_probability = 0.1;
+  spec.latency_spike_seconds = 0.25;
+  spec.corruption_probability = 0.15;
+  constexpr std::size_t kAttempts = 4000;
+  std::size_t spikes = 0, corruptions = 0;
+  for (std::uint64_t seq = 0; seq < kAttempts; ++seq) {
+    const FaultOutcome o = plan.decide(AcceleratorKind::kQuantum, seq, 1);
+    if (o.kind == FaultKind::kLatencySpike) {
+      ++spikes;
+      EXPECT_EQ(o.latency_seconds, 0.25);
+    } else if (o.kind == FaultKind::kCorruption) {
+      ++corruptions;
+    }
+  }
+  expect_binomial(spikes, kAttempts, 0.1, "latency spike");
+  // A corruption verdict requires "no spike" first, so its marginal rate is
+  // (1 - 0.1) * 0.15.
+  expect_binomial(corruptions, kAttempts, 0.9 * 0.15, "corruption");
+}
+
+TEST(FaultPlanStats, AttemptsAreIndependentDraws) {
+  // Attempt 2 must not mirror attempt 1 — retries get fresh randomness.
+  const FaultPlan plan = transient_plan(8, 0.5);
+  std::size_t both = 0, first_only = 0, second_only = 0;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    const bool f1 = plan.decide(AcceleratorKind::kClassicalCpu, seq, 1).kind ==
+                    FaultKind::kTransient;
+    const bool f2 = plan.decide(AcceleratorKind::kClassicalCpu, seq, 2).kind ==
+                    FaultKind::kTransient;
+    both += f1 && f2;
+    first_only += f1 && !f2;
+    second_only += !f1 && f2;
+  }
+  // Independent fair coins: each joint cell has rate ~1/4.
+  expect_binomial(both, 2000, 0.25, "both attempts faulted");
+  expect_binomial(first_only, 2000, 0.25, "only attempt 1 faulted");
+  expect_binomial(second_only, 2000, 0.25, "only attempt 2 faulted");
+}
+
+// ----------------------------------------------------------------- wear ----
+
+TEST(FaultyAcceleratorWear, PermanentAfterNCallsPerReplica) {
+  FaultPlan plan;
+  plan.kinds[AcceleratorKind::kClassicalCpu].permanent_after = 5;
+  auto shared = std::make_shared<const FaultPlan>(plan);
+  FaultyAccelerator worn(std::make_shared<CpuAccelerator>(), shared);
+  FaultyAccelerator fresh(std::make_shared<CpuAccelerator>(), shared);
+  for (std::uint64_t attempt = 1; attempt <= 5; ++attempt)
+    EXPECT_EQ(worn.on_attempt(0, attempt).kind, FaultKind::kNone)
+        << "call " << attempt;
+  for (std::uint64_t attempt = 6; attempt <= 10; ++attempt)
+    EXPECT_EQ(worn.on_attempt(0, attempt).kind, FaultKind::kPermanent)
+        << "call " << attempt;
+  EXPECT_EQ(worn.calls(), 10u);
+  // Wear is per decorator instance: the second replica is still healthy.
+  EXPECT_EQ(fresh.on_attempt(0, 1).kind, FaultKind::kNone);
+  EXPECT_EQ(fresh.calls(), 1u);
+}
+
+// ---------------------------------------------------------- passthrough ----
+
+TEST(FaultyAcceleratorPassthrough, NullPlanIsInvisible) {
+  auto cpu = std::make_shared<CpuAccelerator>();
+  FaultyAccelerator wrapped(cpu, nullptr);
+  EXPECT_EQ(wrapped.name(), cpu->name());
+  EXPECT_EQ(wrapped.kind(), cpu->kind());
+  EXPECT_EQ(wrapped.stack_layers(), cpu->stack_layers());
+  EXPECT_EQ(&wrapped.inner(), cpu.get());
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const FaultOutcome o = wrapped.on_attempt(seq, 1);
+    EXPECT_EQ(o.kind, FaultKind::kNone);
+    EXPECT_TRUE(o.description.empty());
+  }
+  // The disabled fast path does not even age the call counter.
+  EXPECT_EQ(wrapped.calls(), 0u);
+}
+
+TEST(FaultyAcceleratorPassthrough, NonCoveringPlanIsInvisible) {
+  // The plan faults quantum; a CPU replica behind it stays untouched.
+  auto plan = std::make_shared<const FaultPlan>(FaultPlan::parse(kPlanJson));
+  auto cpu = std::make_shared<CpuAccelerator>();
+  FaultyAccelerator wrapped(cpu, plan);
+  EXPECT_EQ(wrapped.name(), cpu->name());
+  EXPECT_EQ(wrapped.on_attempt(3, 1).kind, FaultKind::kNone);
+  EXPECT_EQ(wrapped.calls(), 0u);
+}
+
+TEST(FaultyAcceleratorPassthrough, EnabledSpecAnnotatesTheName) {
+  auto plan =
+      std::make_shared<const FaultPlan>(transient_plan(1, 0.5));
+  FaultyAccelerator wrapped(std::make_shared<CpuAccelerator>(), plan);
+  EXPECT_NE(wrapped.name().find("faulty("), std::string::npos);
+  ASSERT_FALSE(wrapped.stack_layers().empty());
+  EXPECT_NE(wrapped.stack_layers().front().find("Fault-injection"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- golden regression -------
+// The paradigm engines' trajectories must be bit-identical with the fault
+// layer compiled in but disabled: same fingerprints as the DmmGolden /
+// NetworkGolden seeds, produced through a scheduler whose replicas sit behind
+// null-plan FaultyAccelerator decorators and whose jobs carry a RetryPolicy.
+
+sched::JobOptions retry_opts() {
+  sched::JobOptions opts;
+  opts.retry.max_attempts = 3;
+  return opts;
+}
+
+TEST(FaultGolden, DmmTrajectoryUnchangedThroughDisabledFaultLayer) {
+  sched::Scheduler scheduler;
+  scheduler.add_pool(
+      AcceleratorKind::kClassicalCpu, 2,
+      FaultyAccelerator::wrap(CpuAccelerator::factory(), nullptr));
+  memcomputing::DmmResult r;
+  Job job;
+  job.name = "dmm-golden";
+  job.payload = [&r] {
+    memcomputing::Cnf cnf(3);
+    cnf.add_clause({1, 2});
+    cnf.add_clause({-1, 3});
+    cnf.add_clause({-2, -3});
+    Rng rng(42);
+    r = memcomputing::DmmSolver(cnf, {}).solve(rng);
+    JobResult out;
+    out.ok = r.satisfied;
+    return out;
+  };
+  const JobResult result =
+      scheduler.submit(std::move(job), retry_opts()).get();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(result.fault_log.empty());
+  // The DmmGolden.TinyFormulaTrajectoryUnchanged fingerprints, exactly.
+  EXPECT_EQ(r.steps, 4u);
+  EXPECT_EQ(r.sim_time, 0.93332303461574861);
+  EXPECT_EQ(r.best_unsatisfied, 0u);
+  ASSERT_EQ(r.assignment.size(), 4u);
+  EXPECT_FALSE(r.assignment[1]);
+  EXPECT_TRUE(r.assignment[2]);
+  EXPECT_FALSE(r.assignment[3]);
+}
+
+TEST(FaultGolden, OscillatorWaveformUnchangedThroughDisabledFaultLayer) {
+  sched::Scheduler scheduler;
+  scheduler.add_pool(
+      AcceleratorKind::kClassicalCpu, 2,
+      FaultyAccelerator::wrap(CpuAccelerator::factory(), nullptr));
+  oscillator::Trace tr;
+  Job job;
+  job.name = "oscillator-golden";
+  job.payload = [&tr] {
+    oscillator::CoupledOscillatorNetwork net(oscillator::OscillatorParams{},
+                                             2);
+    net.set_gate_voltage(0, 0.95);
+    net.set_gate_voltage(1, 1.05);
+    net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+    oscillator::SimulationOptions so;
+    so.duration = 5e-6;
+    so.dt = 1e-9;
+    so.sample_stride = 4;
+    tr = net.simulate(so);
+    JobResult out;
+    out.ok = true;
+    return out;
+  };
+  const JobResult result =
+      scheduler.submit(std::move(job), retry_opts()).get();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 1u);
+  const auto sum = [](const std::vector<Real>& v) {
+    Real s = 0.0;
+    for (const Real x : v) s += x;
+    return s;
+  };
+  // The NetworkGolden.SeriesRcWaveformUnchanged fingerprints, exactly.
+  ASSERT_EQ(tr.samples(), 1251u);
+  EXPECT_EQ(sum(tr.node_voltage[0]), 1909.7953089683781);
+  EXPECT_EQ(sum(tr.node_voltage[1]), 1885.5753216547409);
+  EXPECT_EQ(tr.node_voltage[0].back(), 1.6109489971678781);
+  EXPECT_EQ(tr.node_voltage[1].back(), 1.2608751183922264);
+  EXPECT_EQ(tr.supply_current.back(), 5.0872423209652297e-05);
+}
+
+}  // namespace
+}  // namespace rebooting::core

@@ -1,0 +1,662 @@
+// Chaos / resilience suite for the scheduler's fault-tolerant execution
+// layer (DESIGN.md §10): retries with backoff, circuit breakers, failover to
+// the classical-cpu pool, and graceful degradation — all driven by the
+// deterministic core::FaultPlan, so every "storm" in here is bit-reproducible
+// for a given seed at any worker count. The CI chaos matrix runs this binary
+// under TSan with REBOOTING_CHAOS_SEED rotating through several seeds.
+#include "scheduler/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/faults.h"
+#include "memcomputing/accelerator.h"
+#include "telemetry/telemetry.h"
+
+namespace rebooting::sched {
+namespace {
+
+using namespace std::chrono_literals;
+using core::AcceleratorKind;
+using core::FaultPlan;
+using core::FaultyAccelerator;
+
+core::JobResult ok_result(std::string summary = "ok") {
+  core::JobResult r;
+  r.ok = true;
+  r.summary = std::move(summary);
+  return r;
+}
+
+core::JobResult bad_result(std::string summary = "bad") {
+  core::JobResult r;
+  r.ok = false;
+  r.summary = std::move(summary);
+  return r;
+}
+
+core::Job cpu_job(std::string name, std::function<core::JobResult()> fn) {
+  return core::Job{std::move(name), AcceleratorKind::kClassicalCpu,
+                   std::move(fn)};
+}
+
+bool ready(const std::future<core::JobResult>& f) {
+  return f.wait_for(0s) == std::future_status::ready;
+}
+
+/// The chaos seed rotated by the CI matrix; 0 when unset.
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("REBOOTING_CHAOS_SEED");
+  return env && *env ? std::strtoull(env, nullptr, 10) : 0;
+}
+
+std::shared_ptr<const FaultPlan> transient_plan(AcceleratorKind kind,
+                                                std::uint64_t seed,
+                                                core::Real p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.kinds[kind].transient_probability = p;
+  return std::make_shared<const FaultPlan>(plan);
+}
+
+/// Fast retries for tests: generous attempts, microscopic backoff.
+JobOptions retrying(std::size_t max_attempts) {
+  JobOptions opts;
+  opts.retry.max_attempts = max_attempts;
+  opts.retry.initial_backoff = 100us;
+  opts.retry.max_backoff = 1ms;
+  return opts;
+}
+
+/// The per-job outcome fingerprint the reproducibility tests compare.
+struct Outcome {
+  bool ok = false;
+  std::size_t attempts = 0;
+  std::vector<std::string> fault_log;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+/// One seeded storm: `jobs` always-succeeding payloads through a single
+/// fault-injected CPU pool of `workers` replicas, submitted from one thread
+/// so scheduler sequence numbers equal submission order.
+std::vector<Outcome> run_storm(std::uint64_t seed, core::Real p,
+                               std::size_t workers, std::size_t jobs,
+                               std::size_t max_attempts) {
+  Scheduler scheduler;
+  scheduler.add_pool(
+      AcceleratorKind::kClassicalCpu, workers,
+      FaultyAccelerator::wrap(core::CpuAccelerator::factory(),
+                              transient_plan(AcceleratorKind::kClassicalCpu,
+                                             seed, p)));
+  std::vector<std::future<core::JobResult>> futures;
+  futures.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i)
+    futures.push_back(scheduler.submit(
+        cpu_job("storm-" + std::to_string(i), [] { return ok_result(); }),
+        retrying(max_attempts)));
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(jobs);
+  for (auto& f : futures) {
+    core::JobResult r = f.get();
+    outcomes.push_back({r.ok, r.attempts, std::move(r.fault_log)});
+  }
+  return outcomes;
+}
+
+// -------------------------------------------------------------- retries ----
+
+TEST(Retry, SucceedsAfterTransientPayloadFailures) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  std::atomic<int> calls{0};
+  auto f = scheduler.submit(cpu_job("flaky",
+                                    [&] {
+                                      return ++calls < 3
+                                                 ? bad_result("glitch")
+                                                 : ok_result("third time");
+                                    }),
+                            retrying(5));
+  const auto r = f.get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.summary, "third time");
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_TRUE(r.degraded);
+  ASSERT_EQ(r.fault_log.size(), 2u);
+  EXPECT_NE(r.fault_log[0].find("glitch"), std::string::npos);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Retry, ExhaustionReturnsTheLastPayloadResultVerbatim) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  auto f = scheduler.submit(
+      cpu_job("doomed", [] { return bad_result("engine saturated"); }),
+      retrying(3));
+  const auto r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.summary, "engine saturated");  // not a synthesized wrapper
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.fault_log.size(), 3u);
+}
+
+TEST(Retry, ExceptionRetriedThenSucceeds) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  std::atomic<int> calls{0};
+  auto f = scheduler.submit(cpu_job("thrower",
+                                    [&]() -> core::JobResult {
+                                      if (++calls == 1)
+                                        throw std::runtime_error("boom");
+                                      return ok_result();
+                                    }),
+                            retrying(3));
+  const auto r = f.get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_TRUE(r.degraded);
+  ASSERT_EQ(r.fault_log.size(), 1u);
+  EXPECT_NE(r.fault_log[0].find("threw"), std::string::npos);
+}
+
+TEST(Retry, ExceptionOnFinalAttemptPropagates) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  auto f = scheduler.submit(cpu_job("always-throws",
+                                    []() -> core::JobResult {
+                                      throw std::runtime_error("boom");
+                                    }),
+                            retrying(2));
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Retry, BudgetCapsTimeSpentBackingOff) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  JobOptions opts;
+  opts.retry.max_attempts = 10;
+  opts.retry.initial_backoff = 5ms;
+  opts.retry.backoff_multiplier = 1.0;  // constant 5 ms per retry
+  opts.retry.retry_budget = 12ms;       // room for exactly two sleeps
+  auto f = scheduler.submit(
+      cpu_job("budgeted", [] { return bad_result("nope"); }), opts);
+  const auto r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3u);
+  ASSERT_FALSE(r.fault_log.empty());
+  EXPECT_NE(r.fault_log.back().find("retry budget"), std::string::npos);
+}
+
+TEST(Retry, BackoffThatWouldCrossTheDeadlineFailsInstead) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  JobOptions opts;
+  opts.retry.max_attempts = 5;
+  opts.retry.initial_backoff = 200ms;
+  opts.deadline = deadline_in(50ms);
+  const auto start = Clock::now();
+  auto f = scheduler.submit(
+      cpu_job("late-backoff", [] { return bad_result("nope"); }), opts);
+  const auto r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 1u);  // the 200 ms backoff was never slept
+  EXPECT_LT(Clock::now() - start, 150ms);
+  ASSERT_FALSE(r.fault_log.empty());
+  EXPECT_NE(r.fault_log.back().find("deadline"), std::string::npos);
+}
+
+TEST(Retry, BackoffActuallyWaitsBetweenAttempts) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  JobOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff = 4ms;
+  opts.retry.backoff_multiplier = 2.0;  // sleeps of ~4 ms then ~8 ms
+  opts.retry.jitter = 0.25;
+  const auto start = Clock::now();
+  auto f = scheduler.submit(
+      cpu_job("slow-burn", [] { return bad_result("nope"); }), opts);
+  const auto r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3u);
+  // Two jittered sleeps of at least 3 ms and 6 ms.
+  EXPECT_GE(Clock::now() - start, 9ms);
+}
+
+TEST(Retry, CancellationBetweenAttemptsStopsTheJob) {
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  CancelToken token;
+  JobOptions opts;
+  opts.retry.max_attempts = 50;
+  opts.retry.initial_backoff = 2ms;
+  opts.retry.backoff_multiplier = 1.0;
+  opts.cancel = token;
+  std::atomic<int> calls{0};
+  auto f = scheduler.submit(cpu_job("cancel-mid-retry",
+                                    [&] {
+                                      if (++calls == 2) token.cancel();
+                                      return bad_result("nope");
+                                    }),
+                            opts);
+  const auto r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary.find("cancelled"), std::string::npos);
+  EXPECT_LT(calls.load(), 5);
+}
+
+// --------------------------------------------------------- fault storms ----
+
+TEST(Chaos, SeededStormIsReproducibleAcrossRunsAndWorkerCounts) {
+  const std::uint64_t seed = 0xC4A05ull + chaos_seed();
+  const auto once = run_storm(seed, 0.2, 1, 60, 4);
+  const auto again = run_storm(seed, 0.2, 1, 60, 4);
+  const auto wide = run_storm(seed, 0.2, 4, 60, 4);
+  EXPECT_EQ(once, again) << "same seed, same worker count";
+  EXPECT_EQ(once, wide) << "same seed, different worker count";
+
+  // Artifact for the CI chaos matrix: the full per-job fault log, so a
+  // failing seed can be replayed offline.
+  const char* artifact = std::getenv("REBOOTING_CHAOS_ARTIFACT");
+  std::ofstream out(artifact && *artifact ? artifact : "chaos_fault_log.txt");
+  out << "seed " << seed << "\n";
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    out << "job " << i << " ok=" << once[i].ok
+        << " attempts=" << once[i].attempts << "\n";
+    for (const auto& line : once[i].fault_log) out << "  " << line << "\n";
+  }
+}
+
+TEST(Chaos, DifferentSeedsProduceDifferentStorms) {
+  const auto a = run_storm(1, 0.3, 1, 60, 4);
+  const auto b = run_storm(2, 0.3, 1, 60, 4);
+  EXPECT_NE(a, b);
+}
+
+TEST(Chaos, StormsAtSeveralProbabilitiesNeverAbandonJobs) {
+  for (const core::Real p : {0.05, 0.2, 0.5}) {
+    const auto outcomes = run_storm(7, p, 3, 80, 6);
+    ASSERT_EQ(outcomes.size(), 80u);
+    std::size_t degraded = 0, faults = 0;
+    for (const auto& o : outcomes) {
+      EXPECT_GE(o.attempts, 1u);
+      EXPECT_LE(o.attempts, 6u);
+      // A job that spent more than one attempt must say why.
+      if (o.attempts > 1) {
+        ++degraded;
+        EXPECT_FALSE(o.fault_log.empty());
+      }
+      faults += o.fault_log.size();
+      if (!o.ok) EXPECT_EQ(o.attempts, 6u) << "failed before exhaustion";
+    }
+    if (p >= 0.2) EXPECT_GT(degraded, 0u) << "p=" << p;
+    if (p >= 0.2) EXPECT_GT(faults, 0u) << "p=" << p;
+  }
+}
+
+TEST(Chaos, LatencySpikeStallsButSucceedsUndegraded) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.kinds[AcceleratorKind::kClassicalCpu].latency_spike_probability = 1.0;
+  plan.kinds[AcceleratorKind::kClassicalCpu].latency_spike_seconds = 0.005;
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     FaultyAccelerator::wrap(
+                         core::CpuAccelerator::factory(),
+                         std::make_shared<const FaultPlan>(plan)));
+  const auto start = Clock::now();
+  const auto r =
+      scheduler.submit(cpu_job("spiked", [] { return ok_result(); })).get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_FALSE(r.degraded);  // the attempt succeeded, just slowly
+  EXPECT_GE(Clock::now() - start, 4ms);
+  ASSERT_EQ(r.fault_log.size(), 1u);
+  EXPECT_NE(r.fault_log[0].find("latency spike"), std::string::npos);
+}
+
+TEST(Chaos, CorruptionDiscardsTheResultAndRetries) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.kinds[AcceleratorKind::kClassicalCpu].corruption_probability = 1.0;
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     FaultyAccelerator::wrap(
+                         core::CpuAccelerator::factory(),
+                         std::make_shared<const FaultPlan>(plan)));
+  std::atomic<int> calls{0};
+  const auto r = scheduler
+                     .submit(cpu_job("corrupted",
+                                     [&] {
+                                       ++calls;
+                                       return ok_result("tainted");
+                                     }),
+                             retrying(3))
+                     .get();
+  EXPECT_FALSE(r.ok);  // every attempt's result was discarded
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);  // the payload DID run each time
+  EXPECT_NE(r.summary.find("failed after 3 attempt"), std::string::npos);
+  ASSERT_EQ(r.fault_log.size(), 3u);
+  EXPECT_NE(r.fault_log[0].find("corruption"), std::string::npos);
+}
+
+TEST(Chaos, PermanentWearOutShiftsWorkToTheFallbackPool) {
+  FaultPlan plan;
+  plan.kinds[AcceleratorKind::kMemcomputing].permanent_after = 3;
+  Scheduler scheduler;
+  scheduler.add_pool(
+      AcceleratorKind::kMemcomputing, 1,
+      FaultyAccelerator::wrap(memcomputing::MemcomputingAccelerator::factory(),
+                              std::make_shared<const FaultPlan>(plan)));
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  JobOptions opts = retrying(2);
+  opts.retry.cpu_fallback = true;
+  std::vector<std::future<core::JobResult>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(scheduler.submit(
+        core::Job{"wear-" + std::to_string(i),
+                  AcceleratorKind::kMemcomputing, [] { return ok_result(); }},
+        opts));
+  std::size_t failed_over = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    EXPECT_TRUE(r.ok) << r.summary;  // every job completes *somewhere*
+    for (const auto& line : r.fault_log)
+      if (line.find("failing over") != std::string::npos) {
+        ++failed_over;
+        break;
+      }
+  }
+  // The device wore out after 3 calls; the bulk of the batch survived only
+  // via the classical-cpu fallback.
+  EXPECT_GE(failed_over, 5u);
+}
+
+// ------------------------------------------------------ circuit breaker ----
+
+TEST(Breaker, OpensAfterConsecutiveFailuresAndRefusesWork) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 3, .cooldown = 10min}});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  std::atomic<int> calls{0};
+  for (int i = 0; i < 3; ++i)
+    scheduler
+        .submit(cpu_job("fail-" + std::to_string(i),
+                        [&] {
+                          ++calls;
+                          return bad_result();
+                        }))
+        .wait();
+  auto health = scheduler.health(AcceleratorKind::kClassicalCpu);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].state, BreakerState::kOpen);
+  EXPECT_EQ(health[0].times_opened, 1u);
+  EXPECT_GE(health[0].consecutive_failures, 3u);
+
+  // The next job is refused without executing.
+  const auto r = scheduler
+                     .submit(cpu_job("refused",
+                                     [&] {
+                                       ++calls;
+                                       return ok_result();
+                                     }))
+                     .get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(calls.load(), 3);
+  ASSERT_FALSE(r.fault_log.empty());
+  EXPECT_NE(r.fault_log[0].find("breaker open"), std::string::npos);
+}
+
+TEST(Breaker, HalfOpenProbeSuccessClosesTheCircuit) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 2, .cooldown = 20ms}});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  for (int i = 0; i < 2; ++i)
+    scheduler.submit(cpu_job("fail", [] { return bad_result(); })).wait();
+  EXPECT_EQ(scheduler.health(AcceleratorKind::kClassicalCpu)[0].state,
+            BreakerState::kOpen);
+  std::this_thread::sleep_for(30ms);
+  // Cooldown elapsed: the snapshot reports half-open, and the next attempt
+  // is the probe.
+  EXPECT_EQ(scheduler.health(AcceleratorKind::kClassicalCpu)[0].state,
+            BreakerState::kHalfOpen);
+  const auto r =
+      scheduler.submit(cpu_job("probe", [] { return ok_result(); })).get();
+  EXPECT_TRUE(r.ok);
+  const auto health = scheduler.health(AcceleratorKind::kClassicalCpu);
+  EXPECT_EQ(health[0].state, BreakerState::kClosed);
+  EXPECT_EQ(health[0].consecutive_failures, 0u);
+}
+
+TEST(Breaker, FailedProbeReopensForAnotherCooldown) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 2, .cooldown = 20ms}});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  for (int i = 0; i < 2; ++i)
+    scheduler.submit(cpu_job("fail", [] { return bad_result(); })).wait();
+  std::this_thread::sleep_for(30ms);
+  scheduler.submit(cpu_job("bad-probe", [] { return bad_result(); })).wait();
+  const auto health = scheduler.health(AcceleratorKind::kClassicalCpu);
+  EXPECT_EQ(health[0].state, BreakerState::kOpen);
+  EXPECT_EQ(health[0].times_opened, 2u);
+}
+
+TEST(Breaker, OpenBreakerFailsJobsOverToTheCpuPool) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 1, .cooldown = 10min}});
+  scheduler.add_pool(AcceleratorKind::kMemcomputing, 1,
+                     memcomputing::MemcomputingAccelerator::factory());
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  // Device-dependent payload: fails on the memcomputing replica, succeeds on
+  // the CPU — the shape of work that is *worth* failing over.
+  const auto device_payload = [](core::Accelerator& acc) {
+    return acc.kind() == AcceleratorKind::kMemcomputing ? bad_result("device")
+                                                        : ok_result("on cpu");
+  };
+  // Trip the memcomputing breaker (no fallback on this one).
+  scheduler
+      .submit("trip", AcceleratorKind::kMemcomputing, device_payload)
+      .wait();
+  ASSERT_EQ(scheduler.health(AcceleratorKind::kMemcomputing)[0].state,
+            BreakerState::kOpen);
+
+  JobOptions opts;
+  opts.retry.cpu_fallback = true;
+  const auto r = scheduler
+                     .submit("rescued", AcceleratorKind::kMemcomputing,
+                             device_payload, opts)
+                     .get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.summary, "on cpu");
+  EXPECT_TRUE(r.degraded);
+  ASSERT_FALSE(r.fault_log.empty());
+  EXPECT_NE(r.fault_log[0].find("failing over"), std::string::npos);
+}
+
+TEST(Breaker, WithoutOptInThereIsNoFailover) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 1, .cooldown = 10min}});
+  scheduler.add_pool(AcceleratorKind::kMemcomputing, 1,
+                     memcomputing::MemcomputingAccelerator::factory());
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  scheduler
+      .submit(core::Job{"trip", AcceleratorKind::kMemcomputing,
+                        [] { return bad_result(); }})
+      .wait();
+  std::atomic<bool> ran{false};
+  const auto r = scheduler
+                     .submit(core::Job{"stuck", AcceleratorKind::kMemcomputing,
+                                       [&] {
+                                         ran = true;
+                                         return ok_result();
+                                       }})
+                     .get();
+  EXPECT_FALSE(r.ok);  // refused by the open breaker, no hop without opt-in
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(scheduler.stats(AcceleratorKind::kClassicalCpu).jobs_completed,
+            0u);
+}
+
+TEST(Health, SnapshotCoversEveryReplica) {
+  Scheduler scheduler({.breaker = {.failure_threshold = 5}});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 3,
+                     core::CpuAccelerator::factory());
+  const auto health = scheduler.health(AcceleratorKind::kClassicalCpu);
+  ASSERT_EQ(health.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(health[i].replica, i);
+    EXPECT_EQ(health[i].state, BreakerState::kClosed);
+    EXPECT_EQ(health[i].total_failures, 0u);
+  }
+  EXPECT_THROW(scheduler.health(AcceleratorKind::kQuantum), std::out_of_range);
+}
+
+// ------------------------------------------------- lifecycle under fire ----
+
+TEST(Lifecycle, DrainIsExactAcrossFailoverHops) {
+  Scheduler scheduler;
+  scheduler.add_pool(
+      AcceleratorKind::kMemcomputing, 2,
+      FaultyAccelerator::wrap(
+          memcomputing::MemcomputingAccelerator::factory(),
+          transient_plan(AcceleratorKind::kMemcomputing, 11, 0.6)));
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 2,
+                     core::CpuAccelerator::factory());
+  JobOptions opts = retrying(2);
+  opts.retry.cpu_fallback = true;
+  std::vector<std::future<core::JobResult>> futures;
+  for (int i = 0; i < 40; ++i)
+    futures.push_back(scheduler.submit(
+        core::Job{"hop-" + std::to_string(i), AcceleratorKind::kMemcomputing,
+                  [] { return ok_result(); }},
+        opts));
+  scheduler.drain();
+  // drain() returned: every future must already be ready, even for jobs that
+  // migrated between pools mid-flight.
+  for (auto& f : futures) EXPECT_TRUE(ready(f));
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+}
+
+TEST(Lifecycle, ShutdownUnderActiveFaultsCompletesEveryFuture) {
+  std::vector<std::future<core::JobResult>> futures;
+  {
+    Scheduler scheduler({.queue_capacity = 128});
+    scheduler.add_pool(
+        AcceleratorKind::kClassicalCpu, 2,
+        FaultyAccelerator::wrap(
+            core::CpuAccelerator::factory(),
+            transient_plan(AcceleratorKind::kClassicalCpu, 13, 0.5)));
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(scheduler.submit(
+          cpu_job("storm-" + std::to_string(i), [] { return ok_result(); }),
+          retrying(4)));
+    scheduler.shutdown();  // races the storm on purpose
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(ready(f));
+    const auto r = f.get();  // ok, retried-ok, or flushed — never abandoned
+    if (!r.ok)
+      EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(Lifecycle, DestructorUnderStormNeverAbandonsFutures) {
+  std::vector<std::future<core::JobResult>> futures;
+  {
+    Scheduler scheduler({.queue_capacity = 64,
+                         .breaker = {.failure_threshold = 2, .cooldown = 1ms}});
+    scheduler.add_pool(
+        AcceleratorKind::kClassicalCpu, 3,
+        FaultyAccelerator::wrap(
+            core::CpuAccelerator::factory(),
+            transient_plan(AcceleratorKind::kClassicalCpu, 17, 0.4)));
+    for (int i = 0; i < 30; ++i)
+      futures.push_back(scheduler.submit(
+          cpu_job("doomed-" + std::to_string(i), [] { return ok_result(); }),
+          retrying(3)));
+    // No drain, no shutdown: the destructor handles the live storm.
+  }
+  for (auto& f : futures) EXPECT_TRUE(ready(f));
+}
+
+// ------------------------------------------------------------ telemetry ----
+
+TEST(ResilienceTelemetry, CountersAreWired) {
+  telemetry::Telemetry::set_enabled(true);
+  telemetry::Telemetry::instance().reset();
+  {
+    // transient_probability = 1.0: every attempt faults, so one job with
+    // max_attempts = 2 yields exactly 2 attempts, 2 injected faults, 1 retry,
+    // 1 breaker-open (threshold 2), and 1 failed job.
+    Scheduler scheduler({.breaker = {.failure_threshold = 2, .cooldown = 10min}});
+    scheduler.add_pool(
+        AcceleratorKind::kClassicalCpu, 1,
+        FaultyAccelerator::wrap(
+            core::CpuAccelerator::factory(),
+            transient_plan(AcceleratorKind::kClassicalCpu, 21, 1.0)));
+    scheduler
+        .submit(cpu_job("always-faults", [] { return ok_result(); }),
+                retrying(2))
+        .wait();
+  }
+  const auto& metrics = telemetry::Telemetry::instance().metrics();
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.attempts"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.faults_injected"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.retries"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.breaker_open"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.jobs_failed"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.jobs"), 1.0);
+  telemetry::Telemetry::instance().reset();
+  telemetry::Telemetry::set_enabled(false);
+}
+
+TEST(ResilienceTelemetry, FailoverAndDegradedAreCounted) {
+  telemetry::Telemetry::set_enabled(true);
+  telemetry::Telemetry::instance().reset();
+  {
+    Scheduler scheduler(
+        {.breaker = {.failure_threshold = 1, .cooldown = 10min}});
+    scheduler.add_pool(AcceleratorKind::kMemcomputing, 1,
+                       memcomputing::MemcomputingAccelerator::factory());
+    scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                       core::CpuAccelerator::factory());
+    scheduler
+        .submit(core::Job{"trip", AcceleratorKind::kMemcomputing,
+                          [] { return bad_result(); }})
+        .wait();
+    JobOptions opts;
+    opts.retry.cpu_fallback = true;
+    scheduler
+        .submit(core::Job{"rescued", AcceleratorKind::kMemcomputing,
+                          [] { return ok_result(); }},
+                opts)
+        .wait();
+  }
+  const auto& metrics = telemetry::Telemetry::instance().metrics();
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.failover"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.degraded"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sched.jobs.classical-cpu"), 1.0);
+  telemetry::Telemetry::instance().reset();
+  telemetry::Telemetry::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace rebooting::sched

@@ -309,6 +309,45 @@ TEST(SchedulerLifecycle, DestructorCompletesOutstandingFutures) {
   EXPECT_FALSE(queued.get().ok);
 }
 
+TEST(SchedulerLifecycle, DestructorCompletesExpiredAndCancelledJobs) {
+  // The nastier variant of DestructorCompletesOutstandingFutures: the queued
+  // jobs hold an already-expired deadline AND an already-cancelled token when
+  // the destructor flushes them. Whichever verdict wins, every future must
+  // still complete — no promise may be abandoned.
+  std::future<core::JobResult> running;
+  std::vector<std::future<core::JobResult>> doomed;
+  CancelToken token;
+  {
+    Scheduler scheduler;
+    scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                       core::CpuAccelerator::factory());
+    std::latch entered{1};
+    running = scheduler.submit(cpu_job("running", [&entered] {
+      entered.count_down();
+      std::this_thread::sleep_for(10ms);
+      return ok_result();
+    }));
+    entered.wait();  // everything below stays queued behind this job
+    JobOptions opts;
+    opts.deadline = Clock::now() - 1ms;  // expired before it was even queued
+    opts.cancel = token;
+    for (int i = 0; i < 4; ++i)
+      doomed.push_back(scheduler.submit(
+          cpu_job("doomed" + std::to_string(i), [] { return ok_result(); }),
+          opts));
+    token.cancel();
+  }  // ~Scheduler races the worker against the flush of the doomed jobs
+  ASSERT_TRUE(ready(running));
+  EXPECT_TRUE(running.get().ok);
+  for (auto& f : doomed) {
+    ASSERT_TRUE(ready(f));
+    const auto r = f.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.summary.empty());
+    EXPECT_EQ(r.attempts, 0u);  // none of them may ever have executed
+  }
+}
+
 TEST(SchedulerBatch, FanOutReturnsFuturesInSubmissionOrder) {
   Scheduler scheduler;
   scheduler.add_pool(AcceleratorKind::kClassicalCpu, 2,
