@@ -1,0 +1,105 @@
+// The rebootd wire protocol: JSON documents inside the length-prefixed
+// frames of socket.h. One request frame yields exactly one response frame
+// with the same `id` — the invariant the loadgen accounting leans on ("every
+// request ends as success, typed error, or rejection; none lost").
+//
+// Request (client -> server):
+//   {"v":1, "id":7, "method":"submit", "tenant":"alice",
+//    "work":"spin", "kind":"classical-cpu", "params":{"micros":50},
+//    "priority":0, "deadline_ms":250, "no_coalesce":false}
+//
+//   methods: "ping"      liveness probe; params-free
+//            "status"    full ops snapshot (scheduler pools, tenants,
+//                        latency quantiles, net.* counters)
+//            "submit"    run workload `work` on the `kind` pool
+//            "shutdown"  ask the daemon to stop (it finishes the reply first)
+//
+// Response (server -> client):
+//   {"id":7, "status":"ok", "summary":"...", "attempts":1,
+//    "degraded":false, "coalesced":false, "wall_seconds":1.2e-4,
+//    "metrics":{"work.spin_micros":50}, "body":{...}}
+//
+// `status` is a closed vocabulary (Status below) so clients switch on a
+// type, not on prose: the admission-control rejections ("overloaded",
+// "quota_exceeded") are first-class outcomes, distinct from a workload that
+// ran and failed ("failed") and from transport-level trouble (which has no
+// response at all — the client library surfaces it separately).
+//
+// Parsing is strict about the types of known fields and silent about unknown
+// ones (forward compatibility across shard versions); decode_* return
+// nullopt with a diagnostic instead of throwing, since every byte here
+// crossed a trust boundary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/accelerator.h"
+#include "core/json.h"
+
+namespace rebooting::net {
+
+inline constexpr int kProtocolVersion = 1;
+/// Default ceiling for one frame; a 32-bit length field must never translate
+/// into a 4 GiB allocation on behalf of an unauthenticated peer.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string method;
+  std::string tenant = "default";
+  // --- submit fields (ignored for other methods) -------------------------
+  std::string work;
+  core::AcceleratorKind kind = core::AcceleratorKind::kClassicalCpu;
+  core::JsonValue params;  ///< object (or null for none)
+  int priority = 0;
+  std::optional<double> deadline_ms;
+  bool no_coalesce = false;
+};
+
+/// Typed response outcomes. kOk/kFailed mean the workload executed; the rest
+/// mean it never ran (or never will).
+enum class Status {
+  kOk,
+  kFailed,          ///< executed, workload reported failure
+  kOverloaded,      ///< admission control / backpressure rejection
+  kQuotaExceeded,   ///< tenant token bucket empty (see retry_after_ms)
+  kDeadlineMissed,  ///< queued past its deadline
+  kCancelled,
+  kShuttingDown,  ///< arrived or was queued while the daemon stopped
+  kBadRequest,    ///< malformed frame/JSON/fields, unknown work or pool
+  kError,         ///< internal failure (workload threw, ...)
+};
+
+std::string to_string(Status status);
+std::optional<Status> status_from_string(const std::string& name);
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kError;
+  std::string summary;
+  std::uint64_t attempts = 0;
+  bool degraded = false;
+  bool coalesced = false;  ///< answered by a collapsed identical job
+  double wall_seconds = 0.0;
+  std::optional<double> retry_after_ms;  ///< with kQuotaExceeded
+  std::map<std::string, core::Real> metrics;
+  core::JsonValue body;  ///< method-specific payload (status snapshot)
+};
+
+std::string encode_request(const Request& req);
+std::optional<Request> decode_request(const std::string& frame,
+                                      std::string* error = nullptr);
+
+std::string encode_response(const Response& resp);
+std::optional<Response> decode_response(const std::string& frame,
+                                        std::string* error = nullptr);
+
+/// The coalescing identity of a submit request: tenant, kind, work, params,
+/// priority, and deadline — everything that changes what executing it means.
+/// Two requests with equal keys may share one execution.
+std::string coalesce_key(const Request& req);
+
+}  // namespace rebooting::net

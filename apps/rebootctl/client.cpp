@@ -1,0 +1,55 @@
+#include "rebootctl/client.h"
+
+namespace rebooting::rebootctl {
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  socket_ = net::connect_to(host, port, error);
+  return socket_.valid();
+}
+
+bool Client::send(const net::Request& req, std::string* error) {
+  if (!socket_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  if (!net::write_frame(socket_, net::encode_request(req))) {
+    if (error) *error = "write failed (connection lost)";
+    socket_.close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<net::Response> Client::recv(std::string* error) {
+  if (!socket_.valid()) {
+    if (error) *error = "not connected";
+    return std::nullopt;
+  }
+  std::string frame;
+  switch (net::read_frame(socket_, &frame, net::kMaxFrameBytes)) {
+    case net::FrameRead::kFrame:
+      break;
+    case net::FrameRead::kEof:
+      if (error) *error = "connection closed";
+      socket_.close();
+      return std::nullopt;
+    case net::FrameRead::kError:
+      if (error) *error = "read failed (connection lost mid-frame)";
+      socket_.close();
+      return std::nullopt;
+    case net::FrameRead::kOversized:
+      if (error) *error = "oversized response frame";
+      socket_.close();
+      return std::nullopt;
+  }
+  return net::decode_response(frame, error);
+}
+
+std::optional<net::Response> Client::call(const net::Request& req,
+                                          std::string* error) {
+  if (!send(req, error)) return std::nullopt;
+  return recv(error);
+}
+
+}  // namespace rebooting::rebootctl

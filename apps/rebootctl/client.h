@@ -1,0 +1,48 @@
+// Client half of the rebootd wire protocol: one Client is one TCP
+// connection. Two usage modes:
+//
+//   call()        synchronous request/response — the CLI's mode
+//   send()/recv() pipelined — keep a window of requests in flight on one
+//                 connection and match responses by id at the caller
+//                 (loadgen's mode; a single connection then sustains far
+//                 more than 1/RTT requests per second)
+//
+// A Client is single-threaded: callers wanting concurrency open one Client
+// per thread (connections are cheap, and per-connection ordering keeps the
+// accounting simple).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace rebooting::rebootctl {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects; false (with *error) on failure.
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string* error = nullptr);
+  bool connected() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+  /// Writes one request frame; false on a dead connection.
+  bool send(const net::Request& req, std::string* error = nullptr);
+  /// Reads one response frame; nullopt on EOF, error, or undecodable frame
+  /// (*error distinguishes them). Blocks until a frame arrives.
+  std::optional<net::Response> recv(std::string* error = nullptr);
+
+  /// send + recv. Only valid when no pipelined requests are outstanding.
+  std::optional<net::Response> call(const net::Request& req,
+                                    std::string* error = nullptr);
+
+ private:
+  net::Socket socket_;
+};
+
+}  // namespace rebooting::rebootctl

@@ -1,0 +1,110 @@
+// rebootctl — operator CLI for a rebootd shard.
+//
+//   rebootctl --port 4700 ping
+//   rebootctl --port 4700 status
+//   rebootctl --port 4700 submit spin --micros 200 --kind classical-cpu
+//   rebootctl --port 4700 shutdown
+//
+// Exit code 0 on Status::kOk, 1 on any other status or transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rebootctl/client.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--tenant T] COMMAND\n"
+               "commands:\n"
+               "  ping\n"
+               "  status\n"
+               "  submit WORK [--kind K] [--micros F] [--vars N]"
+               " [--clauses N] [--seed N] [--priority N] [--deadline-ms F]\n"
+               "  shutdown\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rebooting;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  net::Request req;
+  req.id = 1;
+  core::JsonValue::Members params;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(arg, "--host")) {
+      host = next();
+    } else if (!std::strcmp(arg, "--port")) {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (!std::strcmp(arg, "--tenant")) {
+      req.tenant = next();
+    } else if (!std::strcmp(arg, "--kind")) {
+      const std::string name = next();
+      const auto kind = core::kind_from_string(name);
+      if (!kind) {
+        std::fprintf(stderr, "rebootctl: unknown kind '%s'\n", name.c_str());
+        return 2;
+      }
+      req.kind = *kind;
+    } else if (!std::strcmp(arg, "--priority")) {
+      req.priority = std::atoi(next());
+    } else if (!std::strcmp(arg, "--deadline-ms")) {
+      req.deadline_ms = std::atof(next());
+    } else if (!std::strcmp(arg, "--micros") || !std::strcmp(arg, "--vars") ||
+               !std::strcmp(arg, "--clauses") || !std::strcmp(arg, "--seed")) {
+      params.emplace_back(arg + 2,
+                          core::JsonValue::make_number(std::atof(next())));
+    } else if (req.method.empty() && arg[0] != '-') {
+      req.method = arg;
+    } else if (req.method == "submit" && req.work.empty() && arg[0] != '-') {
+      req.work = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (req.method.empty() || port == 0) usage(argv[0]);
+  if (req.method == "submit" && req.work.empty()) usage(argv[0]);
+  if (!params.empty())
+    req.params = core::JsonValue::make_object(std::move(params));
+
+  rebootctl::Client client;
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    std::fprintf(stderr, "rebootctl: %s\n", error.c_str());
+    return 1;
+  }
+  const auto resp = client.call(req, &error);
+  if (!resp) {
+    std::fprintf(stderr, "rebootctl: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("status: %s\n", net::to_string(resp->status).c_str());
+  if (!resp->summary.empty())
+    std::printf("summary: %s\n", resp->summary.c_str());
+  if (resp->attempts > 0)
+    std::printf("attempts: %llu%s\n",
+                static_cast<unsigned long long>(resp->attempts),
+                resp->degraded ? " (degraded)" : "");
+  if (resp->retry_after_ms)
+    std::printf("retry_after_ms: %g\n", *resp->retry_after_ms);
+  for (const auto& [name, value] : resp->metrics)
+    std::printf("metric %s: %g\n", name.c_str(), value);
+  if (!resp->body.is_null())
+    std::printf("%s\n", core::json_dump(resp->body).c_str());
+  return resp->status == net::Status::kOk ? 0 : 1;
+}

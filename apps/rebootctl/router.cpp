@@ -1,0 +1,75 @@
+#include "rebootctl/router.h"
+
+#include <algorithm>
+
+namespace rebooting::rebootctl {
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// splitmix64 finalizer. FNV alone clusters the vnodes of near-identical
+/// shard strings ("127.0.0.1:4700#1" vs "#2") into adjacent ring arcs; the
+/// avalanche mix spreads them uniformly.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<ShardAddress> shards, std::size_t vnodes)
+    : shards_(std::move(shards)), down_(shards_.size(), false) {
+  ring_.reserve(shards_.size() * vnodes);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t base =
+        fnv1a(shards_[s].host + ":" + std::to_string(shards_[s].port));
+    for (std::size_t i = 0; i < vnodes; ++i)
+      ring_.push_back({mix(base + i), s});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) { return a.hash < b.hash; });
+}
+
+std::optional<ShardAddress> ShardRouter::route(std::string_view key) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t hash = mix(fnv1a(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const VNode& node, std::uint64_t h) { return node.hash < h; });
+  // Walk clockwise (wrapping) past vnodes of dead shards.
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!down_[it->shard]) return shards_[it->shard];
+    ++it;
+  }
+  return std::nullopt;
+}
+
+void ShardRouter::mark_down(const ShardAddress& shard) {
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (shards_[s] == shard) down_[s] = true;
+}
+
+void ShardRouter::mark_up(const ShardAddress& shard) {
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (shards_[s] == shard) down_[s] = false;
+}
+
+std::size_t ShardRouter::live_count() const {
+  std::size_t live = 0;
+  for (const bool down : down_)
+    if (!down) ++live;
+  return live;
+}
+
+}  // namespace rebooting::rebootctl

@@ -1,0 +1,60 @@
+// Consistent-hash shard router: lets loadgen (and any client) treat N
+// rebootd processes as one logical service. Each shard contributes ~64
+// virtual nodes (FNV-1a of "host:port#i") on a 64-bit ring; a key routes to
+// the first vnode clockwise from its hash.
+//
+// Properties the soak test leans on:
+//  - stability: adding/removing one shard remaps only ~1/N of the keyspace,
+//    so a shard killed mid-storm does not reshuffle every tenant's traffic;
+//  - mark_down(): a dead shard's vnodes are skipped (not rebuilt), so the
+//    failover target of each key is deterministic and the ring can be
+//    cheaply restored if the shard returns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebooting::rebootctl {
+
+struct ShardAddress {
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const ShardAddress&) const = default;
+};
+
+/// FNV-1a, the same 64-bit flavor everywhere so tests can predict placement.
+std::uint64_t fnv1a(std::string_view bytes);
+
+class ShardRouter {
+ public:
+  /// `vnodes` virtual nodes per shard; more = smoother distribution.
+  explicit ShardRouter(std::vector<ShardAddress> shards,
+                       std::size_t vnodes = 64);
+
+  /// The live shard owning `key`; nullopt when every shard is down.
+  std::optional<ShardAddress> route(std::string_view key) const;
+
+  /// Marks one shard dead: its vnodes are skipped until marked up again.
+  void mark_down(const ShardAddress& shard);
+  void mark_up(const ShardAddress& shard);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t live_count() const;
+  const std::vector<ShardAddress>& shards() const { return shards_; }
+
+ private:
+  struct VNode {
+    std::uint64_t hash = 0;
+    std::size_t shard = 0;  ///< index into shards_
+  };
+
+  std::vector<ShardAddress> shards_;
+  std::vector<bool> down_;
+  std::vector<VNode> ring_;  ///< sorted by hash
+};
+
+}  // namespace rebooting::rebootctl

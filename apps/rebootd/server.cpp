@@ -1,0 +1,531 @@
+#include "rebootd/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rebootd/workloads.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace rebooting::rebootd {
+
+namespace {
+
+sched::SchedulerConfig scheduler_config(const ServerConfig& config) {
+  sched::SchedulerConfig sc;
+  sc.queue_capacity = config.queue_capacity;
+  // kReject, never kBlock: a reader thread must answer "overloaded" and move
+  // to its next frame, not sleep inside submit holding the connection.
+  sc.backpressure = sched::BackpressurePolicy::kReject;
+  sc.breaker.failure_threshold = config.breaker_threshold;
+  return sc;
+}
+
+/// Disposition-to-wire mapping: the reason a job never ran (or ran) is the
+/// client's typed outcome.
+net::Status status_of(const core::JobResult& result) {
+  switch (result.disposition) {
+    case core::JobDisposition::kExecuted:
+      return result.ok ? net::Status::kOk : net::Status::kFailed;
+    case core::JobDisposition::kRejected:
+    case core::JobDisposition::kShed:
+      return net::Status::kOverloaded;
+    case core::JobDisposition::kFlushed:
+      return net::Status::kShuttingDown;
+    case core::JobDisposition::kDeadlineMissed:
+      return net::Status::kDeadlineMissed;
+    case core::JobDisposition::kCancelled:
+      return net::Status::kCancelled;
+  }
+  return net::Status::kError;
+}
+
+core::JsonValue json_of_pool(const sched::PoolStats& pool) {
+  core::JsonValue::Members m;
+  const auto num = [](std::size_t v) {
+    return core::JsonValue::make_number(static_cast<core::Real>(v));
+  };
+  m.emplace_back("workers", num(pool.workers));
+  m.emplace_back("queue_depth", num(pool.queue_depth));
+  m.emplace_back("queue_capacity", num(pool.queue_capacity));
+  m.emplace_back("in_flight", num(pool.in_flight));
+  m.emplace_back("jobs_completed", num(pool.jobs_completed));
+  m.emplace_back("busy_seconds",
+                 core::JsonValue::make_number(pool.busy_seconds));
+  m.emplace_back("breakers_open", num(pool.breakers_open));
+  return core::JsonValue::make_object(std::move(m));
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      scheduler_(scheduler_config(config_)),
+      governor_(config_.tenancy) {
+  if (config_.admission_high_water == 0)
+    config_.admission_high_water = config_.queue_capacity;
+  if (config_.enable_telemetry) telemetry::Telemetry::set_enabled(true);
+  scheduler_.add_pool(core::AcceleratorKind::kClassicalCpu,
+                      config_.cpu_workers, core::CpuAccelerator::factory());
+}
+
+Server::~Server() { stop(); }
+
+void Server::add_pool(core::AcceleratorKind kind, std::size_t workers,
+                      const core::AcceleratorFactory& factory) {
+  scheduler_.add_pool(kind, workers, factory);
+}
+
+bool Server::start(std::string* error) {
+  if (running_.exchange(true)) return true;
+  if (!listener_.listen_on(config_.host, config_.port, error)) {
+    running_.store(false);
+    return false;
+  }
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.pump_threads);
+       ++i)
+    pumps_.emplace_back([this, i] { pump_loop(i); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+
+  // 1. No new connections: running_ is false, so the accept loop exits at
+  //    its next poll tick (<= 50 ms). Joining before close() keeps the
+  //    listener fd single-threaded.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // 2. No new requests: unblock every reader's recv (write side stays open
+  //    so responses already owed can still drain), then join readers.
+  {
+    std::lock_guard lock(readers_mutex_);
+    for (auto& slot : readers_)
+      if (slot.conn) slot.conn->socket.shutdown_read();
+  }
+  reap_readers(/*all=*/true);
+
+  // 3. Settle every accepted job: in-flight work finishes, queued work is
+  //    flushed (kFlushed -> kShuttingDown on the wire). After this, every
+  //    Pending future is ready.
+  scheduler_.shutdown();
+
+  // 4. Drain the pumps; they exit once the deque is empty and closed.
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_closed_ = true;
+  }
+  pending_cv_.notify_all();
+  for (auto& pump : pumps_)
+    if (pump.joinable()) pump.join();
+  pumps_.clear();
+}
+
+void Server::accept_loop() {
+  telemetry::TraceRecorder::instance().set_thread_name("net accept");
+  std::uint64_t conn_id = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    net::Socket socket = listener_.accept(/*timeout_ms=*/50);
+    reap_readers(/*all=*/false);
+    if (!socket.valid()) continue;
+    TELEM_COUNT("net.connections");
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(socket);
+    std::lock_guard lock(readers_mutex_);
+    auto& slot = readers_.emplace_back();
+    slot.conn = conn;
+    ReaderSlot* slot_ptr = &slot;
+    const std::uint64_t id = ++conn_id;
+    slot.thread = std::thread([this, conn, id, slot_ptr] {
+      reader_loop(conn, id);
+      slot_ptr->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::reap_readers(bool all) {
+  std::list<ReaderSlot> finished;
+  {
+    std::lock_guard lock(readers_mutex_);
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (all || it->done.load(std::memory_order_acquire)) {
+        finished.splice(finished.end(), readers_, it++);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& slot : finished)
+    if (slot.thread.joinable()) slot.thread.join();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::uint64_t conn_id) {
+  telemetry::TraceRecorder::instance().set_thread_name(
+      "net reader " + std::to_string(conn_id));
+  TELEM_GAUGE("net.connections_active",
+              static_cast<core::Real>(
+                  active_connections_.fetch_add(1, std::memory_order_relaxed) +
+                  1));
+  std::string frame;
+  while (running_.load(std::memory_order_acquire)) {
+    const net::FrameRead read =
+        net::read_frame(conn->socket, &frame, config_.max_frame_bytes);
+    if (read == net::FrameRead::kEof) break;
+    if (read == net::FrameRead::kError) {
+      // Mid-frame disconnect; anything already submitted still completes,
+      // its write just fails against the dead socket.
+      TELEM_COUNT("net.frame_errors");
+      break;
+    }
+    if (read == net::FrameRead::kOversized) {
+      TELEM_COUNT("net.frame_oversized");
+      net::Response resp;
+      resp.status = net::Status::kBadRequest;
+      resp.summary = "frame exceeds " +
+                     std::to_string(config_.max_frame_bytes) + " bytes";
+      send_response(conn, resp);
+      break;  // the unread body makes the stream unparseable; hang up
+    }
+    TELEM_COUNT("net.bytes_in", static_cast<core::Real>(frame.size() + 4));
+    if (!handle_frame(conn, frame)) break;
+  }
+  // Note: the reader does NOT mark the connection closed — during stop() the
+  // read side is shut down while pumps still owe responses on the write
+  // side. `open` flips only when a write actually fails.
+  TELEM_GAUGE("net.connections_active",
+              static_cast<core::Real>(
+                  active_connections_.fetch_sub(1, std::memory_order_relaxed) -
+                  1));
+}
+
+bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          const std::string& frame) {
+  TELEM_TRACE_SCOPE("net.recv");
+  std::string error;
+  const auto req = net::decode_request(frame, &error);
+  if (!req) {
+    // The framing is intact, so the connection stays usable; only this
+    // request is unanswerable by id (we may not have one) — reply id 0.
+    TELEM_COUNT("net.bad_request");
+    net::Response resp;
+    resp.status = net::Status::kBadRequest;
+    resp.summary = error;
+    send_response(conn, resp);
+    return true;
+  }
+  TELEM_COUNT("net.requests");
+
+  if (req->method == "ping") {
+    net::Response resp;
+    resp.id = req->id;
+    resp.status = net::Status::kOk;
+    resp.summary = "pong";
+    send_response(conn, resp);
+    return true;
+  }
+  if (req->method == "status") {
+    send_response(conn, status_response(*req));
+    return true;
+  }
+  if (req->method == "shutdown") {
+    // Flag first, reply second: a client that has read this response must
+    // already be able to observe shutdown_requested().
+    shutdown_requested_.store(true, std::memory_order_release);
+    net::Response resp;
+    resp.id = req->id;
+    resp.status = net::Status::kOk;
+    resp.summary = "shutdown requested";
+    send_response(conn, resp);
+    return true;
+  }
+  if (req->method == "submit") {
+    const std::uint64_t rid =
+        next_rid_.fetch_add(1, std::memory_order_relaxed);
+    TELEM_TRACE_FLOW_BEGIN("net.request", rid);
+    handle_submit(conn, *req, rid);
+    return true;
+  }
+
+  TELEM_COUNT("net.bad_request");
+  net::Response resp;
+  resp.id = req->id;
+  resp.status = net::Status::kBadRequest;
+  resp.summary = "unknown method '" + req->method + "'";
+  send_response(conn, resp);
+  return true;
+}
+
+void Server::handle_submit(const std::shared_ptr<Connection>& conn,
+                           const net::Request& req, std::uint64_t rid) {
+  const auto now = Clock::now();
+  net::Response reject;
+  reject.id = req.id;
+
+  if (!scheduler_.has_pool(req.kind)) {
+    TELEM_COUNT("net.bad_request");
+    reject.status = net::Status::kBadRequest;
+    reject.summary = "no pool for kind '" + core::to_string(req.kind) + "'";
+    send_response(conn, reject);
+    return;
+  }
+  std::string error;
+  auto payload = build_workload(req, &error);
+  if (!payload) {
+    TELEM_COUNT("net.bad_request");
+    reject.status = net::Status::kBadRequest;
+    reject.summary = error;
+    send_response(conn, reject);
+    return;
+  }
+
+  // Admission: tenant quota first (cheapest, and per-tenant fairness must
+  // not depend on global load), then the queue high-water mark.
+  const Admission admission = governor_.admit(req.tenant, now);
+  if (!admission.admitted) {
+    TELEM_COUNT("net.rejected_quota");
+    reject.status = net::Status::kQuotaExceeded;
+    reject.summary = "tenant '" + req.tenant + "' over quota";
+    reject.retry_after_ms = admission.retry_after_ms;
+    send_response(conn, reject);
+    return;
+  }
+  if (scheduler_.queue_depth(req.kind) >= config_.admission_high_water) {
+    governor_.release(req.tenant);
+    TELEM_COUNT("net.rejected_overloaded");
+    reject.status = net::Status::kOverloaded;
+    reject.summary = "queue high-water for '" + core::to_string(req.kind) +
+                     "'";
+    reject.retry_after_ms = 1.0;
+    send_response(conn, reject);
+    return;
+  }
+
+  Waiter waiter;
+  waiter.conn = conn;
+  waiter.wire_id = req.id;
+  waiter.received = now;
+  waiter.tenant = req.tenant;
+
+  // Coalescing: ride an identical in-window submit instead of re-running it.
+  std::string key;
+  if (!req.no_coalesce && config_.coalesce_window_ms > 0.0) {
+    key = net::coalesce_key(req);
+    std::lock_guard map_lock(coalesce_mutex_);
+    const auto it = coalesce_.find(key);
+    if (it != coalesce_.end() &&
+        std::chrono::duration<double, std::milli>(now - it->second.created_at)
+                .count() <= config_.coalesce_window_ms) {
+      std::lock_guard fanout_lock(it->second.fanout->mutex);
+      if (!it->second.fanout->closed) {
+        waiter.coalesced = true;
+        it->second.fanout->waiters.push_back(std::move(waiter));
+        TELEM_COUNT("net.coalesced");
+        return;  // the leader's pump completion answers this waiter too
+      }
+    }
+  }
+
+  auto fanout = std::make_shared<Fanout>();
+  fanout->waiters.push_back(std::move(waiter));
+  if (!key.empty()) {
+    std::lock_guard map_lock(coalesce_mutex_);
+    coalesce_[key] = CoalesceEntry{fanout, now};
+  }
+
+  sched::JobOptions opts;
+  opts.priority = req.priority + admission.priority_bias;
+  if (req.deadline_ms)
+    opts.deadline = sched::deadline_in(std::chrono::duration_cast<
+                                       sched::Clock::duration>(
+        std::chrono::duration<double, std::milli>(*req.deadline_ms)));
+  opts.retry.max_attempts = std::max<std::size_t>(1, config_.retry_attempts);
+  opts.retry.cpu_fallback = true;  // every workload is self-contained
+
+  Pending pending;
+  pending.fanout = std::move(fanout);
+  pending.key = std::move(key);
+  pending.rid = rid;
+  try {
+    TELEM_TRACE_SCOPE("net.enqueue");
+    TELEM_TRACE_FLOW_STEP("net.request", rid);
+    pending.future = scheduler_.submit(
+        req.tenant + "/" + req.work, req.kind, std::move(*payload), opts);
+  } catch (const std::exception& e) {
+    // Shutdown raced the running_ check; answer every waiter typed.
+    net::Response resp;
+    resp.status = net::Status::kShuttingDown;
+    resp.summary = e.what();
+    std::lock_guard fanout_lock(pending.fanout->mutex);
+    pending.fanout->closed = true;
+    for (const Waiter& w : pending.fanout->waiters) {
+      resp.id = w.wire_id;
+      resp.coalesced = w.coalesced;
+      send_response(w.conn, resp);
+      governor_.release(w.tenant);
+    }
+    if (!pending.key.empty()) {
+      std::lock_guard map_lock(coalesce_mutex_);
+      coalesce_.erase(pending.key);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.push_back(std::move(pending));
+  }
+  pending_cv_.notify_one();
+}
+
+void Server::pump_loop(std::size_t index) {
+  telemetry::TraceRecorder::instance().set_thread_name(
+      "net pump " + std::to_string(index));
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock lock(pending_mutex_);
+      pending_cv_.wait(lock,
+                       [this] { return pending_closed_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // closed and drained
+      pending = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    complete(std::move(pending));
+  }
+}
+
+void Server::complete(Pending&& pending) {
+  TELEM_TRACE_SCOPE("net.reply");
+  TELEM_TRACE_FLOW_STEP("net.request", pending.rid);
+
+  net::Response base;
+  try {
+    const core::JobResult result = pending.future.get();
+    base.status = status_of(result);
+    base.summary = result.summary;
+    base.attempts = result.attempts;
+    base.degraded = result.degraded;
+    base.wall_seconds = result.wall_seconds;
+    base.metrics = result.metrics;
+    if (base.status == net::Status::kOverloaded) base.retry_after_ms = 1.0;
+  } catch (const std::exception& e) {
+    base.status = net::Status::kError;
+    base.summary = e.what();
+  }
+
+  // Retire the coalescer entry *before* closing the fanout (map lock first,
+  // matching handle_submit), so a new identical request starts a fresh job
+  // instead of attaching to this closed one.
+  if (!pending.key.empty()) {
+    std::lock_guard map_lock(coalesce_mutex_);
+    const auto it = coalesce_.find(pending.key);
+    if (it != coalesce_.end() && it->second.fanout == pending.fanout)
+      coalesce_.erase(it);
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(pending.fanout->mutex);
+    pending.fanout->closed = true;
+    waiters = std::move(pending.fanout->waiters);
+  }
+  const auto now = Clock::now();
+  for (const Waiter& waiter : waiters) {
+    net::Response resp = base;
+    resp.id = waiter.wire_id;
+    resp.coalesced = waiter.coalesced;
+    send_response(waiter.conn, resp);
+    TELEM_RECORD(
+        "net.request_seconds",
+        std::chrono::duration<core::Real>(now - waiter.received).count());
+    governor_.release(waiter.tenant);
+  }
+  TELEM_TRACE_FLOW_END("net.request", pending.rid);
+}
+
+void Server::send_response(const std::shared_ptr<Connection>& conn,
+                           const net::Response& resp) {
+  const std::string frame = net::encode_response(resp);
+  std::lock_guard lock(conn->write_mutex);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  if (!net::write_frame(conn->socket, frame)) {
+    conn->open.store(false, std::memory_order_release);
+    return;
+  }
+  TELEM_COUNT("net.responses");
+  TELEM_COUNT("net.bytes_out", static_cast<core::Real>(frame.size() + 4));
+}
+
+net::Response Server::status_response(const net::Request& req) const {
+  net::Response resp;
+  resp.id = req.id;
+  resp.status = net::Status::kOk;
+  resp.summary = "status";
+
+  const sched::SchedulerStats stats = scheduler_.stats();
+  core::JsonValue::Members body;
+  body.emplace_back("accepting", core::JsonValue::make_bool(stats.accepting));
+  body.emplace_back("submitted",
+                    core::JsonValue::make_number(
+                        static_cast<core::Real>(stats.submitted)));
+  body.emplace_back("outstanding",
+                    core::JsonValue::make_number(
+                        static_cast<core::Real>(stats.outstanding)));
+
+  core::JsonValue::Members pools;
+  for (const auto& [kind, pool] : stats.pools)
+    pools.emplace_back(core::to_string(kind), json_of_pool(pool));
+  body.emplace_back("pools", core::JsonValue::make_object(std::move(pools)));
+
+  core::JsonValue::Members tenants;
+  for (const auto& [tenant, ts] : governor_.stats()) {
+    core::JsonValue::Members t;
+    t.emplace_back("in_flight",
+                   core::JsonValue::make_number(
+                       static_cast<core::Real>(ts.in_flight)));
+    t.emplace_back("admitted",
+                   core::JsonValue::make_number(
+                       static_cast<core::Real>(ts.admitted)));
+    t.emplace_back("rejected",
+                   core::JsonValue::make_number(
+                       static_cast<core::Real>(ts.rejected)));
+    tenants.emplace_back(tenant, core::JsonValue::make_object(std::move(t)));
+  }
+  body.emplace_back("tenants",
+                    core::JsonValue::make_object(std::move(tenants)));
+
+  // Server-side latency quantiles — what loadgen prints as the soak gate.
+  const auto& registry = telemetry::Telemetry::instance().metrics();
+  const telemetry::HistogramSnapshot latency =
+      registry.histogram("net.request_seconds");
+  core::JsonValue::Members lat;
+  lat.emplace_back("count", core::JsonValue::make_number(
+                                static_cast<core::Real>(latency.count)));
+  lat.emplace_back("mean_seconds",
+                   core::JsonValue::make_number(latency.mean()));
+  lat.emplace_back("p50_seconds",
+                   core::JsonValue::make_number(latency.quantile(0.5)));
+  lat.emplace_back("p99_seconds",
+                   core::JsonValue::make_number(latency.quantile(0.99)));
+  body.emplace_back("latency", core::JsonValue::make_object(std::move(lat)));
+
+  core::JsonValue::Members counters;
+  for (const char* name :
+       {"net.connections", "net.requests", "net.responses", "net.coalesced",
+        "net.rejected_overloaded", "net.rejected_quota", "net.bad_request",
+        "net.frame_errors", "net.frame_oversized", "net.bytes_in",
+        "net.bytes_out"})
+    counters.emplace_back(
+        name, core::JsonValue::make_number(registry.counter(name)));
+  body.emplace_back("counters",
+                    core::JsonValue::make_object(std::move(counters)));
+
+  resp.body = core::JsonValue::make_object(std::move(body));
+  return resp;
+}
+
+}  // namespace rebooting::rebootd

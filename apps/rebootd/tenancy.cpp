@@ -1,0 +1,71 @@
+#include "rebootd/tenancy.h"
+
+#include <algorithm>
+
+namespace rebooting::rebootd {
+
+TenantGovernor::TenantGovernor(TenancyConfig config)
+    : config_(std::move(config)) {}
+
+const TenantQuota& TenantGovernor::quota_for(
+    const std::string& tenant) const {
+  const auto it = config_.quotas.find(tenant);
+  return it != config_.quotas.end() ? it->second : config_.default_quota;
+}
+
+Admission TenantGovernor::admit(const std::string& tenant,
+                                Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  const TenantQuota& quota = quota_for(tenant);
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (fresh) {
+    bucket.tokens = quota.burst;
+    bucket.refilled_at = now;
+  }
+
+  Admission result;
+  if (quota.rate_per_s > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.refilled_at).count();
+    bucket.tokens =
+        std::min(quota.burst, bucket.tokens + elapsed * quota.rate_per_s);
+    bucket.refilled_at = now;
+    if (bucket.tokens < 1.0) {
+      ++bucket.rejected;
+      result.admitted = false;
+      result.retry_after_ms =
+          (1.0 - bucket.tokens) / quota.rate_per_s * 1000.0;
+      return result;
+    }
+    bucket.tokens -= 1.0;
+  }
+
+  if (config_.fair_share_stride > 0) {
+    const int penalty =
+        static_cast<int>(bucket.in_flight / config_.fair_share_stride);
+    result.priority_bias =
+        -std::min(penalty, config_.max_priority_penalty);
+  }
+  ++bucket.in_flight;
+  ++bucket.admitted;
+  return result;
+}
+
+void TenantGovernor::release(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end() && it->second.in_flight > 0)
+    --it->second.in_flight;
+}
+
+std::map<std::string, TenantStats> TenantGovernor::stats() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [tenant, bucket] : buckets_)
+    out.emplace(tenant, TenantStats{bucket.tokens, bucket.in_flight,
+                                    bucket.admitted, bucket.rejected});
+  return out;
+}
+
+}  // namespace rebooting::rebootd

@@ -1,0 +1,109 @@
+#include "rebootd/workloads.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/random.h"
+#include "memcomputing/cnf.h"
+#include "memcomputing/dmm.h"
+
+namespace rebooting::rebootd {
+
+namespace {
+
+double param_number(const core::JsonValue& params, const std::string& key,
+                    double fallback) {
+  if (!params.is_object() || !params.contains(key)) return fallback;
+  const core::JsonValue& v = params.at(key);
+  return v.type() == core::JsonValue::Type::kNumber ? v.number() : fallback;
+}
+
+core::JobResult spin_for(double micros) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double, std::micro>(micros);
+  // Busy-wait, not sleep: the point is to occupy a worker the way a real
+  // kernel would, so queueing and fair-share effects are observable.
+  volatile std::uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) sink = sink + 1;
+  core::JobResult result;
+  result.ok = true;
+  result.summary = "spun " + core::json_number(micros) + " us";
+  result.metrics["work.spin_micros"] = micros;
+  return result;
+}
+
+core::JobResult solve_sat(std::size_t vars, std::size_t clauses,
+                          std::uint64_t seed) {
+  core::Rng rng(seed);
+  const auto cnf = memcomputing::random_ksat(rng, vars, clauses, 3);
+  memcomputing::DmmOptions options;
+  options.max_steps = 20'000;
+  const auto dmm = memcomputing::DmmSolver(cnf, options).solve(rng);
+  core::JobResult result;
+  result.ok = true;  // an unsolved instance is still a completed request
+  result.summary = dmm.satisfied
+                       ? "sat: satisfied in " +
+                             std::to_string(dmm.steps) + " steps"
+                       : "sat: best " +
+                             std::to_string(dmm.best_unsatisfied) +
+                             " unsatisfied after " +
+                             std::to_string(dmm.steps) + " steps";
+  result.metrics["work.sat_satisfied"] = dmm.satisfied ? 1.0 : 0.0;
+  result.metrics["work.sat_steps"] = static_cast<core::Real>(dmm.steps);
+  return result;
+}
+
+}  // namespace
+
+std::optional<sched::DevicePayload> build_workload(const net::Request& req,
+                                                   std::string* error) {
+  if (req.work == "echo") {
+    const std::string echoed = core::json_dump(req.params);
+    return sched::DevicePayload([echoed](core::Accelerator&) {
+      core::JobResult result;
+      result.ok = true;
+      result.summary = "echo " + echoed;
+      return result;
+    });
+  }
+  if (req.work == "spin") {
+    const double micros = param_number(req.params, "micros", 50.0);
+    if (micros < 0.0 || micros > 1e7) {
+      if (error) *error = "spin: 'micros' out of range [0, 1e7]";
+      return std::nullopt;
+    }
+    return sched::DevicePayload(
+        [micros](core::Accelerator&) { return spin_for(micros); });
+  }
+  if (req.work == "sat") {
+    const double vars = param_number(req.params, "vars", 20.0);
+    const double clauses = param_number(req.params, "clauses", 80.0);
+    const double seed = param_number(req.params, "seed", 1.0);
+    if (vars < 3.0 || vars > 200.0 || clauses < 1.0 || clauses > 2000.0) {
+      if (error) *error = "sat: 'vars' in [3, 200], 'clauses' in [1, 2000]";
+      return std::nullopt;
+    }
+    return sched::DevicePayload([n = static_cast<std::size_t>(vars),
+                                 m = static_cast<std::size_t>(clauses),
+                                 s = static_cast<std::uint64_t>(seed)](
+                                    core::Accelerator&) {
+      return solve_sat(n, m, s);
+    });
+  }
+  if (req.work == "fail") {
+    return sched::DevicePayload([](core::Accelerator&) {
+      core::JobResult result;
+      result.summary = "fail: workload reported failure";
+      return result;
+    });
+  }
+  if (req.work == "throw") {
+    return sched::DevicePayload([](core::Accelerator&) -> core::JobResult {
+      throw std::runtime_error("throw: workload threw");
+    });
+  }
+  if (error) *error = "unknown work '" + req.work + "'";
+  return std::nullopt;
+}
+
+}  // namespace rebooting::rebootd

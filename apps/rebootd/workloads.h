@@ -1,0 +1,30 @@
+// The workload vocabulary a submit request can name. Every workload builds a
+// *self-contained* sched::DevicePayload — it ignores the worker's accelerator
+// argument — so jobs stay eligible for RetryPolicy::cpu_fallback and survive
+// the chaos plans' replica faults on any pool.
+//
+//   "echo"   immediate success; params are echoed into the summary
+//   "spin"   busy-waits params.micros microseconds (default 50) — the
+//            loadgen's calibrated unit of synthetic service time
+//   "sat"    generates a random 3-SAT instance (params.vars/clauses/seed)
+//            and runs the digital-memcomputing solver on it — the real
+//            computation for soak tests
+//   "fail"   executes and reports ok=false (a *workload* failure, distinct
+//            from the scheduler-level dispositions)
+//   "throw"  throws mid-execution (surfaces as Status::kError)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+#include "scheduler/job.h"
+
+namespace rebooting::rebootd {
+
+/// Builds the payload for `req.work`; nullopt (with *error set) for an
+/// unknown workload name or out-of-range params.
+std::optional<sched::DevicePayload> build_workload(const net::Request& req,
+                                                   std::string* error);
+
+}  // namespace rebooting::rebootd

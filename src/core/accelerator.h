@@ -11,9 +11,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,25 @@ enum class AcceleratorKind {
 };
 
 std::string to_string(AcceleratorKind kind);
+/// Inverse of to_string(AcceleratorKind); nullopt for an unknown name. Shared
+/// by fault-plan parsing and the rebootd wire protocol.
+std::optional<AcceleratorKind> kind_from_string(const std::string& name);
+
+/// How a dispatch layer disposed of a job — the typed counterpart of the
+/// ok/summary pair, so callers (the rebootd front door above all) can map an
+/// outcome to a typed response instead of string-matching summaries.
+/// kExecuted covers both success and a payload that ran and failed; every
+/// other value means the payload never ran.
+enum class JobDisposition : std::uint8_t {
+  kExecuted,        ///< ran to a verdict (ok or failed after its attempts)
+  kRejected,        ///< refused by kReject backpressure at submission
+  kShed,            ///< evicted from the queue by kShedOldest backpressure
+  kFlushed,         ///< still queued when the scheduler shut down
+  kDeadlineMissed,  ///< deadline expired while queued or between retries
+  kCancelled,       ///< CancelToken fired before (or between) attempts
+};
+
+std::string to_string(JobDisposition disposition);
 
 /// Free-form numeric metrics reported by a job (instruction counts, per-layer
 /// latencies, energies, solution quality, ...). Keys are dotted paths such as
@@ -43,6 +64,7 @@ struct JobResult {
   Real wall_seconds = 0.0;  ///< host-measured end-to-end latency
   // --- resilience bookkeeping (filled by the sched::Scheduler execution
   // layer; a synchronous HostSystem::submit leaves the defaults) -----------
+  JobDisposition disposition = JobDisposition::kExecuted;
   std::size_t attempts = 0;  ///< execution attempts consumed (0 = never ran)
   bool degraded = false;  ///< ok, but only via retries or failover
   /// One line per fault the job survived (or died of): injected faults,

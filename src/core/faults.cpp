@@ -11,15 +11,6 @@ namespace rebooting::core {
 
 namespace {
 
-/// Inverse of core::to_string(AcceleratorKind), for plan parsing.
-std::optional<AcceleratorKind> kind_from_string(const std::string& name) {
-  for (const auto kind :
-       {AcceleratorKind::kClassicalCpu, AcceleratorKind::kQuantum,
-        AcceleratorKind::kOscillator, AcceleratorKind::kMemcomputing})
-    if (to_string(kind) == name) return kind;
-  return std::nullopt;
-}
-
 Real probability_field(const JsonValue& v, const std::string& key) {
   const Real p = v.number();
   if (!(p >= 0.0 && p <= 1.0))

@@ -123,6 +123,49 @@ JsonValue JsonValue::make_object(Members o) {
 
 namespace {
 
+void dump_into(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.boolean() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: out += json_number(v.number()); break;
+    case JsonValue::Type::kString: out += json_quote(v.string()); break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object()) {
+        if (!first) out += ',';
+        first = false;
+        out += json_quote(key);
+        out += ':';
+        dump_into(value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& v) {
+  std::string out;
+  dump_into(v, out);
+  return out;
+}
+
+namespace {
+
 /// Recursive-descent RFC 8259 reader over a string_view cursor. Depth-capped
 /// so a pathological document fails cleanly instead of overflowing the stack.
 class JsonReader {

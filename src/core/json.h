@@ -71,4 +71,12 @@ class JsonValue {
 /// garbage — so "parses" is a meaningful assertion in tests.
 std::optional<JsonValue> json_parse(std::string_view text);
 
+/// Compact (no whitespace) serialization of a composed JsonValue — the
+/// inverse of json_parse. Shares json_quote / json_number with the trace and
+/// table exporters, so every JSON the workbench emits renders strings and
+/// numbers identically. Round-trip guarantee: json_parse(json_dump(v))
+/// reproduces v (numbers via max_digits10; non-finite numbers render as
+/// null, the one lossy case, matching json_number).
+std::string json_dump(const JsonValue& v);
+
 }  // namespace rebooting::core

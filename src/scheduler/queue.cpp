@@ -95,4 +95,9 @@ std::size_t BoundedJobQueue::size() const {
   return items_.size();
 }
 
+std::size_t BoundedJobQueue::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
 }  // namespace rebooting::sched

@@ -55,6 +55,8 @@ class BoundedJobQueue {
   std::vector<QueuedJob> flush();
 
   std::size_t size() const;
+  /// Popped-but-not-yet-task_done()'d entries — the pool's running jobs.
+  std::size_t in_flight() const;
   std::size_t capacity() const { return capacity_; }
   BackpressurePolicy policy() const { return policy_; }
 

@@ -138,7 +138,7 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
   const auto status = pool->queue.push(item, &shed);
   if (shed)
     complete_unrun(std::move(*shed), "shed by backpressure (queue full)",
-                   "sched.shed");
+                   "sched.shed", core::JobDisposition::kShed);
   switch (status) {
     case BoundedJobQueue::PushStatus::kAccepted:
       TELEM_TRACE_FLOW_BEGIN("job", seq);
@@ -147,11 +147,11 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
       break;
     case BoundedJobQueue::PushStatus::kRejected:
       complete_unrun(std::move(item), "rejected by backpressure (queue full)",
-                     "sched.rejected");
+                     "sched.rejected", core::JobDisposition::kRejected);
       break;
     case BoundedJobQueue::PushStatus::kClosed:
       complete_unrun(std::move(item), "not accepted: scheduler shut down",
-                     "sched.flushed");
+                     "sched.flushed", core::JobDisposition::kFlushed);
       break;
   }
   return future;
@@ -196,6 +196,7 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
     core::JobResult result;
     Verdict verdict = Verdict::kCompleted;
     if (item.opts.cancel && item.opts.cancel->cancelled()) {
+      result.disposition = core::JobDisposition::kCancelled;
       result.summary = "sched: job '" + item.name +
                        "' cancelled before execution";
       result.attempts = item.attempts_done;
@@ -203,6 +204,7 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
       telemetry::count("sched.cancelled");
       TELEM_TRACE_INSTANT("sched.cancelled");
     } else if (item.opts.deadline && dequeued >= *item.opts.deadline) {
+      result.disposition = core::JobDisposition::kDeadlineMissed;
       result.summary = "sched: job '" + item.name +
                        "' missed its deadline after waiting " +
                        std::to_string(wait) + " s";
@@ -408,6 +410,7 @@ Scheduler::Verdict Scheduler::run_attempts(Pool& pool,
     std::this_thread::sleep_for(delay);
     backoff_spent += delay;
     if (item.opts.cancel && item.opts.cancel->cancelled()) {
+      out.disposition = core::JobDisposition::kCancelled;
       out.attempts = attempts;
       out.fault_log = std::move(fault_log);
       out.wall_seconds = total_service;
@@ -446,7 +449,7 @@ Scheduler::Verdict Scheduler::failover(QueuedJob&& item,
   const auto status = cpu->queue.push(item, &shed);
   if (shed)
     complete_unrun(std::move(*shed), "shed by backpressure (queue full)",
-                   "sched.shed");
+                   "sched.shed", core::JobDisposition::kShed);
   switch (status) {
     case BoundedJobQueue::PushStatus::kAccepted:
       telemetry::gauge(cpu->depth_gauge,
@@ -454,11 +457,11 @@ Scheduler::Verdict Scheduler::failover(QueuedJob&& item,
       break;
     case BoundedJobQueue::PushStatus::kRejected:
       complete_unrun(std::move(item), "rejected by backpressure (queue full)",
-                     "sched.rejected");
+                     "sched.rejected", core::JobDisposition::kRejected);
       break;
     case BoundedJobQueue::PushStatus::kClosed:
       complete_unrun(std::move(item), "not accepted: scheduler shut down",
-                     "sched.flushed");
+                     "sched.flushed", core::JobDisposition::kFlushed);
       break;
   }
   return Verdict::kFailedOver;
@@ -485,11 +488,13 @@ Clock::duration Scheduler::backoff_delay(const RetryPolicy& retry,
 }
 
 void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
-                               const char* metric) {
+                               const char* metric,
+                               core::JobDisposition disposition) {
   telemetry::count(metric);
   TELEM_TRACE_INSTANT(metric);  // metric names are literals: safe to record
   core::JobResult result;
   result.ok = false;
+  result.disposition = disposition;
   result.summary = "sched: job '" + item.name + "' " + why;
   result.attempts = item.attempts_done;
   result.fault_log = std::move(item.fault_log);
@@ -529,7 +534,7 @@ void Scheduler::shutdown() {
     for (auto& [kind, pool] : pools_) {
       for (auto& item : pool->queue.flush())
         complete_unrun(std::move(item), "flushed at shutdown before execution",
-                       "sched.flushed");
+                       "sched.flushed", core::JobDisposition::kFlushed);
       telemetry::gauge(pool->depth_gauge, 0.0);
     }
   });
@@ -545,14 +550,39 @@ std::size_t Scheduler::queue_depth(core::AcceleratorKind kind) const {
 }
 
 PoolStats Scheduler::stats(core::AcceleratorKind kind) const {
-  const Pool* pool = find_pool(kind);
+  return snapshot_pool(*find_pool(kind));
+}
+
+PoolStats Scheduler::snapshot_pool(const Pool& pool) {
   PoolStats s;
-  s.workers = pool->replicas.size();
-  s.queue_depth = pool->queue.size();
-  for (const auto& replica : pool->replicas) {
+  s.workers = pool.replicas.size();
+  s.queue_depth = pool.queue.size();
+  s.queue_capacity = pool.queue.capacity();
+  s.in_flight = pool.queue.in_flight();
+  for (const auto& replica : pool.replicas) {
     s.jobs_completed += replica->jobs_completed();
     s.busy_seconds += replica->busy_seconds();
   }
+  s.replicas.reserve(pool.workers.size());
+  for (std::size_t i = 0; i < pool.workers.size(); ++i) {
+    ReplicaHealth h = pool.workers[i]->breaker.snapshot();
+    h.replica = i;
+    if (h.state != BreakerState::kClosed) ++s.breakers_open;
+    s.replicas.push_back(h);
+  }
+  return s;
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  s.accepting = accepting();
+  s.submitted = next_seq_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(drain_mutex_);
+    s.outstanding = outstanding_;
+  }
+  std::lock_guard lock(pools_mutex_);
+  for (const auto& [kind, pool] : pools_) s.pools.emplace(kind, snapshot_pool(*pool));
   return s;
 }
 

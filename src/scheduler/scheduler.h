@@ -80,8 +80,25 @@ struct SchedulerConfig {
 struct PoolStats {
   std::size_t workers = 0;
   std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t in_flight = 0;  ///< popped and currently executing
   std::size_t jobs_completed = 0;
   core::Real busy_seconds = 0.0;
+  /// Per-replica breaker health, indexed by replica.
+  std::vector<ReplicaHealth> replicas;
+  /// Replicas whose breaker is not closed (open or half-open).
+  std::size_t breakers_open = 0;
+};
+
+/// One coherent snapshot of the whole scheduler — what rebootd serves for a
+/// `status` request without poking individual metrics. Taken under the pool
+/// map lock; each pool's counters are read without stopping the workers, so
+/// the numbers are each individually consistent, not a global atomic cut.
+struct SchedulerStats {
+  bool accepting = true;
+  std::uint64_t submitted = 0;    ///< submissions ever accepted (seq counter)
+  std::size_t outstanding = 0;    ///< accepted but not yet completed
+  std::map<core::AcceleratorKind, PoolStats> pools;
 };
 
 class Scheduler {
@@ -140,6 +157,8 @@ class Scheduler {
   /// no such pool exists.
   std::size_t queue_depth(core::AcceleratorKind kind) const;
   PoolStats stats(core::AcceleratorKind kind) const;
+  /// Snapshot of every pool plus the scheduler-level counters, in one struct.
+  SchedulerStats stats() const;
   /// Per-replica health (breaker state, failure counts) of one pool, indexed
   /// by replica; throws std::out_of_range when no such pool exists.
   std::vector<ReplicaHealth> health(core::AcceleratorKind kind) const;
@@ -177,6 +196,7 @@ class Scheduler {
   };
 
   Pool* find_pool(core::AcceleratorKind kind) const;
+  static PoolStats snapshot_pool(const Pool& pool);
   void worker_loop(Pool& pool, core::Accelerator& replica, Worker& state,
                    std::size_t replica_index);
   /// The per-job retry/breaker/failover loop around payload execution.
@@ -195,7 +215,7 @@ class Scheduler {
                                 std::uint64_t seq) const;
   /// Completes a job that will never run (shed / flushed / closed race).
   void complete_unrun(QueuedJob&& item, const std::string& why,
-                      const char* metric);
+                      const char* metric, core::JobDisposition disposition);
   void track_accept();
   void track_complete();
 

@@ -1,0 +1,87 @@
+// Consistent-hash router tests: spread, lookup stability under shard death,
+// and the ~1/N remap property that makes a mid-storm kill survivable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rebootctl/router.h"
+
+namespace rebooting::rebootctl {
+namespace {
+
+std::vector<ShardAddress> three_shards() {
+  return {{"127.0.0.1", 4700}, {"127.0.0.1", 4701}, {"127.0.0.1", 4702}};
+}
+
+std::string key_of(int i) { return "tenant-" + std::to_string(i % 7) + "/" +
+                                   std::to_string(i); }
+
+TEST(ShardRouter, SpreadsKeysAcrossShards) {
+  ShardRouter router(three_shards());
+  std::map<std::uint16_t, int> hits;
+  const int keys = 30000;
+  for (int i = 0; i < keys; ++i) ++hits[router.route(key_of(i))->port];
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& [port, count] : hits) {
+    // Fair share is 1/3; with 64 vnodes the arc variance stays well inside
+    // [1/6, 1/2].
+    EXPECT_GT(count, keys / 6) << "port " << port;
+    EXPECT_LT(count, keys / 2) << "port " << port;
+  }
+}
+
+TEST(ShardRouter, RoutingIsDeterministic) {
+  ShardRouter a(three_shards());
+  ShardRouter b(three_shards());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.route(key_of(i))->port, b.route(key_of(i))->port);
+}
+
+TEST(ShardRouter, MarkDownRemapsOnlyTheDeadShardsKeys) {
+  ShardRouter router(three_shards());
+  const ShardAddress victim{"127.0.0.1", 4701};
+
+  std::map<std::string, std::uint16_t> before;
+  for (int i = 0; i < 5000; ++i)
+    before[key_of(i)] = router.route(key_of(i))->port;
+
+  router.mark_down(victim);
+  EXPECT_EQ(router.live_count(), 2u);
+  int remapped = 0;
+  for (const auto& [key, port] : before) {
+    const auto now = router.route(key);
+    ASSERT_TRUE(now.has_value());
+    EXPECT_NE(now->port, victim.port);
+    if (port != victim.port) {
+      // Keys of surviving shards must not move — that is the whole point of
+      // consistent hashing.
+      EXPECT_EQ(now->port, port) << key;
+    } else {
+      ++remapped;
+    }
+  }
+  EXPECT_GT(remapped, 0);
+
+  // Recovery restores the original placement exactly.
+  router.mark_up(victim);
+  for (const auto& [key, port] : before)
+    EXPECT_EQ(router.route(key)->port, port);
+}
+
+TEST(ShardRouter, AllShardsDownRoutesNowhere) {
+  ShardRouter router({{"127.0.0.1", 4700}});
+  router.mark_down({"127.0.0.1", 4700});
+  EXPECT_FALSE(router.route("anything").has_value());
+  EXPECT_EQ(router.live_count(), 0u);
+}
+
+TEST(ShardRouter, Fnv1aMatchesTheReferenceConstants) {
+  // Offset basis (empty input) and a published test vector.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xAF63DC4C8601EC8Cull);
+}
+
+}  // namespace
+}  // namespace rebooting::rebootctl

@@ -80,5 +80,62 @@ TEST(JsonParse, RoundTripsWriterHelpers) {
   EXPECT_EQ(json_parse(json_quote(tricky))->string(), tricky);
 }
 
+// json_dump must be the exact inverse of json_parse for every value kind,
+// including nesting, member order, and tricky strings.
+TEST(JsonDump, RoundTripsComposedValues) {
+  JsonValue::Members inner;
+  inner.emplace_back("z", JsonValue::make_number(1.5));
+  inner.emplace_back("a", JsonValue::make_string("ordered after z"));
+  std::vector<JsonValue> arr;
+  arr.push_back(JsonValue::make_null());
+  arr.push_back(JsonValue::make_bool(true));
+  arr.push_back(JsonValue::make_bool(false));
+  arr.push_back(JsonValue::make_number(-0.125));
+  arr.push_back(JsonValue::make_string("tab\there \"q\" \x02"));
+  arr.push_back(JsonValue::make_object(std::move(inner)));
+  arr.push_back(JsonValue::make_array({}));
+  JsonValue::Members top;
+  top.emplace_back("items", JsonValue::make_array(std::move(arr)));
+  top.emplace_back("empty", JsonValue::make_object({}));
+  const JsonValue doc = JsonValue::make_object(std::move(top));
+
+  const std::string text = json_dump(doc);
+  const auto back = json_parse(text);
+  ASSERT_TRUE(back.has_value());
+  // Dumping the re-parsed value must reproduce the text exactly: one stable
+  // canonical rendering (member order preserved, numbers via max_digits10).
+  EXPECT_EQ(json_dump(*back), text);
+
+  const auto& items = back->at("items").array();
+  ASSERT_EQ(items.size(), 7u);
+  EXPECT_TRUE(items[0].is_null());
+  EXPECT_TRUE(items[1].boolean());
+  EXPECT_FALSE(items[2].boolean());
+  EXPECT_DOUBLE_EQ(items[3].number(), -0.125);
+  EXPECT_EQ(items[4].string(), "tab\there \"q\" \x02");
+  EXPECT_EQ(items[5].object().front().first, "z");  // document order kept
+  EXPECT_TRUE(items[6].array().empty());
+  EXPECT_TRUE(back->at("empty").object().empty());
+}
+
+TEST(JsonDump, NumberPrecisionSurvivesRoundTrip) {
+  for (const Real v : {1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 4503599627370497.0}) {
+    const auto back =
+        json_parse(json_dump(JsonValue::make_number(v)));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_DOUBLE_EQ(back->number(), v);
+  }
+  // The one lossy case: non-finite numbers render as null, like json_number.
+  EXPECT_EQ(json_dump(JsonValue::make_number(
+                std::numeric_limits<Real>::infinity())),
+            "null");
+}
+
+TEST(JsonDump, CompactFormMatchesHandWrittenDocument) {
+  const auto parsed = json_parse(R"({"a":[1,true,null,"s"],"b":{}})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(json_dump(*parsed), R"({"a":[1,true,null,"s"],"b":{}})");
+}
+
 }  // namespace
 }  // namespace rebooting::core

@@ -470,6 +470,81 @@ TEST(SchedulerTelemetry, CountersGaugesAndHistogramsAreWired) {
 // through a small bounded queue with blocking backpressure and 4 workers.
 // Run under REBOOTING_SANITIZE=thread this exercises every lock and atomic
 // in the queue, the scheduler, and the Accelerator counters.
+TEST(SchedulerStats, SnapshotCoversEveryPoolAndInFlightWork) {
+  SchedulerConfig config;
+  config.queue_capacity = 8;
+  BlockedPool pool(config);  // one cpu worker, parked on the blocker
+
+  auto queued = pool.scheduler.submit(cpu_job("queued", [] {
+    return ok_result();
+  }));
+
+  SchedulerStats snap = pool.scheduler.stats();
+  EXPECT_TRUE(snap.accepting);
+  EXPECT_EQ(snap.submitted, 2u);    // blocker + queued
+  EXPECT_EQ(snap.outstanding, 2u);  // neither has completed
+  ASSERT_TRUE(snap.pools.contains(AcceleratorKind::kClassicalCpu));
+  const PoolStats& cpu = snap.pools.at(AcceleratorKind::kClassicalCpu);
+  EXPECT_EQ(cpu.workers, 1u);
+  EXPECT_EQ(cpu.queue_capacity, 8u);
+  EXPECT_EQ(cpu.queue_depth, 1u);  // "queued" waits behind the blocker
+  EXPECT_EQ(cpu.in_flight, 1u);    // the blocker is mid-execution
+  ASSERT_EQ(cpu.replicas.size(), 1u);
+  EXPECT_EQ(cpu.replicas[0].state, BreakerState::kClosed);
+  EXPECT_EQ(cpu.breakers_open, 0u);
+
+  pool.open_gate();
+  pool.scheduler.drain();
+  snap = pool.scheduler.stats();
+  EXPECT_EQ(snap.outstanding, 0u);
+  // drain() returns at promise completion, a hair before the worker's
+  // task_done(); poll until the in-flight count settles.
+  for (int i = 0; i < 100 &&
+                  snap.pools.at(AcceleratorKind::kClassicalCpu).in_flight != 0;
+       ++i) {
+    std::this_thread::sleep_for(1ms);
+    snap = pool.scheduler.stats();
+  }
+  const PoolStats& idle = snap.pools.at(AcceleratorKind::kClassicalCpu);
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.in_flight, 0u);
+  EXPECT_EQ(idle.jobs_completed, 2u);
+  EXPECT_TRUE(queued.get().ok);
+
+  pool.scheduler.shutdown();
+  EXPECT_FALSE(pool.scheduler.stats().accepting);
+}
+
+TEST(SchedulerStats, DispositionsAreTyped) {
+  // kReject backpressure -> kRejected on the refused job; a flushed job ->
+  // kFlushed; an executed job keeps kExecuted.
+  SchedulerConfig config;
+  config.queue_capacity = 1;
+  config.backpressure = BackpressurePolicy::kReject;
+  BlockedPool pool(config);
+
+  auto queued = pool.scheduler.submit(cpu_job("queued", [] {
+    return ok_result();
+  }));
+  auto rejected = pool.scheduler.submit(cpu_job("rejected", [] {
+    return ok_result();
+  }));
+  auto r = rejected.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.disposition, core::JobDisposition::kRejected);
+
+  std::thread closer([&] { pool.scheduler.shutdown(); });
+  std::this_thread::sleep_for(10ms);  // shutdown is now waiting on the worker
+  pool.open_gate();
+  closer.join();  // "queued" was flushed, the blocker finished normally
+  auto q = queued.get();
+  EXPECT_FALSE(q.ok);
+  EXPECT_EQ(q.disposition, core::JobDisposition::kFlushed);
+  auto b = pool.blocker.get();
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(b.disposition, core::JobDisposition::kExecuted);
+}
+
 TEST(SchedulerStress, MultiProducerMultiWorker) {
   constexpr int kProducers = 4;
   constexpr int kJobsPerProducer = 250;
