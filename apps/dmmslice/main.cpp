@@ -1,0 +1,214 @@
+// dmmslice — the crash/resume harness for sliced DMM execution.
+//
+// Two modes over the same deterministically generated planted 3-SAT
+// instance (gen-seed fixes the formula, rng-seed fixes the trajectory):
+//
+//   dmmslice solve ...               one uninterrupted solve_from(); prints
+//                                    the trajectory fingerprint as JSON.
+//   dmmslice slice --ckpt F ...      budgeted advance() loop; after every
+//                                    slice the checkpoint is written to F
+//                                    atomically (tmp + rename), so a SIGKILL
+//                                    at ANY instant leaves a loadable file.
+//                                    Re-running the same command resumes
+//                                    from F and prints the same fingerprint.
+//
+// The chaos script (scripts/chaos_kill_resume.sh) SIGKILLs `slice` mid-run
+// several times and asserts the final fingerprint is byte-identical to the
+// `solve` one — the process-death leg of the DESIGN.md §12 guarantee that
+// slicing never changes values, only cut points.
+//
+// Exit codes: 0 fingerprint written; 2 usage error; 3 unreadable or foreign
+// checkpoint (corrupt file, wrong instance, tampered payload).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/json.h"
+#include "core/random.h"
+#include "memcomputing/dmm.h"
+#include "memcomputing/sat.h"
+
+using namespace rebooting;
+using namespace rebooting::memcomputing;
+
+namespace {
+
+struct Args {
+  std::string mode;
+  std::uint64_t gen_seed = 1234;
+  std::uint64_t rng_seed = 99;
+  std::size_t vars = 40;
+  std::size_t clauses = 168;
+  std::size_t max_steps = 400000;
+  std::size_t steps_per_slice = 32;
+  double sleep_ms = 0.0;
+  std::string ckpt_path;
+  std::string out_path;
+};
+
+int usage() {
+  std::cerr
+      << "usage: dmmslice solve|slice [--gen-seed N] [--rng-seed N]\n"
+         "               [--vars N] [--clauses N] [--max-steps N]\n"
+         "               [--steps N] [--sleep-ms X] [--ckpt FILE] [--out FILE]\n"
+         "  solve  uninterrupted run; prints the trajectory fingerprint\n"
+         "  slice  budgeted advance loop, checkpointing to --ckpt after\n"
+         "         every slice (required); resumes from --ckpt if present\n";
+  return 2;
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.mode = argv[1];
+  if (args.mode != "solve" && args.mode != "slice") return std::nullopt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
+    try {
+      if (flag == "--gen-seed")
+        args.gen_seed = std::stoull(value);
+      else if (flag == "--rng-seed")
+        args.rng_seed = std::stoull(value);
+      else if (flag == "--vars")
+        args.vars = std::stoul(value);
+      else if (flag == "--clauses")
+        args.clauses = std::stoul(value);
+      else if (flag == "--max-steps")
+        args.max_steps = std::stoul(value);
+      else if (flag == "--steps")
+        args.steps_per_slice = std::stoul(value);
+      else if (flag == "--sleep-ms")
+        args.sleep_ms = std::stod(value);
+      else if (flag == "--ckpt")
+        args.ckpt_path = value;
+      else if (flag == "--out")
+        args.out_path = value;
+      else
+        return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (args.mode == "slice" && args.ckpt_path.empty()) return std::nullopt;
+  if (args.steps_per_slice == 0) return std::nullopt;
+  return args;
+}
+
+/// Everything slicing must preserve, serialized with exact doubles — the
+/// comparison in the chaos script is a byte-level diff of this document.
+std::string fingerprint(const DmmResult& r) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"satisfied\": " << (r.satisfied ? "true" : "false") << ",\n"
+     << "  \"steps\": " << r.steps << ",\n"
+     << "  \"steps_to_best\": " << r.steps_to_best << ",\n"
+     << "  \"sim_time\": " << core::json_number(r.sim_time) << ",\n"
+     << "  \"best_unsatisfied\": " << r.best_unsatisfied << ",\n"
+     << "  \"max_abs_voltage\": " << core::json_number(r.max_abs_voltage)
+     << ",\n"
+     << "  \"hit_limit\": " << (r.hit_limit ? "true" : "false") << ",\n"
+     << "  \"assignment\": \"";
+  for (const bool b : r.assignment) os << (b ? '1' : '0');
+  os << "\"\n}\n";
+  return os.str();
+}
+
+/// Write-then-rename: the path never holds a torn document, whatever
+/// instant the process dies at.
+bool atomic_write(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return false;
+    out << contents;
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void emit(const Args& args, const DmmResult& result) {
+  const std::string doc = fingerprint(result);
+  if (!args.out_path.empty()) atomic_write(args.out_path, doc);
+  std::cout << doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return usage();
+  const Args& args = *parsed;
+
+  core::Rng gen(args.gen_seed);
+  const auto inst = planted_ksat(gen, args.vars, args.clauses, 3);
+  DmmOptions opts;
+  opts.max_steps = args.max_steps;
+  const DmmSolver solver(inst.cnf, opts);
+
+  // The trajectory's randomness: v0 and the solve stream both come from
+  // rng-seed, identically in both modes.
+  core::Rng rng(args.rng_seed);
+  std::vector<core::Real> v0(args.vars);
+  for (auto& v : v0) v = rng.uniform(-1.0, 1.0);
+
+  if (args.mode == "solve") {
+    const DmmResult result = solver.solve_from(std::move(v0), rng);
+    emit(args, result);
+    return 0;
+  }
+
+  core::Checkpoint ckpt;
+  if (const auto doc = read_file(args.ckpt_path)) {
+    const auto loaded = core::Checkpoint::from_json(*doc);
+    if (!loaded) {
+      std::cerr << "dmmslice: unreadable checkpoint " << args.ckpt_path
+                << '\n';
+      return 3;
+    }
+    ckpt = *loaded;
+  } else {
+    ckpt = solver.begin(std::move(v0), rng);
+  }
+
+  core::Workspace ws;
+  DmmSliceOutcome out;
+  try {
+    for (;;) {
+      out = solver.advance(ckpt, core::SliceBudget::steps(args.steps_per_slice),
+                           ws);
+      if (!atomic_write(args.ckpt_path, ckpt.json_dump())) {
+        std::cerr << "dmmslice: cannot write checkpoint " << args.ckpt_path
+                  << '\n';
+        return 3;
+      }
+      if (out.done) break;
+      if (args.sleep_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(args.sleep_ms));
+    }
+  } catch (const std::invalid_argument& err) {
+    std::cerr << "dmmslice: " << err.what() << '\n';
+    return 3;
+  }
+  emit(args, out.result);
+  return 0;
+}

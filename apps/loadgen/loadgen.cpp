@@ -55,6 +55,7 @@ struct Tally {
   std::uint64_t attempted = 0;  ///< sent + writes that failed
   std::uint64_t transport_errors = 0;
   std::uint64_t duplicates = 0;
+  std::uint64_t backoffs = 0;  ///< retry_after_ms hints honored
   std::map<net::Status, std::uint64_t> by_status;
 
   std::uint64_t responses() const {
@@ -69,6 +70,9 @@ struct ShardConn {
   /// Outstanding request ids on this connection (id -> unused slot; a map so
   /// response ids can be checked for membership exactly once).
   std::map<std::uint64_t, bool> outstanding;
+  /// Earliest instant the shard wants to see the next submit — the
+  /// retry_after_ms hint from its last overloaded/quota rejection.
+  Clock::time_point backoff_until{};
 };
 
 void fail_shard(rebootctl::ShardRouter& router,
@@ -92,6 +96,18 @@ bool recv_one(ShardConn& conn, Tally& tally) {
   }
   conn.outstanding.erase(it);
   ++tally.by_status[resp->status];
+  // Honor the server's pacing hint: after an overload/quota rejection with a
+  // retry_after_ms, hold further submits to this shard until the hinted
+  // instant instead of hammering it.
+  if ((resp->status == net::Status::kOverloaded ||
+       resp->status == net::Status::kQuotaExceeded) &&
+      resp->retry_after_ms && *resp->retry_after_ms > 0.0) {
+    const auto until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               *resp->retry_after_ms));
+    if (until > conn.backoff_until) conn.backoff_until = until;
+  }
   return true;
 }
 
@@ -121,6 +137,15 @@ void worker(const Options& opts, std::size_t thread_index,
         fail_shard(router, *shard, conn, tally);
         continue;  // re-route; nothing was attempted
       }
+    }
+
+    // Back off while the shard's retry_after hint is live (capped per
+    // iteration so a large hint cannot freeze the thread past --seconds, and
+    // so responses keep draining meanwhile).
+    if (const auto now = Clock::now(); conn.backoff_until > now) {
+      ++tally.backoffs;
+      std::this_thread::sleep_for(std::min<Clock::duration>(
+          conn.backoff_until - now, std::chrono::milliseconds(20)));
     }
 
     net::Request req;
@@ -269,6 +294,7 @@ int main(int argc, char** argv) {
     total.attempted += tally.attempted;
     total.transport_errors += tally.transport_errors;
     total.duplicates += tally.duplicates;
+    total.backoffs += tally.backoffs;
     for (const auto& [status, count] : tally.by_status)
       total.by_status[status] += count;
   }
@@ -282,6 +308,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(count));
   std::printf("  %-16s %llu\n", "transport_error",
               static_cast<unsigned long long>(total.transport_errors));
+  if (total.backoffs > 0)
+    std::printf("  %-16s %llu\n", "backoffs",
+                static_cast<unsigned long long>(total.backoffs));
   print_server_latency(opts);
 
   if (accounted != total.attempted || total.duplicates > 0) {

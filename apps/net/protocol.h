@@ -84,7 +84,7 @@ struct Response {
   bool degraded = false;
   bool coalesced = false;  ///< answered by a collapsed identical job
   double wall_seconds = 0.0;
-  std::optional<double> retry_after_ms;  ///< with kQuotaExceeded
+  std::optional<double> retry_after_ms;  ///< with kQuotaExceeded/kOverloaded
   std::map<std::string, core::Real> metrics;
   core::JsonValue body;  ///< method-specific payload (status snapshot)
 };

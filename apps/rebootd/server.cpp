@@ -1,5 +1,7 @@
 #include "rebootd/server.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -18,6 +20,9 @@ sched::SchedulerConfig scheduler_config(const ServerConfig& config) {
   // to its next frame, not sleep inside submit holding the connection.
   sc.backpressure = sched::BackpressurePolicy::kReject;
   sc.breaker.failure_threshold = config.breaker_threshold;
+  // Every rebootd workload is self-contained (cpu_fallback is uniformly on),
+  // so jobs are marked stealable and idle pools may drain overloaded ones.
+  sc.work_stealing = true;
   return sc;
 }
 
@@ -299,7 +304,7 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
     reject.status = net::Status::kOverloaded;
     reject.summary = "queue high-water for '" + core::to_string(req.kind) +
                      "'";
-    reject.retry_after_ms = 1.0;
+    reject.retry_after_ms = overload_retry_hint(req.kind);
     send_response(conn, reject);
     return;
   }
@@ -344,11 +349,13 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
         std::chrono::duration<double, std::milli>(*req.deadline_ms)));
   opts.retry.max_attempts = std::max<std::size_t>(1, config_.retry_attempts);
   opts.retry.cpu_fallback = true;  // every workload is self-contained
+  opts.stealable = true;           // ...and so safe to run on any pool
 
   Pending pending;
   pending.fanout = std::move(fanout);
   pending.key = std::move(key);
   pending.rid = rid;
+  pending.kind = req.kind;
   try {
     TELEM_TRACE_SCOPE("net.enqueue");
     TELEM_TRACE_FLOW_STEP("net.request", rid);
@@ -411,7 +418,8 @@ void Server::complete(Pending&& pending) {
     base.degraded = result.degraded;
     base.wall_seconds = result.wall_seconds;
     base.metrics = result.metrics;
-    if (base.status == net::Status::kOverloaded) base.retry_after_ms = 1.0;
+    if (base.status == net::Status::kOverloaded)
+      base.retry_after_ms = overload_retry_hint(pending.kind);
   } catch (const std::exception& e) {
     base.status = net::Status::kError;
     base.summary = e.what();
@@ -460,6 +468,33 @@ void Server::send_response(const std::shared_ptr<Connection>& conn,
   TELEM_COUNT("net.bytes_out", static_cast<core::Real>(frame.size() + 4));
 }
 
+double Server::overload_retry_hint(core::AcceleratorKind kind) const {
+  // Estimate how long the backlog ahead of the client takes to drain: the
+  // queued jobs of this kind run in `depth / workers` waves, each wave
+  // costing the observed mean service time (1 ms floor before any job has
+  // completed). A client that honors the hint re-arrives roughly when the
+  // high-water mark clears instead of hammering a fixed 1 ms backoff.
+  std::size_t depth = 0;
+  std::size_t workers = 1;
+  try {
+    const sched::PoolStats stats = scheduler_.stats(kind);
+    depth = stats.queue_depth;
+    workers = std::max<std::size_t>(1, stats.workers);
+  } catch (const std::out_of_range&) {
+    // Pool vanished between the check and the hint; fall through to floor.
+  }
+  double mean_ms = 1.0;
+  if (telemetry::Telemetry::enabled()) {
+    const telemetry::HistogramSnapshot service =
+        telemetry::Telemetry::instance().metrics().histogram(
+            "sched.service_seconds");
+    if (service.count > 0) mean_ms = std::max(1.0e-3, service.mean() * 1.0e3);
+  }
+  const double waves =
+      std::ceil(static_cast<double>(depth) / static_cast<double>(workers));
+  return std::max(1.0, waves * mean_ms);
+}
+
 net::Response Server::status_response(const net::Request& req) const {
   net::Response resp;
   resp.id = req.id;
@@ -475,6 +510,19 @@ net::Response Server::status_response(const net::Request& req) const {
   body.emplace_back("outstanding",
                     core::JsonValue::make_number(
                         static_cast<core::Real>(stats.outstanding)));
+
+  // Time-slicing counters (DESIGN.md §12): slices executed, preemptions,
+  // resumes, and cross-pool steals since the scheduler started.
+  core::JsonValue::Members sched;
+  sched.emplace_back("slices", core::JsonValue::make_number(
+                                   static_cast<core::Real>(stats.slices)));
+  sched.emplace_back("preempts", core::JsonValue::make_number(
+                                     static_cast<core::Real>(stats.preempts)));
+  sched.emplace_back("resumes", core::JsonValue::make_number(
+                                    static_cast<core::Real>(stats.resumes)));
+  sched.emplace_back("steals", core::JsonValue::make_number(
+                                   static_cast<core::Real>(stats.steals)));
+  body.emplace_back("sched", core::JsonValue::make_object(std::move(sched)));
 
   core::JsonValue::Members pools;
   for (const auto& [kind, pool] : stats.pools)

@@ -131,6 +131,9 @@ class Server {
     std::shared_ptr<Fanout> fanout;
     std::string key;  ///< coalescer entry to retire ("" = uncoalesced)
     std::uint64_t rid = 0;
+    /// Which pool the job went to — needed to derive the retry_after_ms
+    /// hint if the scheduler itself answers kOverloaded.
+    core::AcceleratorKind kind = core::AcceleratorKind::kClassicalCpu;
   };
 
   struct ReaderSlot {
@@ -148,6 +151,10 @@ class Server {
   void handle_submit(const std::shared_ptr<Connection>& conn,
                      const net::Request& req, std::uint64_t rid);
   net::Response status_response(const net::Request& req) const;
+  /// retry_after_ms hint for kOverloaded rejections, derived from the load
+  /// actually present: queued jobs of `kind` divided across its workers,
+  /// each costing the observed mean service time (1 ms floor).
+  double overload_retry_hint(core::AcceleratorKind kind) const;
   void send_response(const std::shared_ptr<Connection>& conn,
                      const net::Response& resp);
   /// Completes one fanout from a settled future (or exception).

@@ -157,6 +157,15 @@ int main() {
   else if (cores >= 4)
     required = 1.8;
   const bool speedup_ok = required == 0.0 || speedup >= required;
+  // Three-way verdict, emitted into the JSON as well: a 1-core CI runner
+  // must show up as an explicit "skipped", not silently report exit 0 as if
+  // the parallel claim had been checked.
+  const char* gate_verdict =
+      required == 0.0 ? "skipped" : (speedup_ok ? "pass" : "fail");
+  std::string gate_reason;
+  if (required == 0.0)
+    gate_reason = "only " + std::to_string(cores) +
+                  " core(s) visible; gating needs >= 4";
   if (required == 0.0)
     std::cout << "\nspeedup gate skipped: only " << cores
               << " core(s) visible (need >= 4 to gate)\n";
@@ -180,6 +189,9 @@ int main() {
          << "  \"speedup\": " << core::json_number(speedup) << ",\n"
          << "  \"speedup_required\": " << core::json_number(required) << ",\n"
          << "  \"speedup_gated\": " << (required > 0.0 ? "true" : "false")
+         << ",\n"
+         << "  \"speedup_gate\": " << core::json_quote(gate_verdict) << ",\n"
+         << "  \"speedup_gate_reason\": " << core::json_quote(gate_reason)
          << ",\n"
          << "  \"reproducible\": " << (reproducible ? "true" : "false") << ",\n"
          << "  \"winner_index\": "

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Mid-slice SIGKILL chaos for the checkpointable DMM runner (DESIGN.md §12).
+#
+# Protocol:
+#   1. `dmmslice solve` produces the uninterrupted fingerprint (steps,
+#      sim_time, assignment, ... with exact doubles).
+#   2. `dmmslice slice` runs the same trajectory in small budgeted slices,
+#      atomically rewriting its checkpoint JSON after every slice — and is
+#      SIGKILLed mid-run KILLS times at staggered offsets, resuming from the
+#      checkpoint file each time.
+#   3. The final fingerprint must be BYTE-identical to the uninterrupted
+#      one: process death may move the cut points, never the values.
+#
+# On failure the last checkpoint JSON is preserved at CHAOS_CKPT_ARTIFACT
+# (default chaos_checkpoint.json in the CWD) for offline replay.
+#
+# Usage: scripts/chaos_kill_resume.sh BUILD_DIR
+# Env:   CHAOS_KILLS (default 4), CHAOS_STEPS (slice budget, default 4),
+#        CHAOS_SEEDS (rng seeds, default "99 5"), CHAOS_CKPT_ARTIFACT
+set -euo pipefail
+
+build_dir=${1:?usage: chaos_kill_resume.sh BUILD_DIR}
+kills=${CHAOS_KILLS:-4}
+steps=${CHAOS_STEPS:-4}
+seeds=${CHAOS_SEEDS:-"99 5"}
+artifact=${CHAOS_CKPT_ARTIFACT:-chaos_checkpoint.json}
+
+dmmslice=$build_dir/apps/dmmslice
+[[ -x $dmmslice ]] || { echo "missing binary: $dmmslice" >&2; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "chaos_kill_resume: FAIL — $1" >&2
+  # Preserve the checkpoint that produced the divergence for replay.
+  cp -f "$workdir/ckpt.json" "$artifact" 2>/dev/null || true
+  exit 1
+}
+
+for seed in $seeds; do
+  echo "=== seed $seed: uninterrupted reference run"
+  "$dmmslice" solve --rng-seed "$seed" --out "$workdir/expected.json" \
+      > /dev/null
+
+  rm -f "$workdir/ckpt.json" "$workdir/got.json"
+  for ((k = 1; k <= kills; ++k)); do
+    # Stagger the kill point so different runs die in different slices —
+    # including inside the very first one.
+    "$dmmslice" slice --rng-seed "$seed" --ckpt "$workdir/ckpt.json" \
+        --steps "$steps" --sleep-ms 3 --out "$workdir/got.json" \
+        > /dev/null &
+    pid=$!
+    sleep "0.0$((2 + k * 3))"
+    if kill -9 "$pid" 2>/dev/null; then
+      wait "$pid" 2>/dev/null || true
+      echo "  kill $k: SIGKILLed pid $pid mid-slice"
+    else
+      wait "$pid" 2>/dev/null || true
+      echo "  kill $k: run finished before the kill landed"
+      break
+    fi
+    # Whatever instant the kill hit, the checkpoint file must be loadable
+    # (atomic tmp+rename) — a torn write here is itself a failure.
+    [[ ! -e $workdir/ckpt.json ]] || python3 -m json.tool \
+        < "$workdir/ckpt.json" > /dev/null \
+        || fail "torn checkpoint JSON after kill $k (seed $seed)"
+  done
+
+  echo "  resuming to completion"
+  "$dmmslice" slice --rng-seed "$seed" --ckpt "$workdir/ckpt.json" \
+      --steps "$steps" --out "$workdir/got.json" > /dev/null \
+      || fail "resume exited non-zero (seed $seed)"
+
+  cmp -s "$workdir/expected.json" "$workdir/got.json" \
+      || { diff "$workdir/expected.json" "$workdir/got.json" >&2 || true
+           fail "fingerprint diverged after kill/resume (seed $seed)"; }
+  echo "  fingerprint byte-identical to the uninterrupted run"
+done
+
+echo "chaos_kill_resume: PASS"

@@ -1,0 +1,185 @@
+#include "core/checkpoint.h"
+
+#include <charconv>
+
+#include "core/json.h"
+
+namespace rebooting::core {
+
+namespace {
+
+JsonValue real_array(const std::vector<Real>& xs) {
+  std::vector<JsonValue> out;
+  out.reserve(xs.size());
+  for (const Real x : xs) out.push_back(JsonValue::make_number(x));
+  return JsonValue::make_array(std::move(out));
+}
+
+JsonValue u64_array(const std::vector<std::uint64_t>& xs) {
+  std::vector<JsonValue> out;
+  out.reserve(xs.size());
+  for (const std::uint64_t x : xs)
+    out.push_back(JsonValue::make_string(u64_to_string(x)));
+  return JsonValue::make_array(std::move(out));
+}
+
+bool parse_real_array(const JsonValue& v, std::vector<Real>& out) {
+  if (!v.is_array()) return false;
+  out.clear();
+  out.reserve(v.array().size());
+  for (const JsonValue& x : v.array()) {
+    if (x.type() != JsonValue::Type::kNumber) return false;
+    out.push_back(x.number());
+  }
+  return true;
+}
+
+bool parse_u64_array(const JsonValue& v, std::vector<std::uint64_t>& out) {
+  if (!v.is_array()) return false;
+  out.clear();
+  out.reserve(v.array().size());
+  for (const JsonValue& x : v.array()) {
+    if (x.type() != JsonValue::Type::kString) return false;
+    const auto parsed = u64_from_string(x.string());
+    if (!parsed) return false;
+    out.push_back(*parsed);
+  }
+  return true;
+}
+
+bool parse_u64_field(const JsonValue& obj, const std::string& key,
+                     std::uint64_t& out) {
+  if (!obj.contains(key)) return false;
+  const JsonValue& v = obj.at(key);
+  if (v.type() != JsonValue::Type::kString) return false;
+  const auto parsed = u64_from_string(v.string());
+  if (!parsed) return false;
+  out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string u64_to_string(std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, end);
+}
+
+std::optional<std::uint64_t> u64_from_string(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::string bytes_to_hex(const std::vector<unsigned char>& bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * bytes.size());
+  for (const unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::optional<std::vector<unsigned char>> bytes_from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+    return -1;
+  };
+  std::vector<unsigned char> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<unsigned char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+JsonValue Checkpoint::to_json() const {
+  JsonValue::Members rng_members;
+  std::vector<JsonValue> lanes;
+  lanes.reserve(4);
+  for (const std::uint64_t lane : rng.lanes)
+    lanes.push_back(JsonValue::make_string(u64_to_string(lane)));
+  rng_members.emplace_back("lanes", JsonValue::make_array(std::move(lanes)));
+  rng_members.emplace_back("cached_normal",
+                           JsonValue::make_number(rng.cached_normal));
+  rng_members.emplace_back("has_cached_normal",
+                           JsonValue::make_bool(rng.has_cached_normal));
+
+  JsonValue::Members members;
+  members.emplace_back("tag", JsonValue::make_string(tag));
+  members.emplace_back("step", JsonValue::make_string(u64_to_string(step)));
+  members.emplace_back("t", JsonValue::make_number(t));
+  members.emplace_back("state", real_array(state));
+  members.emplace_back("aux", real_array(aux));
+  members.emplace_back("counters", u64_array(counters));
+  members.emplace_back("flags", JsonValue::make_string(bytes_to_hex(flags)));
+  members.emplace_back("rng", JsonValue::make_object(std::move(rng_members)));
+  return JsonValue::make_object(std::move(members));
+}
+
+std::string Checkpoint::json_dump() const { return core::json_dump(to_json()); }
+
+std::optional<Checkpoint> Checkpoint::from_value(const JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  Checkpoint ckpt;
+  if (!v.contains("tag") || v.at("tag").type() != JsonValue::Type::kString)
+    return std::nullopt;
+  ckpt.tag = v.at("tag").string();
+  if (!parse_u64_field(v, "step", ckpt.step)) return std::nullopt;
+  if (!v.contains("t") || v.at("t").type() != JsonValue::Type::kNumber)
+    return std::nullopt;
+  ckpt.t = v.at("t").number();
+  if (!v.contains("state") || !parse_real_array(v.at("state"), ckpt.state))
+    return std::nullopt;
+  if (!v.contains("aux") || !parse_real_array(v.at("aux"), ckpt.aux))
+    return std::nullopt;
+  if (!v.contains("counters") ||
+      !parse_u64_array(v.at("counters"), ckpt.counters))
+    return std::nullopt;
+  if (!v.contains("flags") ||
+      v.at("flags").type() != JsonValue::Type::kString)
+    return std::nullopt;
+  auto flags = bytes_from_hex(v.at("flags").string());
+  if (!flags) return std::nullopt;
+  ckpt.flags = std::move(*flags);
+
+  if (!v.contains("rng") || !v.at("rng").is_object()) return std::nullopt;
+  const JsonValue& rng = v.at("rng");
+  if (!rng.contains("lanes") || !rng.at("lanes").is_array() ||
+      rng.at("lanes").array().size() != 4)
+    return std::nullopt;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const JsonValue& lane = rng.at("lanes").array()[i];
+    if (lane.type() != JsonValue::Type::kString) return std::nullopt;
+    const auto parsed = u64_from_string(lane.string());
+    if (!parsed) return std::nullopt;
+    ckpt.rng.lanes[i] = *parsed;
+  }
+  if (!rng.contains("cached_normal") ||
+      rng.at("cached_normal").type() != JsonValue::Type::kNumber)
+    return std::nullopt;
+  ckpt.rng.cached_normal = rng.at("cached_normal").number();
+  if (!rng.contains("has_cached_normal") ||
+      rng.at("has_cached_normal").type() != JsonValue::Type::kBool)
+    return std::nullopt;
+  ckpt.rng.has_cached_normal = rng.at("has_cached_normal").boolean();
+  return ckpt;
+}
+
+std::optional<Checkpoint> Checkpoint::from_json(std::string_view text) {
+  const auto parsed = json_parse(text);
+  if (!parsed) return std::nullopt;
+  return from_value(*parsed);
+}
+
+}  // namespace rebooting::core

@@ -1,0 +1,95 @@
+// Serializable execution checkpoints: the unit of preemptible computation.
+//
+// A long trajectory (DMM solve, oscillator transient) is deterministic given
+// its seed, so its entire future is a pure function of (state vector, time
+// index, RNG state). A Checkpoint captures exactly that — plus a few
+// engine-defined side accumulators — in a form that round-trips through
+// json_dump/json_parse bit-exactly. That buys three things at once:
+//
+//  1. Slicing: an engine can integrate for a bounded SliceBudget, park the
+//     trajectory in a Checkpoint, and resume later with bit-identical
+//     results — the scheduler uses this to preempt low-priority jobs at
+//     slice boundaries (DESIGN.md §12).
+//  2. Durability: a checkpoint written to disk survives a worker killed
+//     mid-slice (SIGKILL chaos scenario); resuming from the last JSON file
+//     reproduces the uninterrupted run exactly.
+//  3. Migration: because the checkpoint carries everything, the resuming
+//     worker can be a different thread, pool, or process.
+//
+// Exactness rules: Real fields serialize through json_number (max_digits10,
+// round-trippable); 64-bit integers serialize as decimal *strings* because
+// JsonValue holds numbers as Real, which is only exact to 2^53 — RNG lanes
+// and step counters use the full 64 bits; flag bytes serialize as one hex
+// string.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace rebooting::core {
+
+class JsonValue;
+
+/// How much work one slice may do before yielding. Both limits zero means
+/// "run to completion" (the non-preemptible fast path). Budgets bound *work
+/// granularity*, not results: a trajectory advanced in many small slices is
+/// bit-identical to one advanced in a single unlimited slice.
+struct SliceBudget {
+  /// Maximum integration steps this slice may take; 0 = unlimited. Adaptive
+  /// drivers count attempted steps (accepted + rejected) so a rejecting
+  /// stiff region cannot stretch a slice unboundedly.
+  std::size_t max_steps = 0;
+  /// Maximum wall-clock seconds for this slice; 0 = unlimited. Wall-driven
+  /// yields move the *cut points* nondeterministically but never the values:
+  /// resume is exact wherever the cut lands.
+  Real max_seconds = 0.0;
+
+  bool unlimited() const { return max_steps == 0 && max_seconds <= 0.0; }
+
+  static SliceBudget steps(std::size_t n) { return SliceBudget{n, 0.0}; }
+  static SliceBudget wall(Real seconds) { return SliceBudget{0, seconds}; }
+};
+
+/// One parked trajectory. The core layer defines only the envelope; each
+/// engine documents its own packing of state/aux/counters/flags (see
+/// DmmSolver and oscillator::Network). `tag` names the producer so a
+/// checkpoint handed to the wrong engine is rejected instead of misread.
+struct Checkpoint {
+  std::string tag;                      ///< producer id, e.g. "dmm"
+  std::uint64_t step = 0;               ///< time index (steps completed)
+  Real t = 0.0;                         ///< simulated time reached
+  std::vector<Real> state;              ///< continuous state vector y
+  std::vector<Real> aux;                ///< engine scalars / trace samples
+  std::vector<std::uint64_t> counters;  ///< engine exact integers
+  std::vector<unsigned char> flags;     ///< engine bytes (signs, phases, ...)
+  RngState rng;                         ///< full RNG stream position
+
+  bool operator==(const Checkpoint&) const = default;
+
+  /// Compact JSON object; json_parse(json_dump()) reproduces *this exactly.
+  std::string json_dump() const;
+  JsonValue to_json() const;
+
+  /// Strict parse; nullopt on malformed documents (wrong types, bad hex,
+  /// non-integral counters) so resume never runs from a torn file.
+  static std::optional<Checkpoint> from_json(std::string_view text);
+  static std::optional<Checkpoint> from_value(const JsonValue& v);
+};
+
+/// Exact decimal rendering/parsing for 64-bit integers carried through JSON
+/// as strings (shared by Checkpoint and EnsembleCheckpoint).
+std::string u64_to_string(std::uint64_t v);
+std::optional<std::uint64_t> u64_from_string(std::string_view s);
+
+/// Byte-vector <-> lowercase hex string (two chars per byte).
+std::string bytes_to_hex(const std::vector<unsigned char>& bytes);
+std::optional<std::vector<unsigned char>> bytes_from_hex(std::string_view hex);
+
+}  // namespace rebooting::core

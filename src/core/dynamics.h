@@ -23,14 +23,17 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/types.h"
 
 namespace rebooting::core {
@@ -172,23 +175,84 @@ inline void rk4_step(Kernel& f, Real t, Real dt, std::span<Real> y,
     y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
 }
 
-/// Fixed-step driver: integrates from t0 to t1 in steps of dt (final step
-/// shortened to land exactly on t1). Time is tracked as t0 + i*dt — an
-/// accumulating `t += dt` drifts by an ulp per step, which over the millions
-/// of steps of an oscillator run shifts every sample instant and the final
-/// time. Observer (bool(Real t, std::span<const Real> y)) is called after
-/// each step; returns the final time reached (== t1 unless stopped early).
+/// Resume cursor for a fixed-step integration. The drift-free time grid
+/// (t = t0 + i*dt) makes the step index the *entire* stepper state besides y:
+/// resuming at step i reproduces the remaining steps bit-exactly because
+/// every time instant is recomputed from i, never accumulated.
+struct FixedCursor {
+  std::uint64_t step = 0;  ///< next step index to execute
+};
+
+/// What one bounded slice of integration did.
+struct SliceOutcome {
+  bool done = false;                ///< reached t1 or stopped by observer
+  Real t_reached = 0.0;             ///< time the trajectory is parked at
+  std::size_t steps_taken = 0;      ///< steps executed within this slice
+  bool stopped_by_observer = false;
+};
+
+namespace detail {
+
+/// Slice stopwatch: wall budgets are checked between steps only, and only
+/// after at least one step, so every slice makes forward progress.
+class SliceClock {
+ public:
+  explicit SliceClock(const SliceBudget& budget)
+      : budget_(budget),
+        start_(budget.max_seconds > 0.0
+                   ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{}) {}
+
+  bool exhausted(std::size_t steps_taken) const {
+    if (steps_taken == 0) return false;
+    if (budget_.max_steps != 0 && steps_taken >= budget_.max_steps)
+      return true;
+    if (budget_.max_seconds > 0.0) {
+      const auto elapsed = std::chrono::duration<Real>(
+          std::chrono::steady_clock::now() - start_);
+      if (elapsed.count() >= budget_.max_seconds) return true;
+    }
+    return false;
+  }
+
+ private:
+  SliceBudget budget_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
+
+/// One budget-bounded slice of the fixed-step driver below. Advances y from
+/// the cursor's step until t1 is reached, the observer stops the run, or the
+/// budget is exhausted; the cursor always points at the next step to execute,
+/// so calling again splices the trajectory with no seam. The arithmetic per
+/// step is identical to an uninterrupted run — slicing can never change a
+/// result, only where the pauses fall.
 template <DynamicsKernel Kernel, typename Observer = NoObserver>
-Real integrate_fixed(Kernel& f, Scheme scheme, Real t0, Real t1, Real dt,
-                     std::span<Real> y, Workspace& ws,
-                     Observer&& observe = {}) {
+SliceOutcome integrate_fixed_slice(Kernel& f, Scheme scheme, Real t0, Real t1,
+                                   Real dt, std::span<Real> y,
+                                   FixedCursor& cursor,
+                                   const SliceBudget& budget, Workspace& ws,
+                                   Observer&& observe = {}) {
   if (!(dt > 0.0))
     throw std::invalid_argument("integrate_fixed: dt must be > 0");
   const auto ws_scope = ws.scope();
   std::span<Real> scratch = ws.real(5 * y.size());
-  for (std::size_t i = 0;; ++i) {
+  const detail::SliceClock clock(budget);
+  SliceOutcome out;
+  for (std::uint64_t i = cursor.step;; ++i) {
     const Real t = t0 + static_cast<Real>(i) * dt;
-    if (t >= t1) return t1;
+    if (t >= t1) {
+      cursor.step = i;
+      out.done = true;
+      out.t_reached = t1;
+      return out;
+    }
+    if (clock.exhausted(out.steps_taken)) {
+      cursor.step = i;
+      out.t_reached = t;
+      return out;
+    }
     const Real step = std::min(dt, t1 - t);
     switch (scheme) {
       case Scheme::kEuler:
@@ -201,11 +265,35 @@ Real integrate_fixed(Kernel& f, Scheme scheme, Real t0, Real t1, Real dt,
         rk4_step(f, t, step, y, scratch);
         break;
     }
+    ++out.steps_taken;
     const Real t_next = std::min(t0 + static_cast<Real>(i + 1) * dt, t1);
     if constexpr (detail::kHasObserver<Observer>) {
-      if (!observe(t_next, std::span<const Real>(y))) return t_next;
+      if (!observe(t_next, std::span<const Real>(y))) {
+        cursor.step = i + 1;
+        out.done = true;
+        out.t_reached = t_next;
+        out.stopped_by_observer = true;
+        return out;
+      }
     }
   }
+}
+
+/// Fixed-step driver: integrates from t0 to t1 in steps of dt (final step
+/// shortened to land exactly on t1). Time is tracked as t0 + i*dt — an
+/// accumulating `t += dt` drifts by an ulp per step, which over the millions
+/// of steps of an oscillator run shifts every sample instant and the final
+/// time. Observer (bool(Real t, std::span<const Real> y)) is called after
+/// each step; returns the final time reached (== t1 unless stopped early).
+/// Implemented as a single unlimited slice of integrate_fixed_slice.
+template <DynamicsKernel Kernel, typename Observer = NoObserver>
+Real integrate_fixed(Kernel& f, Scheme scheme, Real t0, Real t1, Real dt,
+                     std::span<Real> y, Workspace& ws,
+                     Observer&& observe = {}) {
+  FixedCursor cursor;
+  return integrate_fixed_slice(f, scheme, t0, t1, dt, y, cursor, SliceBudget{},
+                               ws, std::forward<Observer>(observe))
+      .t_reached;
 }
 
 /// Adaptive Runge–Kutta–Fehlberg 4(5) controls (shared with ode.h).
@@ -228,13 +316,37 @@ struct AdaptiveResult {
   bool hit_step_limit = false;
 };
 
-/// Adaptive RKF45 driver with PI-free classic step control (factor clamped to
-/// [0.2, 5]). All stage storage comes from the workspace.
+/// Resume cursor for the adaptive driver. Unlike the fixed grid, RKF45
+/// accumulates t and carries the controller's step size across steps, so
+/// both are part of the resumable state alongside the accept/reject tallies.
+struct AdaptiveCursor {
+  Real t = 0.0;
+  Real dt = 0.0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  bool initialized = false;  ///< first slice seeds t/dt from (t0, opts)
+};
+
+/// Slice outcome of the adaptive driver: `result` carries the *cumulative*
+/// tallies so far (mirroring the cursor); its flags are only final once
+/// done is true.
+struct AdaptiveSliceOutcome {
+  bool done = false;
+  AdaptiveResult result;
+  std::size_t attempts_taken = 0;  ///< accepted + rejected steps this slice
+};
+
+/// One budget-bounded slice of the adaptive RKF45 driver. Identical
+/// arithmetic to integrate_adaptive; the budget counts attempted steps
+/// (accepted + rejected) so a stiff rejecting region still yields promptly.
 template <DynamicsKernel Kernel, typename Observer = NoObserver>
-AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
-                                  std::span<Real> y,
-                                  const AdaptiveOptions& opts, Workspace& ws,
-                                  Observer&& observe = {}) {
+AdaptiveSliceOutcome integrate_adaptive_slice(Kernel& f, Real t0, Real t1,
+                                              std::span<Real> y,
+                                              const AdaptiveOptions& opts,
+                                              AdaptiveCursor& cursor,
+                                              const SliceBudget& budget,
+                                              Workspace& ws,
+                                              Observer&& observe = {}) {
   // Classic RKF45 (Fehlberg) tableau.
   static constexpr Real a21 = 1.0 / 4.0;
   static constexpr Real a31 = 3.0 / 32.0, a32 = 9.0 / 32.0;
@@ -260,13 +372,28 @@ AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
        k5 = stages.subspan(4 * n, n), k6 = stages.subspan(5 * n, n),
        tmp = stages.subspan(6 * n, n), y5 = stages.subspan(7 * n, n);
 
+  if (!cursor.initialized) {
+    cursor.t = t0;
+    cursor.dt = std::clamp(opts.initial_dt, opts.min_dt, opts.max_dt);
+    cursor.initialized = true;
+  }
+
+  const detail::SliceClock clock(budget);
+  AdaptiveSliceOutcome out;
   AdaptiveResult res;
-  Real t = t0;
-  Real dt = std::clamp(opts.initial_dt, opts.min_dt, opts.max_dt);
+  res.accepted_steps = static_cast<std::size_t>(cursor.accepted);
+  res.rejected_steps = static_cast<std::size_t>(cursor.rejected);
+  Real t = cursor.t;
+  Real dt = cursor.dt;
+  out.done = true;  // cleared below if the budget interrupts the loop
 
   while (t < t1) {
     if (res.accepted_steps >= opts.max_steps) {
       res.hit_step_limit = true;
+      break;
+    }
+    if (clock.exhausted(out.attempts_taken)) {
+      out.done = false;
       break;
     }
     dt = std::min(dt, t1 - t);
@@ -303,6 +430,8 @@ AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
     }
     err_norm = std::sqrt(err_norm / static_cast<Real>(n));
 
+    ++out.attempts_taken;
+    bool observer_stop = false;
     if (err_norm <= 1.0 || dt <= opts.min_dt) {
       // Accept (forcibly when already at the minimum step).
       t += dt;
@@ -311,7 +440,7 @@ AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
       if constexpr (detail::kHasObserver<Observer>) {
         if (!observe(t, std::span<const Real>(y))) {
           res.stopped_by_observer = true;
-          break;
+          observer_stop = true;
         }
       }
     } else {
@@ -322,10 +451,30 @@ AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
         (err_norm > 0.0) ? std::clamp(0.9 * std::pow(err_norm, -0.2), 0.2, 5.0)
                          : 5.0;
     dt = std::clamp(dt * factor, opts.min_dt, opts.max_dt);
+    if (observer_stop) break;
   }
 
+  cursor.t = t;
+  cursor.dt = dt;
+  cursor.accepted = res.accepted_steps;
+  cursor.rejected = res.rejected_steps;
   res.t_final = t;
-  return res;
+  out.result = res;
+  return out;
+}
+
+/// Adaptive RKF45 driver with PI-free classic step control (factor clamped to
+/// [0.2, 5]). All stage storage comes from the workspace. Implemented as a
+/// single unlimited slice of integrate_adaptive_slice.
+template <DynamicsKernel Kernel, typename Observer = NoObserver>
+AdaptiveResult integrate_adaptive(Kernel& f, Real t0, Real t1,
+                                  std::span<Real> y,
+                                  const AdaptiveOptions& opts, Workspace& ws,
+                                  Observer&& observe = {}) {
+  AdaptiveCursor cursor;
+  return integrate_adaptive_slice(f, t0, t1, y, opts, cursor, SliceBudget{},
+                                  ws, std::forward<Observer>(observe))
+      .result;
 }
 
 }  // namespace rebooting::core

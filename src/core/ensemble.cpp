@@ -4,9 +4,12 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/json.h"
 #include "telemetry/telemetry.h"
 
 namespace rebooting::core {
@@ -19,69 +22,191 @@ Real seconds_since(Clock::time_point start) {
   return std::chrono::duration<Real>(Clock::now() - start).count();
 }
 
+/// Lock-free monotone minimum (std::atomic::fetch_min is C++26).
+void fetch_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
-                           const EnsembleBody& body) {
+bool EnsembleCheckpoint::done() const {
+  if (!initialized()) return false;
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(stop_index, count == 0 ? 0 : count - 1);
+  for (std::uint64_t i = 0; i <= limit && i < count; ++i)
+    if (!finished[i]) return false;
+  return true;
+}
+
+std::size_t EnsembleCheckpoint::pending() const {
+  if (!initialized()) return count;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    if (!finished[i] && i <= stop_index) ++n;
+  return n;
+}
+
+std::string EnsembleCheckpoint::json_dump() const {
+  std::vector<JsonValue> trajs;
+  trajs.reserve(trajectories.size());
+  for (const Checkpoint& t : trajectories) trajs.push_back(t.to_json());
+  JsonValue::Members members;
+  members.emplace_back("count", JsonValue::make_string(u64_to_string(count)));
+  members.emplace_back("stop_index",
+                       JsonValue::make_string(u64_to_string(stop_index)));
+  members.emplace_back("started", JsonValue::make_string(bytes_to_hex(
+                                      std::vector<unsigned char>(
+                                          started.begin(), started.end()))));
+  members.emplace_back("finished", JsonValue::make_string(bytes_to_hex(
+                                       std::vector<unsigned char>(
+                                           finished.begin(), finished.end()))));
+  members.emplace_back("trajectories", JsonValue::make_array(std::move(trajs)));
+  return core::json_dump(JsonValue::make_object(std::move(members)));
+}
+
+std::optional<EnsembleCheckpoint> EnsembleCheckpoint::from_json(
+    std::string_view text) {
+  const auto parsed = json_parse(text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const JsonValue& v = *parsed;
+  EnsembleCheckpoint ckpt;
+
+  const auto u64_field = [&v](const char* key) -> std::optional<std::uint64_t> {
+    if (!v.contains(key) || v.at(key).type() != JsonValue::Type::kString)
+      return std::nullopt;
+    return u64_from_string(v.at(key).string());
+  };
+  const auto count = u64_field("count");
+  const auto stop = u64_field("stop_index");
+  if (!count || !stop) return std::nullopt;
+  ckpt.count = static_cast<std::size_t>(*count);
+  ckpt.stop_index = *stop;
+
+  const auto byte_field =
+      [&v](const char* key) -> std::optional<std::vector<unsigned char>> {
+    if (!v.contains(key) || v.at(key).type() != JsonValue::Type::kString)
+      return std::nullopt;
+    return bytes_from_hex(v.at(key).string());
+  };
+  auto started = byte_field("started");
+  auto finished = byte_field("finished");
+  if (!started || !finished) return std::nullopt;
+  ckpt.started = std::move(*started);
+  ckpt.finished = std::move(*finished);
+
+  if (!v.contains("trajectories") || !v.at("trajectories").is_array())
+    return std::nullopt;
+  for (const JsonValue& t : v.at("trajectories").array()) {
+    auto traj = Checkpoint::from_value(t);
+    if (!traj) return std::nullopt;
+    ckpt.trajectories.push_back(std::move(*traj));
+  }
+  if (ckpt.trajectories.size() != ckpt.count ||
+      ckpt.started.size() != ckpt.count || ckpt.finished.size() != ckpt.count)
+    return std::nullopt;
+  return ckpt;
+}
+
+SlicedEnsembleResult run_ensemble_sliced(std::size_t count,
+                                         const EnsembleOptions& opts,
+                                         const SliceBudget& budget,
+                                         EnsembleCheckpoint& ckpt,
+                                         const SlicedEnsembleBody& body) {
   TELEM_SPAN("ensemble.run");
   TELEM_TRACE_SCOPE("ensemble.run");
-  EnsembleStats stats;
-  if (count == 0) return stats;
+  SlicedEnsembleResult out;
+  if (count == 0) {
+    out.done = true;
+    return out;
+  }
+  if (!ckpt.initialized()) {
+    ckpt.count = count;
+    ckpt.trajectories.assign(count, Checkpoint{});
+    ckpt.started.assign(count, 0);
+    ckpt.finished.assign(count, 0);
+  } else if (ckpt.count != count || ckpt.trajectories.size() != count ||
+             ckpt.started.size() != count || ckpt.finished.size() != count) {
+    throw std::invalid_argument(
+        "run_ensemble_sliced: checkpoint does not match ensemble size");
+  }
+
+  // The work list for this invocation: unfinished trajectories at or below
+  // the stop line, in ascending index order. Claims hand out positions in
+  // this list from an atomic counter, so the in-order-claim determinism
+  // argument of the unsliced runner carries over verbatim.
+  std::vector<std::size_t> work;
+  work.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    if (!ckpt.finished[i] && i <= ckpt.stop_index) work.push_back(i);
+  if (work.empty()) {
+    out.done = ckpt.done();
+    return out;
+  }
 
   std::size_t threads = opts.threads != 0
                             ? opts.threads
                             : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, count);
-  stats.threads_used = threads;
+  threads = std::min(threads, work.size());
+  out.stats.threads_used = threads;
 
   const bool telem = telemetry::Telemetry::enabled();
   const auto start = Clock::now();
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
-  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> slices{0};
+  std::atomic<std::uint64_t> stop_at{ckpt.stop_index};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&]() {
-    // One arena per worker for the whole run: trajectory bodies carve their
-    // state from it under a Scope, so iteration k reuses iteration k-1's
+    // One arena per worker for the whole invocation: slice bodies carve
+    // their scratch from it under a Scope, so slice k reuses slice k-1's
     // blocks instead of allocating.
     Workspace ws;
-    // stop is checked BEFORE claiming, never after: once fetch_add hands out
-    // an index it always executes. Claims are monotone, so a stop triggered
-    // by index w implies every i < w was claimed earlier and runs to
-    // completion — the determinism guarantee in the header depends on this
-    // ordering.
-    while (!stop.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= work.size()) break;
+      const std::size_t i = work[k];
+      // A stop that landed below this index parks the trajectory where its
+      // checkpoint stands; claims are monotone, so every index at or below
+      // the stopper was claimed earlier and is driven normally.
+      if (static_cast<std::uint64_t>(i) > stop_at.load(std::memory_order_relaxed))
+        continue;
       const auto traj_start = Clock::now();
-      bool keep_going = true;
+      SliceStatus status;
       try {
         // One claim/run slice per trajectory, tagged with its index, so the
         // exported timeline shows which worker ran which replica when.
         TELEM_TRACE_SCOPE_ID("ensemble.trajectory", i);
-        keep_going = body(i, ws);
+        ckpt.started[i] = 1;
+        status = body(i, ckpt.trajectories[i], budget, ws);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        stop.store(true, std::memory_order_relaxed);
+        abort.store(true, std::memory_order_relaxed);
         break;
       }
-      const std::size_t done =
-          completed.fetch_add(1, std::memory_order_relaxed) + 1;
-      TELEM_TRACE_COUNTER("ensemble.completed", done);
+      slices.fetch_add(1, std::memory_order_relaxed);
+      if (status.done) {
+        ckpt.finished[i] = 1;
+        const std::size_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        TELEM_TRACE_COUNTER("ensemble.completed", done);
+      }
       if (telem)
         telemetry::Telemetry::instance().metrics().record(
             opts.telemetry_label + ".trajectory_seconds",
             seconds_since(traj_start));
-      if (!keep_going) {
-        stop.store(true, std::memory_order_relaxed);
+      if (status.request_stop) {
+        fetch_min(stop_at, static_cast<std::uint64_t>(i));
         TELEM_TRACE_INSTANT("ensemble.early_stop");
-        break;
       }
     }
   };
@@ -95,28 +220,52 @@ EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
     for (std::thread& t : pool) t.join();
   }
 
+  ckpt.stop_index = stop_at.load(std::memory_order_relaxed);
+
   if (first_error) std::rethrow_exception(first_error);
 
-  stats.trajectories = completed.load(std::memory_order_relaxed);
-  stats.stopped_early =
-      stop.load(std::memory_order_relaxed) && stats.trajectories < count;
-  stats.wall_seconds = seconds_since(start);
-  stats.trajectories_per_second =
-      stats.wall_seconds > 0.0
-          ? static_cast<Real>(stats.trajectories) / stats.wall_seconds
+  out.slices = slices.load(std::memory_order_relaxed);
+  out.done = ckpt.done();
+  out.stats.trajectories = completed.load(std::memory_order_relaxed);
+  out.stats.stopped_early = ckpt.stop_index != EnsembleCheckpoint::kNoStop &&
+                            out.stats.trajectories < count;
+  out.stats.wall_seconds = seconds_since(start);
+  out.stats.trajectories_per_second =
+      out.stats.wall_seconds > 0.0
+          ? static_cast<Real>(out.stats.trajectories) / out.stats.wall_seconds
           : 0.0;
 
   if (telem) {
     auto& metrics = telemetry::Telemetry::instance().metrics();
     metrics.add(opts.telemetry_label + ".trajectories",
-                static_cast<Real>(stats.trajectories));
+                static_cast<Real>(out.stats.trajectories));
+    metrics.add(opts.telemetry_label + ".slices",
+                static_cast<Real>(out.slices));
     metrics.set(opts.telemetry_label + ".threads",
-                static_cast<Real>(stats.threads_used));
+                static_cast<Real>(out.stats.threads_used));
     metrics.set(opts.telemetry_label + ".trajectories_per_second",
-                stats.trajectories_per_second);
-    if (stats.stopped_early) metrics.add(opts.telemetry_label + ".early_stop");
+                out.stats.trajectories_per_second);
+    if (out.stats.stopped_early)
+      metrics.add(opts.telemetry_label + ".early_stop");
   }
-  return stats;
+  return out;
+}
+
+EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
+                           const EnsembleBody& body) {
+  // The classic API is one unlimited slice per trajectory: the body runs to
+  // completion, its "keep going" return maps onto the stop request, and the
+  // per-trajectory checkpoints stay empty (state lives in the caller's
+  // slots, as before).
+  EnsembleCheckpoint ckpt;
+  const auto adapter = [&body](std::size_t index, Checkpoint&,
+                               const SliceBudget&, Workspace& ws) {
+    SliceStatus status;
+    status.done = true;
+    status.request_stop = !body(index, ws);
+    return status;
+  };
+  return run_ensemble_sliced(count, opts, SliceBudget{}, ckpt, adapter).stats;
 }
 
 }  // namespace rebooting::core

@@ -23,9 +23,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/checkpoint.h"
 #include "core/dynamics.h"
 #include "core/types.h"
 
@@ -54,8 +60,81 @@ using EnsembleBody = std::function<bool(std::size_t index, Workspace& ws)>;
 
 /// Runs `count` trajectories across the pool and blocks until every claimed
 /// trajectory finished. Exceptions thrown by the body stop the ensemble and
-/// the first one is rethrown here.
+/// the first one is rethrown here. Implemented on the sliced runner below
+/// with an unlimited budget, so both paths share one worker pool and one
+/// determinism argument.
 EnsembleStats run_ensemble(std::size_t count, const EnsembleOptions& opts,
                            const EnsembleBody& body);
+
+// ---------------------------------------------------------------------------
+// Resumable (sliced) ensembles
+// ---------------------------------------------------------------------------
+
+/// What one slice of one trajectory reports back to the runner.
+struct SliceStatus {
+  /// Trajectory reached its natural end (its per-trajectory checkpoint holds
+  /// the final state; results are recoverable from it at any later time).
+  bool done = false;
+  /// Deterministic early stop: no trajectory with a *higher* index than this
+  /// one should be advanced further (mirrors EnsembleBody returning false).
+  bool request_stop = false;
+};
+
+/// Sliced trajectory body: advance trajectory `index` by at most `budget`,
+/// keeping all resumable state inside `ckpt`. A fresh trajectory arrives
+/// with an empty checkpoint (ckpt.tag.empty()); the body initializes it.
+/// All randomness must live in ckpt.rng (seeded via Rng::stream(seed, index))
+/// so a resumed slice — on any thread, in any process — continues the exact
+/// stream.
+using SlicedEnsembleBody = std::function<SliceStatus(
+    std::size_t index, Checkpoint& ckpt, const SliceBudget& budget,
+    Workspace& ws)>;
+
+/// The resumable state of a whole ensemble: one checkpoint per trajectory
+/// plus the claim/finish bookkeeping. Serializes to JSON (round-trippable)
+/// so an ensemble can be parked to disk mid-flight and spliced back —
+/// including across a SIGKILL.
+struct EnsembleCheckpoint {
+  static constexpr std::uint64_t kNoStop =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::size_t count = 0;                 ///< total trajectories
+  std::vector<Checkpoint> trajectories;  ///< size == count once initialized
+  std::vector<unsigned char> started;    ///< body has seen this index
+  std::vector<unsigned char> finished;   ///< trajectory reached its end
+  /// Lowest index whose slice requested a stop; trajectories with a higher
+  /// index are no longer advanced (their checkpoints stay parked), while
+  /// indices <= stop_index are still driven to completion — that keeps the
+  /// winning index deterministic, exactly as in the unsliced runner.
+  std::uint64_t stop_index = kNoStop;
+
+  bool initialized() const { return count != 0 && !trajectories.empty(); }
+  /// True when every trajectory that still matters (index <= stop_index)
+  /// has finished.
+  bool done() const;
+  /// Indices the next invocation would advance (unfinished, below the stop).
+  std::size_t pending() const;
+
+  std::string json_dump() const;
+  static std::optional<EnsembleCheckpoint> from_json(std::string_view text);
+};
+
+struct SlicedEnsembleResult {
+  bool done = false;       ///< ensemble finished; no further calls needed
+  EnsembleStats stats;     ///< stats for *this invocation's* slices
+  std::size_t slices = 0;  ///< trajectory slices executed this invocation
+};
+
+/// Advances every pending trajectory of the ensemble by one slice of
+/// `budget` and returns, leaving `ckpt` ready to be resumed (or serialized).
+/// Called with an unlimited budget it behaves exactly like run_ensemble.
+/// Trajectories are claimed in ascending index order by the same atomic
+/// protocol as run_ensemble, so results and the winning index are
+/// bit-identical at any thread count, any slicing, and across resumes.
+SlicedEnsembleResult run_ensemble_sliced(std::size_t count,
+                                         const EnsembleOptions& opts,
+                                         const SliceBudget& budget,
+                                         EnsembleCheckpoint& ckpt,
+                                         const SlicedEnsembleBody& body);
 
 }  // namespace rebooting::core

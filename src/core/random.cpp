@@ -94,6 +94,28 @@ bool Rng::bernoulli(Real p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng((*this)()); }
 
+RngState Rng::save() const {
+  RngState state;
+  state.lanes = state_;
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+Rng Rng::restore(const RngState& state) {
+  Rng rng;
+  rng.state_ = state.lanes;
+  // Guard the one invalid xoshiro state so a corrupted checkpoint cannot
+  // produce an all-zero (constant) generator.
+  if (rng.state_[0] == 0 && rng.state_[1] == 0 && rng.state_[2] == 0 &&
+      rng.state_[3] == 0) {
+    rng.state_[0] = 1;
+  }
+  rng.cached_normal_ = state.cached_normal;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  return rng;
+}
+
 Rng Rng::stream(std::uint64_t base_seed, std::uint64_t stream_index) {
   // Mix seed and counter through separate splitmix64 chains before combining:
   // adjacent counters (0, 1, 2, ...) land in unrelated regions of the seed

@@ -15,6 +15,19 @@
 
 namespace rebooting::core {
 
+/// Complete serializable snapshot of an Rng: the four xoshiro lanes plus the
+/// Box–Muller cache (normal() computes deviates in pairs; dropping the cached
+/// one would shift every subsequent draw by half a pair). Restoring a state
+/// resumes the stream bit-exactly, which is what makes checkpointed
+/// trajectories identical to uninterrupted ones (core/checkpoint.h).
+struct RngState {
+  std::array<std::uint64_t, 4> lanes{};
+  Real cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256** 1.0 generator. Satisfies std::uniform_random_bit_generator,
 /// so it can also be plugged into <random> distributions when needed.
 class Rng {
@@ -79,6 +92,13 @@ class Rng {
   /// the seeding path uses), so stream(s, 0), stream(s, 1), ... are as
   /// independent as freshly seeded generators.
   static Rng stream(std::uint64_t base_seed, std::uint64_t stream_index);
+
+  /// Snapshots the full generator state (lanes + normal cache).
+  RngState save() const;
+
+  /// Rebuilds a generator from a snapshot; restore(save()) continues the
+  /// stream exactly where save() left it.
+  static Rng restore(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -92,6 +92,33 @@ struct DmmSolver::Kernel {
   }
 };
 
+namespace {
+
+// Checkpoint layout for tag "dmm". The packed state vector [v | xs | xl]
+// lives in Checkpoint::state; everything else fans out over the envelope's
+// side channels at the fixed offsets below. All of it together is the
+// *entire* mutable state of the solve loop, which is what makes a resumed
+// trajectory bit-identical to an uninterrupted one.
+constexpr const char kDmmTag[] = "dmm";
+// flags: [finished, satisfied, hit_limit, sign_bit[n], best assignment[n+1]]
+constexpr std::size_t kFlagFinished = 0;
+constexpr std::size_t kFlagSatisfied = 1;
+constexpr std::size_t kFlagHitLimit = 2;
+constexpr std::size_t kFlagSign = 3;
+// counters: [steps_to_best, best_unsatisfied, n, m, avalanche sizes...]
+constexpr std::size_t kCtrStepsToBest = 0;
+constexpr std::size_t kCtrBestUnsat = 1;
+constexpr std::size_t kCtrVars = 2;
+constexpr std::size_t kCtrClauses = 3;
+constexpr std::size_t kCtrTail = 4;
+// aux: [best_weight, max_abs_voltage, final weight, energy trace...]
+constexpr std::size_t kAuxBestWeight = 0;
+constexpr std::size_t kAuxMaxAbsV = 1;
+constexpr std::size_t kAuxFinalWeight = 2;
+constexpr std::size_t kAuxTail = 3;
+
+}  // namespace
+
 DmmResult DmmSolver::solve(core::Rng& rng) const {
   std::vector<Real> v0(cnf_.num_variables());
   for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
@@ -107,12 +134,115 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng) const {
 
 DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
                                 core::Workspace& ws) const {
+  // One unlimited slice is exactly the uninterrupted solve; the caller's
+  // generator is advanced past the noise draws via the checkpoint, keeping
+  // the legacy by-reference RNG contract.
+  core::Checkpoint ckpt = begin(std::move(v0), rng);
+  DmmSliceOutcome out = advance(ckpt, core::SliceBudget{}, ws);
+  rng = core::Rng::restore(ckpt.rng);
+  return std::move(out.result);
+}
+
+core::Checkpoint DmmSolver::begin(std::vector<Real> v0,
+                                  const core::Rng& rng) const {
+  const std::size_t n = cnf_.num_variables();
+  const std::size_t m = clauses_.size();
+  if (v0.size() != n)
+    throw std::invalid_argument("DmmSolver::begin: bad v0 size");
+
+  core::Checkpoint ckpt;
+  ckpt.tag = kDmmTag;
+  ckpt.rng = rng.save();
+  ckpt.state.resize(n + 2 * m);
+  std::copy(v0.begin(), v0.end(), ckpt.state.begin());
+  std::fill(ckpt.state.begin() + n, ckpt.state.begin() + n + m, 0.5);
+  std::fill(ckpt.state.begin() + n + m, ckpt.state.end(), 1.0);
+  ckpt.flags.assign(kFlagSign + n + (n + 1), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ckpt.flags[kFlagSign + i] = v0[i] > 0.0 ? 1 : 0;
+  ckpt.counters.assign(kCtrTail, 0);
+  ckpt.counters[kCtrBestUnsat] = m;
+  ckpt.counters[kCtrVars] = n;
+  ckpt.counters[kCtrClauses] = m;
+  ckpt.aux.assign(kAuxTail, 0.0);
+  ckpt.aux[kAuxBestWeight] = -1.0;  // negative = nothing recorded yet
+
+  // Initial digital readout, identical to the head of the classic solve: it
+  // seeds best_unsatisfied / best assignment, and may finish the trajectory
+  // outright when v0 already satisfies the formula.
+  Assignment a(n + 1, false);
+  for (std::size_t i = 0; i < n; ++i) a[i + 1] = v0[i] > 0.0;
+  const std::size_t unsat = cnf_.count_unsatisfied(a);
+  ckpt.counters[kCtrBestUnsat] = std::min<std::uint64_t>(m, unsat);
+  ckpt.aux[kAuxBestWeight] = opts_.maxsat_mode
+                                 ? cnf_.unsatisfied_weight(a)
+                                 : static_cast<Real>(unsat);
+  for (std::size_t i = 0; i <= n; ++i)
+    ckpt.flags[kFlagSign + n + i] = a[i] ? 1 : 0;
+  if (unsat == 0) {
+    ckpt.flags[kFlagFinished] = 1;
+    ckpt.flags[kFlagSatisfied] = 1;
+    ckpt.counters[kCtrBestUnsat] = 0;
+    ckpt.aux[kAuxFinalWeight] = 0.0;
+  }
+  return ckpt;
+}
+
+DmmResult DmmSolver::result_from_checkpoint(
+    const core::Checkpoint& ckpt) const {
+  const std::size_t n = cnf_.num_variables();
+  const std::size_t m = clauses_.size();
+  if (ckpt.tag != kDmmTag || ckpt.counters.size() < kCtrTail ||
+      ckpt.counters[kCtrVars] != n || ckpt.counters[kCtrClauses] != m ||
+      ckpt.flags.size() != kFlagSign + n + (n + 1) ||
+      ckpt.state.size() != n + 2 * m || ckpt.aux.size() < kAuxTail)
+    throw std::invalid_argument(
+        "DmmSolver::result_from_checkpoint: foreign or corrupt checkpoint");
+  if (!ckpt.flags[kFlagFinished])
+    throw std::invalid_argument(
+        "DmmSolver::result_from_checkpoint: trajectory not finished");
+
+  DmmResult result;
+  result.satisfied = ckpt.flags[kFlagSatisfied] != 0;
+  result.hit_limit = ckpt.flags[kFlagHitLimit] != 0;
+  result.steps = static_cast<std::size_t>(ckpt.step);
+  result.steps_to_best = static_cast<std::size_t>(ckpt.counters[kCtrStepsToBest]);
+  result.sim_time = ckpt.t;
+  result.best_unsatisfied = static_cast<std::size_t>(ckpt.counters[kCtrBestUnsat]);
+  result.best_unsatisfied_weight = ckpt.aux[kAuxFinalWeight];
+  result.max_abs_voltage = ckpt.aux[kAuxMaxAbsV];
+  result.assignment.assign(n + 1, false);
+  for (std::size_t i = 0; i <= n; ++i)
+    result.assignment[i] = ckpt.flags[kFlagSign + n + i] != 0;
+  result.energy_trace.assign(ckpt.aux.begin() + kAuxTail, ckpt.aux.end());
+  result.avalanche_sizes.clear();
+  for (std::size_t i = kCtrTail; i < ckpt.counters.size(); ++i)
+    result.avalanche_sizes.push_back(
+        static_cast<std::size_t>(ckpt.counters[i]));
+  return result;
+}
+
+DmmSliceOutcome DmmSolver::advance(core::Checkpoint& ckpt,
+                                   const core::SliceBudget& budget,
+                                   core::Workspace& ws) const {
   TELEM_SPAN("dmm.solve");
   TELEM_TRACE_SCOPE("dmm.solve");
   const std::size_t n = cnf_.num_variables();
   const std::size_t m = clauses_.size();
-  if (v0.size() != n)
-    throw std::invalid_argument("DmmSolver::solve_from: bad v0 size");
+  if (ckpt.tag != kDmmTag || ckpt.counters.size() < kCtrTail ||
+      ckpt.counters[kCtrVars] != n || ckpt.counters[kCtrClauses] != m ||
+      ckpt.flags.size() != kFlagSign + n + (n + 1) ||
+      ckpt.state.size() != n + 2 * m || ckpt.aux.size() < kAuxTail)
+    throw std::invalid_argument(
+        "DmmSolver::advance: foreign or corrupt checkpoint");
+
+  DmmSliceOutcome out;
+  if (ckpt.flags[kFlagFinished]) {
+    out.done = true;
+    out.result = result_from_checkpoint(ckpt);
+    return out;
+  }
+
   const DmmParams& p = opts_.params;
   // Hoisted enable check: the integration loop below runs up to max_steps
   // (millions) iterations; per-step telemetry must cost nothing when off.
@@ -123,9 +253,10 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
   // recording would dominate the solve at registry-lock granularity.
   constexpr std::size_t kEnergyTelemStride = 64;
 
-  // All integration state comes from the workspace: packed state y, its
+  // All integration scratch comes from the workspace: packed state y, its
   // derivative, and the digital sign bits. The Scope recycles the blocks for
-  // the next trajectory on this thread.
+  // the next slice on this thread; resumable state is copied in from the
+  // checkpoint here and copied back out at every slice boundary.
   const auto ws_scope = ws.scope();
   const std::span<Real> y = ws.real(n + 2 * m);
   const std::span<Real> dydt = ws.real(n + 2 * m);
@@ -138,38 +269,55 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
   const auto dxs = dydt.subspan(n, m);
   const auto dxl = dydt.subspan(n + m, m);
 
-  std::copy(v0.begin(), v0.end(), v.begin());
-  std::fill(xs.begin(), xs.end(), 0.5);
-  std::fill(xl.begin(), xl.end(), 1.0);
-  for (std::size_t i = 0; i < n; ++i) sign_bit[i] = v[i] > 0.0 ? 1 : 0;
+  std::copy(ckpt.state.begin(), ckpt.state.end(), y.begin());
+  std::copy(ckpt.flags.begin() + kFlagSign,
+            ckpt.flags.begin() + kFlagSign + n, sign_bit.begin());
 
+  core::Rng rng = core::Rng::restore(ckpt.rng);
   Kernel kernel{*this};
 
   DmmResult result;
-  result.best_unsatisfied = m;
-  Real best_weight = -1.0;  // negative = nothing recorded yet
+  result.steps = static_cast<std::size_t>(ckpt.step);
+  result.sim_time = ckpt.t;
+  result.steps_to_best = static_cast<std::size_t>(ckpt.counters[kCtrStepsToBest]);
+  result.best_unsatisfied = static_cast<std::size_t>(ckpt.counters[kCtrBestUnsat]);
+  result.max_abs_voltage = ckpt.aux[kAuxMaxAbsV];
+  result.energy_trace.assign(ckpt.aux.begin() + kAuxTail, ckpt.aux.end());
+  for (std::size_t i = kCtrTail; i < ckpt.counters.size(); ++i)
+    result.avalanche_sizes.push_back(
+        static_cast<std::size_t>(ckpt.counters[i]));
+  result.assignment.assign(n + 1, false);
+  for (std::size_t i = 0; i <= n; ++i)
+    result.assignment[i] = ckpt.flags[kFlagSign + n + i] != 0;
+  Real best_weight = ckpt.aux[kAuxBestWeight];
 
-  // Counter dump on every return path (solved early, solved mid-loop, or
-  // step-limit hit), while the dmm.solve span is still open.
+  const std::size_t steps_at_entry = result.steps;
+
+  // Counter dump on every return path (finished or preempted), while the
+  // dmm.solve span is still open. Only this slice's step delta is added so
+  // sliced and unsliced runs report identical totals.
   struct TelemFlush {
     const DmmResult& result;
+    std::size_t entry_steps;
     const std::size_t& clamped_min;
     const std::size_t& clamped_max;
     std::size_t clauses;
     ~TelemFlush() {
       if (!telemetry::Telemetry::enabled()) return;
+      const auto slice_steps =
+          static_cast<Real>(result.steps - entry_steps);
       auto& metrics = telemetry::Telemetry::instance().metrics();
-      metrics.add("dmm.steps", static_cast<Real>(result.steps));
+      metrics.add("dmm.steps", slice_steps);
       // One full clause sweep (all dv/dxs/dxl derivatives) per step.
-      metrics.add("dmm.rhs_evals", static_cast<Real>(result.steps));
+      metrics.add("dmm.rhs_evals", slice_steps);
       metrics.add("dmm.clause_rhs_evals",
-                  static_cast<Real>(result.steps * clauses));
+                  slice_steps * static_cast<Real>(clauses));
       metrics.add("dmm.dt_clamped_min", static_cast<Real>(clamped_min));
       metrics.add("dmm.dt_clamped_max", static_cast<Real>(clamped_max));
       metrics.set("dmm.best_unsatisfied",
                   static_cast<Real>(result.best_unsatisfied));
     }
-  } telem_flush{result, dt_clamped_min, dt_clamped_max, m};
+  } telem_flush{result, steps_at_entry, dt_clamped_min, dt_clamped_max, m};
 
   Assignment a(n + 1, false);
   const auto evaluate_assignment = [&]() {
@@ -187,16 +335,12 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
     return unsat;
   };
 
-  if (evaluate_assignment() == 0) {
-    result.satisfied = true;
-    result.best_unsatisfied = 0;
-    result.best_unsatisfied_weight = 0.0;
-    return result;
-  }
-
   const Real xl_ceiling = p.xl_max * static_cast<Real>(m);
+  const core::detail::SliceClock clock(budget);
+  bool finished = false;
 
-  for (std::size_t step = 0; step < opts_.max_steps; ++step) {
+  for (std::size_t step = result.steps; step < opts_.max_steps; ++step) {
+    if (clock.exhausted(step - steps_at_entry)) break;
     kernel.rhs(result.sim_time, y, dydt);
 
     // Adaptive forward-Euler step from the largest voltage rate.
@@ -250,47 +394,100 @@ DmmResult DmmSolver::solve_from(std::vector<Real> v0, core::Rng& rng,
         result.satisfied = true;
         result.best_unsatisfied = 0;
         result.best_unsatisfied_weight = 0.0;
-        return result;
+        finished = true;
+        break;
       }
     }
   }
 
-  result.hit_limit = true;
-  result.satisfied = result.best_unsatisfied == 0;
-  result.best_unsatisfied_weight =
-      opts_.maxsat_mode ? std::max(best_weight, 0.0)
-                        : static_cast<Real>(result.best_unsatisfied);
-  return result;
+  if (!finished && result.steps >= opts_.max_steps) {
+    result.hit_limit = true;
+    result.satisfied = result.best_unsatisfied == 0;
+    result.best_unsatisfied_weight =
+        opts_.maxsat_mode ? std::max(best_weight, 0.0)
+                          : static_cast<Real>(result.best_unsatisfied);
+    finished = true;
+  }
+
+  // Park the trajectory: every mutable of the loop above goes back into the
+  // checkpoint, so the next advance — anywhere — continues seamlessly.
+  ckpt.step = result.steps;
+  ckpt.t = result.sim_time;
+  std::copy(y.begin(), y.end(), ckpt.state.begin());
+  std::copy(sign_bit.begin(), sign_bit.end(), ckpt.flags.begin() + kFlagSign);
+  for (std::size_t i = 0; i <= n; ++i)
+    ckpt.flags[kFlagSign + n + i] = result.assignment[i] ? 1 : 0;
+  ckpt.counters.resize(kCtrTail);
+  ckpt.counters[kCtrStepsToBest] = result.steps_to_best;
+  ckpt.counters[kCtrBestUnsat] = result.best_unsatisfied;
+  for (const std::size_t flips : result.avalanche_sizes)
+    ckpt.counters.push_back(flips);
+  ckpt.aux.resize(kAuxTail);
+  ckpt.aux[kAuxBestWeight] = best_weight;
+  ckpt.aux[kAuxMaxAbsV] = result.max_abs_voltage;
+  ckpt.aux[kAuxFinalWeight] = result.best_unsatisfied_weight;
+  ckpt.aux.insert(ckpt.aux.end(), result.energy_trace.begin(),
+                  result.energy_trace.end());
+  ckpt.rng = rng.save();
+  if (finished) {
+    ckpt.flags[kFlagFinished] = 1;
+    ckpt.flags[kFlagSatisfied] = result.satisfied ? 1 : 0;
+    ckpt.flags[kFlagHitLimit] = result.hit_limit ? 1 : 0;
+    out.done = true;
+    out.result = std::move(result);
+  }
+  return out;
 }
 
-DmmEnsembleResult DmmSolver::solve_ensemble(
-    std::size_t restarts, std::uint64_t base_seed,
-    const DmmEnsembleOptions& opts) const {
+bool DmmSolver::solve_ensemble_slice(std::size_t restarts,
+                                     std::uint64_t base_seed,
+                                     const DmmEnsembleOptions& opts,
+                                     const core::SliceBudget& budget,
+                                     core::EnsembleCheckpoint& ckpt,
+                                     DmmEnsembleResult* result) const {
   TELEM_SPAN("dmm.solve_ensemble");
   TELEM_TRACE_SCOPE("dmm.solve_ensemble");
   if (restarts == 0)
     throw std::invalid_argument("solve_ensemble: need >= 1 restart");
-
-  DmmEnsembleResult er;
-  er.results.resize(restarts);
-  er.ran.assign(restarts, 0);
 
   core::EnsembleOptions ropts;
   ropts.threads = opts.threads;
   ropts.telemetry_label = "dmm.ensemble";
   const bool stop_early = opts.stop_on_first_solution && !opts_.maxsat_mode;
 
-  const core::EnsembleStats stats = core::run_ensemble(
-      restarts, ropts, [&](std::size_t i, core::Workspace& ws) {
-        // All randomness of restart i comes from its counter-based stream:
-        // bit-identical at any thread count.
-        core::Rng rng = core::Rng::stream(base_seed, i);
-        std::vector<Real> v0(cnf_.num_variables());
-        for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
-        er.results[i] = solve_from(std::move(v0), rng, ws);
-        er.ran[i] = 1;  // each trajectory touches only its own slots
-        return !(stop_early && er.results[i].satisfied);
+  const core::SlicedEnsembleResult run = core::run_ensemble_sliced(
+      restarts, ropts, budget,
+      ckpt, [&](std::size_t i, core::Checkpoint& traj,
+                const core::SliceBudget& slice, core::Workspace& ws) {
+        if (traj.tag.empty()) {
+          // Fresh restart: all randomness of restart i comes from its
+          // counter-based stream — bit-identical at any thread count, any
+          // slicing, and across process restarts.
+          core::Rng rng = core::Rng::stream(base_seed, i);
+          std::vector<Real> v0(cnf_.num_variables());
+          for (Real& v : v0) v = rng.uniform(-1.0, 1.0);
+          traj = begin(std::move(v0), rng);
+        }
+        const DmmSliceOutcome out = advance(traj, slice, ws);
+        core::SliceStatus status;
+        status.done = out.done;
+        status.request_stop = out.done && stop_early && out.result.satisfied;
+        return status;
       });
+
+  if (!run.done) return false;
+  if (result == nullptr) return true;
+
+  DmmEnsembleResult er;
+  er.results.resize(restarts);
+  er.ran.assign(restarts, 0);
+  // Completed restarts are recovered from their checkpoints — including ones
+  // finished by an earlier invocation, possibly in a different process.
+  for (std::size_t i = 0; i < restarts; ++i) {
+    if (!ckpt.finished[i]) continue;
+    er.results[i] = result_from_checkpoint(ckpt.trajectories[i]);
+    er.ran[i] = 1;
+  }
 
   // Winner: scan ascending, so the choice only depends on slots that are
   // guaranteed to have run (everything up to the first satisfying index).
@@ -316,10 +513,21 @@ DmmEnsembleResult DmmSolver::solve_ensemble(
     }
   }
 
-  er.trajectories = stats.trajectories;
-  er.threads_used = stats.threads_used;
-  er.wall_seconds = stats.wall_seconds;
-  er.trajectories_per_second = stats.trajectories_per_second;
+  er.trajectories = run.stats.trajectories;
+  er.threads_used = run.stats.threads_used;
+  er.wall_seconds = run.stats.wall_seconds;
+  er.trajectories_per_second = run.stats.trajectories_per_second;
+  *result = std::move(er);
+  return true;
+}
+
+DmmEnsembleResult DmmSolver::solve_ensemble(
+    std::size_t restarts, std::uint64_t base_seed,
+    const DmmEnsembleOptions& opts) const {
+  core::EnsembleCheckpoint ckpt;
+  DmmEnsembleResult er;
+  solve_ensemble_slice(restarts, base_seed, opts, core::SliceBudget{}, ckpt,
+                       &er);
   return er;
 }
 

@@ -113,6 +113,12 @@ struct DmmEnsembleResult {
   Real trajectories_per_second = 0.0;
 };
 
+/// Outcome of one budgeted slice of a DMM trajectory (DmmSolver::advance).
+struct DmmSliceOutcome {
+  bool done = false;  ///< trajectory finished; `result` is final
+  DmmResult result;   ///< valid only when done
+};
+
 class DmmSolver {
  public:
   DmmSolver(const Cnf& cnf, DmmOptions options);
@@ -134,10 +140,44 @@ class DmmSolver {
   /// Runs `restarts` independent trajectories across a thread pool, each
   /// seeded from core::Rng::stream(base_seed, restart_index) so every
   /// trajectory — and the selected winner — is reproducible regardless of
-  /// thread count or scheduling.
+  /// thread count or scheduling. Implemented as a single unlimited slice of
+  /// solve_ensemble_slice.
   DmmEnsembleResult solve_ensemble(std::size_t restarts,
                                    std::uint64_t base_seed,
                                    const DmmEnsembleOptions& opts = {}) const;
+
+  // --- Preemptible / checkpointable execution (DESIGN.md §12) ---
+
+  /// Packs initial voltages + RNG into a fresh "dmm" checkpoint and performs
+  /// the initial digital readout (the trajectory may already be finished if
+  /// v0 satisfies the formula). The checkpoint carries *everything* the
+  /// trajectory needs — state vector, sign bits, best-so-far records, traces,
+  /// RNG stream position — so advance() can run on any thread or process.
+  core::Checkpoint begin(std::vector<Real> v0, const core::Rng& rng) const;
+
+  /// Advances a checkpointed trajectory by at most `budget` steps/seconds.
+  /// Calling with an unlimited budget integrates to completion. The sequence
+  /// of states is bit-identical no matter how the work is sliced: N bounded
+  /// advances produce exactly the final result of one unlimited advance.
+  DmmSliceOutcome advance(core::Checkpoint& ckpt,
+                          const core::SliceBudget& budget,
+                          core::Workspace& ws) const;
+
+  /// Reconstructs the DmmResult recorded in a finished checkpoint (throws
+  /// std::invalid_argument on an unfinished or foreign checkpoint) — this is
+  /// how an ensemble resumed after a crash recovers completed restarts.
+  DmmResult result_from_checkpoint(const core::Checkpoint& ckpt) const;
+
+  /// Advances a multi-restart ensemble by one `budget` slice per pending
+  /// restart, keeping all resumable state (including partial trajectories
+  /// and the early-stop line) in `ckpt` — serializable via its json_dump.
+  /// Returns true when the ensemble is complete, at which point `*result`
+  /// (if non-null) is filled exactly as solve_ensemble would have filled it.
+  bool solve_ensemble_slice(std::size_t restarts, std::uint64_t base_seed,
+                            const DmmEnsembleOptions& opts,
+                            const core::SliceBudget& budget,
+                            core::EnsembleCheckpoint& ckpt,
+                            DmmEnsembleResult* result = nullptr) const;
 
  private:
   struct ClauseData {

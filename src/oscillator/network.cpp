@@ -53,6 +53,23 @@ struct NetworkKernel {
   }
 };
 
+// Checkpoint layout for tag "oscillator":
+//   state    = [node voltages | series-branch capacitor voltages]
+//   step     = completed integration steps, t = step * opts.dt
+//   flags    = [finished, phase[n] (0 = insulating, 1 = metallic)]
+//   counters = [hysteresis_events, samples, n, n_series]
+//   aux      = packed partial Trace: [time[S] | supply[S] | node0[S] | ...]
+// The sampled trace rides inside the checkpoint so a killed-and-resumed run
+// reproduces the full Trace, not just the final state.
+constexpr const char kOscTag[] = "oscillator";
+constexpr std::size_t kFlagFinished = 0;
+constexpr std::size_t kFlagPhase = 1;
+constexpr std::size_t kCtrHysteresis = 0;
+constexpr std::size_t kCtrSamples = 1;
+constexpr std::size_t kCtrNodes = 2;
+constexpr std::size_t kCtrSeries = 3;
+constexpr std::size_t kCtrTail = 4;
+
 }  // namespace
 
 bool OscillatorParams::sustains_oscillation(Real vgs) const {
@@ -97,6 +114,82 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts) const {
 
 Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
                                          core::Workspace& ws) const {
+  core::Checkpoint ckpt = begin_simulation(opts);
+  simulate_slice(ckpt, opts, core::SliceBudget{}, ws);
+  return trace_from_checkpoint(ckpt, opts);
+}
+
+core::Checkpoint CoupledOscillatorNetwork::begin_simulation(
+    const SimulationOptions& opts) const {
+  if (opts.dt <= 0.0 || opts.duration <= 0.0)
+    throw std::invalid_argument("simulate: dt and duration must be > 0");
+  const std::size_t n = size();
+  std::size_t n_series = 0;
+  for (const auto& br : branches_)
+    if (br.topology == CouplingTopology::kSeriesRC) ++n_series;
+
+  core::Checkpoint ckpt;
+  ckpt.tag = kOscTag;
+  ckpt.state.assign(n + n_series, 0.0);
+  // Start adjacent oscillators half a swing apart (plus a deterministic
+  // stagger): the in-phase synchronous orbit of a matched pair is only
+  // weakly unstable, and physical arrays settle into the anti-phase locked
+  // state (refs [40],[43]); these initial conditions land in that basin
+  // without waiting out a long symmetric transient.
+  for (std::size_t i = 0; i < n; ++i)
+    ckpt.state[i] = opts.initial_offset * static_cast<Real>(i % 2) +
+                    1.0e-3 * static_cast<Real>(i + 1);
+  ckpt.flags.assign(kFlagPhase + n, 0);  // all insulating, not finished
+  ckpt.counters.assign(kCtrTail, 0);
+  ckpt.counters[kCtrNodes] = n;
+  ckpt.counters[kCtrSeries] = n_series;
+
+  // The t = 0 sample, exactly as the classic simulate records it before the
+  // integration loop.
+  Real idd = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    idd += (params_.vdd - ckpt.state[i]) /
+           params_.vo2.resistance(Vo2Phase::kInsulating);
+  ckpt.counters[kCtrSamples] = 1;
+  ckpt.aux.reserve(2 + n);
+  ckpt.aux.push_back(0.0);  // time
+  ckpt.aux.push_back(idd);  // supply current
+  for (std::size_t i = 0; i < n; ++i) ckpt.aux.push_back(ckpt.state[i]);
+  return ckpt;
+}
+
+Trace CoupledOscillatorNetwork::trace_from_checkpoint(
+    const core::Checkpoint& ckpt, const SimulationOptions& opts) const {
+  const std::size_t n = size();
+  if (ckpt.tag != kOscTag || ckpt.counters.size() != kCtrTail ||
+      ckpt.counters[kCtrNodes] != n ||
+      ckpt.flags.size() != kFlagPhase + n ||
+      ckpt.state.size() != n + ckpt.counters[kCtrSeries])
+    throw std::invalid_argument(
+        "trace_from_checkpoint: foreign or corrupt checkpoint");
+  const auto samples = static_cast<std::size_t>(ckpt.counters[kCtrSamples]);
+  if (ckpt.aux.size() != samples * (2 + n))
+    throw std::invalid_argument(
+        "trace_from_checkpoint: trace payload size mismatch");
+
+  const std::size_t stride = std::max<std::size_t>(1, opts.sample_stride);
+  Trace trace;
+  trace.dt = opts.dt * static_cast<Real>(stride);
+  trace.time.assign(ckpt.aux.begin(), ckpt.aux.begin() + samples);
+  trace.supply_current.assign(ckpt.aux.begin() + samples,
+                              ckpt.aux.begin() + 2 * samples);
+  trace.node_voltage.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i)
+    trace.node_voltage[i].assign(
+        ckpt.aux.begin() + (2 + i) * samples,
+        ckpt.aux.begin() + (3 + i) * samples);
+  return trace;
+}
+
+bool CoupledOscillatorNetwork::simulate_slice(core::Checkpoint& ckpt,
+                                              const SimulationOptions& opts,
+                                              const core::SliceBudget& budget,
+                                              core::Workspace& ws) const {
   if (opts.dt <= 0.0 || opts.duration <= 0.0)
     throw std::invalid_argument("simulate: dt and duration must be > 0");
   TELEM_SPAN("oscillator.simulate");
@@ -115,10 +208,20 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
       series_state.push_back(static_cast<std::size_t>(-1));
   }
 
+  if (ckpt.tag != kOscTag || ckpt.counters.size() != kCtrTail ||
+      ckpt.counters[kCtrNodes] != n ||
+      ckpt.counters[kCtrSeries] != n_series ||
+      ckpt.flags.size() != kFlagPhase + n ||
+      ckpt.state.size() != n + n_series)
+    throw std::invalid_argument(
+        "simulate_slice: foreign or corrupt checkpoint");
+  if (ckpt.flags[kFlagFinished]) return true;
+
   // Parallel-RC bridging capacitors couple the dV/dt terms, so we assemble
   // the node capacitance matrix
   //   M_ii = c_node + sum of incident bridging Cc,  M_ij = -Cc(i,j)
-  // and solve M * dV/dt = I(V) each evaluation with a one-time LU.
+  // and solve M * dV/dt = I(V) each evaluation with a one-time LU (per
+  // slice; the factorization depends only on the immutable wiring).
   const core::LuFactorization cap_lu = [&] {
     TELEM_SPAN("oscillator.coupling_setup");
     core::Matrix cap(n, n);
@@ -134,22 +237,16 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
   }();
 
   // State and stepper scratch come from the workspace (Heun needs 3x the
-  // state size). Reused blocks keep stale values, so zero-fill before the
-  // initial conditions.
+  // state size); the resumable state is spliced in from the checkpoint.
   const auto ws_scope = ws.scope();
   const std::span<Real> y = ws.real(n + n_series);
   const std::span<Real> scratch = ws.real(3 * y.size());
-  std::fill(y.begin(), y.end(), 0.0);
-  // Start adjacent oscillators half a swing apart (plus a deterministic
-  // stagger): the in-phase synchronous orbit of a matched pair is only
-  // weakly unstable, and physical arrays settle into the anti-phase locked
-  // state (refs [40],[43]); these initial conditions land in that basin
-  // without waiting out a long symmetric transient.
-  for (std::size_t i = 0; i < n; ++i)
-    y[i] = opts.initial_offset * static_cast<Real>(i % 2) +
-           1.0e-3 * static_cast<Real>(i + 1);
+  std::copy(ckpt.state.begin(), ckpt.state.end(), y.begin());
 
-  std::vector<Vo2Phase> phases(n, Vo2Phase::kInsulating);
+  std::vector<Vo2Phase> phases(n);
+  for (std::size_t i = 0; i < n; ++i)
+    phases[i] = ckpt.flags[kFlagPhase + i] ? Vo2Phase::kMetallic
+                                           : Vo2Phase::kInsulating;
 
   // Per-oscillator transistor conductances are constant during a run.
   std::vector<Real> g_tr(n);
@@ -164,34 +261,40 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
   const auto total_steps =
       static_cast<std::size_t>(std::ceil(opts.duration / opts.dt));
   const std::size_t stride = std::max<std::size_t>(1, opts.sample_stride);
+  const auto start_step = static_cast<std::size_t>(ckpt.step);
 
-  Trace trace;
-  trace.dt = opts.dt * static_cast<Real>(stride);
-  trace.node_voltage.assign(n, {});
-  const std::size_t expected = total_steps / stride + 2;
-  trace.time.reserve(expected);
-  trace.supply_current.reserve(expected);
-  for (auto& ch : trace.node_voltage) ch.reserve(expected);
+  // New samples append to the packed per-section trace arrays at the end of
+  // the slice; collected locally first so the checkpoint stays consistent
+  // if the kernel throws.
+  std::vector<Real> new_time, new_supply;
+  std::vector<std::vector<Real>> new_node(n);
 
   auto record = [&](Real t) {
-    trace.time.push_back(t);
+    new_time.push_back(t);
     Real idd = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      trace.node_voltage[i].push_back(y[i]);
+      new_node[i].push_back(y[i]);
       idd += (vdd - y[i]) / params_.vo2.resistance(phases[i]);
     }
-    trace.supply_current.push_back(idd);
+    new_supply.push_back(idd);
     // Piggyback on the existing sample decimation (`stride` steps per
     // sample), so the counter track stays bounded like the Trace itself.
     TELEM_TRACE_COUNTER("oscillator.supply_current", idd);
   };
 
-  record(0.0);
   std::size_t hysteresis_events = 0;
+  std::size_t steps_done = 0;
+  bool finished = true;
   {
     TELEM_SPAN("oscillator.integrate");
     TELEM_TRACE_SCOPE("oscillator.integrate");
-    for (std::size_t step = 1; step <= total_steps; ++step) {
+    const core::detail::SliceClock clock(budget);
+    for (std::size_t step = start_step + 1; step <= total_steps; ++step) {
+      if (clock.exhausted(steps_done)) {
+        finished = false;
+        ckpt.step = step - 1;
+        break;
+      }
       // Drift-free clock: t = step * dt, not an accumulating t += dt (which
       // gains an ulp per step and shifts every sample instant of a
       // million-step run).
@@ -206,20 +309,50 @@ Trace CoupledOscillatorNetwork::simulate(const SimulationOptions& opts,
         phases[i] = next;
       }
       if (step % stride == 0) record(static_cast<Real>(step) * opts.dt);
+      ++steps_done;
     }
   }
+  if (finished) ckpt.step = total_steps;
+  ckpt.t = static_cast<Real>(ckpt.step) * opts.dt;
+
+  // Splice this slice's results back into the checkpoint: state, phases,
+  // tallies, and the freshly recorded samples into each packed section.
+  std::copy(y.begin(), y.end(), ckpt.state.begin());
+  for (std::size_t i = 0; i < n; ++i)
+    ckpt.flags[kFlagPhase + i] = phases[i] == Vo2Phase::kMetallic ? 1 : 0;
+  ckpt.counters[kCtrHysteresis] += hysteresis_events;
+  const auto old_samples = static_cast<std::size_t>(ckpt.counters[kCtrSamples]);
+  const std::size_t add = new_time.size();
+  if (add > 0) {
+    std::vector<Real> packed;
+    packed.reserve((old_samples + add) * (2 + n));
+    const auto append_section = [&](std::size_t section,
+                                    const std::vector<Real>& fresh) {
+      packed.insert(packed.end(),
+                    ckpt.aux.begin() + section * old_samples,
+                    ckpt.aux.begin() + (section + 1) * old_samples);
+      packed.insert(packed.end(), fresh.begin(), fresh.end());
+    };
+    append_section(0, new_time);
+    append_section(1, new_supply);
+    for (std::size_t i = 0; i < n; ++i) append_section(2 + i, new_node[i]);
+    ckpt.aux = std::move(packed);
+    ckpt.counters[kCtrSamples] = old_samples + add;
+  }
+  if (finished) ckpt.flags[kFlagFinished] = 1;
+
   if (telemetry::Telemetry::enabled()) {
     auto& metrics = telemetry::Telemetry::instance().metrics();
-    metrics.add("oscillator.steps", static_cast<Real>(total_steps));
+    metrics.add("oscillator.steps", static_cast<Real>(steps_done));
     // Heun evaluates the RHS (node + coupling currents) twice per step.
-    metrics.add("oscillator.rhs_evals", static_cast<Real>(2 * total_steps));
+    metrics.add("oscillator.rhs_evals", static_cast<Real>(2 * steps_done));
     metrics.add("oscillator.coupling_branch_evals",
-                static_cast<Real>(2 * total_steps * branches_.size()));
+                static_cast<Real>(2 * steps_done * branches_.size()));
     metrics.add("oscillator.hysteresis_events",
                 static_cast<Real>(hysteresis_events));
-    metrics.add("oscillator.samples", static_cast<Real>(trace.samples()));
+    metrics.add("oscillator.samples", static_cast<Real>(old_samples + add));
   }
-  return trace;
+  return finished;
 }
 
 Real CoupledOscillatorNetwork::average_power(const Trace& trace,

@@ -91,8 +91,32 @@ class CoupledOscillatorNetwork {
 
   /// As above with caller-owned scratch: state and stepper storage come from
   /// the workspace, so ensemble sweeps (coupling scans, Vgs grids) reuse one
-  /// arena per worker thread instead of allocating per run.
+  /// arena per worker thread instead of allocating per run. Implemented as
+  /// one unlimited slice of simulate_slice.
   Trace simulate(const SimulationOptions& opts, core::Workspace& ws) const;
+
+  // --- Preemptible / checkpointable execution (DESIGN.md §12) ---
+
+  /// Packs the cold-start state (initial node offsets, insulating devices,
+  /// the t = 0 trace sample) into a fresh "oscillator" checkpoint. The
+  /// checkpoint carries node+branch voltages, VO2 phases, the hysteresis
+  /// tally, and the partial Trace, so a resumed run — on any thread or
+  /// process — continues bit-exactly.
+  core::Checkpoint begin_simulation(const SimulationOptions& opts) const;
+
+  /// Advances a checkpointed simulation by at most `budget` steps/seconds
+  /// (the same `opts` must be passed to every slice). Returns true when the
+  /// full duration has been integrated; an unlimited budget finishes in one
+  /// call. N bounded slices produce exactly the Trace of one unlimited one.
+  bool simulate_slice(core::Checkpoint& ckpt, const SimulationOptions& opts,
+                      const core::SliceBudget& budget,
+                      core::Workspace& ws) const;
+
+  /// Rebuilds the sampled Trace accumulated in a checkpoint (partial if the
+  /// simulation has not finished). Throws std::invalid_argument on a foreign
+  /// or corrupt checkpoint.
+  Trace trace_from_checkpoint(const core::Checkpoint& ckpt,
+                              const SimulationOptions& opts) const;
 
   /// Average power drawn from the supply over the post-settle window of a
   /// trace [W]: vdd * mean(Idd).

@@ -81,6 +81,12 @@ struct JobOptions {
   std::optional<CancelToken> cancel;
   /// Retries, backoff, and failover; default = single attempt.
   RetryPolicy retry;
+  /// Permit an idle worker of a *different* kind's pool to steal this job
+  /// while it is queued (SchedulerConfig::work_stealing). Like cpu_fallback,
+  /// only safe for payloads that ignore their accelerator argument
+  /// (self-contained core::Job closures); typed-downcast payloads must leave
+  /// this false.
+  bool stealable = false;
 };
 
 /// Deadline helper: `opts.deadline = deadline_in(std::chrono::milliseconds(5))`.
@@ -95,6 +101,33 @@ inline Clock::time_point deadline_in(Clock::duration d) {
 /// wrapped into this form, ignoring the argument.
 using DevicePayload = std::function<core::JobResult(core::Accelerator&)>;
 
+/// The scheduler's preemption signal, handed to a preemptible payload at
+/// every slice (DESIGN.md §12). The payload polls it at checkpoint
+/// boundaries; once it reads true, the payload should save its checkpoint
+/// and return std::nullopt, yielding the worker to the higher-priority job.
+/// Ignoring the probe is legal — the job merely becomes non-preemptible.
+class YieldProbe {
+ public:
+  YieldProbe() = default;
+  explicit YieldProbe(std::function<bool()> should_yield)
+      : should_yield_(std::move(should_yield)) {}
+
+  bool should_yield() const { return should_yield_ && should_yield_(); }
+
+ private:
+  std::function<bool()> should_yield_;
+};
+
+/// A payload executed in scheduler time slices. Returning a JobResult
+/// completes the job; returning std::nullopt means "yielded at a checkpoint":
+/// the scheduler re-enqueues the remainder (same submission seq, so it
+/// resumes at the front of its priority class) and calls the payload again
+/// later — possibly on a different worker. The payload object itself carries
+/// the resumable state across calls (e.g. a mutable lambda capturing a
+/// core::Checkpoint), so it must not assume thread affinity.
+using PreemptiblePayload = std::function<std::optional<core::JobResult>(
+    core::Accelerator&, const YieldProbe&)>;
+
 /// One queue entry: the job, its controls, the promise the submitter's
 /// future is attached to, and the bookkeeping the scheduler needs for
 /// ordering (seq) and wait-time accounting (enqueued_at).
@@ -102,6 +135,10 @@ struct QueuedJob {
   std::string name;
   core::AcceleratorKind kind = core::AcceleratorKind::kClassicalCpu;
   DevicePayload payload;
+  /// Set instead of `payload` for slice-based jobs (submit_preemptible). The
+  /// same object is re-enqueued across yields, so it owns the job's
+  /// checkpoint state between slices.
+  PreemptiblePayload preemptible;
   JobOptions opts;
   std::promise<core::JobResult> promise;
   std::uint64_t seq = 0;  ///< scheduler-global submission order, unique
@@ -110,6 +147,8 @@ struct QueuedJob {
   std::uint64_t attempts_done = 0;  ///< attempts consumed before this queuing
   std::vector<std::string> fault_log;
   bool failed_over = false;  ///< already re-homed once; never hops again
+  // --- preemption bookkeeping ---------------------------------------------
+  bool resumed = false;  ///< re-enqueued after at least one yielded slice
 };
 
 /// What a full queue does with the next submission.

@@ -60,6 +60,51 @@ std::optional<QueuedJob> BoundedJobQueue::pop() {
   return std::move(node.value());
 }
 
+std::optional<QueuedJob> BoundedJobQueue::pop_for(Clock::duration timeout) {
+  std::unique_lock lock(mutex_);
+  if (!not_empty_.wait_for(lock, timeout,
+                           [&] { return !items_.empty() || closed_; }))
+    return std::nullopt;  // timed out; caller may go stealing
+  if (closed_) return std::nullopt;  // leftovers are for flush()
+  auto node = items_.extract(items_.begin());
+  ++in_flight_;
+  not_full_.notify_one();
+  return std::move(node.value());
+}
+
+BoundedJobQueue::PushStatus BoundedJobQueue::push_resumed(QueuedJob& item) {
+  std::lock_guard lock(mutex_);
+  if (closed_) return PushStatus::kClosed;
+  items_.insert(std::move(item));
+  not_empty_.notify_one();
+  return PushStatus::kAccepted;
+}
+
+std::optional<QueuedJob> BoundedJobQueue::try_steal() {
+  std::lock_guard lock(mutex_);
+  if (closed_) return std::nullopt;
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [](const QueuedJob& j) {
+                                 return j.opts.stealable;
+                               });
+  if (it == items_.end()) return std::nullopt;
+  auto node = items_.extract(it);
+  ++in_flight_;  // the thief owes this queue a task_done()
+  not_full_.notify_one();
+  return std::move(node.value());
+}
+
+bool BoundedJobQueue::has_higher_priority_queued(int priority) const {
+  std::lock_guard lock(mutex_);
+  // items_ is priority-ordered, so the front is the best queued entry.
+  return !items_.empty() && items_.begin()->opts.priority > priority;
+}
+
+bool BoundedJobQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
 void BoundedJobQueue::task_done() {
   std::lock_guard lock(mutex_);
   if (in_flight_ == 0)

@@ -37,6 +37,33 @@ class BoundedJobQueue {
   /// marks one task in flight; the consumer must pair it with task_done().
   std::optional<QueuedJob> pop();
 
+  /// As pop(), but gives up after `timeout`, returning nullopt. Used by
+  /// work-stealing workers, which poll their own queue and then look for a
+  /// victim; check closed() to distinguish a timeout from shutdown.
+  std::optional<QueuedJob> pop_for(Clock::duration timeout);
+
+  /// Re-enqueues a job a worker popped and then preempted mid-execution
+  /// (consumed only on kAccepted; returns kClosed once close() has been
+  /// called, leaving the item intact). Bypasses the capacity check — the job
+  /// already held a queue slot when it was first admitted, so a yield must
+  /// never block, shed, or reject. The entry keeps its original seq and so
+  /// resumes at the front of its priority class.
+  PushStatus push_resumed(QueuedJob& item);
+
+  /// Removes the highest-priority entry whose JobOptions::stealable is set,
+  /// or nullopt when there is none (or the queue is closed). Like pop(), a
+  /// successful steal marks one task in flight *on this queue*: the thief
+  /// must call this queue's task_done() when the stolen job finishes, which
+  /// keeps wait_idle()/drain accounting exact across pools.
+  std::optional<QueuedJob> try_steal();
+
+  /// True when a queued entry outranks `priority` — the preemption signal a
+  /// running low-priority job's YieldProbe polls at checkpoint boundaries.
+  bool has_higher_priority_queued(int priority) const;
+
+  /// True once close() has been called.
+  bool closed() const;
+
   /// Marks one popped task finished (see pop / wait_idle).
   void task_done();
 

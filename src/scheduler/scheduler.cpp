@@ -122,6 +122,27 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
   item.kind = kind;
   item.payload = std::move(payload);
   item.opts = std::move(opts);
+  return enqueue(std::move(item), pool);
+}
+
+std::future<core::JobResult> Scheduler::submit_preemptible(
+    std::string name, core::AcceleratorKind kind, PreemptiblePayload payload,
+    JobOptions opts) {
+  if (!payload)
+    throw std::invalid_argument("sched: job '" + name + "' has no payload");
+  if (!accepting())
+    throw std::runtime_error("sched: submit('" + name + "') after shutdown");
+  Pool* pool = find_pool(kind);
+
+  QueuedJob item;
+  item.name = std::move(name);
+  item.kind = kind;
+  item.preemptible = std::move(payload);
+  item.opts = std::move(opts);
+  return enqueue(std::move(item), pool);
+}
+
+std::future<core::JobResult> Scheduler::enqueue(QueuedJob item, Pool* pool) {
   item.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   item.enqueued_at = Clock::now();
   auto future = item.promise.get_future();
@@ -175,8 +196,59 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
   // *inner* accelerator so typed downcasts still work.
   auto* faulty = dynamic_cast<core::FaultyAccelerator*>(&replica);
   core::Accelerator& target = faulty ? faulty->inner() : replica;
-  while (auto popped = pool.queue.pop()) {
-    QueuedJob item = std::move(*popped);
+  for (;;) {
+    BoundedJobQueue* source = &pool.queue;
+    std::optional<QueuedJob> popped;
+    if (config_.work_stealing) {
+      // Poll the home queue briefly, then go looking for an overloaded
+      // victim pool; an idle system just cycles the poll.
+      popped = pool.queue.pop_for(config_.steal_poll);
+      if (!popped) {
+        if (pool.queue.closed()) break;
+        popped = steal_from_other_pool(pool, source);
+        if (!popped) continue;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count("sched.steal");
+        TELEM_TRACE_INSTANT("sched.steal");
+      }
+    } else {
+      popped = pool.queue.pop();
+      if (!popped) break;
+    }
+    execute(pool, *source, replica, target, faulty, state,
+            std::move(*popped));
+  }
+}
+
+std::optional<QueuedJob> Scheduler::steal_from_other_pool(
+    const Pool& thief, BoundedJobQueue*& source) {
+  // try_lock, not lock: shutdown() joins workers while holding pools_mutex_,
+  // so a blocking acquire here could deadlock the join.
+  std::unique_lock lock(pools_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return std::nullopt;
+  Pool* victim = nullptr;
+  std::size_t deepest = 0;
+  for (const auto& [kind, pool] : pools_) {
+    if (pool.get() == &thief) continue;
+    const std::size_t depth = pool->queue.size();
+    if (depth > deepest) {
+      deepest = depth;
+      victim = pool.get();
+    }
+  }
+  if (!victim) return std::nullopt;
+  // The pool map never shrinks before shutdown, so the victim outlives the
+  // steal; release the map lock before touching its queue lock.
+  lock.unlock();
+  auto stolen = victim->queue.try_steal();
+  if (stolen) source = &victim->queue;
+  return stolen;
+}
+
+void Scheduler::execute(Pool& pool, BoundedJobQueue& source,
+                        core::Accelerator& replica, core::Accelerator& target,
+                        core::FaultyAccelerator* faulty, Worker& state,
+                        QueuedJob item) {
     const auto dequeued = Clock::now();
     const core::Real wait = seconds_between(item.enqueued_at, dequeued);
     telemetry::record("sched.wait_seconds", wait);
@@ -212,11 +284,13 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
       result.fault_log = std::move(item.fault_log);
       telemetry::count("sched.deadline_missed");
       TELEM_TRACE_INSTANT("sched.deadline_expired");
+    } else if (item.preemptible) {
+      verdict = run_slice(pool, source, replica, target, item, result);
     } else {
       verdict = run_attempts(pool, replica, target, faulty, state, item,
                              result);
     }
-    if (verdict != Verdict::kFailedOver)
+    if (verdict != Verdict::kFailedOver && verdict != Verdict::kYielded)
       TELEM_TRACE_FLOW_END("job", item.seq);
     if (verdict == Verdict::kCompleted) {
       telemetry::record("sched.latency_seconds",
@@ -226,8 +300,85 @@ void Scheduler::worker_loop(Pool& pool, core::Accelerator& replica,
     } else if (verdict == Verdict::kThrew) {
       track_complete();
     }
-    pool.queue.task_done();
+    source.task_done();
+}
+
+Scheduler::Verdict Scheduler::run_slice(Pool& pool, BoundedJobQueue& source,
+                                        core::Accelerator& replica,
+                                        core::Accelerator& target,
+                                        QueuedJob& item,
+                                        core::JobResult& out) {
+  // Preemptible jobs bypass the retry/fault/breaker machinery on purpose:
+  // their unit of resilience is the checkpoint carried inside the payload,
+  // and the chaos suite exercises crash-resume rather than in-line retries.
+  if (item.resumed) {
+    resumes_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("sched.resume");
+    TELEM_TRACE_INSTANT("sched.resume");
   }
+  // The probe a cooperative payload polls at its checkpoint boundaries:
+  // "is anything outranking me queued where I came from?"
+  const int priority = item.opts.priority;
+  const YieldProbe probe([&source, priority] {
+    return source.has_higher_priority_queued(priority);
+  });
+
+  const auto start = Clock::now();
+  std::optional<core::JobResult> res;
+  try {
+    TELEM_SPAN("sched." + core::to_string(pool.kind));
+    res = item.preemptible(target, probe);
+  } catch (...) {
+    telemetry::count("sched.payload_exceptions");
+    if (telemetry::Telemetry::enabled()) {
+      auto& metrics = telemetry::Telemetry::instance().metrics();
+      metrics.add("sched.jobs");
+      metrics.add(pool.jobs_counter);
+    }
+    item.promise.set_exception(std::current_exception());
+    return Verdict::kThrew;
+  }
+  const core::Real service = seconds_between(start, Clock::now());
+  replica.record_completion(service);
+  slices_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Telemetry::enabled()) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add("sched.slices");
+    metrics.add(pool.busy_counter, service);
+    metrics.record("sched.service_seconds", service);
+  }
+
+  if (!res) {
+    // Yielded at a checkpoint: the remainder re-enters the queue with its
+    // original seq — the front of its priority class — and the worker turns
+    // to the higher-priority work that triggered the preemption.
+    preempts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("sched.preempt");
+    TELEM_TRACE_INSTANT("sched.preempt");
+    TELEM_TRACE_FLOW_STEP("job", item.seq);
+    item.resumed = true;
+    item.enqueued_at = Clock::now();
+    if (source.push_resumed(item) != BoundedJobQueue::PushStatus::kAccepted) {
+      // Shutdown closed the queue mid-slice; the remainder will never run.
+      complete_unrun(std::move(item), "flushed at shutdown mid-slice",
+                     "sched.flushed", core::JobDisposition::kFlushed);
+    } else {
+      telemetry::gauge(pool.depth_gauge,
+                       static_cast<core::Real>(source.size()));
+    }
+    return Verdict::kYielded;
+  }
+
+  out = std::move(*res);
+  out.attempts = 1;
+  if (telemetry::Telemetry::enabled()) {
+    auto& metrics = telemetry::Telemetry::instance().metrics();
+    metrics.add("sched.jobs");
+    metrics.add(pool.jobs_counter);
+    if (!out.ok) metrics.add("sched.jobs_failed");
+    for (const auto& [key, value] : out.metrics) metrics.add(key, value);
+  }
+  return Verdict::kCompleted;
 }
 
 Scheduler::Verdict Scheduler::run_attempts(Pool& pool,
@@ -577,6 +728,10 @@ SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   s.accepting = accepting();
   s.submitted = next_seq_.load(std::memory_order_relaxed);
+  s.slices = slices_.load(std::memory_order_relaxed);
+  s.preempts = preempts_.load(std::memory_order_relaxed);
+  s.resumes = resumes_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     s.outstanding = outstanding_;

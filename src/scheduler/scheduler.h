@@ -73,6 +73,14 @@ struct SchedulerConfig {
   /// kinds in core::FaultyAccelerator decorators. Off = this scheduler
   /// ignores the environment plan (used by the overhead bench's control).
   bool env_faults = true;
+  /// Let idle workers steal queued jobs marked JobOptions::stealable from
+  /// other kinds' pools (DESIGN.md §12). Off by default: stealing changes
+  /// which replica runs a job, which only payloads that ignore their
+  /// accelerator argument tolerate.
+  bool work_stealing = false;
+  /// How long a stealing-enabled worker waits on its own queue before
+  /// looking for a victim pool.
+  Clock::duration steal_poll = std::chrono::milliseconds(2);
 };
 
 /// Point-in-time utilization snapshot of one kind's pool, aggregated over its
@@ -98,6 +106,11 @@ struct SchedulerStats {
   bool accepting = true;
   std::uint64_t submitted = 0;    ///< submissions ever accepted (seq counter)
   std::size_t outstanding = 0;    ///< accepted but not yet completed
+  // Time-slicing counters (DESIGN.md §12), scheduler-wide totals.
+  std::uint64_t slices = 0;    ///< preemptible payload invocations
+  std::uint64_t preempts = 0;  ///< slices that yielded to higher priority
+  std::uint64_t resumes = 0;   ///< preempted jobs picked back up
+  std::uint64_t steals = 0;    ///< jobs taken from another kind's queue
   std::map<core::AcceleratorKind, PoolStats> pools;
 };
 
@@ -131,6 +144,22 @@ class Scheduler {
                                       core::AcceleratorKind kind,
                                       DevicePayload payload,
                                       JobOptions opts = {});
+
+  /// Submits a slice-based job (DESIGN.md §12). The payload is invoked
+  /// repeatedly; each invocation is one time slice. When it returns a
+  /// JobResult the job completes; when it returns std::nullopt ("yielded at
+  /// a checkpoint", signalled through the YieldProbe once a higher-priority
+  /// job is queued on this pool) the remainder is re-enqueued with its
+  /// original submission seq — so it resumes at the front of its priority
+  /// class — and the worker turns to the queue. Preemptible jobs bypass the
+  /// retry/fault/breaker machinery: a slice is cheap to re-run from its own
+  /// checkpoint, so resilience lives in the payload's checkpoint, not in
+  /// attempt bookkeeping. Cancellation and deadlines are honored between
+  /// slices (each slice re-transits the queue's pre-execution checks).
+  std::future<core::JobResult> submit_preemptible(std::string name,
+                                                  core::AcceleratorKind kind,
+                                                  PreemptiblePayload payload,
+                                                  JobOptions opts = {});
 
   /// Fan-out: submits every job, returns futures in submission order for the
   /// caller's fan-in (wait on all, then combine).
@@ -193,12 +222,32 @@ class Scheduler {
     kCompleted,   ///< promise fulfilled with a JobResult
     kThrew,       ///< promise holds the payload's exception
     kFailedOver,  ///< job re-queued on (or completed by) the fallback pool
+    kYielded,     ///< preempted mid-job; remainder re-queued (or completed)
   };
 
   Pool* find_pool(core::AcceleratorKind kind) const;
   static PoolStats snapshot_pool(const Pool& pool);
+  /// Shared tail of submit/submit_preemptible: assign seq, push, handle
+  /// backpressure verdicts.
+  std::future<core::JobResult> enqueue(QueuedJob item, Pool* pool);
   void worker_loop(Pool& pool, core::Accelerator& replica, Worker& state,
                    std::size_t replica_index);
+  /// Executes one dequeued job on this worker. `source` is the queue the job
+  /// was popped or stolen from (and owed a task_done by the caller); a
+  /// preempted remainder is re-enqueued there.
+  void execute(Pool& pool, BoundedJobQueue& source, core::Accelerator& replica,
+               core::Accelerator& target, core::FaultyAccelerator* faulty,
+               Worker& state, QueuedJob item);
+  /// One time slice of a preemptible job (no retry/fault machinery; see
+  /// submit_preemptible).
+  Verdict run_slice(Pool& pool, BoundedJobQueue& source,
+                    core::Accelerator& replica, core::Accelerator& target,
+                    QueuedJob& item, core::JobResult& out);
+  /// Picks the deepest other pool's queue and steals its best stealable job.
+  /// Uses try_lock on the pool map so a stealing worker can never deadlock
+  /// against shutdown() (which joins workers while holding the map lock).
+  std::optional<QueuedJob> steal_from_other_pool(const Pool& thief,
+                                                 BoundedJobQueue*& source);
   /// The per-job retry/breaker/failover loop around payload execution.
   Verdict run_attempts(Pool& pool, core::Accelerator& replica,
                        core::Accelerator& target,
@@ -223,6 +272,13 @@ class Scheduler {
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> next_seq_{0};
   std::once_flag shutdown_once_;
+
+  // Time-slicing counters (also exported as sched.{slices,preempt,resume,
+  // steal} metrics and trace instants).
+  std::atomic<std::uint64_t> slices_{0};
+  std::atomic<std::uint64_t> preempts_{0};
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> steals_{0};
 
   // drain() bookkeeping: accepted-but-uncompleted jobs. Counted at the
   // promise, not the queue, so a failover hop between pools can never open

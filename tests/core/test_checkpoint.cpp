@@ -1,0 +1,293 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/dynamics.h"
+#include "core/ensemble.h"
+#include "core/json.h"
+#include "core/random.h"
+
+namespace rebooting::core {
+namespace {
+
+struct DecayKernel {
+  Real lambda = 1.0;
+  void rhs(Real /*t*/, std::span<const Real> y, std::span<Real> dydt) const {
+    for (std::size_t i = 0; i < y.size(); ++i) dydt[i] = -lambda * y[i];
+  }
+};
+
+struct HarmonicKernel {
+  void rhs(Real /*t*/, std::span<const Real> y, std::span<Real> dydt) const {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  }
+};
+
+Checkpoint sample_checkpoint() {
+  Checkpoint c;
+  c.tag = "test";
+  c.step = 0xFFFFFFFFFFFFFFFFull;  // > 2^53: must survive the string path
+  c.t = 0.1 + 0.2;                 // not representable exactly in decimal
+  c.state = {1.0, -0.0, 1e-308, std::numeric_limits<Real>::denorm_min(),
+             std::numeric_limits<Real>::max(), -1.0 / 3.0};
+  c.aux = {3.141592653589793, -2.718281828459045e-12};
+  c.counters = {0, 1, (1ull << 53) + 1, 0x8000000000000000ull};
+  c.flags = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  Rng rng(12345);
+  rng.normal();  // odd draw count parks a cached Box–Muller deviate
+  c.rng = rng.save();
+  return c;
+}
+
+TEST(Checkpoint, JsonRoundTripIsExact) {
+  const Checkpoint original = sample_checkpoint();
+  const auto parsed = Checkpoint::from_json(original.json_dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+  // Bitwise, not just ==, for every Real (covers -0.0 vs 0.0).
+  for (std::size_t i = 0; i < original.state.size(); ++i)
+    EXPECT_EQ(std::signbit(parsed->state[i]), std::signbit(original.state[i]));
+}
+
+TEST(Checkpoint, RngStateRoundTripContinuesTheExactStream) {
+  Rng rng(987654321);
+  for (int i = 0; i < 7; ++i) rng.normal();  // odd: cached deviate live
+  Checkpoint c;
+  c.tag = "rng";
+  c.rng = rng.save();
+  const auto parsed = Checkpoint::from_json(c.json_dump());
+  ASSERT_TRUE(parsed.has_value());
+  Rng resumed = Rng::restore(parsed->rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng(), resumed());
+    EXPECT_EQ(rng.normal(), resumed.normal());
+    EXPECT_EQ(rng.uniform(), resumed.uniform());
+  }
+}
+
+TEST(Checkpoint, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(Checkpoint::from_json("").has_value());
+  EXPECT_FALSE(Checkpoint::from_json("[]").has_value());
+  EXPECT_FALSE(Checkpoint::from_json("{\"tag\": 3}").has_value());
+  // Tampered counters: non-integral string must be rejected, not truncated.
+  Checkpoint c = sample_checkpoint();
+  std::string text = c.json_dump();
+  const auto pos = text.find("\"18446744073709551615\"");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = text;
+  bad.replace(pos, 22, "\"not-a-number-at-all-\"");
+  EXPECT_FALSE(Checkpoint::from_json(bad).has_value());
+}
+
+TEST(CheckpointHelpers, U64StringsAreExactAndStrict) {
+  EXPECT_EQ(u64_to_string(0), "0");
+  EXPECT_EQ(u64_to_string(std::numeric_limits<std::uint64_t>::max()),
+            "18446744073709551615");
+  EXPECT_EQ(u64_from_string("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(u64_from_string("18446744073709551616").has_value());
+  EXPECT_FALSE(u64_from_string("12x").has_value());
+  EXPECT_FALSE(u64_from_string("").has_value());
+  EXPECT_FALSE(u64_from_string("-1").has_value());
+}
+
+TEST(CheckpointHelpers, HexRoundTripAndRejection) {
+  const std::vector<unsigned char> bytes{0x00, 0x01, 0xde, 0xad, 0xff};
+  const std::string hex = bytes_to_hex(bytes);
+  EXPECT_EQ(hex, "0001deadff");
+  EXPECT_EQ(bytes_from_hex(hex), bytes);
+  EXPECT_FALSE(bytes_from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(bytes_from_hex("zz").has_value());    // bad digit
+  EXPECT_TRUE(bytes_from_hex("").has_value());       // empty is fine
+}
+
+// --- resume == uninterrupted, for every fixed scheme ----------------------
+
+class FixedSchemeResume : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(FixedSchemeResume, SlicedEqualsUninterrupted) {
+  const Scheme scheme = GetParam();
+  const Real t0 = 0.0, t1 = 2.0, dt = 1e-3;
+
+  HarmonicKernel kernel;
+  Workspace ws;
+  std::vector<Real> direct{1.0, 0.0};
+  integrate_fixed(kernel, scheme, t0, t1, dt, std::span<Real>(direct), ws);
+
+  for (const std::size_t slice_steps : {1u, 7u, 64u, 1999u}) {
+    std::vector<Real> sliced{1.0, 0.0};
+    FixedCursor cursor;
+    SliceOutcome out;
+    std::size_t slices = 0;
+    do {
+      out = integrate_fixed_slice(kernel, scheme, t0, t1, dt,
+                                  std::span<Real>(sliced), cursor,
+                                  SliceBudget::steps(slice_steps), ws);
+      ++slices;
+    } while (!out.done);
+    EXPECT_GE(slices, 2000 / slice_steps);  // it really was sliced
+    EXPECT_EQ(out.t_reached, t1);
+    // Bit-identical, not approximately equal: slicing must not change a
+    // single operation.
+    EXPECT_EQ(sliced[0], direct[0]) << "scheme " << static_cast<int>(scheme)
+                                    << " slice " << slice_steps;
+    EXPECT_EQ(sliced[1], direct[1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FixedSchemeResume,
+                         ::testing::Values(Scheme::kEuler, Scheme::kHeun,
+                                           Scheme::kRk4));
+
+TEST(AdaptiveResume, SlicedEqualsUninterruptedRkf45) {
+  const Real t0 = 0.0, t1 = 3.0;
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-8;
+
+  DecayKernel kernel{2.5};
+  Workspace ws;
+  std::vector<Real> direct{1.0, -0.5, 0.25};
+  const AdaptiveResult ref = integrate_adaptive(
+      kernel, t0, t1, std::span<Real>(direct), opts, ws);
+
+  for (const std::size_t slice_steps : {1u, 3u, 17u}) {
+    std::vector<Real> sliced{1.0, -0.5, 0.25};
+    AdaptiveCursor cursor;
+    AdaptiveSliceOutcome out;
+    std::size_t slices = 0;
+    do {
+      out = integrate_adaptive_slice(kernel, t0, t1, std::span<Real>(sliced),
+                                     opts, cursor,
+                                     SliceBudget::steps(slice_steps), ws);
+      ++slices;
+    } while (!out.done);
+    EXPECT_GT(slices, 1u);
+    EXPECT_EQ(out.result.t_final, ref.t_final);
+    EXPECT_EQ(out.result.accepted_steps, ref.accepted_steps);
+    EXPECT_EQ(out.result.rejected_steps, ref.rejected_steps);
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      EXPECT_EQ(sliced[i], direct[i]) << "slice " << slice_steps;
+  }
+}
+
+TEST(SliceBudget, WallBudgetAlwaysMakesForwardProgress) {
+  HarmonicKernel kernel;
+  Workspace ws;
+  std::vector<Real> y{1.0, 0.0};
+  FixedCursor cursor;
+  // A zero-duration wall budget is exhausted immediately — but the contract
+  // guarantees at least one step per slice, so the trajectory still finishes.
+  const SliceBudget budget = SliceBudget::wall(1e-12);
+  std::size_t slices = 0;
+  SliceOutcome out;
+  do {
+    out = integrate_fixed_slice(kernel, Scheme::kHeun, 0.0, 0.01, 1e-3,
+                                std::span<Real>(y), cursor, budget, ws);
+    ++slices;
+    ASSERT_LE(slices, 100u);  // 10 steps of work: must terminate promptly
+  } while (!out.done);
+  EXPECT_EQ(cursor.step, 10u);
+}
+
+// --- sliced ensembles -----------------------------------------------------
+
+TEST(EnsembleCheckpoint, JsonRoundTrip) {
+  EnsembleCheckpoint ec;
+  ec.count = 3;
+  ec.trajectories.assign(3, sample_checkpoint());
+  ec.trajectories[1].step = 7;
+  ec.started = {1, 1, 0};
+  ec.finished = {1, 0, 0};
+  ec.stop_index = 1;
+  const auto parsed = EnsembleCheckpoint::from_json(ec.json_dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->count, ec.count);
+  EXPECT_EQ(parsed->trajectories, ec.trajectories);
+  EXPECT_EQ(parsed->started, ec.started);
+  EXPECT_EQ(parsed->finished, ec.finished);
+  EXPECT_EQ(parsed->stop_index, ec.stop_index);
+}
+
+TEST(SlicedEnsemble, ManySmallSlicesMatchOneUnlimitedRun) {
+  // Each trajectory integrates a decaying mode seeded from its index; the
+  // body keeps everything resumable in the checkpoint.
+  const auto body = [](std::size_t index, Checkpoint& ckpt,
+                       const SliceBudget& budget, Workspace& ws) {
+    if (ckpt.tag.empty()) {
+      ckpt.tag = "decay";
+      Rng rng = Rng::stream(42, index);
+      ckpt.state = {rng.uniform(), rng.uniform()};
+      ckpt.rng = rng.save();
+    }
+    DecayKernel kernel{1.5};
+    FixedCursor cursor{ckpt.step};
+    const auto out = integrate_fixed_slice(kernel, Scheme::kRk4, 0.0, 1.0,
+                                           1e-3, std::span<Real>(ckpt.state),
+                                           cursor, budget, ws);
+    ckpt.step = cursor.step;
+    ckpt.t = out.t_reached;
+    SliceStatus status;
+    status.done = out.done;
+    return status;
+  };
+
+  EnsembleOptions opts;
+  opts.threads = 2;
+
+  EnsembleCheckpoint one_shot;
+  auto run = run_ensemble_sliced(8, opts, SliceBudget{}, one_shot, body);
+  EXPECT_TRUE(run.done);
+  EXPECT_TRUE(one_shot.done());
+
+  EnsembleCheckpoint sliced;
+  std::size_t invocations = 0;
+  for (;;) {
+    const auto r =
+        run_ensemble_sliced(8, opts, SliceBudget::steps(100), sliced, body);
+    ++invocations;
+    ASSERT_LE(invocations, 50u);
+    if (r.done) break;
+    // Park and splice through JSON mid-flight, like a crash-resume would.
+    const auto parked = EnsembleCheckpoint::from_json(sliced.json_dump());
+    ASSERT_TRUE(parked.has_value());
+    sliced = *parked;
+  }
+  EXPECT_GE(invocations, 10u);  // 1000 steps / 100 per slice
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sliced.trajectories[i].state, one_shot.trajectories[i].state)
+        << "trajectory " << i;
+  }
+}
+
+TEST(SlicedEnsemble, StopRequestFreezesHigherIndicesOnly) {
+  const auto body = [](std::size_t index, Checkpoint& ckpt,
+                       const SliceBudget& /*budget*/, Workspace& /*ws*/) {
+    if (ckpt.tag.empty()) ckpt.tag = "stop";
+    ckpt.step += 1;
+    SliceStatus status;
+    status.done = true;
+    status.request_stop = index == 2;
+    return status;
+  };
+  EnsembleOptions opts;
+  opts.threads = 1;  // deterministic claim order for the assertion below
+  EnsembleCheckpoint ckpt;
+  const auto run = run_ensemble_sliced(6, opts, SliceBudget{}, ckpt, body);
+  EXPECT_TRUE(run.done);
+  EXPECT_EQ(ckpt.stop_index, 2u);
+  EXPECT_TRUE(ckpt.finished[0] && ckpt.finished[1] && ckpt.finished[2]);
+  // Indices above the stopper were never advanced (inline runner claims in
+  // order, so nothing beyond 3 was even started before the stop landed).
+  EXPECT_FALSE(ckpt.finished[4]);
+  EXPECT_FALSE(ckpt.finished[5]);
+}
+
+}  // namespace
+}  // namespace rebooting::core

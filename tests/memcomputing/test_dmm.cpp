@@ -302,6 +302,148 @@ TEST(DmmEnsemble, RejectsZeroRestarts) {
   EXPECT_THROW(DmmSolver(cnf, {}).solve_ensemble(0, 1), std::invalid_argument);
 }
 
+// --- sliced execution (DESIGN.md §12): N budgeted advances must be
+// bit-identical to one unlimited solve, wherever the cuts fall. -----------
+
+TEST(DmmSliced, BudgetedAdvancesMatchUninterruptedSolve) {
+  core::Rng gen(1234);
+  const auto inst = planted_ksat(gen, 30, 126, 3);
+  DmmOptions opts;
+  opts.energy_stride = 8;
+  opts.track_avalanches = true;
+  opts.max_steps = 200000;
+  const DmmSolver solver(inst.cnf, opts);
+
+  std::vector<core::Real> v0(30);
+  core::Rng init(555);
+  for (auto& v : v0) v = init.uniform(-1.0, 1.0);
+
+  core::Rng direct_rng(99);
+  const DmmResult direct = solver.solve_from(v0, direct_rng);
+  ASSERT_TRUE(direct.satisfied);
+
+  for (const std::size_t slice_steps : {1u, 7u, 64u}) {
+    core::Workspace ws;
+    core::Checkpoint ckpt = solver.begin(v0, core::Rng(99));
+    DmmSliceOutcome out;
+    std::size_t slices = 0;
+    do {
+      out = solver.advance(ckpt, core::SliceBudget::steps(slice_steps), ws);
+      ++slices;
+      ASSERT_LE(slices, 100000u);
+    } while (!out.done);
+    EXPECT_GE(slices, direct.steps / slice_steps);
+    EXPECT_EQ(out.result.satisfied, direct.satisfied);
+    EXPECT_EQ(out.result.steps, direct.steps);
+    EXPECT_EQ(out.result.sim_time, direct.sim_time);
+    EXPECT_EQ(out.result.steps_to_best, direct.steps_to_best);
+    EXPECT_EQ(out.result.assignment, direct.assignment);
+    EXPECT_EQ(out.result.max_abs_voltage, direct.max_abs_voltage);
+    EXPECT_EQ(out.result.energy_trace, direct.energy_trace);
+    EXPECT_EQ(out.result.avalanche_sizes, direct.avalanche_sizes);
+    // A finished checkpoint reconstructs the same result on demand.
+    const DmmResult recon = solver.result_from_checkpoint(ckpt);
+    EXPECT_EQ(recon.steps, direct.steps);
+    EXPECT_EQ(recon.sim_time, direct.sim_time);
+    EXPECT_EQ(recon.energy_trace, direct.energy_trace);
+    EXPECT_EQ(recon.assignment, direct.assignment);
+  }
+}
+
+TEST(DmmSliced, JsonParkAndResumeMidTrajectoryIsExact) {
+  // Noisy run: the RNG stream (including the cached Box–Muller deviate)
+  // must survive the JSON round trip mid-flight.
+  core::Rng gen(7);
+  const auto inst = planted_ksat(gen, 20, 80, 3);
+  DmmOptions opts;
+  opts.params.noise_stddev = 0.05;
+  opts.max_steps = 5000;
+  const DmmSolver solver(inst.cnf, opts);
+
+  std::vector<core::Real> v0(20);
+  core::Rng init(11);
+  for (auto& v : v0) v = init.uniform(-1.0, 1.0);
+
+  core::Rng direct_rng(5);
+  const DmmResult direct = solver.solve_from(v0, direct_rng);
+
+  core::Workspace ws;
+  core::Checkpoint ckpt = solver.begin(v0, core::Rng(5));
+  DmmSliceOutcome out;
+  do {
+    out = solver.advance(ckpt, core::SliceBudget::steps(3), ws);
+    const auto parked = core::Checkpoint::from_json(ckpt.json_dump());
+    ASSERT_TRUE(parked.has_value());
+    EXPECT_EQ(*parked, ckpt);
+    ckpt = *parked;  // resume from the deserialized copy every slice
+  } while (!out.done);
+  EXPECT_EQ(out.result.steps, direct.steps);
+  EXPECT_EQ(out.result.sim_time, direct.sim_time);
+  EXPECT_EQ(out.result.satisfied, direct.satisfied);
+  EXPECT_EQ(out.result.assignment, direct.assignment);
+}
+
+TEST(DmmSliced, RejectsForeignCheckpoints) {
+  Cnf cnf(2);
+  cnf.add_clause({1, 2});
+  const DmmSolver solver(cnf, {});
+  core::Workspace ws;
+  core::Checkpoint ckpt;
+  ckpt.tag = "oscillator";
+  EXPECT_THROW(solver.advance(ckpt, core::SliceBudget{}, ws),
+               std::invalid_argument);
+  EXPECT_THROW(solver.result_from_checkpoint(ckpt), std::invalid_argument);
+  // Unfinished checkpoints have no result yet.
+  core::Rng rng(3);
+  core::Checkpoint fresh = solver.begin({0.5, -0.5}, rng);
+  if (!fresh.flags.empty() && fresh.flags[0] == 0) {
+    EXPECT_THROW(solver.result_from_checkpoint(fresh), std::invalid_argument);
+  }
+}
+
+TEST(DmmSlicedEnsemble, SlicedEnsembleMatchesUnsliced) {
+  core::Rng gen(77);
+  const auto inst = planted_ksat(gen, 30, 126, 3);
+  DmmOptions opts;
+  opts.max_steps = 100000;
+  const DmmSolver solver(inst.cnf, opts);
+
+  DmmEnsembleOptions eopts;
+  eopts.threads = 4;
+  const DmmEnsembleResult whole = solver.solve_ensemble(16, 2026, eopts);
+  ASSERT_TRUE(whole.any_satisfied);
+  // Slice well below the winner's trajectory length so the ensemble is
+  // guaranteed to cross several invocation boundaries before finishing.
+  const std::size_t slice = std::max<std::size_t>(1, whole.best.steps / 4);
+
+  core::EnsembleCheckpoint ckpt;
+  DmmEnsembleResult sliced;
+  std::size_t rounds = 0;
+  for (;;) {
+    const bool done = solver.solve_ensemble_slice(
+        16, 2026, eopts, core::SliceBudget::steps(slice), ckpt, &sliced);
+    ++rounds;
+    ASSERT_LE(rounds, 100000u);
+    if (done) break;
+    // Park the whole ensemble through JSON mid-flight (crash-resume path).
+    const auto parked = core::EnsembleCheckpoint::from_json(ckpt.json_dump());
+    ASSERT_TRUE(parked.has_value());
+    ckpt = *parked;
+  }
+  EXPECT_GE(rounds, 4u);
+  EXPECT_EQ(sliced.any_satisfied, whole.any_satisfied);
+  EXPECT_EQ(sliced.best_index, whole.best_index);
+  EXPECT_EQ(sliced.best.steps, whole.best.steps);
+  EXPECT_EQ(sliced.best.sim_time, whole.best.sim_time);
+  EXPECT_EQ(sliced.best.assignment, whole.best.assignment);
+  for (std::size_t i = 0; i <= whole.best_index; ++i) {
+    ASSERT_TRUE(whole.ran[i] && sliced.ran[i]) << "i=" << i;
+    EXPECT_EQ(sliced.results[i].steps, whole.results[i].steps) << "i=" << i;
+    EXPECT_EQ(sliced.results[i].sim_time, whole.results[i].sim_time)
+        << "i=" << i;
+  }
+}
+
 TEST(Dmm, EmptyFormulaRejected) {
   Cnf cnf(3);
   EXPECT_THROW(DmmSolver(cnf, {}), std::invalid_argument);

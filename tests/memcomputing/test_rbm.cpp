@@ -38,9 +38,11 @@ TEST(Rbm, FreeEnergyConsistentWithJointEnergy) {
 
 TEST(Rbm, ExactNllEqualsUniformAtZeroWeights) {
   core::Rng rng(5);
-  BinaryRbm rbm(6, 4, rng, 0.0);  // all weights and biases zero
+  // 2x2 bars-and-stripes patterns have 4 pixels, so the RBM needs 4 visible
+  // units; at zero weights the model is uniform and NLL = n_visible * ln 2.
+  BinaryRbm rbm(4, 4, rng, 0.0);  // all weights and biases zero
   const Dataset data = bars_and_stripes(2);
-  EXPECT_NEAR(rbm.exact_nll(data), 6.0 * std::log(2.0), 1e-9);
+  EXPECT_NEAR(rbm.exact_nll(data), 4.0 * std::log(2.0), 1e-9);
 }
 
 TEST(Rbm, CdTrainingImprovesNll) {

@@ -223,5 +223,115 @@ TEST(Network, BadSimulationOptionsRejected) {
   EXPECT_THROW(net.simulate(so), std::invalid_argument);
 }
 
+// --- sliced execution (DESIGN.md §12): N budgeted slices must rebuild the
+// exact Trace of one uninterrupted simulate(), wherever the cuts fall. -----
+
+class NetworkSliced : public ::testing::Test {
+ protected:
+  // The golden series-RC pair: detuned gates + one series branch exercises
+  // the branch-capacitor state, phase flips, and the hysteresis tally.
+  static CoupledOscillatorNetwork make_net() {
+    CoupledOscillatorNetwork net(OscillatorParams{}, 2);
+    net.set_gate_voltage(0, 0.95);
+    net.set_gate_voltage(1, 1.05);
+    net.add_coupling({.a = 0, .b = 1, .r = 15e3, .c = 1e-12});
+    return net;
+  }
+  static SimulationOptions sim() {
+    SimulationOptions so;
+    so.duration = 5e-6;
+    so.dt = 1e-9;
+    so.sample_stride = 4;
+    return so;
+  }
+  static void expect_traces_equal(const Trace& got, const Trace& want) {
+    ASSERT_EQ(got.samples(), want.samples());
+    ASSERT_EQ(got.oscillators(), want.oscillators());
+    EXPECT_EQ(got.dt, want.dt);
+    for (std::size_t k = 0; k < want.samples(); ++k) {
+      EXPECT_EQ(got.time[k], want.time[k]) << "k=" << k;
+      EXPECT_EQ(got.supply_current[k], want.supply_current[k]) << "k=" << k;
+      for (std::size_t i = 0; i < want.oscillators(); ++i)
+        EXPECT_EQ(got.node_voltage[i][k], want.node_voltage[i][k])
+            << "i=" << i << " k=" << k;
+    }
+  }
+};
+
+TEST_F(NetworkSliced, BudgetedSlicesMatchUninterruptedSimulate) {
+  const CoupledOscillatorNetwork net = make_net();
+  const SimulationOptions so = sim();
+  const Trace whole = net.simulate(so);
+
+  for (const std::size_t slice_steps : {1u, 63u, 997u}) {
+    core::Workspace ws;
+    core::Checkpoint ckpt = net.begin_simulation(so);
+    std::size_t slices = 0;
+    while (!net.simulate_slice(ckpt, so, core::SliceBudget::steps(slice_steps),
+                               ws)) {
+      ++slices;
+      ASSERT_LE(slices, 100000u);
+    }
+    EXPECT_GE(slices, 5000u / slice_steps / 2);
+    expect_traces_equal(net.trace_from_checkpoint(ckpt, so), whole);
+    // A finished checkpoint is idempotent under further slicing.
+    EXPECT_TRUE(net.simulate_slice(ckpt, so, core::SliceBudget::steps(1), ws));
+    expect_traces_equal(net.trace_from_checkpoint(ckpt, so), whole);
+  }
+}
+
+TEST_F(NetworkSliced, JsonParkAndResumeMidRunIsExact) {
+  const CoupledOscillatorNetwork net = make_net();
+  const SimulationOptions so = sim();
+  const Trace whole = net.simulate(so);
+
+  core::Workspace ws;
+  core::Checkpoint ckpt = net.begin_simulation(so);
+  bool done = false;
+  while (!done) {
+    done = net.simulate_slice(ckpt, so, core::SliceBudget::steps(321), ws);
+    // Park through JSON every slice — the crash/resume path of the chaos
+    // harness, including the packed partial Trace in aux.
+    const auto parked = core::Checkpoint::from_json(ckpt.json_dump());
+    ASSERT_TRUE(parked.has_value());
+    EXPECT_EQ(*parked, ckpt);
+    ckpt = *parked;
+  }
+  expect_traces_equal(net.trace_from_checkpoint(ckpt, so), whole);
+}
+
+TEST_F(NetworkSliced, WallClockBudgetStillFinishesExactly) {
+  const CoupledOscillatorNetwork net = make_net();
+  SimulationOptions so = sim();
+  so.duration = 1e-6;  // 1000 steps
+  const Trace whole = net.simulate(so);
+
+  core::Workspace ws;
+  core::Checkpoint ckpt = net.begin_simulation(so);
+  std::size_t slices = 0;
+  // A vanishing wall budget may only move the cut points, never the values,
+  // and must still make forward progress every slice.
+  while (!net.simulate_slice(ckpt, so, core::SliceBudget::wall(1e-12), ws)) {
+    ++slices;
+    ASSERT_LE(slices, 2000u);
+  }
+  expect_traces_equal(net.trace_from_checkpoint(ckpt, so), whole);
+}
+
+TEST_F(NetworkSliced, RejectsForeignCheckpoints) {
+  const CoupledOscillatorNetwork net = make_net();
+  const SimulationOptions so = sim();
+  core::Workspace ws;
+  core::Checkpoint ckpt;
+  ckpt.tag = "dmm";
+  EXPECT_THROW(net.simulate_slice(ckpt, so, core::SliceBudget{}, ws),
+               std::invalid_argument);
+  EXPECT_THROW(net.trace_from_checkpoint(ckpt, so), std::invalid_argument);
+  // Tampering with the packed trace sections must be caught, not decoded.
+  core::Checkpoint fresh = net.begin_simulation(so);
+  fresh.aux.pop_back();
+  EXPECT_THROW(net.trace_from_checkpoint(fresh, so), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rebooting::oscillator

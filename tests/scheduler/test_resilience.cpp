@@ -18,6 +18,8 @@
 
 #include "core/faults.h"
 #include "memcomputing/accelerator.h"
+#include "memcomputing/dmm.h"
+#include "memcomputing/sat.h"
 #include "telemetry/telemetry.h"
 
 namespace rebooting::sched {
@@ -656,6 +658,94 @@ TEST(ResilienceTelemetry, FailoverAndDegradedAreCounted) {
   EXPECT_DOUBLE_EQ(metrics.counter("sched.jobs.classical-cpu"), 1.0);
   telemetry::Telemetry::instance().reset();
   telemetry::Telemetry::set_enabled(false);
+}
+
+// ------------------------------------------- mid-slice preemption chaos ----
+
+// The scheduler-level leg of the DESIGN.md §12 guarantee (the process-death
+// leg is scripts/chaos_kill_resume.sh): a checkpointed DMM solve that is
+// preempted many times by a seeded storm of higher-priority jobs must
+// produce a bit-identical trajectory to the uninterrupted solver. The storm
+// cadence derives from the CI chaos seed, so every matrix entry preempts at
+// different checkpoints.
+TEST(Chaos, PreemptedSlicedSolveIsBitIdenticalToUninterrupted) {
+  // A 60-variable planted instance: thousands of integration steps, so the
+  // 8-step slices give the storm thousands of preemption points.
+  core::Rng gen(4242);
+  const auto inst =
+      memcomputing::planted_ksat(gen, 60, 255, 3);
+  memcomputing::DmmOptions dopts;
+  dopts.max_steps = 200'000;
+  dopts.energy_stride = 8;
+  const memcomputing::DmmSolver solver(inst.cnf, dopts);
+
+  const std::uint64_t seed = 0x51CEull + chaos_seed();
+  core::Rng v0_rng = core::Rng::stream(seed, 0);
+  std::vector<core::Real> v0(60);
+  for (auto& v : v0) v = v0_rng.uniform(-1.0, 1.0);
+
+  core::Rng direct_rng = core::Rng::stream(seed, 1);
+  const memcomputing::DmmResult direct = solver.solve_from(v0, direct_rng);
+
+  Scheduler scheduler;
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+
+  struct SolveState {
+    core::Checkpoint ckpt;
+    core::Workspace ws;
+  };
+  const auto state = std::make_shared<SolveState>();
+  state->ckpt = solver.begin(v0, core::Rng::stream(seed, 1));
+
+  // The payload parks at EVERY checkpoint (8 accepted steps), so the whole
+  // trajectory transits the yield/re-enqueue/resume machinery hundreds of
+  // times while the storm's higher-priority jobs jump the queue between
+  // slices — the densest interleaving the scheduler can produce.
+  auto sliced = scheduler.submit_preemptible(
+      "chaos-sliced-solve", AcceleratorKind::kClassicalCpu,
+      [&solver, state](core::Accelerator&, const YieldProbe&)
+          -> std::optional<core::JobResult> {
+        const memcomputing::DmmSliceOutcome out =
+            solver.advance(state->ckpt, core::SliceBudget::steps(8),
+                           state->ws);
+        if (!out.done) return std::nullopt;
+        core::JobResult r;
+        r.ok = true;  // fingerprints are compared below either way
+        return r;
+      });
+
+  // The storm: seeded bursts of higher-priority jobs racing the slices.
+  core::Rng storm(seed ^ 0xBADCAB1Eull);
+  std::vector<std::future<core::JobResult>> bursts;
+  while (sliced.wait_for(0s) != std::future_status::ready) {
+    const int burst = 1 + static_cast<int>(storm() % 3);
+    for (int i = 0; i < burst; ++i) {
+      JobOptions opts;
+      opts.priority = 5;
+      bursts.push_back(scheduler.submit(
+          cpu_job("storm-high", [] { return ok_result(); }), opts));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 + storm() % 800));
+  }
+  for (auto& f : bursts) EXPECT_TRUE(f.get().ok);
+  EXPECT_TRUE(sliced.get().ok);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.preempts, 1u);
+  EXPECT_EQ(stats.preempts, stats.resumes);
+
+  // Whatever the preemption pattern was, the trajectory is the direct one.
+  const memcomputing::DmmResult got =
+      solver.result_from_checkpoint(state->ckpt);
+  EXPECT_EQ(got.satisfied, direct.satisfied);
+  EXPECT_EQ(got.steps, direct.steps);
+  EXPECT_EQ(got.sim_time, direct.sim_time);
+  EXPECT_EQ(got.steps_to_best, direct.steps_to_best);
+  EXPECT_EQ(got.assignment, direct.assignment);
+  EXPECT_EQ(got.max_abs_voltage, direct.max_abs_voltage);
+  EXPECT_EQ(got.energy_trace, direct.energy_trace);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "oscillator/comparator.h"
 #include "scheduler/queue.h"
 #include "telemetry/telemetry.h"
 
@@ -580,6 +581,184 @@ TEST(SchedulerStress, MultiProducerMultiWorker) {
             static_cast<std::size_t>(kProducers * kJobsPerProducer));
   EXPECT_EQ(stats.workers, 4u);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// --- Preemptible jobs & time-slicing (DESIGN.md §12) -----------------------
+
+TEST(SchedulerPreemption, PreemptibleJobRunsAcrossYields) {
+  Scheduler scheduler({.queue_capacity = 16});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  // Three voluntary yields before completing: each nullopt re-enqueues the
+  // remainder, each pickup counts as a resume.
+  auto slices_done = std::make_shared<std::atomic<int>>(0);
+  auto future = scheduler.submit_preemptible(
+      "sliced", AcceleratorKind::kClassicalCpu,
+      [slices_done](core::Accelerator&,
+                    const YieldProbe&) -> std::optional<core::JobResult> {
+        if (slices_done->fetch_add(1) < 3) return std::nullopt;
+        return ok_result("finished after slices");
+      });
+  ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+  const core::JobResult r = future.get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(slices_done->load(), 4);
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.slices, 4u);
+  EXPECT_GE(stats.preempts, 3u);
+  EXPECT_GE(stats.resumes, 3u);
+}
+
+TEST(SchedulerPreemption, HigherPriorityJobPreemptsRunningSlice) {
+  Scheduler scheduler({.queue_capacity = 16});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+
+  std::latch low_started{1};
+  std::atomic<bool> high_done{false};
+  std::mutex mutex;
+  std::vector<std::string> order;
+
+  // The low job spins inside one slice until the probe reports queued
+  // higher-priority work, then parks at its "checkpoint". It can only
+  // finish after the high job ran — so completion order proves preemption.
+  auto low = scheduler.submit_preemptible(
+      "low", AcceleratorKind::kClassicalCpu,
+      [&](core::Accelerator&,
+          const YieldProbe& probe) -> std::optional<core::JobResult> {
+        low_started.count_down();
+        const auto slice_start = Clock::now();
+        while (!high_done.load()) {
+          if (probe.should_yield()) return std::nullopt;
+          if (Clock::now() - slice_start > 10s) {
+            core::JobResult r;
+            r.summary = "timed out waiting for preemption";
+            return r;  // ok=false: fail the test instead of hanging it
+          }
+          std::this_thread::sleep_for(100us);
+        }
+        std::lock_guard lock(mutex);
+        order.push_back("low");
+        return ok_result();
+      },
+      with_priority(0));
+  low_started.wait();
+
+  auto high = scheduler.submit(cpu_job("high",
+                                       [&] {
+                                         {
+                                           std::lock_guard lock(mutex);
+                                           order.push_back("high");
+                                         }
+                                         high_done.store(true);
+                                         return ok_result();
+                                       }),
+                               with_priority(5));
+  ASSERT_EQ(high.wait_for(10s), std::future_status::ready);
+  ASSERT_EQ(low.wait_for(10s), std::future_status::ready);
+  EXPECT_TRUE(high.get().ok);
+  EXPECT_TRUE(low.get().ok) << "low-priority slice never saw the preemption";
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "low"}));
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.preempts, 1u);
+  EXPECT_GE(stats.resumes, 1u);
+  EXPECT_GE(stats.slices, 2u);
+}
+
+TEST(SchedulerPreemption, EqualPriorityDoesNotTriggerYield) {
+  Scheduler scheduler({.queue_capacity = 16});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  std::latch started{1};
+  std::latch release{1};
+  auto first = scheduler.submit_preemptible(
+      "first", AcceleratorKind::kClassicalCpu,
+      [&](core::Accelerator&,
+          const YieldProbe& probe) -> std::optional<core::JobResult> {
+        started.count_down();
+        release.wait();
+        core::JobResult r;
+        r.ok = !probe.should_yield();  // equal priority must not preempt
+        return r;
+      });
+  started.wait();
+  auto second = scheduler.submit(cpu_job("second", [] { return ok_result(); }));
+  release.count_down();
+  EXPECT_TRUE(first.get().ok);
+  EXPECT_TRUE(second.get().ok);
+  EXPECT_EQ(scheduler.stats().preempts, 0u);
+}
+
+// --- Work stealing between kind pools --------------------------------------
+
+TEST(SchedulerStealing, IdleWorkersStealStealableJobs) {
+  Scheduler scheduler({.queue_capacity = 16,
+                       .work_stealing = true,
+                       .steal_poll = 1ms});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  scheduler.add_pool(AcceleratorKind::kOscillator, 1,
+                     oscillator::OscillatorAccelerator::factory({}));
+
+  // Wedge the CPU pool's only worker, then pile stealable work on its queue:
+  // the idle oscillator worker must drain it.
+  std::latch entered{1};
+  std::latch gate{1};
+  auto blocker = scheduler.submit(cpu_job("blocker", [&] {
+    entered.count_down();
+    gate.wait();
+    return ok_result();
+  }));
+  entered.wait();
+
+  std::vector<std::future<core::JobResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    JobOptions opts;
+    opts.stealable = true;
+    futures.push_back(scheduler.submit(
+        cpu_job("stealable" + std::to_string(i), [] { return ok_result(); }),
+        opts));
+  }
+  // All four must complete while the CPU worker is still wedged.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(10s), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok);
+  }
+  EXPECT_FALSE(ready(blocker));
+  EXPECT_GE(scheduler.stats().steals, 4u);
+  gate.count_down();
+  EXPECT_TRUE(blocker.get().ok);
+  scheduler.drain();
+  EXPECT_EQ(scheduler.stats(AcceleratorKind::kClassicalCpu).queue_depth, 0u);
+}
+
+TEST(SchedulerStealing, NonStealableJobsStayOnTheirQueue) {
+  Scheduler scheduler({.queue_capacity = 16,
+                       .work_stealing = true,
+                       .steal_poll = 1ms});
+  scheduler.add_pool(AcceleratorKind::kClassicalCpu, 1,
+                     core::CpuAccelerator::factory());
+  scheduler.add_pool(AcceleratorKind::kOscillator, 1,
+                     oscillator::OscillatorAccelerator::factory({}));
+
+  std::latch entered{1};
+  std::latch gate{1};
+  auto blocker = scheduler.submit(cpu_job("blocker", [&] {
+    entered.count_down();
+    gate.wait();
+    return ok_result();
+  }));
+  entered.wait();
+
+  auto pinned =
+      scheduler.submit(cpu_job("pinned", [] { return ok_result(); }));
+  // Give the oscillator worker ample steal-poll cycles to (wrongly) grab it.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(ready(pinned));
+  EXPECT_EQ(scheduler.stats().steals, 0u);
+  gate.count_down();
+  EXPECT_TRUE(pinned.get().ok);
+  EXPECT_TRUE(blocker.get().ok);
 }
 
 // --- BoundedJobQueue unit tests (no threads) -------------------------------
