@@ -30,6 +30,7 @@
 #include "net/protocol.h"
 #include "rebootctl/client.h"
 #include "rebootctl/router.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -113,6 +114,8 @@ bool recv_one(ShardConn& conn, Tally& tally) {
 
 void worker(const Options& opts, std::size_t thread_index,
             std::atomic<bool>& stop, Tally& tally) {
+  telemetry::TraceRecorder::instance().set_thread_name(
+      "loadgen worker " + std::to_string(thread_index));
   rebootctl::ShardRouter router(opts.shards);
   std::map<std::string, ShardConn> conns;  // keyed host:port
   const auto deadline =

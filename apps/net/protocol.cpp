@@ -51,6 +51,38 @@ bool take_bool(const JsonValue& doc, const char* key, bool* out,
   return true;
 }
 
+/// Trace ids travel as decimal strings (u64 does not fit a JSON double), so
+/// "present but not a digit string" is a strict-parse failure like any other
+/// type mismatch. Absent leaves *out at 0.
+bool take_u64_string(const JsonValue& doc, const char* key,
+                     std::uint64_t* out, std::string* error) {
+  if (!doc.contains(key)) return true;
+  const JsonValue& v = doc.at(key);
+  const auto fail = [&] {
+    if (error)
+      *error = std::string("field '") + key +
+               "' must be a u64 as a decimal string";
+    return false;
+  };
+  if (v.type() != JsonValue::Type::kString) return fail();
+  const std::string& s = v.string();
+  if (s.empty() || s.size() > 20) return fail();
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return fail();
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return fail();  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+void put_u64_string(JsonValue::Members& obj, const char* key,
+                    std::uint64_t value) {
+  put(obj, key, JsonValue::make_string(std::to_string(value)));
+}
+
 std::optional<JsonValue> parse_object_frame(const std::string& frame,
                                             std::string* error) {
   auto doc = core::json_parse(frame);
@@ -97,16 +129,23 @@ std::string encode_request(const Request& req) {
   put(obj, "id", JsonValue::make_number(static_cast<core::Real>(req.id)));
   put(obj, "method", JsonValue::make_string(req.method));
   put(obj, "tenant", JsonValue::make_string(req.tenant));
+  if (req.trace_id != 0) {
+    put_u64_string(obj, "trace_id", req.trace_id);
+    if (req.parent_span != 0)
+      put_u64_string(obj, "parent_span", req.parent_span);
+  }
   if (req.method == "submit") {
     put(obj, "work", JsonValue::make_string(req.work));
     put(obj, "kind", JsonValue::make_string(core::to_string(req.kind)));
-    if (!req.params.is_null()) put(obj, "params", req.params);
     if (req.priority != 0)
       put(obj, "priority", JsonValue::make_number(req.priority));
     if (req.deadline_ms)
       put(obj, "deadline_ms", JsonValue::make_number(*req.deadline_ms));
     if (req.no_coalesce) put(obj, "no_coalesce", JsonValue::make_bool(true));
   }
+  // params ride on any method that takes them (submit's workload knobs,
+  // watch's interval_ms).
+  if (!req.params.is_null()) put(obj, "params", req.params);
   return core::json_dump(JsonValue::make_object(std::move(obj)));
 }
 
@@ -129,6 +168,10 @@ std::optional<Request> decode_request(const std::string& frame,
     return std::nullopt;
   }
   if (!take_string(*doc, "tenant", &req.tenant, error)) return std::nullopt;
+  if (!take_u64_string(*doc, "trace_id", &req.trace_id, error))
+    return std::nullopt;
+  if (!take_u64_string(*doc, "parent_span", &req.parent_span, error))
+    return std::nullopt;
   if (!take_string(*doc, "work", &req.work, error)) return std::nullopt;
 
   std::string kind_name;
@@ -181,6 +224,8 @@ std::string encode_response(const Response& resp) {
         JsonValue::make_number(static_cast<core::Real>(resp.attempts)));
   if (resp.degraded) put(obj, "degraded", JsonValue::make_bool(true));
   if (resp.coalesced) put(obj, "coalesced", JsonValue::make_bool(true));
+  if (resp.streaming) put(obj, "streaming", JsonValue::make_bool(true));
+  if (resp.trace_id != 0) put_u64_string(obj, "trace_id", resp.trace_id);
   if (resp.wall_seconds > 0.0)
     put(obj, "wall_seconds", JsonValue::make_number(resp.wall_seconds));
   if (resp.retry_after_ms)
@@ -226,6 +271,10 @@ std::optional<Response> decode_response(const std::string& frame,
   if (!take_bool(*doc, "degraded", &resp.degraded, error))
     return std::nullopt;
   if (!take_bool(*doc, "coalesced", &resp.coalesced, error))
+    return std::nullopt;
+  if (!take_bool(*doc, "streaming", &resp.streaming, error))
+    return std::nullopt;
+  if (!take_u64_string(*doc, "trace_id", &resp.trace_id, error))
     return std::nullopt;
   if (!take_number(*doc, "wall_seconds", &resp.wall_seconds, error))
     return std::nullopt;

@@ -1,6 +1,45 @@
 #include "rebootctl/client.h"
 
+#include <atomic>
+#include <chrono>
+
+#include "telemetry/trace.h"
+
 namespace rebooting::rebootctl {
+
+namespace {
+
+/// splitmix64: one multiply-shift-xor pass per call, full-period over u64.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Process-unique trace ids. Seeded from the wall clock and the address of a
+/// static (ASLR entropy), then advanced per call, so two client processes
+/// started in the same nanosecond still draw from disjoint streams — flow
+/// arrows in a merged trace bind purely by id, and a collision would stitch
+/// two unrelated requests together. Never returns 0 (0 means "no context"
+/// on the wire).
+std::uint64_t fresh_trace_id() {
+  static std::atomic<std::uint64_t> state{[] {
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    seed ^= static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(&fresh_trace_id));
+    return mix64(seed);
+  }()};
+  std::uint64_t id = 0;
+  do {
+    id = mix64(state.fetch_add(0x9e3779b97f4a7c15ull,
+                               std::memory_order_relaxed));
+  } while (id == 0);
+  return id;
+}
+
+}  // namespace
 
 bool Client::connect(const std::string& host, std::uint16_t port,
                      std::string* error) {
@@ -13,10 +52,28 @@ bool Client::send(const net::Request& req, std::string* error) {
     if (error) *error = "not connected";
     return false;
   }
-  if (!net::write_frame(socket_, net::encode_request(req))) {
-    if (error) *error = "write failed (connection lost)";
-    socket_.close();
-    return false;
+  // When this process is tracing, stamp a distributed trace context onto
+  // submits that don't already carry one: the server then continues the
+  // "net.request" flow chain under *our* id, and trace_merge.py can draw the
+  // client -> shard -> client arrows across the two processes' trace files.
+  const net::Request* to_send = &req;
+  net::Request stamped;
+  if (telemetry::trace_enabled() && req.method == "submit" &&
+      req.trace_id == 0) {
+    stamped = req;
+    stamped.trace_id = fresh_trace_id();
+    stamped.parent_span = req.id;  // the client-side span this submit is
+    to_send = &stamped;
+  }
+  {
+    TELEM_TRACE_SCOPE("net.send");
+    if (to_send->trace_id != 0 && to_send->method == "submit")
+      TELEM_TRACE_FLOW_BEGIN("net.request", to_send->trace_id);
+    if (!net::write_frame(socket_, net::encode_request(*to_send))) {
+      if (error) *error = "write failed (connection lost)";
+      socket_.close();
+      return false;
+    }
   }
   return true;
 }
@@ -43,7 +100,15 @@ std::optional<net::Response> Client::recv(std::string* error) {
       socket_.close();
       return std::nullopt;
   }
-  return net::decode_response(frame, error);
+  auto resp = net::decode_response(frame, error);
+  // Close the distributed flow on the terminal frame only: for a watch
+  // subscription every streaming frame echoes the id, but the chain has one
+  // end, and it is the response in the one-per-request accounting sense.
+  if (resp && resp->trace_id != 0 && !resp->streaming) {
+    TELEM_TRACE_SCOPE("net.recv");
+    TELEM_TRACE_FLOW_END("net.request", resp->trace_id);
+  }
+  return resp;
 }
 
 std::optional<net::Response> Client::call(const net::Request& req,

@@ -30,8 +30,14 @@ class Client {
                std::string* error = nullptr);
   bool connected() const { return socket_.valid(); }
   void close() { socket_.close(); }
+  /// Cross-thread unblock: a recv() parked on this connection returns EOF
+  /// ("connection closed"). How `top` tears down its collector threads.
+  void shutdown_read() { socket_.shutdown_read(); }
 
-  /// Writes one request frame; false on a dead connection.
+  /// Writes one request frame; false on a dead connection. When the process
+  /// is tracing (REBOOTING_TRACE), submits without a trace_id get a fresh
+  /// process-unique one stamped on the wire copy and a "net.request" flow
+  /// opened under it; recv() closes the flow on the matching terminal frame.
   bool send(const net::Request& req, std::string* error = nullptr);
   /// Reads one response frame; nullopt on EOF, error, or undecodable frame
   /// (*error distinguishes them). Blocks until a frame arrives.

@@ -1,8 +1,11 @@
-// rebootctl — operator CLI for a rebootd shard.
+// rebootctl — operator CLI for a rebootd shard (or a fleet of them).
 //
 //   rebootctl --port 4700 ping
 //   rebootctl --port 4700 status
+//   rebootctl --port 4700 metrics
 //   rebootctl --port 4700 submit spin --micros 200 --kind classical-cpu
+//   rebootctl top --shards 127.0.0.1:4700,127.0.0.1:4701 [--interval-ms 250]
+//   rebootctl --port 4700 top --once --json
 //   rebootctl --port 4700 shutdown
 //
 // Exit code 0 on Status::kOk, 1 on any other status or transport failure.
@@ -10,8 +13,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "rebootctl/client.h"
+#include "rebootctl/top.h"
 
 namespace {
 
@@ -21,11 +26,28 @@ namespace {
                "commands:\n"
                "  ping\n"
                "  status\n"
+               "  metrics\n"
+               "  watch [--interval-ms F]   (prints the first frame and exits)\n"
+               "  top [--shards H:P,H:P,...] [--interval-ms F] [--once]"
+               " [--json] [--frames N]\n"
                "  submit WORK [--kind K] [--micros F] [--vars N]"
                " [--clauses N] [--seed N] [--priority N] [--deadline-ms F]\n"
                "  shutdown\n",
                argv0);
   std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -38,6 +60,7 @@ int main(int argc, char** argv) {
   net::Request req;
   req.id = 1;
   core::JsonValue::Members params;
+  rebootctl::TopOptions top;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -64,6 +87,19 @@ int main(int argc, char** argv) {
       req.priority = std::atoi(next());
     } else if (!std::strcmp(arg, "--deadline-ms")) {
       req.deadline_ms = std::atof(next());
+    } else if (!std::strcmp(arg, "--shards")) {
+      top.shards = split_csv(next());
+    } else if (!std::strcmp(arg, "--interval-ms")) {
+      const double interval = std::atof(next());
+      top.interval_ms = interval;
+      params.emplace_back("interval_ms",
+                          core::JsonValue::make_number(interval));
+    } else if (!std::strcmp(arg, "--once")) {
+      top.once = true;
+    } else if (!std::strcmp(arg, "--json")) {
+      top.json = true;
+    } else if (!std::strcmp(arg, "--frames")) {
+      top.frames = static_cast<std::size_t>(std::atoi(next()));
     } else if (!std::strcmp(arg, "--micros") || !std::strcmp(arg, "--vars") ||
                !std::strcmp(arg, "--clauses") || !std::strcmp(arg, "--seed")) {
       params.emplace_back(arg + 2,
@@ -76,7 +112,17 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (req.method.empty() || port == 0) usage(argv[0]);
+  if (req.method.empty()) usage(argv[0]);
+  if (req.method == "top") {
+    // Fleet mode: --shards wins; otherwise the single --host/--port shard.
+    if (top.shards.empty()) {
+      if (port == 0) usage(argv[0]);
+      top.shards.push_back(host + ":" + std::to_string(port));
+    }
+    top.tenant = req.tenant;
+    return rebootctl::run_top(top);
+  }
+  if (port == 0) usage(argv[0]);
   if (req.method == "submit" && req.work.empty()) usage(argv[0]);
   if (!params.empty())
     req.params = core::JsonValue::make_object(std::move(params));

@@ -66,7 +66,8 @@ core::JsonValue json_of_pool(const sched::PoolStats& pool) {
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       scheduler_(scheduler_config(config_)),
-      governor_(config_.tenancy) {
+      governor_(config_.tenancy),
+      sampler_(telemetry::Telemetry::instance().metrics()) {
   if (config_.admission_high_water == 0)
     config_.admission_high_water = config_.queue_capacity;
   if (config_.enable_telemetry) telemetry::Telemetry::set_enabled(true);
@@ -92,6 +93,11 @@ bool Server::start(std::string* error) {
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.pump_threads);
        ++i)
     pumps_.emplace_back([this, i] { pump_loop(i); });
+  {
+    std::lock_guard lock(watch_mutex_);
+    watch_closed_ = false;
+  }
+  watch_thread_ = std::thread([this] { watch_loop(); });
   return true;
 }
 
@@ -112,6 +118,18 @@ void Server::stop() {
       if (slot.conn) slot.conn->socket.shutdown_read();
   }
   reap_readers(/*all=*/true);
+
+  // 2b. Close the watch pump: readers are joined, so no new subscription can
+  //     register. The pump exits its loop and sends each subscriber its
+  //     terminal kShuttingDown frame (the subscription's one *response*)
+  //     before the thread returns; the subscribers' Connection shared_ptrs
+  //     keep the write sides alive until then.
+  {
+    std::lock_guard lock(watch_mutex_);
+    watch_closed_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watch_thread_.joinable()) watch_thread_.join();
 
   // 3. Settle every accepted job: in-flight work finishes, queued work is
   //    flushed (kFlushed -> kShuttingDown on the wire). After this, every
@@ -227,6 +245,7 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
   if (req->method == "ping") {
     net::Response resp;
     resp.id = req->id;
+    resp.trace_id = req->trace_id;
     resp.status = net::Status::kOk;
     resp.summary = "pong";
     send_response(conn, resp);
@@ -236,12 +255,27 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
     send_response(conn, status_response(*req));
     return true;
   }
+  if (req->method == "metrics") {
+    net::Response resp;
+    resp.id = req->id;
+    resp.trace_id = req->trace_id;
+    resp.status = net::Status::kOk;
+    resp.summary = "metrics";
+    resp.body = metrics_body();
+    send_response(conn, resp);
+    return true;
+  }
+  if (req->method == "watch") {
+    handle_watch(conn, *req);
+    return true;
+  }
   if (req->method == "shutdown") {
     // Flag first, reply second: a client that has read this response must
     // already be able to observe shutdown_requested().
     shutdown_requested_.store(true, std::memory_order_release);
     net::Response resp;
     resp.id = req->id;
+    resp.trace_id = req->trace_id;
     resp.status = net::Status::kOk;
     resp.summary = "shutdown requested";
     send_response(conn, resp);
@@ -250,7 +284,13 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
   if (req->method == "submit") {
     const std::uint64_t rid =
         next_rid_.fetch_add(1, std::memory_order_relaxed);
-    TELEM_TRACE_FLOW_BEGIN("net.request", rid);
+    // Trace adoption: a submit carrying a client trace_id continues the
+    // client's "net.request" flow chain (the client already opened it at its
+    // send); a bare submit starts a server-local chain keyed by rid.
+    if (req->trace_id != 0)
+      TELEM_TRACE_FLOW_STEP("net.request", req->trace_id);
+    else
+      TELEM_TRACE_FLOW_BEGIN("net.request", rid);
     handle_submit(conn, *req, rid);
     return true;
   }
@@ -258,6 +298,7 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
   TELEM_COUNT("net.bad_request");
   net::Response resp;
   resp.id = req->id;
+  resp.trace_id = req->trace_id;
   resp.status = net::Status::kBadRequest;
   resp.summary = "unknown method '" + req->method + "'";
   send_response(conn, resp);
@@ -269,6 +310,7 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
   const auto now = Clock::now();
   net::Response reject;
   reject.id = req.id;
+  reject.trace_id = req.trace_id;
 
   if (!scheduler_.has_pool(req.kind)) {
     TELEM_COUNT("net.bad_request");
@@ -312,6 +354,7 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
   Waiter waiter;
   waiter.conn = conn;
   waiter.wire_id = req.id;
+  waiter.trace_id = req.trace_id;
   waiter.received = now;
   waiter.tenant = req.tenant;
 
@@ -355,10 +398,12 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
   pending.fanout = std::move(fanout);
   pending.key = std::move(key);
   pending.rid = rid;
+  pending.flow = req.trace_id != 0 ? req.trace_id : rid;
+  pending.remote = req.trace_id != 0;
   pending.kind = req.kind;
   try {
     TELEM_TRACE_SCOPE("net.enqueue");
-    TELEM_TRACE_FLOW_STEP("net.request", rid);
+    TELEM_TRACE_FLOW_STEP("net.request", pending.flow);
     pending.future = scheduler_.submit(
         req.tenant + "/" + req.work, req.kind, std::move(*payload), opts);
   } catch (const std::exception& e) {
@@ -370,6 +415,7 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
     pending.fanout->closed = true;
     for (const Waiter& w : pending.fanout->waiters) {
       resp.id = w.wire_id;
+      resp.trace_id = w.trace_id;
       resp.coalesced = w.coalesced;
       send_response(w.conn, resp);
       governor_.release(w.tenant);
@@ -407,7 +453,7 @@ void Server::pump_loop(std::size_t index) {
 
 void Server::complete(Pending&& pending) {
   TELEM_TRACE_SCOPE("net.reply");
-  TELEM_TRACE_FLOW_STEP("net.request", pending.rid);
+  TELEM_TRACE_FLOW_STEP("net.request", pending.flow);
 
   net::Response base;
   try {
@@ -445,6 +491,7 @@ void Server::complete(Pending&& pending) {
   for (const Waiter& waiter : waiters) {
     net::Response resp = base;
     resp.id = waiter.wire_id;
+    resp.trace_id = waiter.trace_id;
     resp.coalesced = waiter.coalesced;
     send_response(waiter.conn, resp);
     TELEM_RECORD(
@@ -452,7 +499,12 @@ void Server::complete(Pending&& pending) {
         std::chrono::duration<core::Real>(now - waiter.received).count());
     governor_.release(waiter.tenant);
   }
-  TELEM_TRACE_FLOW_END("net.request", pending.rid);
+  // A remote chain is closed by the client's recv; ending it here too would
+  // give the flow two heads in the merged view.
+  if (pending.remote)
+    TELEM_TRACE_FLOW_STEP("net.request", pending.flow);
+  else
+    TELEM_TRACE_FLOW_END("net.request", pending.flow);
 }
 
 void Server::send_response(const std::shared_ptr<Connection>& conn,
@@ -498,6 +550,7 @@ double Server::overload_retry_hint(core::AcceleratorKind kind) const {
 net::Response Server::status_response(const net::Request& req) const {
   net::Response resp;
   resp.id = req.id;
+  resp.trace_id = req.trace_id;
   resp.status = net::Status::kOk;
   resp.summary = "status";
 
@@ -574,6 +627,190 @@ net::Response Server::status_response(const net::Request& req) const {
 
   resp.body = core::JsonValue::make_object(std::move(body));
   return resp;
+}
+
+core::JsonValue Server::metrics_body() {
+  const auto num = [](core::Real v) { return core::JsonValue::make_number(v); };
+
+  const telemetry::MetricsSample sample = sampler_.tick();
+  const telemetry::MetricsRates rates = sampler_.rates();
+
+  core::JsonValue::Members body;
+  body.emplace_back("t_seconds", num(sample.t_seconds));
+
+  core::JsonValue::Members counters;
+  for (const auto& [name, value] : sample.counters)
+    counters.emplace_back(name, num(value));
+  body.emplace_back("counters",
+                    core::JsonValue::make_object(std::move(counters)));
+
+  core::JsonValue::Members gauges;
+  for (const auto& [name, value] : sample.gauges)
+    gauges.emplace_back(name, num(value));
+  body.emplace_back("gauges", core::JsonValue::make_object(std::move(gauges)));
+
+  // Counter deltas over the last sampling interval, normalized to /s — the
+  // "is it busy right now" signal a monotonic counter cannot give.
+  core::JsonValue::Members rate_members;
+  rate_members.emplace_back("dt_seconds", num(rates.dt_seconds));
+  core::JsonValue::Members per_second;
+  for (const auto& [name, value] : rates.per_second)
+    per_second.emplace_back(name, num(value));
+  rate_members.emplace_back("per_second",
+                            core::JsonValue::make_object(std::move(per_second)));
+  body.emplace_back("rates",
+                    core::JsonValue::make_object(std::move(rate_members)));
+
+  core::JsonValue::Members histograms;
+  for (const auto& [name, h] : sample.histograms) {
+    core::JsonValue::Members hm;
+    hm.emplace_back("count", num(static_cast<core::Real>(h.count)));
+    hm.emplace_back("mean", num(h.mean()));
+    hm.emplace_back("p50", num(h.quantile(0.5)));
+    hm.emplace_back("p90", num(h.quantile(0.9)));
+    hm.emplace_back("p99", num(h.quantile(0.99)));
+    hm.emplace_back("max", num(h.max));
+    histograms.emplace_back(name, core::JsonValue::make_object(std::move(hm)));
+  }
+  body.emplace_back("histograms",
+                    core::JsonValue::make_object(std::move(histograms)));
+
+  const sched::SchedulerStats stats = scheduler_.stats();
+  body.emplace_back("accepting", core::JsonValue::make_bool(stats.accepting));
+  body.emplace_back("outstanding",
+                    num(static_cast<core::Real>(stats.outstanding)));
+  core::JsonValue::Members sched;
+  sched.emplace_back("slices", num(static_cast<core::Real>(stats.slices)));
+  sched.emplace_back("preempts", num(static_cast<core::Real>(stats.preempts)));
+  sched.emplace_back("resumes", num(static_cast<core::Real>(stats.resumes)));
+  sched.emplace_back("steals", num(static_cast<core::Real>(stats.steals)));
+  body.emplace_back("sched", core::JsonValue::make_object(std::move(sched)));
+
+  core::JsonValue::Members pools;
+  for (const auto& [kind, pool] : stats.pools)
+    pools.emplace_back(core::to_string(kind), json_of_pool(pool));
+  body.emplace_back("pools", core::JsonValue::make_object(std::move(pools)));
+
+  return core::JsonValue::make_object(std::move(body));
+}
+
+void Server::handle_watch(const std::shared_ptr<Connection>& conn,
+                          const net::Request& req) {
+  double interval_ms = 500.0;
+  if (req.params.is_object() && req.params.contains("interval_ms")) {
+    const core::JsonValue& v = req.params.at("interval_ms");
+    if (v.type() != core::JsonValue::Type::kNumber) {
+      net::Response resp;
+      resp.id = req.id;
+      resp.trace_id = req.trace_id;
+      resp.status = net::Status::kBadRequest;
+      resp.summary = "watch params.interval_ms must be a number";
+      send_response(conn, resp);
+      return;
+    }
+    interval_ms = v.number();
+  }
+  interval_ms = std::min(60000.0, std::max(20.0, interval_ms));
+
+  // First frame synchronously, so `rebootctl top --once` gets its answer in
+  // one round trip instead of one watch interval.
+  net::Response first;
+  first.id = req.id;
+  first.trace_id = req.trace_id;
+  first.status = net::Status::kOk;
+  first.summary = "watch";
+  first.streaming = true;
+  first.body = metrics_body();
+  send_response(conn, first);
+
+  WatchSub sub;
+  sub.conn = conn;
+  sub.wire_id = req.id;
+  sub.trace_id = req.trace_id;
+  sub.interval_ms = interval_ms;
+  sub.next_due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double, std::milli>(
+                                        interval_ms));
+  {
+    std::lock_guard lock(watch_mutex_);
+    if (watch_closed_) {
+      // stop() already passed the watch teardown; answer terminally now
+      // rather than registering a subscriber nobody will ever close.
+      net::Response resp;
+      resp.id = req.id;
+      resp.trace_id = req.trace_id;
+      resp.status = net::Status::kShuttingDown;
+      resp.summary = "watch closed: server stopping";
+      send_response(conn, resp);
+      return;
+    }
+    watchers_.push_back(std::move(sub));
+  }
+  watch_cv_.notify_all();
+  TELEM_COUNT("net.watch_subscribed");
+}
+
+void Server::watch_loop() {
+  telemetry::TraceRecorder::instance().set_thread_name("net watch");
+  std::unique_lock lock(watch_mutex_);
+  while (!watch_closed_) {
+    if (watchers_.empty()) {
+      watch_cv_.wait(lock,
+                     [this] { return watch_closed_ || !watchers_.empty(); });
+      continue;
+    }
+    Clock::time_point due = watchers_.front().next_due;
+    for (const WatchSub& sub : watchers_) due = std::min(due, sub.next_due);
+    if (watch_cv_.wait_until(lock, due, [this] { return watch_closed_; }))
+      break;
+
+    const auto now = Clock::now();
+    bool any_due = false;
+    for (const WatchSub& sub : watchers_)
+      any_due = any_due || sub.next_due <= now;
+    if (!any_due) continue;  // spurious wake or a new earlier subscriber
+
+    // One sampler tick serves every due subscriber this wake; ticking per
+    // subscriber would skew rates with near-zero dt samples.
+    const core::JsonValue body = metrics_body();
+    for (WatchSub& sub : watchers_) {
+      if (sub.next_due > now) continue;
+      net::Response frame;
+      frame.id = sub.wire_id;
+      frame.trace_id = sub.trace_id;
+      frame.status = net::Status::kOk;
+      frame.summary = "watch";
+      frame.streaming = true;
+      frame.body = body;
+      send_response(sub.conn, frame);
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(sub.interval_ms));
+      // Re-anchor on `now`: a stalled pump catches up with one frame, not a
+      // burst of back-dated ones.
+      sub.next_due = now + interval;
+    }
+    // A failed push (send_response flipped conn->open) ends the
+    // subscription; its client is gone, nobody is owed the terminal frame.
+    watchers_.erase(
+        std::remove_if(watchers_.begin(), watchers_.end(),
+                       [](const WatchSub& sub) {
+                         return !sub.conn->open.load(
+                             std::memory_order_acquire);
+                       }),
+        watchers_.end());
+  }
+
+  // Teardown: one terminal (non-streaming) frame per surviving subscriber —
+  // the stream's single *response* in the accounting sense.
+  for (const WatchSub& sub : watchers_) {
+    net::Response resp;
+    resp.id = sub.wire_id;
+    resp.trace_id = sub.trace_id;
+    resp.status = net::Status::kShuttingDown;
+    resp.summary = "watch closed: server stopping";
+    send_response(sub.conn, resp);
+  }
+  watchers_.clear();
 }
 
 }  // namespace rebooting::rebootd

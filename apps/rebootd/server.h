@@ -15,6 +15,9 @@
 //                      JobDisposition to a wire Status, fan the response out
 //                      to every coalesced waiter (per-connection write
 //                      mutex; a reader and a pump may share a socket).
+//   watch pump (1)     pushes periodic metrics frames (telemetry::Sampler
+//                      ticks) to every `watch` subscriber; at stop() it owes
+//                      each subscriber one terminal frame.
 //
 // Accounting invariant: every frame that decodes into a request gets exactly
 // one response, including during stop() — the ordered teardown (stop
@@ -44,6 +47,7 @@
 #include "net/socket.h"
 #include "rebootd/tenancy.h"
 #include "scheduler/scheduler.h"
+#include "telemetry/sampler.h"
 
 namespace rebooting::rebootd {
 
@@ -112,6 +116,10 @@ class Server {
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::uint64_t wire_id = 0;
+    /// The waiter's own distributed trace context (0 = none), echoed in its
+    /// response frame. Coalesced riders keep their own ids even though the
+    /// flow chain follows the leader's.
+    std::uint64_t trace_id = 0;
     Clock::time_point received{};
     bool coalesced = false;
     std::string tenant;
@@ -131,6 +139,12 @@ class Server {
     std::shared_ptr<Fanout> fanout;
     std::string key;  ///< coalescer entry to retire ("" = uncoalesced)
     std::uint64_t rid = 0;
+    /// "net.request" flow-chain id: the client's trace_id when the leader
+    /// carried one, else the server-local rid. `remote` distinguishes the
+    /// two at complete(): a remote chain gets a flow *step* at reply time
+    /// (the client's recv closes it), a local one gets the flow end here.
+    std::uint64_t flow = 0;
+    bool remote = false;
     /// Which pool the job went to — needed to derive the retry_after_ms
     /// hint if the scheduler itself answers kOverloaded.
     core::AcceleratorKind kind = core::AcceleratorKind::kClassicalCpu;
@@ -142,15 +156,34 @@ class Server {
     std::atomic<bool> done{false};
   };
 
+  /// One live `watch` subscription: where to push frames and how often.
+  struct WatchSub {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t wire_id = 0;
+    std::uint64_t trace_id = 0;
+    double interval_ms = 500.0;
+    Clock::time_point next_due{};
+  };
+
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t conn_id);
   void pump_loop(std::size_t index);
+  /// Pushes periodic metrics frames to every watch subscriber; on shutdown,
+  /// sends each one its terminal (non-streaming) kShuttingDown frame so the
+  /// one-response-per-request accounting closes for streams too.
+  void watch_loop();
   /// Decodes and dispatches one frame; false = hang up the connection.
   bool handle_frame(const std::shared_ptr<Connection>& conn,
                     const std::string& frame);
   void handle_submit(const std::shared_ptr<Connection>& conn,
                      const net::Request& req, std::uint64_t rid);
+  void handle_watch(const std::shared_ptr<Connection>& conn,
+                    const net::Request& req);
   net::Response status_response(const net::Request& req) const;
+  /// Body of the `metrics` verb and of every watch frame: one fresh sampler
+  /// tick (counters, gauges, histogram quantiles), counter rates over the
+  /// last sampling interval, and Scheduler::stats().
+  core::JsonValue metrics_body();
   /// retry_after_ms hint for kOverloaded rejections, derived from the load
   /// actually present: queued jobs of `kind` divided across its workers,
   /// each costing the observed mean service time (1 ms floor).
@@ -164,6 +197,9 @@ class Server {
   ServerConfig config_;
   sched::Scheduler scheduler_;
   TenantGovernor governor_;
+  /// Samples the process-wide registry for the metrics/watch verbs. Driven
+  /// by tick() from this class (watch cadence), never by its own thread.
+  telemetry::Sampler sampler_;
   net::Listener listener_;
   std::uint16_t port_ = 0;
 
@@ -181,6 +217,12 @@ class Server {
   std::deque<Pending> pending_;
   bool pending_closed_ = false;
   std::vector<std::thread> pumps_;
+
+  std::mutex watch_mutex_;
+  std::condition_variable watch_cv_;
+  std::vector<WatchSub> watchers_;
+  bool watch_closed_ = false;
+  std::thread watch_thread_;
 
   std::mutex coalesce_mutex_;
   struct CoalesceEntry {

@@ -1,0 +1,28 @@
+// Shared plumbing for the exit-gated benches: where the machine-readable
+// BENCH_*.json artifact lands.
+//
+// Default is next to the binary itself (${CMAKE_BINARY_DIR}/bench), not the
+// CWD — `./build/bench/trace_overhead` from the repo root must not litter
+// the checkout, and CI's artifact-upload globs stay valid no matter which
+// directory the job happens to run the bench from. `--out PATH` overrides
+// for scripted runs that want artifacts elsewhere.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace rebooting::bench {
+
+/// Resolves the artifact path: `--out PATH` from argv wins, else
+/// `<dir of argv[0]>/<default_name>`.
+inline std::string artifact_path(int argc, char** argv,
+                                 const std::string& default_name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (!std::strcmp(argv[i], "--out")) return argv[i + 1];
+  const std::string self = argc > 0 && argv[0] != nullptr ? argv[0] : "";
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return default_name;
+  return self.substr(0, slash + 1) + default_name;
+}
+
+}  // namespace rebooting::bench

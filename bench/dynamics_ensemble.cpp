@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/json.h"
 #include "core/ode.h"
 #include "core/table.h"
@@ -101,7 +102,9 @@ std::pair<core::Real, core::Real> dispatch_microbench() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      rebooting::bench::artifact_path(argc, argv, "BENCH_dynamics.json");
   core::print_banner(std::cout,
                      "E9 — static-dispatch kernels & parallel trajectory "
                      "ensembles (64-restart DMM sweep)");
@@ -177,7 +180,7 @@ int main() {
             << (reproducible ? "PASS" : "FAIL") << '\n';
 
   {
-    std::ofstream json("BENCH_dynamics.json");
+    std::ofstream json(out_path);
     json << "{\n"
          << "  \"bench\": " << core::json_quote("dynamics_ensemble") << ",\n"
          << "  \"cores\": " << core::json_number(static_cast<std::int64_t>(cores))
@@ -201,7 +204,7 @@ int main() {
          << ",\n"
          << "  \"function_ns_per_element\": " << core::json_number(fn_ns)
          << "\n}\n";
-    std::cout << "wrote BENCH_dynamics.json\n";
+    std::cout << "wrote " << out_path << '\n';
   }
 
   if (!reproducible) return 1;

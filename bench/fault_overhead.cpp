@@ -23,6 +23,7 @@
 #include <limits>
 #include <memory>
 
+#include "bench_util.h"
 #include "core/accelerator.h"
 #include "core/faults.h"
 #include "core/json.h"
@@ -60,7 +61,9 @@ Real min_pass_ns(const Body& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      rebooting::bench::artifact_path(argc, argv, "BENCH_faults.json");
   core::print_banner(std::cout,
                      "Fault injector overhead — disabled / enabled path cost");
   std::cout << "\n"
@@ -125,7 +128,7 @@ int main() {
             << ", enabled gate: " << (enabled_ok ? "PASS" : "FAIL") << '\n';
 
   {
-    std::ofstream json("BENCH_faults.json");
+    std::ofstream json(out_path);
     json << "{\n"
          << "  \"bench\": " << core::json_quote("fault_overhead") << ",\n"
          << "  \"calls_per_pass\": "
@@ -148,7 +151,7 @@ int main() {
          << ",\n"
          << "  \"enabled_gate_pass\": " << (enabled_ok ? "true" : "false")
          << "\n}\n";
-    std::cout << "wrote BENCH_faults.json\n";
+    std::cout << "wrote " << out_path << '\n';
   }
 
   if (!disabled_ok) return 1;

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/json.h"
 #include "core/table.h"
 #include "memcomputing/dmm.h"
@@ -40,7 +41,9 @@ constexpr double kGateMs = 250.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      rebooting::bench::artifact_path(argc, argv, "BENCH_preemption.json");
   core::print_banner(std::cout,
                      "preemption latency — high-priority start time while a "
                      "sliced DMM solve holds the only worker");
@@ -154,7 +157,7 @@ int main() {
             << " ms -> " << (gate_ok ? "PASS" : "FAIL") << '\n';
 
   {
-    std::ofstream json("BENCH_preemption.json");
+    std::ofstream json(out_path);
     json << "{\n"
          << "  \"bench\": " << core::json_quote("preemption_latency") << ",\n"
          << "  \"trials\": " << kTrials << ",\n"
@@ -166,7 +169,7 @@ int main() {
          << "  \"resumes\": " << stats.resumes << ",\n"
          << "  \"gate\": " << core::json_quote(gate_ok ? "pass" : "fail")
          << "\n}\n";
-    std::cout << "wrote BENCH_preemption.json\n";
+    std::cout << "wrote " << out_path << '\n';
   }
 
   // Sanity: every trial must have gone through the preemption machinery.

@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/json.h"
 #include "core/table.h"
 #include "net/protocol.h"
@@ -116,7 +117,9 @@ Real body_number(const core::JsonValue& body, const char* group,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      rebooting::bench::artifact_path(argc, argv, "BENCH_service.json");
   core::print_banner(std::cout,
                      "rebootd loopback echo — pipelined wire-path throughput");
   std::cout << "\n" << kThreads << " connections x window " << kWindow
@@ -194,7 +197,7 @@ int main() {
             << "throughput gate: " << (fast_enough ? "PASS" : "FAIL") << '\n';
 
   {
-    std::ofstream json("BENCH_service.json");
+    std::ofstream json(out_path);
     json << "{\n"
          << "  \"bench\": " << core::json_quote("service_echo") << ",\n"
          << "  \"threads\": "
@@ -219,7 +222,7 @@ int main() {
          << ",\n"
          << "  \"throughput_gate_pass\": " << (fast_enough ? "true" : "false")
          << "\n}\n";
-    std::cout << "wrote BENCH_service.json\n";
+    std::cout << "wrote " << out_path << '\n';
   }
 
   if (!balanced) return 1;

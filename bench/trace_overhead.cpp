@@ -24,6 +24,7 @@
 #include <iostream>
 #include <limits>
 
+#include "bench_util.h"
 #include "core/table.h"
 #include "core/json.h"
 #include "telemetry/trace.h"
@@ -64,7 +65,9 @@ Real min_pass_ns(const Body& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      rebooting::bench::artifact_path(argc, argv, "BENCH_trace.json");
   core::print_banner(std::cout,
                      "Trace recorder overhead — disabled / enabled path cost");
   std::cout << "\n"
@@ -144,7 +147,7 @@ int main() {
             << ", enabled gate: " << (enabled_ok ? "PASS" : "FAIL") << '\n';
 
   {
-    std::ofstream json("BENCH_trace.json");
+    std::ofstream json(out_path);
     json << "{\n"
          << "  \"bench\": " << core::json_quote("trace_overhead") << ",\n"
          << "  \"events_per_pass\": "
@@ -171,7 +174,7 @@ int main() {
          << ",\n"
          << "  \"enabled_gate_pass\": " << (enabled_ok ? "true" : "false")
          << "\n}\n";
-    std::cout << "wrote BENCH_trace.json\n";
+    std::cout << "wrote " << out_path << '\n';
   }
 
   if (!disabled_ok) return 1;

@@ -4,20 +4,25 @@
 # Phase 1 — throughput: two clean shards, pipelined loadgen, gated on
 #   >= SMOKE_MIN_RPS successful requests/second (server-side p50/p99 are
 #   printed from each shard's own latency histogram).
-# Phase 2 — chaos: both shards restart under a 20% transient fault plan on
-#   the classical-cpu pool, one shard also records a Chrome trace. Halfway
-#   through the storm, shard B is killed with SIGKILL. Loadgen must still
-#   exit 0: every request accounted for (ok + typed rejections + transport
-#   errors == attempted, no duplicates), with the dead shard's in-flight
-#   requests surfacing as transport errors, not hangs. The survivor is then
-#   shut down cleanly over the wire so its trace flushes; the trace must be
-#   valid JSON.
+# Phase 2 — chaos + observability: both shards restart under a 20% transient
+#   fault plan on the classical-cpu pool; shard A and the loadgen client both
+#   record Chrome traces. Mid-storm (before the kill) `rebootctl top --once
+#   --json` must report per-shard queue depth, req/s, and p99 for both live
+#   shards. Then shard B is killed with SIGKILL. Loadgen must still exit 0:
+#   every request accounted for (ok + typed rejections + transport errors ==
+#   attempted, no duplicates), with the dead shard's in-flight requests
+#   surfacing as transport errors, not hangs. The survivor is then shut down
+#   cleanly over the wire so its trace flushes; both traces must be valid
+#   JSON, and scripts/trace_merge.py must stitch them into one timeline with
+#   at least one client -> shard -> client cross-process flow chain
+#   (trace-merged.json).
 #
 # Usage: scripts/service_smoke.sh BUILD_DIR
 # Env:   SMOKE_MIN_RPS (default 10000), SMOKE_PORT_A/B (default 47801/47802)
 set -euo pipefail
 
 build_dir=${1:?usage: service_smoke.sh BUILD_DIR}
+script_dir=$(cd "$(dirname "$0")" && pwd)
 min_rps=${SMOKE_MIN_RPS:-10000}
 port_a=${SMOKE_PORT_A:-47801}
 port_b=${SMOKE_PORT_B:-47802}
@@ -85,14 +90,39 @@ pid_a=$shard_pid
 start_shard storm-b "$port_b" REBOOTING_FAULTS="$workdir/faults.json"
 pid_b=$shard_pid
 
+# Prime each shard's sampler with a first sample so the rates reported by
+# `top` below span the load window rather than starting mid-storm.
+"$rebootctl" --port "$port_a" metrics > /dev/null
+"$rebootctl" --port "$port_b" metrics > /dev/null
+
 # The storm run is gated on accounting only (exit 1 = lost/duplicated
 # response, exit 2 = nothing succeeded at all); throughput was phase 1's job.
-"$loadgen" --shards "127.0.0.1:$port_a,127.0.0.1:$port_b" \
+# Tracing the client closes the cross-process "net.request" flow chains that
+# the traced shard A continues server-side.
+REBOOTING_TRACE=trace-loadgen.json \
+  "$loadgen" --shards "127.0.0.1:$port_a,127.0.0.1:$port_b" \
   --threads 4 --window 16 --seconds 6 --work spin --micros 20 &
 loadgen_pid=$!
 pids+=("$loadgen_pid")
 
 sleep 3
+echo "--- top --once --json against the live fleet ---"
+"$rebootctl" top --shards "127.0.0.1:$port_a,127.0.0.1:$port_b" \
+  --once --json > "$workdir/top.json"
+python3 - "$workdir/top.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+shards = doc["shards"]
+assert len(shards) == 2, shards
+for s in shards:
+    assert s["ok"], s
+    for key in ("queue_depth", "req_per_s", "p50_ms", "p99_ms"):
+        assert isinstance(s[key], (int, float)), (s["shard"], key)
+print("top --once --json OK: " + ", ".join(
+    "%s req/s=%.0f p99=%.3fms" % (s["shard"], s["req_per_s"], s["p99_ms"])
+    for s in shards))
+EOF
+
 echo "--- killing shard B (pid $pid_b) mid-storm ---"
 kill -9 "$pid_b"
 
@@ -108,5 +138,15 @@ python3 -m json.tool trace-service.json > /dev/null
 events=$(python3 -c \
   "import json; print(len(json.load(open('trace-service.json'))['traceEvents']))")
 echo "survivor trace OK: $events events in trace-service.json"
+
+python3 -m json.tool trace-loadgen.json > /dev/null
+echo "client trace OK: trace-loadgen.json"
+
+# Stitch the client and surviving-shard timelines; the merge must contain at
+# least one request flow that spans both processes (client begin -> shard
+# steps -> client end).
+python3 "$script_dir/trace_merge.py" --out trace-merged.json \
+  --require-cross-flow 1 \
+  client=trace-loadgen.json shard-a=trace-service.json
 echo
 echo "service smoke: PASS"

@@ -73,6 +73,9 @@ TraceRecorder& TraceRecorder::instance() {
 
 TraceRecorder::TraceRecorder()
     : epoch_ns_(steady_now_ns()),
+      epoch_unix_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()),
       ring_capacity_(kDefaultRingCapacity),
       epoch_(0) {
   if (const char* env = std::getenv("REBOOTING_TRACE_BUFFER");
@@ -232,11 +235,15 @@ std::string TraceRecorder::to_json() const {
     }
   }
 
+  // epoch_unix_ns is the wall-clock instant of ts 0, as a decimal string —
+  // a ns-precision Unix stamp exceeds the double mantissa, the same reason
+  // checkpoint JSON carries u64s as strings.
   os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
      << core::json_number(static_cast<std::int64_t>(dropped))
      << ",\"ring_capacity\":"
      << core::json_number(static_cast<std::int64_t>(ring_capacity()))
-     << "}}";
+     << ",\"epoch_unix_ns\":"
+     << core::json_quote(std::to_string(epoch_unix_ns_)) << "}}";
 
   // Truncation is never silent: surface the loss next to the other counters.
   if (dropped > 0 && Telemetry::enabled())

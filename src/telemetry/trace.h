@@ -180,6 +180,13 @@ class TraceRecorder {
   /// Sum of dropped() over all registered rings.
   std::uint64_t dropped_events() const;
 
+  /// Wall-clock (system_clock, Unix ns) instant corresponding to ts_ns == 0.
+  /// Exported as otherData.epoch_unix_ns so scripts/trace_merge.py can align
+  /// timelines captured by *different processes* (each process's steady
+  /// clock has its own origin) onto one shared axis before stitching their
+  /// flow arrows together.
+  std::int64_t epoch_unix_ns() const { return epoch_unix_ns_; }
+
   /// Quiescent-time copy of every ring, in registration order.
   std::vector<ThreadTimeline> snapshot() const;
 
@@ -202,7 +209,8 @@ class TraceRecorder {
 
   TraceRing* ring_for_this_thread();
 
-  std::int64_t epoch_ns_;  ///< steady-clock origin of every ts_ns
+  std::int64_t epoch_ns_;       ///< steady-clock origin of every ts_ns
+  std::int64_t epoch_unix_ns_;  ///< wall-clock instant of that origin
 
   mutable std::mutex registry_mutex_;
   std::vector<std::shared_ptr<TraceRing>> rings_;

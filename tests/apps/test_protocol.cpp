@@ -83,6 +83,80 @@ TEST(Protocol, EveryStatusSurvivesTheStringMapping) {
   EXPECT_FALSE(status_from_string("no-such-status").has_value());
 }
 
+TEST(Protocol, TraceContextRoundTripsAsDecimalStrings) {
+  // Full-width u64s: the decimal-string encoding must survive values a JSON
+  // double would silently round (anything past 2^53).
+  Request req;
+  req.id = 7;
+  req.method = "submit";
+  req.work = "spin";
+  req.trace_id = ~std::uint64_t{0};  // 18446744073709551615
+  req.parent_span = (1ull << 53) + 1;
+  const std::string frame = encode_request(req);
+  EXPECT_NE(frame.find("\"trace_id\":\"18446744073709551615\""),
+            std::string::npos);
+  const auto decoded = decode_request(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, ~std::uint64_t{0});
+  EXPECT_EQ(decoded->parent_span, (1ull << 53) + 1);
+
+  // Absent context decodes to 0 and encodes to nothing.
+  Request bare;
+  bare.id = 1;
+  bare.method = "ping";
+  EXPECT_EQ(encode_request(bare).find("trace_id"), std::string::npos);
+  const auto bare_decoded = decode_request(encode_request(bare));
+  ASSERT_TRUE(bare_decoded.has_value());
+  EXPECT_EQ(bare_decoded->trace_id, 0u);
+  EXPECT_EQ(bare_decoded->parent_span, 0u);
+
+  Response resp;
+  resp.id = 7;
+  resp.status = Status::kOk;
+  resp.streaming = true;
+  resp.trace_id = req.trace_id;
+  const auto resp_decoded = decode_response(encode_response(resp));
+  ASSERT_TRUE(resp_decoded.has_value());
+  EXPECT_TRUE(resp_decoded->streaming);
+  EXPECT_EQ(resp_decoded->trace_id, ~std::uint64_t{0});
+}
+
+TEST(Protocol, TraceContextIsStrictlyParsed) {
+  // Present-but-wrong is a hard error like any other type mismatch: a JSON
+  // number would already have lost precision by the time we saw it.
+  std::string error;
+  EXPECT_FALSE(
+      decode_request(R"({"id":1,"method":"ping","trace_id":7})", &error)
+          .has_value());
+  EXPECT_NE(error.find("trace_id"), std::string::npos);
+  EXPECT_FALSE(
+      decode_request(R"({"id":1,"method":"ping","trace_id":"7x"})")
+          .has_value());
+  EXPECT_FALSE(
+      decode_request(R"({"id":1,"method":"ping","trace_id":""})")
+          .has_value());
+  // 2^64 exactly: 20 digits, overflows by one — the checked accumulate must
+  // catch it, not wrap.
+  EXPECT_FALSE(decode_request(
+                   R"({"id":1,"method":"ping","trace_id":"18446744073709551616"})")
+                   .has_value());
+  EXPECT_FALSE(decode_response(R"({"id":1,"status":"ok","streaming":"yes"})")
+                   .has_value());
+}
+
+TEST(Protocol, ParamsRideOnAnyMethodForWatch) {
+  Request req;
+  req.id = 3;
+  req.method = "watch";
+  req.params = core::JsonValue::make_object(
+      {{"interval_ms", core::JsonValue::make_number(125.0)}});
+  const auto decoded = decode_request(encode_request(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->method, "watch");
+  ASSERT_TRUE(decoded->params.is_object());
+  EXPECT_DOUBLE_EQ(decoded->params.at("interval_ms").number(), 125.0);
+}
+
 TEST(Protocol, DecodeRejectsMalformedDocuments) {
   std::string error;
   EXPECT_FALSE(decode_request("{not json", &error).has_value());

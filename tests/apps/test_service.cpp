@@ -360,6 +360,186 @@ TEST(Service, ShutdownMethodRaisesTheFlagForTheOwner) {
   server.stop();
 }
 
+// --- observability: metrics/watch verbs, trace-context echo ---------------
+
+net::Request watch_request(std::uint64_t id, double interval_ms) {
+  net::Request req;
+  req.id = id;
+  req.method = "watch";
+  req.params = core::JsonValue::make_object(
+      {{"interval_ms", core::JsonValue::make_number(interval_ms)}});
+  return req;
+}
+
+TEST(Service, MetricsVerbReturnsSnapshotAndRates) {
+  ServerConfig config;
+  config.cpu_workers = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  rebootctl::Client client = connect_client(server);
+  ASSERT_TRUE(client.call(submit_spin(1, 50.0)).has_value());
+
+  net::Request req;
+  req.id = 2;
+  req.method = "metrics";
+  const auto first = client.call(req);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, net::Status::kOk);
+  ASSERT_TRUE(first->body.is_object());
+  // One full registry snapshot: the submit above must be visible.
+  EXPECT_GE(first->body.at("counters").at("net.requests").number(), 1.0);
+  EXPECT_GE(
+      first->body.at("histograms").at("net.request_seconds").at("count")
+          .number(),
+      1.0);
+  EXPECT_TRUE(first->body.at("pools").is_object());
+  EXPECT_TRUE(first->body.at("sched").is_object());
+
+  // Each metrics call is one sampler tick; from the second on, counter
+  // rates over the inter-call window are defined.
+  std::this_thread::sleep_for(5ms);
+  ASSERT_TRUE(client.call(submit_spin(3, 50.0)).has_value());
+  const auto second = client.call(req);
+  ASSERT_TRUE(second.has_value());
+  const auto& rates = second->body.at("rates");
+  EXPECT_GT(rates.at("dt_seconds").number(), 0.0);
+  EXPECT_GT(rates.at("per_second").at("net.requests").number(), 0.0);
+}
+
+TEST(Service, WatchStreamsFramesUntilTheClientUnsubscribes) {
+  ServerConfig config;
+  config.cpu_workers = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  rebootctl::Client client = connect_client(server);
+  // 5 ms requested, clamped to the 20 ms floor server-side.
+  ASSERT_TRUE(client.send(watch_request(9, 5.0)));
+  for (int i = 0; i < 3; ++i) {
+    std::string error;
+    const auto frame = client.recv(&error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_EQ(frame->id, 9u);
+    EXPECT_EQ(frame->status, net::Status::kOk);
+    EXPECT_TRUE(frame->streaming) << "frame " << i << " must be non-terminal";
+    EXPECT_TRUE(frame->body.is_object());
+  }
+  // Disconnecting is the unsubscribe; the server must shed the dead
+  // subscription instead of wedging its watch pump on it.
+  client.close();
+  rebootctl::Client probe = connect_client(server);
+  net::Request ping;
+  ping.id = 1;
+  ping.method = "ping";
+  const auto pong = probe.call(ping);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, net::Status::kOk);
+}
+
+TEST(Service, StopSendsEveryWatcherATerminalFrame) {
+  ServerConfig config;
+  config.cpu_workers = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  // Several subscribers at different cadences, all mid-stream when the
+  // server stops. Each must see streaming frames end in exactly one
+  // terminal (non-streaming) kShuttingDown frame, then EOF — the
+  // one-response-per-request invariant extended to streams.
+  constexpr int kWatchers = 3;
+  std::vector<rebootctl::Client> clients;
+  for (int i = 0; i < kWatchers; ++i) {
+    clients.push_back(connect_client(server));
+    ASSERT_TRUE(
+        clients.back().send(watch_request(100 + i, 20.0 * (i + 1))));
+    const auto first = clients.back().recv();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->streaming);
+  }
+
+  std::thread stopper([&server] { server.stop(); });
+  for (int i = 0; i < kWatchers; ++i) {
+    bool terminal_seen = false;
+    for (int frames = 0; frames < 1000 && !terminal_seen; ++frames) {
+      std::string error;
+      const auto frame = clients[i].recv(&error);
+      ASSERT_TRUE(frame.has_value())
+          << "watcher " << i << " hit EOF before its terminal frame: "
+          << error;
+      if (!frame->streaming) {
+        terminal_seen = true;
+        EXPECT_EQ(frame->id, 100u + i);
+        EXPECT_EQ(frame->status, net::Status::kShuttingDown);
+      }
+    }
+    EXPECT_TRUE(terminal_seen);
+    // After the terminal frame the stream is over: clean EOF, no stray
+    // extra responses.
+    std::string error;
+    EXPECT_FALSE(clients[i].recv(&error).has_value());
+    EXPECT_EQ(error, "connection closed");
+  }
+  stopper.join();
+}
+
+TEST(Service, WatchRejectsMistypedInterval) {
+  ServerConfig config;
+  config.cpu_workers = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  rebootctl::Client client = connect_client(server);
+  net::Request req;
+  req.id = 4;
+  req.method = "watch";
+  req.params = core::JsonValue::make_object(
+      {{"interval_ms", core::JsonValue::make_string("fast")}});
+  const auto resp = client.call(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, net::Status::kBadRequest);
+  EXPECT_FALSE(resp->streaming);
+}
+
+TEST(Service, TraceContextIsEchoedOnEveryOutcome) {
+  ServerConfig config;
+  config.cpu_workers = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  rebootctl::Client client = connect_client(server);
+  // An explicit context (as rebootctl stamps when tracing): the server must
+  // echo it whatever the outcome, so the client can close its flow chain.
+  net::Request ok = submit_spin(1, 50.0);
+  ok.trace_id = (1ull << 60) + 12345;
+  ok.parent_span = 1;
+  const auto ok_resp = client.call(ok);
+  ASSERT_TRUE(ok_resp.has_value());
+  EXPECT_EQ(ok_resp->status, net::Status::kOk);
+  EXPECT_EQ(ok_resp->trace_id, (1ull << 60) + 12345);
+
+  net::Request bad = submit_spin(2, 50.0);
+  bad.work = "no-such-work";
+  bad.trace_id = 77;
+  const auto bad_resp = client.call(bad);
+  ASSERT_TRUE(bad_resp.has_value());
+  EXPECT_EQ(bad_resp->status, net::Status::kBadRequest);
+  EXPECT_EQ(bad_resp->trace_id, 77u);
+
+  net::Request ping;
+  ping.id = 3;
+  ping.method = "ping";
+  ping.trace_id = 88;
+  const auto pong = client.call(ping);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->trace_id, 88u);
+
+  // No context in -> no context out.
+  const auto plain = client.call(submit_spin(4, 50.0));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->trace_id, 0u);
+}
+
 // --- tenancy unit tests ---------------------------------------------------
 
 TEST(Tenancy, TokenBucketRefillsAtTheConfiguredRate) {
