@@ -47,6 +47,7 @@ struct Options {
   double micros = 50.0;
   std::size_t tenants = 4;
   bool coalesce = false;
+  bool memo = false;  ///< server-side memoization (Request::memo)
   double min_rps = 0.0;
 };
 
@@ -157,13 +158,20 @@ void worker(const Options& opts, std::size_t thread_index,
     req.tenant = opts.coalesce ? "default" : tenant;
     req.work = opts.work;
     req.no_coalesce = !opts.coalesce;
+    req.memo = opts.memo;
     core::JsonValue::Members params;
     if (opts.work == "spin")
       params.emplace_back("micros", core::JsonValue::make_number(opts.micros));
     if (opts.work == "sat")
+      // --memo draws seeds from a small pool so repeats hit the result
+      // cache; --coalesce collapses everything into one instance; otherwise
+      // every request is a distinct formula.
       params.emplace_back(
           "seed", core::JsonValue::make_number(
-                      opts.coalesce ? 1.0 : static_cast<double>(req.id)));
+                      opts.coalesce ? 1.0
+                      : opts.memo
+                          ? static_cast<double>(seq % 8)
+                          : static_cast<double>(req.id)));
     if (!params.empty())
       req.params = core::JsonValue::make_object(std::move(params));
 
@@ -226,7 +234,7 @@ void print_server_latency(const Options& opts) {
   std::fprintf(stderr,
                "usage: %s --shards H:P[,H:P...] [--threads N] [--seconds F]\n"
                "          [--requests N] [--window N] [--work W] [--micros F]\n"
-               "          [--tenants N] [--coalesce] [--min-rps F]\n",
+               "          [--tenants N] [--coalesce] [--memo] [--min-rps F]\n",
                argv0);
   std::exit(2);
 }
@@ -271,6 +279,8 @@ int main(int argc, char** argv) {
       opts.tenants = std::max(1, std::atoi(next()));
     } else if (!std::strcmp(arg, "--coalesce")) {
       opts.coalesce = true;
+    } else if (!std::strcmp(arg, "--memo")) {
+      opts.memo = true;
     } else if (!std::strcmp(arg, "--min-rps")) {
       opts.min_rps = std::atof(next());
     } else {

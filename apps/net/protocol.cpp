@@ -142,6 +142,7 @@ std::string encode_request(const Request& req) {
     if (req.deadline_ms)
       put(obj, "deadline_ms", JsonValue::make_number(*req.deadline_ms));
     if (req.no_coalesce) put(obj, "no_coalesce", JsonValue::make_bool(true));
+    if (req.memo) put(obj, "memo", JsonValue::make_bool(true));
   }
   // params ride on any method that takes them (submit's workload knobs,
   // watch's interval_ms).
@@ -210,6 +211,7 @@ std::optional<Request> decode_request(const std::string& frame,
   }
   if (!take_bool(*doc, "no_coalesce", &req.no_coalesce, error))
     return std::nullopt;
+  if (!take_bool(*doc, "memo", &req.memo, error)) return std::nullopt;
   return req;
 }
 

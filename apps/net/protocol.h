@@ -90,6 +90,13 @@ struct Request {
   int priority = 0;
   std::optional<double> deadline_ms;
   bool no_coalesce = false;
+  /// Opt into server-side memoization (DESIGN.md §14): the submit carries a
+  /// JobOptions::memo_key derived from (kind, work, params) — tenant and
+  /// priority excluded, so identical work collapses across tenants — and an
+  /// identical already-cached or in-flight submit replays/shares its result.
+  /// Unlike coalescing (a scheduling-window optimization), memoization
+  /// persists across time in the server's result cache.
+  bool memo = false;
 };
 
 /// Typed response outcomes. kOk/kFailed mean the workload executed; the rest

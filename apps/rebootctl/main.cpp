@@ -31,7 +31,8 @@ namespace {
                "  top [--shards H:P,H:P,...] [--interval-ms F] [--once]"
                " [--json] [--frames N]\n"
                "  submit WORK [--kind K] [--micros F] [--vars N]"
-               " [--clauses N] [--seed N] [--priority N] [--deadline-ms F]\n"
+               " [--clauses N] [--seed N] [--priority N] [--deadline-ms F]"
+               " [--memo]\n"
                "  shutdown\n",
                argv0);
   std::exit(2);
@@ -94,6 +95,8 @@ int main(int argc, char** argv) {
       top.interval_ms = interval;
       params.emplace_back("interval_ms",
                           core::JsonValue::make_number(interval));
+    } else if (!std::strcmp(arg, "--memo")) {
+      req.memo = true;
     } else if (!std::strcmp(arg, "--once")) {
       top.once = true;
     } else if (!std::strcmp(arg, "--json")) {

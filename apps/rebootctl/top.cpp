@@ -78,6 +78,7 @@ struct ShardView {
   std::vector<PoolRow> pools;
   JsonValue pools_json;  ///< verbatim body.pools for --json passthrough
   JsonValue sched_json;  ///< verbatim body.sched (absolute counts)
+  JsonValue cache_json;  ///< verbatim body.cache (per-cache hit/miss counts)
 };
 
 ShardView extract(const std::string& shard, const JsonValue& body,
@@ -126,6 +127,8 @@ ShardView extract(const std::string& shard, const JsonValue& body,
       view.slices_per_s = rate("slices");
     }
   }
+
+  if (const JsonValue* cache = find(body, "cache")) view.cache_json = *cache;
   return view;
 }
 
@@ -146,6 +149,7 @@ JsonValue json_of_view(const ShardView& view) {
   m.emplace_back("outstanding", num(view.outstanding));
   if (!view.pools_json.is_null()) m.emplace_back("pools", view.pools_json);
   if (!view.sched_json.is_null()) m.emplace_back("sched", view.sched_json);
+  if (!view.cache_json.is_null()) m.emplace_back("cache", view.cache_json);
   return JsonValue::make_object(std::move(m));
 }
 

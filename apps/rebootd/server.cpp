@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/cache.h"
 #include "rebootd/workloads.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -59,6 +60,28 @@ core::JsonValue json_of_pool(const sched::PoolStats& pool) {
                  core::JsonValue::make_number(pool.busy_seconds));
   m.emplace_back("breakers_open", num(pool.breakers_open));
   return core::JsonValue::make_object(std::move(m));
+}
+
+/// One object per registered result cache (DESIGN.md §14): the compile,
+/// DMM-solve, and scheduler-memo caches each report their counters, keyed by
+/// their registry name.
+core::JsonValue json_of_caches() {
+  const auto num = [](std::uint64_t v) {
+    return core::JsonValue::make_number(static_cast<core::Real>(v));
+  };
+  core::JsonValue::Members caches;
+  for (const auto& [name, stats] : core::cache_stats_snapshot()) {
+    core::JsonValue::Members c;
+    c.emplace_back("hits", num(stats.hits));
+    c.emplace_back("misses", num(stats.misses));
+    c.emplace_back("inserts", num(stats.inserts));
+    c.emplace_back("evictions", num(stats.evictions));
+    c.emplace_back("expirations", num(stats.expirations));
+    c.emplace_back("entries", num(stats.entries));
+    c.emplace_back("bytes", num(stats.bytes));
+    caches.emplace_back(name, core::JsonValue::make_object(std::move(c)));
+  }
+  return core::JsonValue::make_object(std::move(caches));
 }
 
 }  // namespace
@@ -393,6 +416,14 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
   opts.retry.max_attempts = std::max<std::size_t>(1, config_.retry_attempts);
   opts.retry.cpu_fallback = true;  // every workload is self-contained
   opts.stealable = true;           // ...and so safe to run on any pool
+  if (req.memo) {
+    // Memoization identity: what runs (kind, work, params) — NOT who asked
+    // (tenant) or how urgently (priority/deadline), so identical work
+    // collapses across tenants. json_dump of params is canonical enough for
+    // same-client repeats, same argument as coalesce_key().
+    opts.memo_key = core::to_string(req.kind) + '\x1f' + req.work + '\x1f' +
+                    core::json_dump(req.params);
+  }
 
   Pending pending;
   pending.fanout = std::move(fanout);
@@ -575,7 +606,14 @@ net::Response Server::status_response(const net::Request& req) const {
                                     static_cast<core::Real>(stats.resumes)));
   sched.emplace_back("steals", core::JsonValue::make_number(
                                    static_cast<core::Real>(stats.steals)));
+  sched.emplace_back("memo_hits",
+                     core::JsonValue::make_number(
+                         static_cast<core::Real>(stats.memo_hits)));
+  sched.emplace_back("memo_riders",
+                     core::JsonValue::make_number(
+                         static_cast<core::Real>(stats.memo_riders)));
   body.emplace_back("sched", core::JsonValue::make_object(std::move(sched)));
+  body.emplace_back("cache", json_of_caches());
 
   core::JsonValue::Members pools;
   for (const auto& [kind, pool] : stats.pools)
@@ -684,7 +722,12 @@ core::JsonValue Server::metrics_body() {
   sched.emplace_back("preempts", num(static_cast<core::Real>(stats.preempts)));
   sched.emplace_back("resumes", num(static_cast<core::Real>(stats.resumes)));
   sched.emplace_back("steals", num(static_cast<core::Real>(stats.steals)));
+  sched.emplace_back("memo_hits",
+                     num(static_cast<core::Real>(stats.memo_hits)));
+  sched.emplace_back("memo_riders",
+                     num(static_cast<core::Real>(stats.memo_riders)));
   body.emplace_back("sched", core::JsonValue::make_object(std::move(sched)));
+  body.emplace_back("cache", json_of_caches());
 
   core::JsonValue::Members pools;
   for (const auto& [kind, pool] : stats.pools)

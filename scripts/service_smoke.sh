@@ -68,6 +68,26 @@ pid_b=$shard_pid
   --threads 4 --window 32 --seconds 4 --work spin --micros 10 \
   --min-rps "$min_rps"
 
+echo
+echo "--- memoized replay: duplicate submits must hit the result cache ---"
+# Same work, same params, --memo on both: the second submit must replay the
+# first's JobResult from the scheduler memo cache, and `top --once --json`
+# must surface the nonzero hit count through the per-cache stats block.
+"$rebootctl" --port "$port_a" submit spin --micros 50 --memo > /dev/null
+"$rebootctl" --port "$port_a" submit spin --micros 50 --memo > /dev/null
+"$rebootctl" top --shards "127.0.0.1:$port_a" --once --json \
+  > "$workdir/top-memo.json"
+python3 - "$workdir/top-memo.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+shard = doc["shards"][0]
+assert shard["ok"], shard
+caches = shard["cache"]
+hits = sum(c["hits"] for c in caches.values())
+assert hits > 0, caches
+print("memo replay OK: %d cache hit(s) across %s" % (hits, sorted(caches)))
+EOF
+
 "$rebootctl" --port "$port_a" shutdown
 "$rebootctl" --port "$port_b" shutdown
 wait "$pid_a" "$pid_b"

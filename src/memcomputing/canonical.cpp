@@ -1,0 +1,372 @@
+#include "memcomputing/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace rebooting::memcomputing {
+
+namespace {
+
+// Bumped whenever the canonical encoding changes meaning, so digests from
+// older builds can never alias.
+constexpr std::uint32_t kCnfEncodingVersion = 1;
+constexpr std::uint32_t kDmmKeyVersion = 1;
+
+// Work budget for the individualization-refinement search. Random k-SAT
+// discretizes in one or two refinement passes; the budget only bites on
+// deliberately symmetric formulas, where the fallback (original-index
+// tiebreak) costs cross-renaming hits but never correctness.
+constexpr std::size_t kMaxLeaves = 32;
+constexpr std::size_t kMaxRefinePasses = 64;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t weight_bits(core::Real w) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &w, sizeof(bits));
+  return bits;
+}
+
+/// One clause under a candidate variable ranking: literals encoded as
+/// 2*var + negated, sorted — the unit of the lexicographic comparison that
+/// picks the canonical form.
+struct ClauseRec {
+  std::vector<std::uint64_t> keys;
+  std::uint64_t wbits = 0;
+
+  bool operator<(const ClauseRec& other) const {
+    if (keys != other.keys) return keys < other.keys;
+    return wbits < other.wbits;
+  }
+};
+
+struct Candidate {
+  std::vector<std::size_t> rank;  ///< 1-based: rank[orig_var] = canon_var
+  std::vector<ClauseRec> recs;
+  std::vector<std::uint64_t> flat;  ///< full encoding; the comparison key
+};
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const Cnf& cnf) : cnf_(cnf), n_(cnf.num_variables()) {
+    occurrences_.resize(n_ + 1);
+    for (std::size_t c = 0; c < cnf_.clauses().size(); ++c)
+      for (const Literal lit : cnf_.clauses()[c].literals)
+        occurrences_[static_cast<std::size_t>(lit < 0 ? -lit : lit)]
+            .push_back({c, lit < 0});
+  }
+
+  Candidate run() {
+    std::vector<std::uint64_t> colors(n_ + 1, 0);
+    for (std::size_t v = 1; v <= n_; ++v) {
+      std::size_t pos = 0, neg = 0;
+      for (const auto& [c, negated] : occurrences_[v]) (negated ? neg : pos)++;
+      colors[v] = mix64(mix64(pos) ^ (neg * 0xA5A5A5A5A5A5A5A5ull));
+    }
+    descend(std::move(colors));
+    return std::move(best_);
+  }
+
+ private:
+  /// WL color refinement to a stable partition. Each pass folds, per
+  /// variable, the sorted multiset of its occurrence signatures (clause
+  /// weight, clause length, own sign, sorted co-literal (color, sign)
+  /// pairs) into its color. New colors are functions of old ones, so the
+  /// partition only refines; when the class count stops growing it is
+  /// stable.
+  void refine(std::vector<std::uint64_t>& colors) const {
+    std::size_t distinct = count_distinct(colors);
+    for (std::size_t pass = 0; pass < kMaxRefinePasses; ++pass) {
+      std::vector<std::uint64_t> next(n_ + 1, 0);
+      std::vector<std::vector<std::uint64_t>> sigs;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> co;
+      for (std::size_t v = 1; v <= n_; ++v) {
+        sigs.clear();
+        for (const auto& [c, negated] : occurrences_[v]) {
+          const Clause& clause = cnf_.clauses()[c];
+          co.clear();
+          for (const Literal lit : clause.literals) {
+            const auto u = static_cast<std::size_t>(lit < 0 ? -lit : lit);
+            if (u == v) continue;
+            co.emplace_back(colors[u], lit < 0 ? 1u : 0u);
+          }
+          std::sort(co.begin(), co.end());
+          std::vector<std::uint64_t> sig;
+          sig.reserve(3 + 2 * co.size());
+          sig.push_back(weight_bits(clause.weight));
+          sig.push_back(clause.literals.size());
+          sig.push_back(negated ? 1u : 0u);
+          for (const auto& [color, sign] : co) {
+            sig.push_back(color);
+            sig.push_back(sign);
+          }
+          sigs.push_back(std::move(sig));
+        }
+        std::sort(sigs.begin(), sigs.end());
+        std::uint64_t h = colors[v];
+        for (const auto& sig : sigs) {
+          h = mix64(h + sig.size());
+          for (const std::uint64_t word : sig) h = mix64(h ^ word);
+        }
+        next[v] = h;
+      }
+      colors = std::move(next);
+      const std::size_t now = count_distinct(colors);
+      if (now <= distinct || now == n_) return;
+      distinct = now;
+    }
+  }
+
+  std::size_t count_distinct(const std::vector<std::uint64_t>& colors) const {
+    std::vector<std::uint64_t> sorted(colors.begin() + 1, colors.end());
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<std::size_t>(
+        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  }
+
+  /// Individualization-refinement: refine, then split the non-singleton
+  /// class with the smallest color by individualizing each member in turn,
+  /// keeping the lexicographically smallest complete encoding. The first
+  /// branch of every level is always explored, so at least one leaf is
+  /// reached regardless of budget.
+  void descend(std::vector<std::uint64_t> colors) {
+    refine(colors);
+    std::uint64_t target_color = 0;
+    std::vector<std::size_t> members;
+    {
+      // Smallest color owning >1 variables — an invariant choice.
+      bool found = false;
+      for (std::size_t v = 1; v <= n_; ++v) {
+        std::size_t same = 0;
+        for (std::size_t u = 1; u <= n_; ++u)
+          if (colors[u] == colors[v]) ++same;
+        if (same > 1 && (!found || colors[v] < target_color)) {
+          target_color = colors[v];
+          found = true;
+        }
+      }
+      if (found)
+        for (std::size_t v = 1; v <= n_; ++v)
+          if (colors[v] == target_color) members.push_back(v);
+    }
+    if (members.empty()) {
+      leaf(colors);
+      if (leaves_used_ < kMaxLeaves) ++leaves_used_;
+      return;
+    }
+    for (const std::size_t v : members) {
+      if (leaves_used_ >= kMaxLeaves && have_best_) break;
+      std::vector<std::uint64_t> branched = colors;
+      branched[v] = mix64(colors[v] ^ 0xD6E8FEB86659FD93ull);
+      descend(std::move(branched));
+    }
+  }
+
+  void leaf(const std::vector<std::uint64_t>& colors) {
+    // Complete ordering: by color, residual ties (hash collisions or budget
+    // exhaustion) by original index.
+    std::vector<std::size_t> vars(n_);
+    for (std::size_t v = 1; v <= n_; ++v) vars[v - 1] = v;
+    std::sort(vars.begin(), vars.end(), [&](std::size_t a, std::size_t b) {
+      if (colors[a] != colors[b]) return colors[a] < colors[b];
+      return a < b;
+    });
+    std::vector<std::size_t> rank(n_ + 1, 0);
+    for (std::size_t i = 0; i < n_; ++i) rank[vars[i]] = i + 1;
+
+    std::vector<ClauseRec> recs;
+    recs.reserve(cnf_.clauses().size());
+    for (const Clause& clause : cnf_.clauses()) {
+      ClauseRec rec;
+      rec.wbits = weight_bits(clause.weight);
+      rec.keys.reserve(clause.literals.size());
+      for (const Literal lit : clause.literals) {
+        const auto v = static_cast<std::size_t>(lit < 0 ? -lit : lit);
+        rec.keys.push_back(2 * static_cast<std::uint64_t>(rank[v]) +
+                           (lit < 0 ? 1u : 0u));
+      }
+      std::sort(rec.keys.begin(), rec.keys.end());
+      recs.push_back(std::move(rec));
+    }
+    std::sort(recs.begin(), recs.end());
+
+    std::vector<std::uint64_t> flat;
+    flat.reserve(3 + 2 * recs.size() + 3 * n_);
+    flat.push_back(kCnfEncodingVersion);
+    flat.push_back(n_);
+    flat.push_back(recs.size());
+    for (const ClauseRec& rec : recs) {
+      flat.push_back(rec.wbits);
+      flat.push_back(rec.keys.size());
+      for (const std::uint64_t key : rec.keys) flat.push_back(key);
+    }
+
+    if (!have_best_ || flat < best_.flat) {
+      best_ = Candidate{std::move(rank), std::move(recs), std::move(flat)};
+      have_best_ = true;
+    }
+  }
+
+  const Cnf& cnf_;
+  std::size_t n_;
+  /// occurrences_[v] = (clause index, negated) per occurrence of v.
+  std::vector<std::vector<std::pair<std::size_t, bool>>> occurrences_;
+  Candidate best_;
+  bool have_best_ = false;
+  std::size_t leaves_used_ = 0;
+};
+
+core::Real weight_from_bits(std::uint64_t bits) {
+  core::Real w = 0;
+  std::memcpy(&w, &bits, sizeof(w));
+  return w;
+}
+
+std::size_t result_bytes(const DmmResult& r) {
+  return sizeof(DmmResult) + r.assignment.size() / 8 +
+         r.energy_trace.size() * sizeof(core::Real) +
+         r.avalanche_sizes.size() * sizeof(std::size_t);
+}
+
+/// Strictly-better ordering used to decide cache write-back: a satisfied
+/// result beats any unsatisfied one; among unsatisfied, fewer (lighter)
+/// unsatisfied clauses win.
+bool improves(const DmmResult& fresh, const DmmResult& cached) {
+  if (fresh.satisfied != cached.satisfied) return fresh.satisfied;
+  if (fresh.best_unsatisfied != cached.best_unsatisfied)
+    return fresh.best_unsatisfied < cached.best_unsatisfied;
+  return fresh.best_unsatisfied_weight < cached.best_unsatisfied_weight;
+}
+
+}  // namespace
+
+CanonicalCnf canonicalize(const Cnf& cnf) {
+  Candidate cand = Canonicalizer(cnf).run();
+  const std::size_t n = cnf.num_variables();
+
+  Cnf canonical(n);
+  for (const ClauseRec& rec : cand.recs) {
+    Clause clause;
+    clause.weight = weight_from_bits(rec.wbits);
+    clause.literals.reserve(rec.keys.size());
+    for (const std::uint64_t key : rec.keys) {
+      const auto var = static_cast<Literal>(key >> 1);
+      clause.literals.push_back((key & 1) ? -var : var);
+    }
+    canonical.add_clause(std::move(clause));
+  }
+
+  core::HashWriter w;
+  for (const std::uint64_t word : cand.flat) w.u64(word);
+  return CanonicalCnf{std::move(canonical), std::move(cand.rank), w.finish()};
+}
+
+core::HashKey128 dmm_solve_key(const CanonicalCnf& canon,
+                               const DmmOptions& options) {
+  core::HashWriter w;
+  w.u32(kDmmKeyVersion);
+  w.u64(canon.hash.hi);
+  w.u64(canon.hash.lo);
+  const DmmParams& p = options.params;
+  w.real(p.alpha);
+  w.real(p.beta);
+  w.real(p.gamma);
+  w.real(p.delta);
+  w.real(p.epsilon);
+  w.real(p.zeta);
+  w.real(p.xl_max);
+  w.real(p.dt_min);
+  w.real(p.dt_max);
+  w.real(p.dv_cap);
+  w.real(p.noise_stddev);
+  w.u8(p.rigidity ? 1 : 0);
+  w.u8(p.long_term_memory ? 1 : 0);
+  w.u64(options.max_steps);
+  w.u64(options.energy_stride);
+  w.u8(options.track_avalanches ? 1 : 0);
+  w.u8(options.maxsat_mode ? 1 : 0);
+  return w.finish();
+}
+
+core::ShardedCache<DmmResult>& dmm_cache() {
+  static auto* cache = new core::ShardedCache<DmmResult>([] {
+    core::CacheConfig config;
+    config.name = "dmm.solve";
+    config.max_entries = 4096;
+    config.max_bytes = std::size_t{64} << 20;
+    return config;
+  }());
+  return *cache;
+}
+
+namespace {
+
+/// orig assignment -> canonical labels (and back with the flag flipped).
+Assignment permute_assignment(const Assignment& a,
+                              const std::vector<std::size_t>& perm,
+                              bool to_canonical) {
+  Assignment out(a.size(), false);
+  for (std::size_t v = 1; v < a.size(); ++v) {
+    if (to_canonical)
+      out[perm[v]] = a[v];
+    else
+      out[v] = a[perm[v]];
+  }
+  return out;
+}
+
+}  // namespace
+
+DmmResult solve_dmm_cached(const Cnf& cnf, const DmmOptions& options,
+                           core::Rng& rng) {
+  if (!core::cache_enabled())
+    return DmmSolver(cnf, options).solve(rng);  // pre-cache path, bit-exact
+
+  const CanonicalCnf canon = canonicalize(cnf);
+  const core::HashKey128 key = dmm_solve_key(canon, options);
+  const std::size_t n = cnf.num_variables();
+
+  const std::shared_ptr<const DmmResult> cached = dmm_cache().get(key);
+  if (cached && cached->assignment.size() == n + 1) {
+    if (cached->satisfied) {
+      // Deterministic replay: everything but the assignment is
+      // label-independent (step counts, traces, energies), and the
+      // assignment maps back through the exact permutation.
+      DmmResult replay = *cached;
+      replay.assignment =
+          permute_assignment(cached->assignment, canon.perm, false);
+      return replay;
+    }
+    // Best-known-assignment warm restart: snap initial voltages to the
+    // cached best and integrate from there.
+    const Assignment warm =
+        permute_assignment(cached->assignment, canon.perm, false);
+    std::vector<Real> v0(n);
+    for (std::size_t v = 1; v <= n; ++v) v0[v - 1] = warm[v] ? 1.0 : -1.0;
+    DmmResult fresh = DmmSolver(cnf, options).solve_from(std::move(v0), rng);
+    if (improves(fresh, *cached)) {
+      auto store = std::make_shared<DmmResult>(fresh);
+      store->assignment =
+          permute_assignment(fresh.assignment, canon.perm, true);
+      dmm_cache().put(key, std::move(store), result_bytes(fresh));
+    }
+    return fresh;
+  }
+
+  DmmResult result = DmmSolver(cnf, options).solve(rng);
+  if (result.assignment.size() == n + 1) {
+    auto store = std::make_shared<DmmResult>(result);
+    store->assignment =
+        permute_assignment(result.assignment, canon.perm, true);
+    dmm_cache().put(key, std::move(store), result_bytes(result));
+  }
+  return result;
+}
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,61 @@
+// CNF canonicalization + the content-addressed DMM solve cache
+// (DESIGN.md §14). Two CNF formulas that differ only by renaming variables,
+// reordering clauses, or reordering literals within clauses are the same
+// SAT instance; the cache keys on a canonical form so repeated structured
+// instances — the repeated-benchmark workloads of arXiv:2309.12437 — turn
+// into hash lookups.
+//
+// Unlike circuits (where gate order pins the labeling), CNF canonicalization
+// is graph canonicalization in disguise. The canonicalizer runs
+// Weisfeiler-Leman color refinement over variables, then an
+// individualization-refinement search that picks the lexicographically
+// smallest canonical encoding, under a work budget. When the budget runs out
+// (pathologically symmetric formulas), remaining ties break by original
+// variable index — which can only *miss* hits across renamed copies, never
+// alias distinct formulas: the canonical encoding IS the renumbered formula,
+// so equal encodings are genuinely isomorphic instances, and the cached
+// assignment maps back through an exact permutation either way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cache.h"
+#include "memcomputing/cnf.h"
+#include "memcomputing/dmm.h"
+
+namespace rebooting::memcomputing {
+
+/// A formula rewritten into canonical variable labels with sorted literals
+/// and clauses, plus the renaming that got it there.
+struct CanonicalCnf {
+  Cnf cnf;  ///< canonical labels; literals sorted in clauses, clauses sorted
+  /// perm[original_variable] = canonical_variable (1-based; index 0 unused).
+  std::vector<std::size_t> perm;
+  core::HashKey128 hash;  ///< digest of the canonical encoding
+};
+
+/// Canonicalizes under variable renaming x clause permutation x
+/// literal-order permutation (signs travel with their variables).
+CanonicalCnf canonicalize(const Cnf& cnf);
+
+/// Cache key for a DMM solve: canonical formula + every DmmParams/DmmOptions
+/// field that shapes the trajectory or the recorded result.
+core::HashKey128 dmm_solve_key(const CanonicalCnf& canon,
+                               const DmmOptions& options);
+
+/// Content-addressed `DmmSolver::solve`. Miss: runs the original solve
+/// bit-exactly and caches the result (best-known assignment included, in
+/// canonical space). Hit on a satisfied result: replays it with the
+/// assignment mapped back through the permutation. Hit on an unsatisfied
+/// result: warm-restarts `solve_from` with voltages snapped to the cached
+/// best-known assignment, and writes back only if the fresh result improves
+/// (never caches a downgrade). With caching disabled this is exactly
+/// `DmmSolver(cnf, options).solve(rng)`.
+DmmResult solve_dmm_cached(const Cnf& cnf, const DmmOptions& options,
+                           core::Rng& rng);
+
+/// The process-wide DMM result cache ("dmm.solve"), for stats and tests.
+core::ShardedCache<DmmResult>& dmm_cache();
+
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,124 @@
+#include "quantum/canonical.h"
+
+#include <utility>
+
+namespace rebooting::quantum {
+
+namespace {
+
+// Bumped whenever the canonical encoding or the compiler pipeline changes
+// meaning, so stale digests from older builds can never alias.
+constexpr std::uint32_t kCircuitEncodingVersion = 1;
+
+constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+std::size_t program_bytes(const CompiledProgram& prog) {
+  std::size_t bytes = sizeof(CompiledProgram);
+  for (const Operation& op : prog.circuit.operations())
+    bytes += sizeof(Operation) + op.qubits.size() * sizeof(std::size_t);
+  bytes += prog.schedule.start_cycle.size() * sizeof(std::size_t);
+  bytes += prog.final_map.size() * sizeof(std::size_t);
+  return bytes;
+}
+
+}  // namespace
+
+CanonicalCircuit canonicalize(const Circuit& circuit) {
+  const std::size_t n = circuit.num_qubits();
+  std::vector<std::size_t> perm(n, kUnassigned);
+  std::size_t next = 0;
+  for (const Operation& op : circuit.operations())
+    for (std::size_t q : op.qubits)
+      if (perm[q] == kUnassigned) perm[q] = next++;
+  // Untouched qubits keep relative order after the used ones.
+  for (std::size_t q = 0; q < n; ++q)
+    if (perm[q] == kUnassigned) perm[q] = next++;
+
+  bool identity = true;
+  for (std::size_t q = 0; q < n; ++q)
+    if (perm[q] != q) {
+      identity = false;
+      break;
+    }
+
+  Circuit canonical(n);
+  core::HashWriter w;
+  w.u32(kCircuitEncodingVersion);
+  w.u64(n);
+  w.u64(circuit.size());
+  for (const Operation& op : circuit.operations()) {
+    std::vector<std::size_t> qubits;
+    qubits.reserve(op.qubits.size());
+    for (std::size_t q : op.qubits) qubits.push_back(perm[q]);
+    // HashWriter::real already folds -0.0 into +0.0; mirror that in the
+    // executable canonical circuit so hash-equal circuits run identically.
+    core::Real angle = op.angle;
+    if (angle == core::Real{0}) angle = core::Real{0};
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.u8(static_cast<std::uint8_t>(qubits.size()));
+    for (std::size_t q : qubits) w.u64(q);
+    w.real(angle);
+    canonical.add(op.kind, std::move(qubits), angle);
+  }
+
+  CanonicalCircuit out{std::move(canonical), std::move(perm), identity,
+                       w.finish()};
+  return out;
+}
+
+core::HashKey128 compile_key(const CanonicalCircuit& canon,
+                             const Topology& topology, bool enable_optimizer) {
+  core::HashWriter w;
+  w.u32(kCircuitEncodingVersion);
+  w.u64(canon.hash.hi);
+  w.u64(canon.hash.lo);
+  w.str(topology.name());
+  w.u64(topology.num_qubits());
+  w.u64(topology.edges().size());
+  for (const auto& [a, b] : topology.edges()) {  // std::set: sorted order
+    w.u64(a);
+    w.u64(b);
+  }
+  w.u8(enable_optimizer ? 1 : 0);
+  return w.finish();
+}
+
+core::ShardedCache<CompiledProgram>& compile_cache() {
+  static auto* cache = new core::ShardedCache<CompiledProgram>([] {
+    core::CacheConfig config;
+    config.name = "quantum.compile";
+    config.max_entries = 1024;
+    config.max_bytes = std::size_t{32} << 20;
+    return config;
+  }());
+  return *cache;
+}
+
+std::shared_ptr<const CompiledProgram> compile_cached(
+    const Circuit& circuit, const Topology& topology, bool enable_optimizer,
+    std::vector<std::size_t>* perm_out) {
+  if (!core::cache_enabled()) {
+    // The original, pre-cache path, byte for byte.
+    if (perm_out) {
+      perm_out->resize(circuit.num_qubits());
+      for (std::size_t q = 0; q < circuit.num_qubits(); ++q)
+        (*perm_out)[q] = q;
+    }
+    return std::make_shared<const CompiledProgram>(
+        compile(circuit, topology, enable_optimizer));
+  }
+
+  CanonicalCircuit canon = canonicalize(circuit);
+  if (perm_out) *perm_out = canon.perm;
+  const core::HashKey128 key = compile_key(canon, topology, enable_optimizer);
+  if (auto cached = compile_cache().get(key)) return cached;
+
+  // Compile the canonical circuit: every hash-equal submission then shares
+  // one program, and the caller's perm translates its labels back.
+  auto prog = std::make_shared<const CompiledProgram>(
+      compile(canon.circuit, topology, enable_optimizer));
+  compile_cache().put(key, prog, program_bytes(*prog));
+  return prog;
+}
+
+}  // namespace rebooting::quantum

@@ -1,0 +1,60 @@
+// Canonical circuit hashing + the content-addressed compile cache
+// (DESIGN.md §14). Two circuits that differ only by a relabeling of their
+// qubits compile to the same program modulo that relabeling, so the cache
+// keys on a canonical form: qubits renamed in first-use order over the gate
+// list. Gate order is significant (circuits are straight-line programs), so
+// first-use order is a complete invariant — no search needed, unlike the CNF
+// canonicalizer.
+//
+// Angle policy: angles hash by exact IEEE-754 bit pattern with only -0.0
+// identified with +0.0 (see HashWriter::real). We deliberately do NOT
+// quantize angles into buckets: two circuits with nearby-but-different
+// rotations are different programs, and aliasing them would return wrong
+// amplitudes. The cost is that pi computed two ways may miss a hit — safe
+// and merely slow, the right failure direction for a result cache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cache.h"
+#include "quantum/circuit.h"
+#include "quantum/compiler.h"
+
+namespace rebooting::quantum {
+
+/// A circuit rewritten into canonical qubit labels, plus the relabeling that
+/// got it there.
+struct CanonicalCircuit {
+  Circuit circuit;  ///< canonical labels, -0.0 angles normalized to +0.0
+  /// perm[original_qubit] = canonical_qubit. Qubits never touched by a gate
+  /// are assigned the remaining labels in ascending original order.
+  std::vector<std::size_t> perm;
+  bool identity = true;  ///< perm is the identity (common case)
+  core::HashKey128 hash;  ///< digest of the canonical encoding
+};
+
+/// Relabels qubits by first use over the operation list and digests the
+/// canonical byte encoding (versioned; gate kinds, operands, angles).
+CanonicalCircuit canonicalize(const Circuit& circuit);
+
+/// Cache key for a full compilation: canonical circuit + topology
+/// (name, size, edge set) + compiler options.
+core::HashKey128 compile_key(const CanonicalCircuit& canon,
+                             const Topology& topology, bool enable_optimizer);
+
+/// Content-addressed `compile`. On a miss, compiles the *canonical* circuit
+/// and caches the program; on a hit, returns the shared cached program.
+/// Either way `perm_out` (if non-null) receives the original->canonical
+/// relabeling the caller must compose with the program's final_map to get
+/// original-logical -> physical. With caching disabled this is exactly
+/// `compile(circuit, ...)` with an identity perm.
+std::shared_ptr<const CompiledProgram> compile_cached(
+    const Circuit& circuit, const Topology& topology, bool enable_optimizer,
+    std::vector<std::size_t>* perm_out = nullptr);
+
+/// The process-wide compile cache ("quantum.compile"), for stats and tests.
+core::ShardedCache<CompiledProgram>& compile_cache();
+
+}  // namespace rebooting::quantum

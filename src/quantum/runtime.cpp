@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "quantum/canonical.h"
 #include "telemetry/telemetry.h"
 
 namespace rebooting::quantum {
@@ -98,8 +99,18 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
   TELEM_SPAN("quantum.run");
   TELEM_TRACE_SCOPE("quantum.run");
   TELEM_COUNT("quantum.shots", static_cast<core::Real>(shots));
-  const CompiledProgram prog =
-      compile(circuit, config_.topology, config_.enable_optimizer);
+  // Content-addressed compile: hash-equal circuits share one cached program
+  // compiled from the canonical (first-use relabeled) form; `perm` maps our
+  // labels into the canonical ones, so composing it with the program's
+  // routing map recovers original-logical -> physical.
+  std::vector<std::size_t> perm;
+  const std::shared_ptr<const CompiledProgram> prog_ptr =
+      compile_cached(circuit, config_.topology, config_.enable_optimizer,
+                     &perm);
+  const CompiledProgram& prog = *prog_ptr;
+  std::vector<std::size_t> final_map(circuit.num_qubits());
+  for (std::size_t l = 0; l < circuit.num_qubits(); ++l)
+    final_map[l] = prog.final_map[perm[l]];
 
   ExecutionResult result;
   result.shots = shots;
@@ -123,14 +134,14 @@ ExecutionResult QuantumAccelerator::run(const Circuit& circuit,
       const std::uint64_t physical = state.sample(rng);
       std::uint64_t logical = 0;
       for (std::size_t l = 0; l < circuit.num_qubits(); ++l)
-        if (physical & (1ull << prog.final_map[l])) logical |= 1ull << l;
+        if (physical & (1ull << final_map[l])) logical |= 1ull << l;
       ++result.counts[logical];
     }
     return result;
   }
 
   for (std::size_t s = 0; s < shots; ++s)
-    ++result.counts[run_single_trajectory(prog.circuit, prog.final_map,
+    ++result.counts[run_single_trajectory(prog.circuit, final_map,
                                           circuit.num_qubits(), rng)];
   return result;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/cache.h"
 
 namespace rebooting::sched {
 
@@ -87,6 +88,34 @@ struct JobOptions {
   /// (self-contained core::Job closures); typed-downcast payloads must leave
   /// this false.
   bool stealable = false;
+  /// Opt-in memoization (DESIGN.md §14). Non-empty = "this job is a pure
+  /// function of this key": an identical key already cached replays the
+  /// stored JobResult without executing, and identical keys in flight
+  /// collapse into one execution with fanned-out futures (single-flight).
+  /// The submitter owns key correctness — the scheduler cannot see inside
+  /// the payload, so a key that omits an input silently replays the wrong
+  /// result. Only ok=true, actually-executed results are ever cached.
+  /// Ignored by submit_preemptible (a sliced job is a progress stream, not
+  /// a pure function) and, like every cache layer, inert when
+  /// core::cache_enabled() is off.
+  std::string memo_key;
+};
+
+/// One in-flight memoized execution (single-flight). The first submitter of
+/// a memo_key becomes the *leader* and executes normally; later identical
+/// submitters become *riders*: their promises park here and are fulfilled
+/// with a copy of the leader's outcome — result or exception — when it
+/// settles. Riders' own cancel/deadline options are honored at delivery
+/// time. Guarded by the scheduler's flight registry mutex.
+struct MemoFlight {
+  struct Rider {
+    std::string name;
+    JobOptions opts;
+    std::promise<core::JobResult> promise;
+  };
+
+  core::HashKey128 key;
+  std::vector<Rider> riders;
 };
 
 /// Deadline helper: `opts.deadline = deadline_in(std::chrono::milliseconds(5))`.
@@ -149,6 +178,11 @@ struct QueuedJob {
   bool failed_over = false;  ///< already re-homed once; never hops again
   // --- preemption bookkeeping ---------------------------------------------
   bool resumed = false;  ///< re-enqueued after at least one yielded slice
+  // --- memoization bookkeeping --------------------------------------------
+  /// Set when this job leads a single-flight group; travels with the job
+  /// across failover hops and preemption re-enqueues, and is settled exactly
+  /// once, by whichever code path fulfills the leader's promise.
+  std::shared_ptr<MemoFlight> memo_flight;
 };
 
 /// What a full queue does with the next submission.

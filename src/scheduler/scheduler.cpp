@@ -30,7 +30,8 @@ Scheduler::Pool::Pool(core::AcceleratorKind k, std::size_t capacity,
       jobs_counter("sched.jobs." + core::to_string(k)),
       busy_counter("sched.busy_seconds." + core::to_string(k)) {}
 
-Scheduler::Scheduler(SchedulerConfig config) : config_(config) {}
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)), memo_cache_(config_.memo_cache) {}
 
 Scheduler::~Scheduler() { shutdown(); }
 
@@ -117,12 +118,142 @@ std::future<core::JobResult> Scheduler::submit(std::string name,
     throw std::runtime_error("sched: submit('" + name + "') after shutdown");
   Pool* pool = find_pool(kind);
 
+  std::shared_ptr<MemoFlight> flight;
+  if (auto memoized = try_memo(name, opts, &flight)) return std::move(*memoized);
+
   QueuedJob item;
   item.name = std::move(name);
   item.kind = kind;
   item.payload = std::move(payload);
   item.opts = std::move(opts);
+  item.memo_flight = std::move(flight);
   return enqueue(std::move(item), pool);
+}
+
+std::optional<std::future<core::JobResult>> Scheduler::try_memo(
+    const std::string& name, const JobOptions& opts,
+    std::shared_ptr<MemoFlight>* flight_out) {
+  if (opts.memo_key.empty() || !core::cache_enabled()) return std::nullopt;
+  core::HashWriter w;
+  w.str(opts.memo_key);
+  const core::HashKey128 key = w.finish();
+
+  if (const auto cached = memo_cache_.get(key)) {
+    // Replay. The submitter's own pre-execution gates still apply — a
+    // cancelled or already-expired job must not look like it ran.
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("sched.memo_hit");
+    TELEM_TRACE_INSTANT("sched.memo_hit");
+    std::promise<core::JobResult> promise;
+    auto future = promise.get_future();
+    core::JobResult result;
+    if (opts.cancel && opts.cancel->cancelled()) {
+      result.disposition = core::JobDisposition::kCancelled;
+      result.summary =
+          "sched: job '" + name + "' cancelled before execution";
+      telemetry::count("sched.cancelled");
+      TELEM_TRACE_INSTANT("sched.cancelled");
+    } else if (opts.deadline && Clock::now() >= *opts.deadline) {
+      result.disposition = core::JobDisposition::kDeadlineMissed;
+      result.summary = "sched: job '" + name + "' missed its deadline";
+      telemetry::count("sched.deadline_missed");
+      TELEM_TRACE_INSTANT("sched.deadline_expired");
+    } else {
+      result = *cached;
+    }
+    promise.set_value(std::move(result));
+    return future;
+  }
+
+  std::lock_guard lock(flights_mutex_);
+  const auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    // Single-flight: ride the in-flight leader instead of executing again.
+    memo_riders_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("sched.memo_rider");
+    TELEM_TRACE_INSTANT("sched.memo_rider");
+    MemoFlight::Rider rider;
+    rider.name = name;
+    rider.opts = opts;
+    auto future = rider.promise.get_future();
+    it->second->riders.push_back(std::move(rider));
+    track_accept();
+    return future;
+  }
+  // No cached result, no flight: this submission leads a new one.
+  auto flight = std::make_shared<MemoFlight>();
+  flight->key = key;
+  flights_.emplace(key, flight);
+  *flight_out = std::move(flight);
+  return std::nullopt;
+}
+
+void Scheduler::fulfill(QueuedJob& item, core::JobResult&& result) {
+  if (item.memo_flight) {
+    settle_flight(item.memo_flight, &result, nullptr);
+    item.memo_flight.reset();
+  }
+  item.promise.set_value(std::move(result));
+  track_complete();
+}
+
+void Scheduler::fulfill_exception(QueuedJob& item, std::exception_ptr thrown) {
+  if (item.memo_flight) {
+    settle_flight(item.memo_flight, nullptr, thrown);
+    item.memo_flight.reset();
+  }
+  item.promise.set_exception(std::move(thrown));
+  track_complete();
+}
+
+void Scheduler::settle_flight(const std::shared_ptr<MemoFlight>& flight,
+                              const core::JobResult* result,
+                              std::exception_ptr thrown) {
+  std::vector<MemoFlight::Rider> riders;
+  {
+    // Erase before delivering: once settled, a new identical submit starts a
+    // fresh flight (or hits the cache) instead of attaching to this one.
+    std::lock_guard lock(flights_mutex_);
+    flights_.erase(flight->key);
+    riders = std::move(flight->riders);
+    flight->riders.clear();
+  }
+  if (result && result->ok &&
+      result->disposition == core::JobDisposition::kExecuted) {
+    // Only a genuine success is worth replaying; cancellations, deadline
+    // misses, shed/flushed verdicts, and fault-storm failures must re-execute
+    // next time.
+    std::size_t bytes = sizeof(core::JobResult) + result->summary.size();
+    for (const auto& [key, value] : result->metrics)
+      bytes += key.size() + sizeof(value);
+    for (const auto& line : result->fault_log) bytes += line.size();
+    memo_cache_.put(flight->key, std::make_shared<core::JobResult>(*result),
+                    bytes);
+  }
+  for (auto& rider : riders) {
+    if (thrown) {
+      rider.promise.set_exception(thrown);
+    } else {
+      core::JobResult fanned;
+      if (rider.opts.cancel && rider.opts.cancel->cancelled()) {
+        fanned.disposition = core::JobDisposition::kCancelled;
+        fanned.summary = "sched: job '" + rider.name +
+                         "' cancelled before execution";
+        telemetry::count("sched.cancelled");
+        TELEM_TRACE_INSTANT("sched.cancelled");
+      } else if (rider.opts.deadline && Clock::now() >= *rider.opts.deadline) {
+        fanned.disposition = core::JobDisposition::kDeadlineMissed;
+        fanned.summary = "sched: job '" + rider.name +
+                         "' missed its deadline";
+        telemetry::count("sched.deadline_missed");
+        TELEM_TRACE_INSTANT("sched.deadline_expired");
+      } else {
+        fanned = *result;
+      }
+      rider.promise.set_value(std::move(fanned));
+    }
+    track_complete();
+  }
 }
 
 std::future<core::JobResult> Scheduler::submit_preemptible(
@@ -295,11 +426,10 @@ void Scheduler::execute(Pool& pool, BoundedJobQueue& source,
     if (verdict == Verdict::kCompleted) {
       telemetry::record("sched.latency_seconds",
                         seconds_between(item.enqueued_at, Clock::now()));
-      item.promise.set_value(std::move(result));
-      track_complete();
-    } else if (verdict == Verdict::kThrew) {
-      track_complete();
+      fulfill(item, std::move(result));
     }
+    // kThrew already fulfilled the promise (exception) inside run_slice /
+    // run_attempts; kFailedOver and kYielded re-queued the job elsewhere.
     source.task_done();
 }
 
@@ -335,7 +465,7 @@ Scheduler::Verdict Scheduler::run_slice(Pool& pool, BoundedJobQueue& source,
       metrics.add("sched.jobs");
       metrics.add(pool.jobs_counter);
     }
-    item.promise.set_exception(std::current_exception());
+    fulfill_exception(item, std::current_exception());
     return Verdict::kThrew;
   }
   const core::Real service = seconds_between(start, Clock::now());
@@ -522,7 +652,7 @@ Scheduler::Verdict Scheduler::run_attempts(Pool& pool,
           metrics.add("sched.jobs");
           metrics.add(pool.jobs_counter);
         }
-        item.promise.set_exception(thrown);
+        fulfill_exception(item, std::move(thrown));
         return Verdict::kThrew;
       }
     }
@@ -649,8 +779,7 @@ void Scheduler::complete_unrun(QueuedJob&& item, const std::string& why,
   result.summary = "sched: job '" + item.name + "' " + why;
   result.attempts = item.attempts_done;
   result.fault_log = std::move(item.fault_log);
-  item.promise.set_value(std::move(result));
-  track_complete();
+  fulfill(item, std::move(result));
 }
 
 void Scheduler::track_accept() {
@@ -732,6 +861,8 @@ SchedulerStats Scheduler::stats() const {
   s.preempts = preempts_.load(std::memory_order_relaxed);
   s.resumes = resumes_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.memo_riders = memo_riders_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     s.outstanding = outstanding_;

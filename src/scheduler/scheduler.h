@@ -50,9 +50,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/cache.h"
 #include "core/faults.h"
 #include "scheduler/breaker.h"
 #include "scheduler/queue.h"
@@ -81,6 +83,12 @@ struct SchedulerConfig {
   /// How long a stealing-enabled worker waits on its own queue before
   /// looking for a victim pool.
   Clock::duration steal_poll = std::chrono::milliseconds(2);
+  /// Sizing of the JobOptions::memo_key result cache (DESIGN.md §14).
+  core::CacheConfig memo_cache = [] {
+    core::CacheConfig c;
+    c.name = "sched.memo";
+    return c;
+  }();
 };
 
 /// Point-in-time utilization snapshot of one kind's pool, aggregated over its
@@ -111,6 +119,9 @@ struct SchedulerStats {
   std::uint64_t preempts = 0;  ///< slices that yielded to higher priority
   std::uint64_t resumes = 0;   ///< preempted jobs picked back up
   std::uint64_t steals = 0;    ///< jobs taken from another kind's queue
+  // Memoization counters (DESIGN.md §14).
+  std::uint64_t memo_hits = 0;    ///< submits replayed from the memo cache
+  std::uint64_t memo_riders = 0;  ///< submits collapsed onto an in-flight job
   std::map<core::AcceleratorKind, PoolStats> pools;
 };
 
@@ -268,6 +279,27 @@ class Scheduler {
   void track_accept();
   void track_complete();
 
+  // --- memoization (DESIGN.md §14) ----------------------------------------
+  /// The single funnel for fulfilling a job's promise with a result: settles
+  /// the job's memo flight (if it leads one) before completing, so riders
+  /// can never outlive their leader. Every promise-with-value site goes
+  /// through here.
+  void fulfill(QueuedJob& item, core::JobResult&& result);
+  /// Same funnel for the exception outcome: riders receive the exception
+  /// their leader's payload threw.
+  void fulfill_exception(QueuedJob& item, std::exception_ptr thrown);
+  /// Removes the flight from the registry (no rider can attach afterwards),
+  /// caches an ok + actually-executed result, and fans the outcome out to
+  /// every rider — honoring each rider's own cancel/deadline at delivery.
+  void settle_flight(const std::shared_ptr<MemoFlight>& flight,
+                     const core::JobResult* result, std::exception_ptr thrown);
+  /// Memo fast paths of submit(): replay a cached result, or join/lead the
+  /// single-flight group. Returns the future to hand back, or nullopt when
+  /// the job must enqueue normally (possibly now leading `flight_out`).
+  std::optional<std::future<core::JobResult>> try_memo(
+      const std::string& name, const JobOptions& opts,
+      std::shared_ptr<MemoFlight>* flight_out);
+
   SchedulerConfig config_;
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> next_seq_{0};
@@ -279,6 +311,17 @@ class Scheduler {
   std::atomic<std::uint64_t> preempts_{0};
   std::atomic<std::uint64_t> resumes_{0};
   std::atomic<std::uint64_t> steals_{0};
+
+  // Memoization: the result cache and the in-flight single-flight registry.
+  // flights_mutex_ is a leaf lock (never held while calling user code or
+  // taking another scheduler lock).
+  core::ShardedCache<core::JobResult> memo_cache_;
+  std::mutex flights_mutex_;
+  std::unordered_map<core::HashKey128, std::shared_ptr<MemoFlight>,
+                     core::HashKey128Hash>
+      flights_;
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_riders_{0};
 
   // drain() bookkeeping: accepted-but-uncompleted jobs. Counted at the
   // promise, not the queue, so a failover hop between pools can never open

@@ -27,6 +27,7 @@ TEST(Protocol, RequestRoundTripsEveryField) {
   req.priority = 3;
   req.deadline_ms = 250.0;
   req.no_coalesce = true;
+  req.memo = true;
 
   const auto decoded = decode_request(encode_request(req));
   ASSERT_TRUE(decoded.has_value());
@@ -40,6 +41,17 @@ TEST(Protocol, RequestRoundTripsEveryField) {
   ASSERT_TRUE(decoded->deadline_ms.has_value());
   EXPECT_DOUBLE_EQ(*decoded->deadline_ms, 250.0);
   EXPECT_TRUE(decoded->no_coalesce);
+  EXPECT_TRUE(decoded->memo);
+}
+
+TEST(Protocol, MemoDefaultsOffAndStaysOffTheWire) {
+  Request req;
+  req.method = "submit";
+  const std::string wire = encode_request(req);
+  EXPECT_EQ(wire.find("memo"), std::string::npos);
+  const auto decoded = decode_request(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->memo);
 }
 
 TEST(Protocol, ResponseRoundTripsEveryField) {

@@ -1,0 +1,222 @@
+#include "memcomputing/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/random.h"
+
+namespace rebooting::memcomputing {
+namespace {
+
+/// Pins a test to the pre-cache solve path and restores the ambient toggle.
+struct ScopedCacheDisable {
+  bool previous = core::cache_enabled();
+  ScopedCacheDisable() { core::set_cache_enabled(false); }
+  ~ScopedCacheDisable() { core::set_cache_enabled(previous); }
+};
+
+/// Rewrites `cnf` under a variable renaming (`rename[v]` is the new 1-based
+/// name of variable v), shuffles the clause order, and reverses literal
+/// order inside clauses — the full invariance group of the canonicalizer.
+Cnf scramble(const Cnf& cnf, const std::vector<std::size_t>& rename,
+             core::Rng& rng) {
+  std::vector<Clause> clauses = cnf.clauses();
+  for (Clause& clause : clauses) {
+    for (Literal& lit : clause.literals) {
+      const std::size_t v = static_cast<std::size_t>(std::abs(lit));
+      const Literal renamed = static_cast<Literal>(rename[v]);
+      lit = lit > 0 ? renamed : -renamed;
+    }
+    std::reverse(clause.literals.begin(), clause.literals.end());
+  }
+  for (std::size_t i = clauses.size(); i > 1; --i)
+    std::swap(clauses[i - 1], clauses[rng.uniform_index(i)]);
+  Cnf out(cnf.num_variables());
+  for (Clause& clause : clauses) out.add_clause(std::move(clause));
+  return out;
+}
+
+std::vector<std::size_t> random_rename(std::size_t n, core::Rng& rng) {
+  std::vector<std::size_t> rename(n + 1);
+  std::iota(rename.begin(), rename.end(), 0);  // rename[0] unused
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(rename[i], rename[1 + rng.uniform_index(i)]);
+  return rename;
+}
+
+// ------------------------------------------------------- canonical form ----
+
+TEST(CnfCanonical, LiteralAndClauseOrderInvariant) {
+  Cnf a(3), b(3);
+  a.add_clause({1, 2});
+  a.add_clause({-1, 3});
+  b.add_clause({3, -1});  // literals reversed
+  b.add_clause({2, 1});   // clauses reordered
+  EXPECT_EQ(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CnfCanonical, VariableRenamingInvariant) {
+  Cnf a(3);
+  a.add_clause({1, 2});
+  a.add_clause({-1, 3});
+  a.add_clause({-2, -3});
+  // Rename 1->3, 2->1, 3->2.
+  Cnf b(3);
+  b.add_clause({3, 1});
+  b.add_clause({-3, 2});
+  b.add_clause({-1, -2});
+  EXPECT_EQ(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CnfCanonical, RandomKsatSurvivesFullScramble) {
+  // The real property: for random instances, any combination of renaming +
+  // clause shuffle + literal reorder hashes identically.
+  core::Rng rng(11);
+  const Cnf cnf = random_ksat(rng, 20, 80, 3);
+  const core::HashKey128 base = canonicalize(cnf).hash;
+  for (int round = 0; round < 5; ++round) {
+    const auto rename = random_rename(cnf.num_variables(), rng);
+    const Cnf scrambled = scramble(cnf, rename, rng);
+    EXPECT_EQ(canonicalize(scrambled).hash, base) << "round " << round;
+  }
+}
+
+TEST(CnfCanonical, OneFlippedLiteralChangesHash) {
+  Cnf a(3), b(3);
+  a.add_clause({1, 2});
+  a.add_clause({-1, 3});
+  b.add_clause({1, 2});
+  b.add_clause({1, 3});  // the -1 flipped
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CnfCanonical, ClauseWeightChangesHash) {
+  Cnf a(2), b(2);
+  a.add_clause({1, 2}, 1.0);
+  b.add_clause({1, 2}, 2.5);  // MaxSAT weight is part of the instance
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CnfCanonical, PermIsABijectionAndMapsSatisfiability) {
+  core::Rng rng(23);
+  const auto planted = planted_ksat(rng, 15, 60, 3);
+  const CanonicalCnf canon = canonicalize(planted.cnf);
+
+  // perm[1..n] is a permutation of 1..n.
+  ASSERT_EQ(canon.perm.size(), planted.cnf.num_variables() + 1);
+  std::vector<bool> seen(canon.perm.size(), false);
+  for (std::size_t v = 1; v < canon.perm.size(); ++v) {
+    ASSERT_GE(canon.perm[v], 1u);
+    ASSERT_LT(canon.perm[v], canon.perm.size());
+    ASSERT_FALSE(seen[canon.perm[v]]) << "duplicate image";
+    seen[canon.perm[v]] = true;
+  }
+
+  // The plant, pushed through the perm, satisfies the canonical formula —
+  // canonicalization is an isomorphism, not just a hash.
+  ASSERT_TRUE(planted.cnf.satisfied(planted.plant));
+  Assignment mapped(canon.perm.size(), false);
+  for (std::size_t v = 1; v < canon.perm.size(); ++v)
+    mapped[canon.perm[v]] = planted.plant[v];
+  EXPECT_TRUE(canon.cnf.satisfied(mapped));
+  EXPECT_EQ(canon.cnf.num_variables(), planted.cnf.num_variables());
+  EXPECT_EQ(canon.cnf.num_clauses(), planted.cnf.num_clauses());
+}
+
+// ------------------------------------------------------------- solve key ---
+
+TEST(CnfCanonical, SolveKeyCoversOptions) {
+  Cnf cnf(2);
+  cnf.add_clause({1, 2});
+  const CanonicalCnf canon = canonicalize(cnf);
+  DmmOptions base;
+  const auto k0 = dmm_solve_key(canon, base);
+  DmmOptions steps = base;
+  steps.max_steps = 999;
+  DmmOptions alpha = base;
+  alpha.params.alpha = 4.0;
+  DmmOptions maxsat = base;
+  maxsat.maxsat_mode = true;
+  EXPECT_NE(k0, dmm_solve_key(canon, steps));
+  EXPECT_NE(k0, dmm_solve_key(canon, alpha));
+  EXPECT_NE(k0, dmm_solve_key(canon, maxsat));
+  EXPECT_EQ(k0, dmm_solve_key(canon, base));
+}
+
+// ------------------------------------------------------------ solve cache --
+
+TEST(CnfCanonical, CachedAssignmentMapsBackToRenamedFormula) {
+  core::Rng rng(31);
+  const auto planted = planted_ksat(rng, 12, 40, 3);
+  dmm_cache().clear();
+
+  DmmOptions options;
+  options.max_steps = 200'000;
+  core::Rng solve_rng(5);
+  const DmmResult first = solve_dmm_cached(planted.cnf, options, solve_rng);
+  ASSERT_TRUE(first.satisfied);
+  ASSERT_TRUE(planted.cnf.satisfied(first.assignment));
+
+  // A renamed copy is the same canonical instance: the solve must hit, and
+  // the replayed assignment — mapped through the renamed formula's own
+  // permutation — must satisfy the renamed formula.
+  const auto rename = random_rename(planted.cnf.num_variables(), rng);
+  const Cnf renamed = scramble(planted.cnf, rename, rng);
+  const auto before = dmm_cache().stats();
+  core::Rng replay_rng(99);  // rng must not matter on a replay
+  const DmmResult replay = solve_dmm_cached(renamed, options, replay_rng);
+  const auto after = dmm_cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  ASSERT_TRUE(replay.satisfied);
+  EXPECT_TRUE(renamed.satisfied(replay.assignment));
+  EXPECT_EQ(replay.steps, first.steps);
+  EXPECT_EQ(replay.best_unsatisfied, first.best_unsatisfied);
+}
+
+TEST(CnfCanonical, UnsatisfiedHitWarmRestartsWithoutDowngrade) {
+  // x and not-x: unsatisfiable, so every solve ends unsatisfied and the
+  // cache stores a best-known assignment for warm restarts.
+  Cnf cnf(1);
+  cnf.add_clause({1});
+  cnf.add_clause({-1});
+  dmm_cache().clear();
+  DmmOptions options;
+  options.max_steps = 50;  // keep the hopeless integration short
+
+  core::Rng rng1(1);
+  const DmmResult first = solve_dmm_cached(cnf, options, rng1);
+  EXPECT_FALSE(first.satisfied);
+  const auto before = dmm_cache().stats();
+  core::Rng rng2(2);
+  const DmmResult second = solve_dmm_cached(cnf, options, rng2);
+  const auto after = dmm_cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_FALSE(second.satisfied);
+  // The warm restart may match but never beat-then-lose: the reported best
+  // can only improve on (or equal) the cached one.
+  EXPECT_LE(second.best_unsatisfied, first.best_unsatisfied);
+}
+
+TEST(CnfCanonical, DisabledCacheMatchesDirectSolveBitExactly) {
+  ScopedCacheDisable off;
+  core::Rng rng(77);
+  const Cnf cnf = random_ksat(rng, 10, 30, 3);
+  DmmOptions options;
+  options.max_steps = 10'000;
+  core::Rng a(42), b(42);
+  const DmmResult via_cache = solve_dmm_cached(cnf, options, a);
+  const DmmResult direct = DmmSolver(cnf, options).solve(b);
+  EXPECT_EQ(via_cache.satisfied, direct.satisfied);
+  EXPECT_EQ(via_cache.steps, direct.steps);
+  EXPECT_EQ(via_cache.sim_time, direct.sim_time);
+  EXPECT_EQ(via_cache.best_unsatisfied, direct.best_unsatisfied);
+  EXPECT_EQ(via_cache.assignment, direct.assignment);
+}
+
+}  // namespace
+}  // namespace rebooting::memcomputing

@@ -1,0 +1,168 @@
+#include "quantum/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cache.h"
+
+namespace rebooting::quantum {
+namespace {
+
+/// Pins a test to the pre-cache compile path and restores the ambient toggle.
+struct ScopedCacheDisable {
+  bool previous = core::cache_enabled();
+  ScopedCacheDisable() { core::set_cache_enabled(false); }
+  ~ScopedCacheDisable() { core::set_cache_enabled(previous); }
+};
+
+// ------------------------------------------------------- canonical form ----
+
+TEST(CircuitCanonical, FirstUseOrderIsIdentityForOrderedCircuit) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.5);
+  const CanonicalCircuit canon = canonicalize(c);
+  EXPECT_TRUE(canon.identity);
+  ASSERT_EQ(canon.perm.size(), 3u);
+  for (std::size_t q = 0; q < 3; ++q) EXPECT_EQ(canon.perm[q], q);
+}
+
+TEST(CircuitCanonical, RelabeledCircuitsHashIdentically) {
+  // h(0).cx(0,3) and h(1).cx(1,2) are the same program modulo qubit names:
+  // both relabel to h(0).cx(0,1).
+  Circuit a(4), b(4);
+  a.h(0).cx(0, 3);
+  b.h(1).cx(1, 2);
+  const CanonicalCircuit ca = canonicalize(a);
+  const CanonicalCircuit cb = canonicalize(b);
+  EXPECT_EQ(ca.hash, cb.hash);
+  EXPECT_TRUE(ca.identity ||
+              !cb.identity);  // a uses 0 first; b needs relabeling
+  EXPECT_FALSE(cb.identity);
+  // b's relabeling: first-use order is 1, 2; unused 0, 3 fill the tail.
+  ASSERT_EQ(cb.perm.size(), 4u);
+  EXPECT_EQ(cb.perm[1], 0u);
+  EXPECT_EQ(cb.perm[2], 1u);
+  EXPECT_EQ(cb.perm[0], 2u);
+  EXPECT_EQ(cb.perm[3], 3u);
+}
+
+TEST(CircuitCanonical, GateOrderIsSignificant) {
+  // Straight-line programs: reordering operations is a different circuit
+  // even when the gate multiset matches.
+  Circuit a(2), b(2);
+  a.h(0).x(1);
+  b.x(1).h(0);
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CircuitCanonical, OneChangedAngleChangesHash) {
+  Circuit a(1), b(1);
+  a.rz(0, 0.5);
+  b.rz(0, 0.5 + 1e-15);  // one ulp-scale perturbation: different program
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CircuitCanonical, NegativeZeroAngleIsPositiveZero) {
+  // The one value identification the angle policy performs.
+  Circuit a(1), b(1);
+  a.rz(0, 0.0);
+  b.rz(0, -0.0);
+  EXPECT_EQ(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(CircuitCanonical, QubitCountDistinguishesCircuits) {
+  // Same gates, different register width: different programs (the extra
+  // idle qubit doubles the state space).
+  Circuit a(2), b(3);
+  a.h(0).cx(0, 1);
+  b.h(0).cx(0, 1);
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+// ----------------------------------------------------------- compile key ----
+
+TEST(CircuitCanonical, CompileKeyCoversTopologyAndOptions) {
+  Circuit c(4);
+  c.h(0).cx(0, 3);
+  const CanonicalCircuit canon = canonicalize(c);
+  const auto line = compile_key(canon, Topology::line(4), true);
+  const auto full = compile_key(canon, Topology::all_to_all(4), true);
+  const auto line_noopt = compile_key(canon, Topology::line(4), false);
+  EXPECT_NE(line, full);        // routing constraints are part of the key
+  EXPECT_NE(line, line_noopt);  // so are the compiler options
+  EXPECT_EQ(line, compile_key(canon, Topology::line(4), true));
+}
+
+// ---------------------------------------------------------- compile cache --
+
+TEST(CircuitCanonical, RelabeledCompileHitsAndSharesProgram) {
+  compile_cache().clear();
+  const auto before = compile_cache().stats();
+  Circuit a(4), b(4);
+  a.h(0).cx(0, 3);
+  b.h(1).cx(1, 2);  // same canonical form
+  std::vector<std::size_t> perm_a, perm_b;
+  const auto prog_a =
+      compile_cached(a, Topology::line(4), true, &perm_a);
+  const auto prog_b =
+      compile_cached(b, Topology::line(4), true, &perm_b);
+  ASSERT_NE(prog_a, nullptr);
+  EXPECT_EQ(prog_a.get(), prog_b.get());  // literally the same shared program
+  const auto after = compile_cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.inserts, before.inserts + 1);
+
+  // The perms map each caller's labels onto the canonical program's.
+  ASSERT_EQ(perm_a.size(), 4u);
+  ASSERT_EQ(perm_b.size(), 4u);
+  EXPECT_EQ(perm_a[0], 0u);
+  EXPECT_EQ(perm_a[3], 1u);
+  EXPECT_EQ(perm_b[1], 0u);
+  EXPECT_EQ(perm_b[2], 1u);
+}
+
+TEST(CircuitCanonical, ComposedFinalMapPreservesTheDistribution) {
+  // The runtime reads original logical l at physical final_map[perm[l]] of
+  // the cached canonical program. Simulating both circuits, the original's
+  // distribution must reappear under that composed map — the end-to-end
+  // correctness of serving a relabeled circuit from cache.
+  compile_cache().clear();
+  Circuit c(4);
+  c.h(2).cx(2, 0).rx(0, 0.7);
+  std::vector<std::size_t> perm;
+  const auto prog = compile_cached(c, Topology::line(4), true, &perm);
+  ASSERT_NE(prog, nullptr);
+  ASSERT_EQ(perm.size(), 4u);
+  const auto ref_p = simulate(c).probabilities();
+  const auto out_p = simulate(prog->circuit).probabilities();
+  for (std::uint64_t logical = 0; logical < ref_p.size(); ++logical) {
+    std::uint64_t physical = 0;
+    for (std::size_t l = 0; l < 4; ++l)
+      if (logical & (1ull << l)) physical |= 1ull << prog->final_map[perm[l]];
+    EXPECT_NEAR(ref_p[logical], out_p[physical], 1e-9) << "state " << logical;
+  }
+}
+
+TEST(CircuitCanonical, DisabledCacheIsDirectCompile) {
+  ScopedCacheDisable off;
+  const auto before = compile_cache().stats();
+  Circuit c(4);
+  c.h(1).cx(1, 2);
+  std::vector<std::size_t> perm;
+  const auto prog = compile_cached(c, Topology::line(4), true, &perm);
+  ASSERT_NE(prog, nullptr);
+  // Identity perm, untouched cache: the original code path, verbatim.
+  for (std::size_t q = 0; q < 4; ++q) EXPECT_EQ(perm[q], q);
+  const auto after = compile_cache().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.inserts, before.inserts);
+  const CompiledProgram direct = compile(c, Topology::line(4), true);
+  EXPECT_EQ(prog->final_map, direct.final_map);
+  EXPECT_EQ(prog->report.swaps_inserted, direct.report.swaps_inserted);
+}
+
+}  // namespace
+}  // namespace rebooting::quantum

@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cache.h"
+#include "quantum/canonical.h"
+
 namespace rebooting::quantum {
 namespace {
+
+/// Pins a test to the pre-cache compile path (original qubit labels) and
+/// restores the ambient toggle on exit.
+struct ScopedCacheDisable {
+  bool previous = core::cache_enabled();
+  ScopedCacheDisable() { core::set_cache_enabled(false); }
+  ~ScopedCacheDisable() { core::set_cache_enabled(previous); }
+};
 
 TEST(Runtime, BellPairOnAllToAll) {
   core::Rng rng(1);
@@ -18,6 +29,11 @@ TEST(Runtime, BellPairOnAllToAll) {
 }
 
 TEST(Runtime, RoutingPermutationUndoneInCounts) {
+  // Cache disabled: the original-labeled circuit compiles as-is, so the
+  // distant pair really costs SWAPs. (With the compile cache on, the
+  // canonical relabeling 0,3 -> 0,1 makes the pair adjacent — covered by
+  // test_circuit_canonical.cpp.)
+  ScopedCacheDisable off;
   core::Rng rng(3);
   // Entangle distant qubits on a line; the result keys must still be the
   // LOGICAL bit patterns 0b0000 / 0b1001.
@@ -27,6 +43,26 @@ TEST(Runtime, RoutingPermutationUndoneInCounts) {
   const ExecutionResult r = acc.run(bell, 4000, rng);
   EXPECT_GT(r.compile_report.swaps_inserted, 0u);
   EXPECT_NEAR(r.frequency(0b0000) + r.frequency(0b1001), 1.0, 1e-12);
+}
+
+TEST(Runtime, CachedCompilePreservesLogicalCounts) {
+  // Same distant-pair circuit with the compile cache live: results must
+  // stay logically correct through the canonical relabeling, and a second
+  // run of a hash-equal relabeled circuit must reuse the compiled program.
+  const auto before = compile_cache().stats();
+  core::Rng rng(3);
+  Circuit bell(4);
+  bell.h(0).cx(0, 3);
+  QuantumAccelerator acc({.topology = Topology::line(4)});
+  const ExecutionResult r = acc.run(bell, 4000, rng);
+  EXPECT_NEAR(r.frequency(0b0000) + r.frequency(0b1001), 1.0, 1e-12);
+
+  Circuit relabeled(4);
+  relabeled.h(1).cx(1, 2);  // same canonical form: h(0).cx(0, 1)
+  const ExecutionResult r2 = acc.run(relabeled, 4000, rng);
+  EXPECT_NEAR(r2.frequency(0b0000) + r2.frequency(0b0110), 1.0, 1e-12);
+  const auto after = compile_cache().stats();
+  EXPECT_GT(after.hits, before.hits);
 }
 
 TEST(Runtime, ExplicitMeasurementsCollapse) {
